@@ -1,0 +1,64 @@
+"""Figure 1 / Examples 3.1-3.2: evaluating the three registrar views.
+
+The paper's Figure 1 shows the three XML views tau1 (recursive prerequisite
+hierarchy), tau2 (flattened prerequisite closure via a virtual tag) and tau3
+(depth-two filtered course list).  The benchmark publishes each view over
+registrar databases of increasing size and records output sizes, reproducing
+the qualitative claims: tau1's output depth is data-driven, tau2's output has
+depth three, tau3's depth two, and evaluation is polynomial for the
+tuple-register views (Propositions 1 and 3).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import publish
+from repro.workloads.registrar import (
+    generate_registrar_instance,
+    tau1_prerequisite_hierarchy,
+    tau2_prerequisite_closure,
+    tau3_courses_without_db_prereq,
+)
+
+SIZES = [25, 60, 120]
+CLOSURE_SIZES = [25, 60]
+
+
+@pytest.mark.parametrize("num_courses", SIZES)
+def test_tau1_prerequisite_hierarchy(benchmark, num_courses):
+    instance = generate_registrar_instance(num_courses, max_prereqs=2, depth=4, seed=1)
+    transducer = tau1_prerequisite_hierarchy()
+    tree = benchmark(lambda: publish(transducer, instance, max_nodes=500_000))
+    assert tree.label == "db"
+    assert tree.depth() >= 4  # data-driven recursion below each course
+
+
+@pytest.mark.parametrize("num_courses", CLOSURE_SIZES)
+def test_tau2_prerequisite_closure(benchmark, num_courses):
+    instance = generate_registrar_instance(num_courses, max_prereqs=2, depth=4, seed=1)
+    transducer = tau2_prerequisite_closure()
+    tree = benchmark(lambda: publish(transducer, instance, max_nodes=500_000))
+    # Figure 1(b): depth three below the root (course / prereq / cno) plus text leaves.
+    course_nodes = [child for child in tree.children]
+    assert all(course.children[2].label == "prereq" for course in course_nodes)
+    assert "l" not in tree.labels()
+
+
+@pytest.mark.parametrize("num_courses", SIZES)
+def test_tau3_filtered_course_list(benchmark, num_courses):
+    instance = generate_registrar_instance(num_courses, max_prereqs=2, seed=1)
+    transducer = tau3_courses_without_db_prereq()
+    tree = benchmark(lambda: publish(transducer, instance, max_nodes=500_000))
+    assert tree.depth() <= 4  # Figure 1(c): fixed depth
+
+
+def test_figure1_shape_summary(registrar_small):
+    """Non-timed reproduction summary comparing the three views on one instance."""
+    t1 = publish(tau1_prerequisite_hierarchy(), registrar_small)
+    t2 = publish(tau2_prerequisite_closure(), registrar_small)
+    t3 = publish(tau3_courses_without_db_prereq(), registrar_small)
+    assert t1.depth() > t2.depth() >= 4
+    assert t3.depth() == 4
+    # tau2 lists each prerequisite once (a set), tau1 expands the full hierarchy.
+    assert t1.size() >= t2.size()

@@ -1,0 +1,51 @@
+"""Proposition 1(2-4): output-size bounds of the transformation.
+
+* tuple registers: the chain-of-diamonds family ``I_n`` (size ``4n``) yields
+  output trees of size at least ``2^n`` -- exponential blow-up;
+* relation registers: the binary-counter family ``J_n`` yields output trees of
+  size at least ``2^(2^n)`` -- doubly exponential blow-up;
+* non-recursive tuple-register transducers stay polynomial in the input
+  (Proposition 3), measured on the depth-two view tau3.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runtime import publish_full
+from repro.workloads.blowup import (
+    binary_counter_instance,
+    binary_counter_transducer,
+    chain_of_diamonds_instance,
+    chain_of_diamonds_transducer,
+    expected_minimum_output_size_doubly_exponential,
+    expected_minimum_output_size_exponential,
+)
+from repro.workloads.registrar import generate_registrar_instance, tau3_courses_without_db_prereq
+
+
+@pytest.mark.parametrize("n", [2, 4, 6, 8])
+def test_exponential_blowup_tuple_registers(benchmark, n):
+    transducer = chain_of_diamonds_transducer()
+    instance = chain_of_diamonds_instance(n)
+    result = benchmark(lambda: publish_full(transducer, instance, max_nodes=2_000_000))
+    assert result.output_size >= expected_minimum_output_size_exponential(n)
+    assert instance.total_size() == 4 * n
+
+
+@pytest.mark.parametrize("n", [1, 2])
+def test_doubly_exponential_blowup_relation_registers(benchmark, n):
+    transducer = binary_counter_transducer()
+    instance = binary_counter_instance(n)
+    result = benchmark(lambda: publish_full(transducer, instance, max_nodes=2_000_000))
+    assert result.output_size >= expected_minimum_output_size_doubly_exponential(n)
+
+
+@pytest.mark.parametrize("num_courses", [50, 200, 400])
+def test_nonrecursive_tuple_registers_stay_polynomial(benchmark, num_courses):
+    """Proposition 3: PTnr(IFP, tuple, O) evaluation is PTIME in the data."""
+    transducer = tau3_courses_without_db_prereq()
+    instance = generate_registrar_instance(num_courses, max_prereqs=1, seed=3)
+    result = benchmark(lambda: publish_full(transducer, instance, max_nodes=2_000_000))
+    # Output grows linearly with the number of courses (depth is fixed).
+    assert result.output_size <= 8 * num_courses + 10

@@ -1,0 +1,109 @@
+"""Table II: the decision problems and their complexity regimes.
+
+The benchmark exercises each *decidable* cell of Table II on generated inputs
+and records how running time scales, reproducing the qualitative separation
+the table claims:
+
+* emptiness of ``PT(CQ, S, normal)`` -- polynomial (a syntactic check on the
+  start rule), flat as the transducer grows;
+* emptiness of ``PT(CQ, S, virtual)`` -- exponential in the worst case (3SAT
+  gadgets), growing with the number of clauses;
+* membership of ``PTnr(CQ, tuple, normal)`` -- the constructive small-model
+  procedure on produced trees;
+* equivalence of ``PTnr(CQ, tuple, normal)`` -- the Claim 4 characterisation.
+
+Undecidable cells are asserted to raise :class:`UndecidableProblemError`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    UndecidableProblemError,
+    are_equivalent,
+    is_empty,
+    is_member,
+)
+from repro.analysis.membership import MembershipStatus
+from repro.analysis.reductions import cnf, three_sat_emptiness_gadget
+from repro.core import RuleQuery, publish
+from repro.core.rules import RuleItem, TransductionRule
+from repro.core.transducer import make_transducer
+from repro.logic import parse_cq
+from repro.workloads.registrar import tau2_prerequisite_closure, tau3_courses_without_db_prereq
+
+
+def wide_normal_transducer(num_items: int):
+    """A normal CQ transducer whose start rule has ``num_items`` queries."""
+    items = []
+    for index in range(num_items):
+        query = parse_cq(f"ans(x) :- R(x, y), x != 'c{index}'")
+        items.append(RuleItem("q", f"a{index}", RuleQuery(query, 1)))
+    rules = [TransductionRule("q0", "r", tuple(items))]
+    rules += [TransductionRule("q", f"a{index}", ()) for index in range(num_items)]
+    return make_transducer(rules, start_state="q0", root_tag="r")
+
+
+def random_3sat(num_variables: int, num_clauses: int, seed: int = 0):
+    import random
+
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(num_clauses):
+        variables = rng.sample(range(num_variables), k=min(3, num_variables))
+        clauses.append([(v, rng.random() < 0.5) for v in variables])
+    return cnf(num_variables, clauses)
+
+
+@pytest.mark.parametrize("size", [5, 20, 60])
+def test_emptiness_normal_is_cheap(benchmark, size):
+    transducer = wide_normal_transducer(size)
+    result = benchmark(lambda: is_empty(transducer))
+    assert not result.empty
+
+
+@pytest.mark.parametrize("clauses", [2, 4, 6])
+def test_emptiness_virtual_3sat_gadget(benchmark, clauses):
+    formula = random_3sat(4, clauses, seed=clauses)
+    gadget = three_sat_emptiness_gadget(formula)
+    result = benchmark(lambda: is_empty(gadget))
+    assert result.empty is (not formula.is_satisfiable_bruteforce())
+
+
+def test_membership_constructive(benchmark):
+    transducer = make_transducer(
+        [
+            TransductionRule("q0", "r", (RuleItem("q", "a", RuleQuery(parse_cq("ans(x) :- R(x, y)"), 1)),)),
+            TransductionRule("q", "a", (RuleItem("q", "b", RuleQuery(parse_cq("ans(z) :- Reg_a(z)"), 1)),)),
+            TransductionRule("q", "b", ()),
+        ],
+        start_state="q0",
+        root_tag="r",
+    )
+    from repro.xmltree.tree import tree
+
+    target = tree("r", tree("a", "b"), tree("a", "b"))
+    result = benchmark(lambda: is_member(transducer, target))
+    assert result.status is MembershipStatus.MEMBER
+
+
+def test_equivalence_nonrecursive_cq(benchmark, registrar_small):
+    from repro.languages.registry import example_dad_rdb_mapping
+
+    left = example_dad_rdb_mapping()
+    right = example_dad_rdb_mapping()
+    verdict = benchmark(lambda: are_equivalent(left, right))
+    assert verdict.equivalent
+
+
+def test_undecidable_cells_raise():
+    """The FO/IFP rows and the recursive equivalence cells refuse to decide."""
+    tau3 = tau3_courses_without_db_prereq()
+    tau2 = tau2_prerequisite_closure()
+    with pytest.raises(UndecidableProblemError):
+        is_empty(tau3)
+    with pytest.raises(UndecidableProblemError):
+        is_empty(tau2)
+    with pytest.raises(UndecidableProblemError):
+        are_equivalent(tau3, tau3)

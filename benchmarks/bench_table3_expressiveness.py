@@ -1,0 +1,83 @@
+"""Table III: relational expressive power of the fragments.
+
+The benchmark exercises the constructive translations behind Theorem 3(2) and
+Proposition 6(1) and checks empirical agreement on random inputs:
+
+* ``PT(CQ, tuple, O)`` vs LinDatalog -- both directions of the translation,
+  with the transitive-closure query as the canonical recursive workload;
+* ``PTnr(CQ, tuple, O)`` vs UCQ;
+* ``PT(IFP, tuple, O)`` vs IFP (the same-generation / transitive-closure
+  queries evaluated directly and through a transducer).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.relational_query import output_relation
+from repro.datalog import (
+    DatalogProgram,
+    DatalogRule,
+    evaluate_program,
+    lindatalog_to_transducer,
+    transducer_to_lindatalog,
+)
+from repro.expressiveness import nonrecursive_transducer_to_ucq, relational_language_of
+from repro.core.classes import TransducerClass
+from repro.languages.registry import example_dad_rdb_mapping
+from repro.logic.cq import RelationAtom
+from repro.logic.terms import Variable
+from repro.workloads.random_instances import random_graph_instance
+from repro.workloads.registrar import example_registrar_instance, tau1_prerequisite_hierarchy
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+def transitive_closure_program() -> DatalogProgram:
+    return DatalogProgram(
+        [
+            DatalogRule(RelationAtom("S", (x, y)), (RelationAtom("E", (x, y)),)),
+            DatalogRule(
+                RelationAtom("S", (x, y)),
+                (RelationAtom("S", (x, z)), RelationAtom("E", (z, y))),
+            ),
+            DatalogRule(RelationAtom("ans", (x, y)), (RelationAtom("S", (x, y)),)),
+        ]
+    )
+
+
+@pytest.mark.parametrize("nodes,edges", [(6, 10), (10, 20), (14, 30)])
+def test_lindatalog_to_transducer_agreement(benchmark, nodes, edges):
+    program = transitive_closure_program()
+    transducer = lindatalog_to_transducer(program)
+    instance = random_graph_instance(nodes, edges, seed=nodes)
+    expected = evaluate_program(program, instance)
+
+    result = benchmark(lambda: output_relation(transducer, instance, "ao", max_nodes=500_000))
+    assert result == expected
+
+
+def test_transducer_to_lindatalog_agreement(benchmark):
+    transducer = tau1_prerequisite_hierarchy()
+    instance = example_registrar_instance()
+    program = transducer_to_lindatalog(transducer, "course")
+    expected = output_relation(transducer, instance, "course")
+    result = benchmark(lambda: evaluate_program(program, instance))
+    assert result == expected
+
+
+def test_nonrecursive_cq_equals_ucq(benchmark):
+    transducer = example_dad_rdb_mapping()
+    instance = example_registrar_instance()
+    ucq = nonrecursive_transducer_to_ucq(transducer, "course")
+    expected = output_relation(transducer, instance, "course")
+    result = benchmark(lambda: ucq.evaluate(instance))
+    assert result == expected
+
+
+def test_table3_characterisations():
+    """Regenerate the Table III rows used above (no timing)."""
+    assert "LinDatalog" in relational_language_of(TransducerClass.parse("PT(CQ, tuple, normal)")).characterisation
+    assert "UCQ" in relational_language_of(TransducerClass.parse("PTnr(CQ, tuple, normal)")).characterisation
+    assert "IFP" in relational_language_of(TransducerClass.parse("PTnr(IFP, tuple, normal)")).characterisation
+    assert "PSPACE" in relational_language_of(TransducerClass.parse("PT(FO, relation, virtual)")).characterisation

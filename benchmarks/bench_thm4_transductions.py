@@ -1,0 +1,86 @@
+"""Theorems 4 and 5: tree-generating power.
+
+* Theorem 4(1): evaluating an FO-transduction directly versus through the
+  translated ``PT(FO, tuple, virtual)`` transducer (same node sets / labels);
+* Theorem 5: DTD and extended-DTD conformance checking of published trees,
+  plus the monotonicity counterexample DTD ``a -> b1 + b2``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import publish
+from repro.expressiveness import dtd_choice_language
+from repro.logic.fo import Eq, Exists, Or, Rel
+from repro.logic.terms import Constant, Variable
+from repro.relational.instance import Instance
+from repro.relational.schema import RelationalSchema
+from repro.transductions import FirstOrderTransduction, transduction_to_transducer
+from repro.workloads.registrar import generate_registrar_instance, tau1_prerequisite_hierarchy
+from repro.xmltree.dtd import DTD, concat, star, sym
+
+x1, y1, z1 = Variable("x1"), Variable("y1"), Variable("z1")
+
+
+def _reachable_transduction() -> FirstOrderTransduction:
+    occurs = Or((Exists((z1,), Rel("E", (x1, z1))), Exists((z1,), Rel("E", (z1, x1)))))
+    return FirstOrderTransduction(
+        width=1,
+        domain_formula=occurs,
+        root_formula=Eq(x1, Constant("v0_0")),
+        edge_formula=Rel("E", (x1, y1)),
+        label_formulas={"n": occurs},
+    )
+
+
+def _layered_graph(layers: int, width: int) -> Instance:
+    from repro.workloads.random_instances import layered_dag_instance
+
+    return layered_dag_instance(layers, width, seed=1)
+
+
+@pytest.mark.parametrize("layers,width", [(3, 2), (4, 2), (4, 3)])
+def test_transduction_direct_evaluation(benchmark, layers, width):
+    transduction = _reachable_transduction()
+    instance = _layered_graph(layers, width)
+    tree = benchmark(lambda: transduction.apply(instance))
+    assert tree.label == "r"
+
+
+@pytest.mark.parametrize("layers,width", [(3, 2), (4, 2)])
+def test_transduction_via_transducer(benchmark, layers, width):
+    transduction = _reachable_transduction()
+    transducer = transduction_to_transducer(transduction)
+    instance = _layered_graph(layers, width)
+    direct = transduction.apply(instance)
+    via = benchmark(lambda: publish(transducer, instance, max_nodes=500_000))
+    assert via.size() == direct.size()
+    assert via.labels() == direct.labels()
+
+
+@pytest.mark.parametrize("num_courses", [50, 150])
+def test_dtd_conformance_of_published_trees(benchmark, num_courses):
+    dtd = DTD(
+        "db",
+        {
+            "db": star("course"),
+            "course": concat("cno", "title", "prereq"),
+            "prereq": star("course"),
+            "cno": sym("text"),
+            "title": sym("text"),
+        },
+    )
+    instance = generate_registrar_instance(num_courses, cycle_fraction=0.0, seed=5)
+    tree = publish(tau1_prerequisite_hierarchy(), instance, max_nodes=500_000)
+    assert benchmark(lambda: dtd.conforms(tree))
+
+
+def test_choice_dtd_monotonicity_witness():
+    """Theorem 5: the DTD a -> b1 + b2 defeats monotone (CQ) transducers."""
+    from repro.xmltree.tree import tree as t
+
+    dtd = dtd_choice_language()
+    assert dtd.conforms(t("a", "b1"))
+    assert dtd.conforms(t("a", "b2"))
+    assert not dtd.conforms(t("a", "b1", "b2"))

@@ -1,0 +1,32 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper; besides
+timing (pytest-benchmark) the modules assert the *shape* of the paper's claim
+(who wins, growth rates, decidability verdicts) so that a benchmark run is
+also a reproduction check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.registrar import example_registrar_instance, generate_registrar_instance
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "repro: reproduction checks attached to benchmarks")
+
+
+@pytest.fixture(scope="session")
+def registrar_small():
+    return example_registrar_instance()
+
+
+@pytest.fixture(scope="session")
+def registrar_medium():
+    return generate_registrar_instance(120, max_prereqs=2, seed=1)
+
+
+@pytest.fixture(scope="session")
+def registrar_large():
+    return generate_registrar_instance(400, max_prereqs=2, seed=2)

@@ -1,0 +1,32 @@
+"""repro -- a reproduction of "Expressiveness and Complexity of XML Publishing Transducers".
+
+The package is organised by subsystem:
+
+* :mod:`repro.relational` -- relational substrate (schemas, instances, algebra);
+* :mod:`repro.logic` -- the query logics CQ, FO and IFP;
+* :mod:`repro.datalog` -- Datalog / LinDatalog / LinDatalog(FO);
+* :mod:`repro.xmltree` -- Sigma-trees, serialisation, DTDs and extended DTDs;
+* :mod:`repro.core` -- publishing transducers ``PT(L, S, O)`` (the paper's
+  primary contribution): rules, runtime, classification, relational view;
+* :mod:`repro.analysis` -- the Section 5 decision problems and Table II;
+* :mod:`repro.transductions` -- logical transductions (Theorem 4);
+* :mod:`repro.languages` -- the ten publishing-language front-ends (Table I);
+* :mod:`repro.workloads` -- the registrar example and benchmark workloads;
+* :mod:`repro.expressiveness` -- Table III and the separation witnesses.
+
+The most common entry points are re-exported here for convenience.
+"""
+
+from repro.core import PublishingTransducer, classify, publish
+from repro.relational import Instance, RelationalSchema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Instance",
+    "PublishingTransducer",
+    "RelationalSchema",
+    "classify",
+    "publish",
+    "__version__",
+]

@@ -1,0 +1,58 @@
+"""Static analysis of publishing transducers (Section 5).
+
+The classical decision problems -- **emptiness**, **membership** and
+**equivalence** -- are implemented for every fragment for which the paper
+proves them decidable, with the exact complexity bounds the paper establishes
+(Table II).  For undecidable fragments the procedures raise
+:class:`~repro.analysis.complexity.UndecidableProblemError` and the
+lower-bound *reductions* used in the proofs are available as executable gadget
+constructions in :mod:`repro.analysis.reductions`.
+"""
+
+from repro.analysis.complexity import (
+    DecisionProblem,
+    ComplexityBound,
+    ComplexityEntry,
+    TABLE_II,
+    UndecidableProblemError,
+    complexity_of,
+    is_decidable,
+)
+from repro.analysis.composition import compose_path, compose_rule_query
+from repro.analysis.containment import (
+    cq_contained_in,
+    cq_equivalent,
+    count_equivalent,
+    reduce_query,
+    ucq_contained_in,
+    ucq_equivalent,
+)
+from repro.analysis.emptiness import EmptinessResult, is_empty
+from repro.analysis.equivalence import EquivalenceResult, are_equivalent, find_counterexample
+from repro.analysis.membership import MembershipResult, MembershipStatus, is_member
+
+__all__ = [
+    "ComplexityBound",
+    "ComplexityEntry",
+    "DecisionProblem",
+    "EmptinessResult",
+    "EquivalenceResult",
+    "MembershipResult",
+    "MembershipStatus",
+    "TABLE_II",
+    "UndecidableProblemError",
+    "are_equivalent",
+    "complexity_of",
+    "compose_path",
+    "compose_rule_query",
+    "cq_contained_in",
+    "cq_equivalent",
+    "count_equivalent",
+    "find_counterexample",
+    "is_decidable",
+    "is_empty",
+    "is_member",
+    "reduce_query",
+    "ucq_contained_in",
+    "ucq_equivalent",
+]

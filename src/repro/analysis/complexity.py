@@ -1,0 +1,184 @@
+"""The complexity registry reproducing Table II.
+
+For every fragment of the paper's lattice and every decision problem the
+registry records the exact bound proved in the paper (Proposition 2,
+Theorems 1 and 2) together with the statement it comes from.  The decision
+procedures of this package consult the registry and refuse -- by raising
+:class:`UndecidableProblemError` -- to pretend to decide an undecidable
+problem.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.classes import OutputKind, StoreKind, TransducerClass
+from repro.logic.base import QueryLogic
+
+
+class DecisionProblem(enum.Enum):
+    """The three classical decision problems studied in Section 5."""
+
+    EMPTINESS = "emptiness"
+    MEMBERSHIP = "membership"
+    EQUIVALENCE = "equivalence"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class ComplexityBound(enum.Enum):
+    """Complexity bounds appearing in Table II (all bounds are tight)."""
+
+    PTIME = "PTIME"
+    NP_COMPLETE = "NP-complete"
+    SIGMA2P_COMPLETE = "Sigma^p_2-complete"
+    PI3P_COMPLETE = "Pi^p_3-complete"
+    UNDECIDABLE = "undecidable"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def decidable(self) -> bool:
+        """Whether the bound denotes a decidable problem."""
+        return self is not ComplexityBound.UNDECIDABLE
+
+
+@dataclass(frozen=True)
+class ComplexityEntry:
+    """One cell of Table II."""
+
+    problem: DecisionProblem
+    fragment: str
+    bound: ComplexityBound
+    reference: str
+
+    def __str__(self) -> str:
+        return f"{self.problem} for {self.fragment}: {self.bound} ({self.reference})"
+
+
+class UndecidableProblemError(RuntimeError):
+    """Raised when a decision procedure is asked about an undecidable fragment."""
+
+    def __init__(self, problem: DecisionProblem, fragment: TransducerClass, reference: str) -> None:
+        super().__init__(
+            f"the {problem} problem is undecidable for {fragment} ({reference}); "
+            "use the testing-based utilities (e.g. find_counterexample) instead"
+        )
+        self.problem = problem
+        self.fragment = fragment
+        self.reference = reference
+
+
+#: Table II of the paper, row by row.  ``S`` ranges over both stores and ``O``
+#: over both outputs where the paper states the bound uniformly.
+TABLE_II: tuple[ComplexityEntry, ...] = (
+    # PT(IFP, S, O) and PT(FO, S, O): everything undecidable (Proposition 2).
+    ComplexityEntry(DecisionProblem.EQUIVALENCE, "PT(IFP, S, O)", ComplexityBound.UNDECIDABLE, "Prop. 2"),
+    ComplexityEntry(DecisionProblem.EMPTINESS, "PT(IFP, S, O)", ComplexityBound.UNDECIDABLE, "Prop. 2"),
+    ComplexityEntry(DecisionProblem.MEMBERSHIP, "PT(IFP, S, O)", ComplexityBound.UNDECIDABLE, "Prop. 2"),
+    ComplexityEntry(DecisionProblem.EQUIVALENCE, "PT(FO, S, O)", ComplexityBound.UNDECIDABLE, "Prop. 2"),
+    ComplexityEntry(DecisionProblem.EMPTINESS, "PT(FO, S, O)", ComplexityBound.UNDECIDABLE, "Prop. 2"),
+    ComplexityEntry(DecisionProblem.MEMBERSHIP, "PT(FO, S, O)", ComplexityBound.UNDECIDABLE, "Prop. 2"),
+    # PT(CQ, tuple, normal) (Theorem 1).
+    ComplexityEntry(DecisionProblem.EQUIVALENCE, "PT(CQ, tuple, normal)", ComplexityBound.UNDECIDABLE, "Thm. 1(3)"),
+    ComplexityEntry(DecisionProblem.EMPTINESS, "PT(CQ, tuple, normal)", ComplexityBound.PTIME, "Thm. 1(1)"),
+    ComplexityEntry(DecisionProblem.MEMBERSHIP, "PT(CQ, tuple, normal)", ComplexityBound.SIGMA2P_COMPLETE, "Thm. 1(2)"),
+    # PT(CQ, relation, normal) (Theorem 1).
+    ComplexityEntry(DecisionProblem.EQUIVALENCE, "PT(CQ, relation, normal)", ComplexityBound.UNDECIDABLE, "Thm. 1(3)"),
+    ComplexityEntry(DecisionProblem.EMPTINESS, "PT(CQ, relation, normal)", ComplexityBound.PTIME, "Thm. 1(1)"),
+    ComplexityEntry(DecisionProblem.MEMBERSHIP, "PT(CQ, relation, normal)", ComplexityBound.UNDECIDABLE, "Thm. 1(2)"),
+    # PT(CQ, S, virtual) (Theorem 1).
+    ComplexityEntry(DecisionProblem.EQUIVALENCE, "PT(CQ, S, virtual)", ComplexityBound.UNDECIDABLE, "Thm. 1(3)"),
+    ComplexityEntry(DecisionProblem.EMPTINESS, "PT(CQ, S, virtual)", ComplexityBound.NP_COMPLETE, "Thm. 1(1)"),
+    ComplexityEntry(DecisionProblem.MEMBERSHIP, "PT(CQ, S, virtual)", ComplexityBound.UNDECIDABLE, "Thm. 1(2)"),
+    # PTnr(FO, tuple, normal) (Theorem 2(1)).
+    ComplexityEntry(DecisionProblem.EQUIVALENCE, "PTnr(FO, tuple, normal)", ComplexityBound.UNDECIDABLE, "Thm. 2(1)"),
+    ComplexityEntry(DecisionProblem.EMPTINESS, "PTnr(FO, tuple, normal)", ComplexityBound.UNDECIDABLE, "Thm. 2(1)"),
+    ComplexityEntry(DecisionProblem.MEMBERSHIP, "PTnr(FO, tuple, normal)", ComplexityBound.UNDECIDABLE, "Thm. 2(1)"),
+    # PTnr(CQ, tuple, normal) (Theorem 2(2-4)).
+    ComplexityEntry(DecisionProblem.EQUIVALENCE, "PTnr(CQ, tuple, normal)", ComplexityBound.PI3P_COMPLETE, "Thm. 2(4)"),
+    ComplexityEntry(DecisionProblem.EMPTINESS, "PTnr(CQ, tuple, normal)", ComplexityBound.PTIME, "Thm. 2(2)"),
+    ComplexityEntry(DecisionProblem.MEMBERSHIP, "PTnr(CQ, tuple, normal)", ComplexityBound.SIGMA2P_COMPLETE, "Thm. 2(3)"),
+    # PTnr(CQ, tuple, virtual) (Theorem 2(2-4)).
+    ComplexityEntry(DecisionProblem.EQUIVALENCE, "PTnr(CQ, tuple, virtual)", ComplexityBound.PI3P_COMPLETE, "Thm. 2(4)"),
+    ComplexityEntry(DecisionProblem.EMPTINESS, "PTnr(CQ, tuple, virtual)", ComplexityBound.NP_COMPLETE, "Thm. 2(2)"),
+    ComplexityEntry(DecisionProblem.MEMBERSHIP, "PTnr(CQ, tuple, virtual)", ComplexityBound.SIGMA2P_COMPLETE, "Thm. 2(3)"),
+)
+
+
+def complexity_of(problem: DecisionProblem, fragment: TransducerClass) -> ComplexityEntry:
+    """Look up the Table II entry governing ``fragment`` for ``problem``.
+
+    The registry keys are the row names of Table II; a concrete fragment is
+    matched against the most specific row that covers it.  Rows with ``S`` or
+    ``O`` wildcards cover both stores / outputs.
+    """
+    candidates = []
+    for entry in TABLE_II:
+        if entry.problem is not problem:
+            continue
+        if _row_covers(entry.fragment, fragment):
+            candidates.append(entry)
+    if not candidates:
+        raise KeyError(f"no Table II row covers {fragment} for {problem}")
+    # Prefer the most specific matching row: non-recursive rows first (they
+    # are only produced for non-recursive fragments), then rows without
+    # wildcards, then wildcard rows.
+    def specificity(entry: ComplexityEntry) -> tuple[int, int]:
+        wildcards = entry.fragment.count(" S,") + entry.fragment.count(" S)") + entry.fragment.count(" O)")
+        return (0 if entry.fragment.startswith("PTnr") else 1, wildcards)
+
+    return sorted(candidates, key=specificity)[0]
+
+
+def is_decidable(problem: DecisionProblem, fragment: TransducerClass) -> bool:
+    """Whether Table II marks ``problem`` decidable for ``fragment``."""
+    return complexity_of(problem, fragment).bound.decidable
+
+
+def _row_covers(row: str, fragment: TransducerClass) -> bool:
+    """Whether a Table II row name covers a concrete fragment."""
+    row = row.strip()
+    row_nonrecursive = row.startswith("PTnr")
+    body = row[row.index("(") + 1 : row.rindex(")")]
+    logic_text, store_text, output_text = [part.strip() for part in body.split(",")]
+    if row_nonrecursive and fragment.recursive:
+        return False
+    if not row_nonrecursive and not fragment.recursive:
+        # A recursive row also covers the non-recursive special case *unless*
+        # a dedicated PTnr row exists; specificity sorting handles preference,
+        # so here we simply allow the cover.
+        pass
+    logic_map = {"CQ": QueryLogic.CQ, "FO": QueryLogic.FO, "IFP": QueryLogic.IFP, "FP": QueryLogic.IFP}
+    if logic_map[logic_text] is not fragment.logic:
+        return False
+    if store_text != "S":
+        expected = StoreKind.TUPLE if store_text == "tuple" else StoreKind.RELATION
+        if expected is not fragment.store:
+            return False
+    if output_text != "O":
+        expected_output = OutputKind.NORMAL if output_text == "normal" else OutputKind.VIRTUAL
+        if expected_output is not fragment.output:
+            return False
+    return True
+
+
+def table_ii_rows() -> list[tuple[str, str, str, str]]:
+    """Table II as printable rows ``(fragment, equivalence, emptiness, membership)``."""
+    fragments: dict[str, dict[DecisionProblem, ComplexityBound]] = {}
+    for entry in TABLE_II:
+        fragments.setdefault(entry.fragment, {})[entry.problem] = entry.bound
+    rows = []
+    for fragment, cells in fragments.items():
+        rows.append(
+            (
+                fragment,
+                str(cells.get(DecisionProblem.EQUIVALENCE, "")),
+                str(cells.get(DecisionProblem.EMPTINESS, "")),
+                str(cells.get(DecisionProblem.MEMBERSHIP, "")),
+            )
+        )
+    return rows

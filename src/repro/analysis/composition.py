@@ -1,0 +1,100 @@
+"""Composition of rule queries along dependency-graph paths.
+
+Several procedures of Section 5 analyse the conjunctive query obtained by
+composing the rule queries along a path of the dependency graph: emptiness of
+transducers with virtual nodes (Theorem 1(1)) checks satisfiability of such
+compositions, and the equivalence characterisation of non-recursive CQ
+transducers (Theorem 2, Claim 4) compares unions of them.
+
+Composition replaces every occurrence of the register relation in a query by
+the query that produced the parent register.  For tuple registers the register
+holds exactly one tuple -- the head of the producing query -- so the
+replacement is ordinary CQ unfolding; for relation registers the register
+holds the full answer set, and an atom ``Reg(t)`` means "``t`` belongs to the
+answer", which is the same unfolding.  (Satisfiability of the composed query
+is therefore the right emptiness test in both cases, as used in the proofs.)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.dependency import DependencyGraph, Edge
+from repro.core.rules import GENERIC_REGISTER_NAME
+from repro.core.transducer import PublishingTransducer
+from repro.logic.cq import ConjunctiveQuery, RelationAtom
+
+
+class CompositionError(ValueError):
+    """Raised when a path cannot be composed (non-CQ queries on the path)."""
+
+
+def _as_cq(query, context: str) -> ConjunctiveQuery:
+    if not isinstance(query, ConjunctiveQuery):
+        raise CompositionError(f"{context}: path composition requires conjunctive queries")
+    return query
+
+
+def _register_names(parent_tag: str) -> frozenset[str]:
+    return frozenset({GENERIC_REGISTER_NAME, f"Reg_{parent_tag}"})
+
+
+def compose_rule_query(
+    query: ConjunctiveQuery,
+    parent_tag: str,
+    parent_query: ConjunctiveQuery | None,
+) -> ConjunctiveQuery:
+    """Unfold the register atoms of ``query`` using ``parent_query``.
+
+    ``parent_query`` is the composed query describing the content of the
+    parent register (``None`` for children of the root, whose register is
+    empty: register atoms then make the query unsatisfiable and are replaced
+    by an explicit contradiction).
+    """
+    register_names = _register_names(parent_tag)
+    uses_register = any(atom.relation in register_names for atom in query.atoms)
+    if not uses_register:
+        return query
+    if parent_query is None:
+        # The root register is empty; a query reading it returns nothing.
+        from repro.logic.builders import empty_cq
+
+        contradiction = empty_cq()
+        return ConjunctiveQuery(
+            query.head,
+            tuple(atom for atom in query.atoms if atom.relation not in register_names),
+            query.comparisons + contradiction.comparisons,
+        )
+    result = query
+    for name in register_names:
+        if any(atom.relation == name for atom in result.atoms):
+            result = result.compose(name, parent_query)
+    return result
+
+
+def compose_path(
+    transducer: PublishingTransducer,
+    path: Sequence[Edge],
+) -> ConjunctiveQuery:
+    """The composed query ``Q_rho`` along a root-anchored dependency-graph path."""
+    parent_query: ConjunctiveQuery | None = None
+    for edge in path:
+        parent_tag = edge.source[1]
+        query = _as_cq(edge.query.query, f"edge {edge.source} -> {edge.target}")
+        parent_query = compose_rule_query(query, parent_tag, parent_query)
+    if parent_query is None:
+        raise CompositionError("cannot compose an empty path")
+    return parent_query
+
+
+def composed_queries_to_tag(
+    transducer: PublishingTransducer,
+    tag: str,
+    max_paths: int | None = 10_000,
+) -> list[ConjunctiveQuery]:
+    """All composed queries along simple root-anchored paths ending in ``tag``."""
+    graph = DependencyGraph(transducer)
+    queries = []
+    for path in graph.paths_to_tag(tag, max_paths=max_paths):
+        queries.append(compose_path(transducer, path))
+    return queries

@@ -1,0 +1,408 @@
+"""Containment and equivalence of conjunctive queries with ``!=``.
+
+The equivalence procedure of Theorem 2 rests on deciding (c-)equivalence of
+unions of conjunctive queries with inequalities.  Plain CQ containment is the
+classical homomorphism (canonical-database) test; with inequalities the test
+follows Klug's characterisation: ``Q1 <= Q2`` iff for *every* total, consistent
+refinement of ``Q1``'s (in)equality constraints -- i.e. every way of deciding
+which of ``Q1``'s terms coincide that is consistent with ``Q1`` -- the frozen
+database obtained from that refinement satisfies ``Q2`` with the frozen head
+as the answer.  The number of refinements is exponential in the number of
+terms of ``Q1``, matching the higher complexity the paper assigns to these
+analyses; queries in practice are small.
+
+The module also implements the *reduction* and *c-equivalence* (equal answer
+cardinalities) notions from the proof of Theorem 2: a query is reduced by
+dropping head variables that are forced constant or duplicates of other head
+variables; two queries are c-equivalent iff their reductions are equivalent.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from repro.logic.cq import Comparison, ConjunctiveQuery, RelationAtom, UnionOfConjunctiveQueries
+from repro.logic.terms import Constant, Term, Variable
+
+#: Safety cap on the number of constraint refinements enumerated per query.
+MAX_REFINEMENTS = 200_000
+
+
+class ContainmentBudgetError(RuntimeError):
+    """The refinement enumeration exceeded the configured budget."""
+
+
+# ---------------------------------------------------------------------------
+# Homomorphisms.
+# ---------------------------------------------------------------------------
+
+
+def find_homomorphism(
+    source: ConjunctiveQuery,
+    target_atoms: Sequence[RelationAtom],
+    target_valuation: dict[Variable, object],
+    head_image: Sequence[object],
+) -> dict[Variable, object] | None:
+    """Find a homomorphism from ``source`` into a frozen database.
+
+    ``target_atoms`` together with ``target_valuation`` describe the frozen
+    (canonical) database: each atom's terms are interpreted through the
+    valuation.  The homomorphism must map ``source``'s head variables to
+    ``head_image`` (position-wise), map every body atom of ``source`` onto a
+    frozen atom, and satisfy ``source``'s comparisons.  Returns the mapping or
+    ``None``.
+    """
+    facts: dict[str, set[tuple]] = {}
+    for atom in target_atoms:
+        row = tuple(
+            term.value if isinstance(term, Constant) else target_valuation[term]
+            for term in atom.terms
+        )
+        facts.setdefault(atom.relation, set()).add(row)
+
+    assignment: dict[Variable, object] = {}
+    for variable, value in zip(source.head, head_image):
+        if variable in assignment and assignment[variable] != value:
+            return None
+        assignment[variable] = value
+
+    atoms = sorted(source.atoms, key=lambda a: -len([t for t in a.terms if isinstance(t, Variable)]))
+
+    def backtrack(index: int) -> dict[Variable, object] | None:
+        if index == len(atoms):
+            if _comparisons_hold(source.comparisons, assignment):
+                return dict(assignment)
+            return None
+        atom = atoms[index]
+        candidates = facts.get(atom.relation, set())
+        for row in candidates:
+            added: list[Variable] = []
+            ok = True
+            for term, value in zip(atom.terms, row):
+                if isinstance(term, Constant):
+                    if term.value != value:
+                        ok = False
+                        break
+                else:
+                    if term in assignment:
+                        if assignment[term] != value:
+                            ok = False
+                            break
+                    else:
+                        assignment[term] = value
+                        added.append(term)
+            if ok:
+                result = backtrack(index + 1)
+                if result is not None:
+                    return result
+            for variable in added:
+                del assignment[variable]
+        return None
+
+    return backtrack(0)
+
+
+def _comparisons_hold(comparisons: Iterable[Comparison], assignment: dict[Variable, object]) -> bool:
+    comparisons = list(comparisons)
+    scratch = dict(assignment)
+    # First propagate equalities that determine variables occurring only in
+    # comparisons (e.g. an existential variable equated to a constant); such a
+    # variable can always be *chosen* to satisfy the equality.
+    changed = True
+    while changed:
+        changed = False
+        for comparison in comparisons:
+            if comparison.negated:
+                continue
+            left_bound = isinstance(comparison.left, Constant) or comparison.left in scratch
+            right_bound = isinstance(comparison.right, Constant) or comparison.right in scratch
+            if left_bound and not right_bound:
+                value = comparison.left.value if isinstance(comparison.left, Constant) else scratch[comparison.left]
+                scratch[comparison.right] = value
+                changed = True
+            elif right_bound and not left_bound:
+                value = comparison.right.value if isinstance(comparison.right, Constant) else scratch[comparison.right]
+                scratch[comparison.left] = value
+                changed = True
+    for comparison in comparisons:
+        left = comparison.left.value if isinstance(comparison.left, Constant) else scratch.get(comparison.left)
+        right = comparison.right.value if isinstance(comparison.right, Constant) else scratch.get(comparison.right)
+        if left is None or right is None:
+            # A still-unbound variable can be chosen fresh, which satisfies any
+            # inequality; an equality between two unbound variables can also be
+            # satisfied by choosing them equal.
+            continue
+        if comparison.negated and left == right:
+            return False
+        if not comparison.negated and left != right:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Refinements (Klug's completions) of a query's constraints.
+# ---------------------------------------------------------------------------
+
+
+def _refinements(
+    query: ConjunctiveQuery,
+    budget: int = MAX_REFINEMENTS,
+    extra_constants: frozenset = frozenset(),
+):
+    """Enumerate total consistent refinements of the query's constraints.
+
+    A refinement is a partition of the query's terms into groups that will be
+    interpreted by pairwise distinct values; it must respect the query's
+    equalities (equated terms share a group), inequalities (unequated terms in
+    distinct groups), and constants (two distinct constants never share a
+    group).  ``extra_constants`` are constants of the *container* query: a
+    refinement may additionally identify a variable group with one of them,
+    which Klug's characterisation requires (the container may distinguish
+    those constants through its own comparisons).  Each refinement is returned
+    as a mapping from terms to concrete frozen values.
+    """
+    classes = query.equality_classes()
+    foreign = sorted(extra_constants - query.constants(), key=repr)
+    if foreign:
+        # Add each foreign constant as its own singleton class so that the
+        # partition enumeration can merge variable classes with it.
+        for value in foreign:
+            constant = Constant(value)
+            classes.setdefault(constant, {constant})
+    # Start from the equality classes; the refinement decides which classes merge.
+    roots = list(classes)
+    class_members = [classes[root] for root in roots]
+    class_constants: list[object | None] = []
+    for members in class_members:
+        constant_values = {m.value for m in members if isinstance(m, Constant)}
+        if len(constant_values) > 1:
+            return  # unsatisfiable query: no refinements
+        class_constants.append(next(iter(constant_values)) if constant_values else None)
+
+    forbidden: set[tuple[int, int]] = set()
+    index_of: dict[Term, int] = {}
+    for class_index, members in enumerate(class_members):
+        for member in members:
+            index_of[member] = class_index
+    for comparison in query.comparisons:
+        if comparison.negated:
+            left = index_of.get(comparison.left)
+            right = index_of.get(comparison.right)
+            if left is None or right is None:
+                continue
+            if left == right:
+                return  # unsatisfiable
+            forbidden.add((min(left, right), max(left, right)))
+
+    count = 0
+    for grouping in _set_partitions(len(roots)):
+        # grouping: list of blocks (lists of class indices)
+        consistent = True
+        for block in grouping:
+            constants_in_block = {class_constants[i] for i in block if class_constants[i] is not None}
+            if len(constants_in_block) > 1:
+                consistent = False
+                break
+            for a, b in itertools.combinations(sorted(block), 2):
+                if (a, b) in forbidden:
+                    consistent = False
+                    break
+            if not consistent:
+                break
+        if not consistent:
+            continue
+        count += 1
+        if count > budget:
+            raise ContainmentBudgetError(
+                f"more than {budget} constraint refinements; the query is too large "
+                "for the exact containment test"
+            )
+        valuation: dict[Variable, object] = {}
+        for block_index, block in enumerate(grouping):
+            constants_in_block = {class_constants[i] for i in block if class_constants[i] is not None}
+            value = next(iter(constants_in_block)) if constants_in_block else f"_f{block_index}"
+            for class_index in block:
+                for member in class_members[class_index]:
+                    if isinstance(member, Variable):
+                        valuation[member] = value
+        yield valuation
+
+
+def _set_partitions(n: int):
+    """Enumerate set partitions of ``range(n)`` (restricted growth strings)."""
+    if n == 0:
+        yield []
+        return
+    codes = [0] * n
+
+    def generate(position: int, max_code: int):
+        if position == n:
+            blocks: dict[int, list[int]] = {}
+            for index, code in enumerate(codes):
+                blocks.setdefault(code, []).append(index)
+            yield [blocks[code] for code in sorted(blocks)]
+            return
+        for code in range(max_code + 2):
+            codes[position] = code
+            yield from generate(position + 1, max(max_code, code))
+
+    yield from generate(1, 0)
+
+
+# ---------------------------------------------------------------------------
+# Containment and equivalence.
+# ---------------------------------------------------------------------------
+
+
+def cq_contained_in(
+    contained: ConjunctiveQuery,
+    container: ConjunctiveQuery | UnionOfConjunctiveQueries,
+    budget: int = MAX_REFINEMENTS,
+) -> bool:
+    """Decide ``contained ⊆ container`` for CQs (or a UCQ container) with ``!=``.
+
+    For every consistent refinement of ``contained``'s constraints, the frozen
+    database must satisfy ``container`` with the frozen head as answer.
+    """
+    if not contained.is_satisfiable():
+        return True
+    containers = (
+        container.disjuncts
+        if isinstance(container, UnionOfConjunctiveQueries)
+        else (container,)
+    )
+    if len(contained.head) != len(containers[0].head):
+        raise ValueError("containment requires queries of equal head width")
+    container_constants: set = set()
+    for candidate in containers:
+        container_constants |= set(candidate.constants())
+    for valuation in _refinements(contained, budget, frozenset(container_constants)):
+        head_image = [valuation[v] for v in contained.head]
+        witnessed = False
+        for candidate in containers:
+            if not candidate.is_satisfiable():
+                continue
+            if find_homomorphism(candidate, contained.atoms, valuation, head_image) is not None:
+                witnessed = True
+                break
+        if not witnessed:
+            return False
+    return True
+
+
+def ucq_contained_in(
+    contained: UnionOfConjunctiveQueries | ConjunctiveQuery,
+    container: UnionOfConjunctiveQueries | ConjunctiveQuery,
+    budget: int = MAX_REFINEMENTS,
+) -> bool:
+    """Decide containment between unions of conjunctive queries with ``!=``."""
+    disjuncts = (
+        contained.disjuncts
+        if isinstance(contained, UnionOfConjunctiveQueries)
+        else (contained,)
+    )
+    return all(cq_contained_in(disjunct, container, budget) for disjunct in disjuncts)
+
+
+def cq_equivalent(left: ConjunctiveQuery, right: ConjunctiveQuery, budget: int = MAX_REFINEMENTS) -> bool:
+    """Equivalence of two CQs with ``!=`` (mutual containment)."""
+    return cq_contained_in(left, right, budget) and cq_contained_in(right, left, budget)
+
+
+def ucq_equivalent(
+    left: UnionOfConjunctiveQueries | ConjunctiveQuery,
+    right: UnionOfConjunctiveQueries | ConjunctiveQuery,
+    budget: int = MAX_REFINEMENTS,
+) -> bool:
+    """Equivalence of two UCQs with ``!=`` (mutual containment)."""
+    return ucq_contained_in(left, right, budget) and ucq_contained_in(right, left, budget)
+
+
+# ---------------------------------------------------------------------------
+# Reduction and c-equivalence (Claim 3 of Theorem 2).
+# ---------------------------------------------------------------------------
+
+
+def reduce_query(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """The *reduced version* ``Q^r`` of a query.
+
+    A head variable is dropped when its equivalence class is *constant* (it
+    has a value, or none of its variables occur in a relation atom) or when an
+    earlier head variable belongs to the same equivalence class.  The answer
+    tuples of ``Q`` are in bijection with those of ``Q^r`` (each dropped
+    column is determined by the kept ones), which is why c-equivalence --
+    equal answer cardinality on every instance -- reduces to equivalence of
+    the reduced queries.
+    """
+    classes = query.equality_classes()
+    root_of: dict[Term, Term] = {}
+    for root, members in classes.items():
+        for member in members:
+            root_of[member] = root
+    atom_variables: set[Variable] = set()
+    for atom in query.atoms:
+        atom_variables.update(atom.variables())
+
+    kept: list[Variable] = []
+    seen_roots: set[Term] = set()
+    for variable in query.head:
+        root = root_of.get(variable, variable)
+        members = classes.get(root, {variable})
+        has_value = any(isinstance(member, Constant) for member in members)
+        occurs_in_atom = any(
+            isinstance(member, Variable) and member in atom_variables for member in members
+        )
+        if has_value or not occurs_in_atom:
+            continue  # constant class: determined on every answer
+        if root in seen_roots:
+            continue  # duplicate of an earlier head variable
+        seen_roots.add(root)
+        kept.append(variable)
+    return query.with_head(tuple(kept))
+
+
+def count_equivalent(left: ConjunctiveQuery, right: ConjunctiveQuery, budget: int = MAX_REFINEMENTS) -> bool:
+    """c-equivalence: ``|Q1(I)| = |Q2(I)|`` on every instance (Claim 3).
+
+    Decided by reducing both queries and testing ordinary equivalence of the
+    reductions.  Queries whose reductions have different widths are never
+    c-equivalent (except when both are unsatisfiable).
+    """
+    if not left.is_satisfiable() and not right.is_satisfiable():
+        return True
+    if left.is_satisfiable() != right.is_satisfiable():
+        return False
+    reduced_left = reduce_query(left)
+    reduced_right = reduce_query(right)
+    if len(reduced_left.head) != len(reduced_right.head):
+        return False
+    return cq_equivalent(reduced_left, reduced_right, budget)
+
+
+def ucq_count_equivalent(
+    left: Sequence[ConjunctiveQuery],
+    right: Sequence[ConjunctiveQuery],
+    budget: int = MAX_REFINEMENTS,
+) -> bool:
+    """c-equivalence lifted to unions of CQs (as used by Claim 4).
+
+    The reduction of each disjunct is taken individually; the unions of the
+    reduced disjuncts must be equivalent and have a common reduced width.
+    """
+    sat_left = [q for q in left if q.is_satisfiable()]
+    sat_right = [q for q in right if q.is_satisfiable()]
+    if not sat_left and not sat_right:
+        return True
+    if bool(sat_left) != bool(sat_right):
+        return False
+    reduced_left = [reduce_query(q) for q in sat_left]
+    reduced_right = [reduce_query(q) for q in sat_right]
+    widths = {len(q.head) for q in reduced_left} | {len(q.head) for q in reduced_right}
+    if len(widths) != 1:
+        return False
+    return ucq_equivalent(
+        UnionOfConjunctiveQueries(reduced_left),
+        UnionOfConjunctiveQueries(reduced_right),
+        budget,
+    )

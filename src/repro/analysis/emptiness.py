@@ -1,0 +1,90 @@
+"""The emptiness problem (Section 5.2, Theorem 1(1) and Theorem 2(2)).
+
+*Emptiness*: given a transducer ``tau``, is there an instance ``I`` with
+``tau(I)`` different from the single-node root tree?
+
+* ``PT(CQ, S, normal)`` -- decidable in PTIME: the output is non-trivial iff
+  some query of the *start rule* is satisfiable (normal children are never
+  removed), and CQ satisfiability is a quadratic syntactic check.
+* ``PT(CQ, S, virtual)`` -- NP-complete: the output is non-trivial iff some
+  simple path of the dependency graph from the root to a *non-virtual* node
+  has a satisfiable composed query; the procedure enumerates those paths
+  (the NP guess) and checks satisfiability of each composition.
+* ``FO`` / ``IFP`` fragments -- undecidable (Proposition 2);
+  :class:`UndecidableProblemError` is raised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.complexity import DecisionProblem, UndecidableProblemError, complexity_of
+from repro.analysis.composition import compose_path, compose_rule_query
+from repro.core.classes import OutputKind, classify
+from repro.core.dependency import DependencyGraph, Edge
+from repro.core.transducer import PublishingTransducer
+from repro.logic.base import QueryLogic
+from repro.logic.cq import ConjunctiveQuery
+
+
+@dataclass(frozen=True)
+class EmptinessResult:
+    """Outcome of the emptiness analysis."""
+
+    empty: bool
+    witness_path: tuple[Edge, ...] | None = None
+    witness_query: ConjunctiveQuery | None = None
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.empty
+
+
+def is_empty(transducer: PublishingTransducer, max_paths: int | None = 100_000) -> EmptinessResult:
+    """Decide emptiness for CQ transducers; raise for undecidable fragments.
+
+    Returns an :class:`EmptinessResult`; when the transducer is *not* empty
+    the result carries a witness path of the dependency graph whose composed
+    query is satisfiable (for the virtual case) or the satisfiable start-rule
+    query (for the normal case).
+    """
+    fragment = classify(transducer)
+    entry = complexity_of(DecisionProblem.EMPTINESS, fragment)
+    if not entry.bound.decidable:
+        raise UndecidableProblemError(DecisionProblem.EMPTINESS, fragment, entry.reference)
+
+    if fragment.output is OutputKind.NORMAL:
+        return _emptiness_normal(transducer)
+    return _emptiness_virtual(transducer, max_paths)
+
+
+def _emptiness_normal(transducer: PublishingTransducer) -> EmptinessResult:
+    """PTIME procedure: some start-rule query satisfiable <=> non-empty."""
+    graph = DependencyGraph(transducer)
+    for edge in graph.edges_from(graph.root):
+        query = edge.query.query
+        if not isinstance(query, ConjunctiveQuery):
+            continue
+        # The root register is empty, so register atoms in a start-rule query
+        # can never be satisfied; compose_rule_query turns them into an
+        # explicit contradiction before the satisfiability check.
+        grounded = compose_rule_query(query, transducer.root_tag, None)
+        if grounded.is_satisfiable():
+            return EmptinessResult(empty=False, witness_path=(edge,), witness_query=grounded)
+    return EmptinessResult(empty=True)
+
+
+def _emptiness_virtual(
+    transducer: PublishingTransducer, max_paths: int | None
+) -> EmptinessResult:
+    """NP procedure: a simple path to a non-virtual node with satisfiable composition."""
+    graph = DependencyGraph(transducer)
+    virtual = transducer.virtual_tags
+    paths = graph.simple_paths_from_root(
+        target_predicate=lambda node: node[1] not in virtual, max_paths=max_paths
+    )
+    # Shorter paths first: their compositions are smaller and more often satisfiable.
+    for path in sorted(paths, key=len):
+        composed = compose_path(transducer, path)
+        if composed.is_satisfiable():
+            return EmptinessResult(empty=False, witness_path=path, witness_query=composed)
+    return EmptinessResult(empty=True)

@@ -1,0 +1,354 @@
+"""The equivalence problem (Theorem 1(3) and Theorem 2(4)).
+
+*Equivalence*: do two transducers over the same relational schema produce the
+same Σ-tree on every instance?
+
+The paper proves the problem undecidable as soon as recursion is available
+(already for ``PT(CQ, tuple, normal)``, by reduction from the halting problem
+of two-register machines) and Πᵖ₃-complete for the non-recursive classes
+``PTnr(CQ, tuple, normal)`` and ``PTnr(CQ, tuple, virtual)``.
+
+The decidable case is implemented along the characterisation of Claim 4:
+
+1. the (reachable parts of the) dependency graphs must be isomorphic via a
+   mapping that preserves tags and *types* (the runs of equal child tags of
+   every rule);
+2. for every root-anchored node path and every run of equal child tags, the
+   unions of the conjunctive queries composed along the path must be
+   *c-equivalent* (equal answer cardinality on every instance; plain
+   equivalence for ``text`` children, whose PCDATA exposes the full register).
+
+Virtual tags are first compiled away by splicing virtual rule items into their
+parents (the ``G'_tau`` construction from the proof of Theorem 2), which is
+possible because non-recursive tuple-register CQ compositions are again CQs.
+
+For fragments where the problem is undecidable the procedure raises
+:class:`UndecidableProblemError`; :func:`find_counterexample` offers a
+testing-based refutation utility that works for every fragment.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.analysis.complexity import DecisionProblem, UndecidableProblemError, complexity_of
+from repro.analysis.composition import compose_rule_query
+from repro.analysis.containment import ucq_count_equivalent, ucq_equivalent
+from repro.core.classes import classify
+from repro.core.dependency import DependencyGraph
+from repro.core.rules import RuleItem, RuleQuery, TransductionRule
+from repro.core.runtime import publish
+from repro.core.transducer import PublishingTransducer, make_transducer
+from repro.logic.cq import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.relational.instance import Instance
+from repro.xmltree.tree import TEXT_TAG
+
+#: A node of the dependency graph.
+Node = tuple[str, str]
+
+
+@dataclass(frozen=True)
+class EquivalenceResult:
+    """Outcome of the equivalence analysis."""
+
+    equivalent: bool
+    reason: str = ""
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.equivalent
+
+
+def are_equivalent(
+    left: PublishingTransducer,
+    right: PublishingTransducer,
+    max_paths: int = 20_000,
+) -> EquivalenceResult:
+    """Decide equivalence of two non-recursive tuple-register CQ transducers."""
+    fragment = classify(left).join(classify(right))
+    entry = complexity_of(DecisionProblem.EQUIVALENCE, fragment)
+    if not entry.bound.decidable:
+        raise UndecidableProblemError(DecisionProblem.EQUIVALENCE, fragment, entry.reference)
+
+    left = eliminate_virtual_nonrecursive(left)
+    right = eliminate_virtual_nonrecursive(right)
+
+    if left.root_tag != right.root_tag:
+        return EquivalenceResult(False, "different root tags")
+
+    graph_left, graph_right = DependencyGraph(left), DependencyGraph(right)
+    isomorphism = _find_isomorphism(left, right, graph_left, graph_right)
+    if isomorphism is None:
+        return EquivalenceResult(False, "dependency graphs are not type-isomorphic")
+
+    for node_path in _node_paths(graph_left, max_paths):
+        node = node_path[-1]
+        image_path = tuple(isomorphism[n] for n in node_path)
+        verdict = _compare_children(left, right, node_path, image_path)
+        if verdict is not None:
+            return verdict
+    return EquivalenceResult(True, "dependency graphs isomorphic and all path queries c-equivalent")
+
+
+def find_counterexample(
+    left: PublishingTransducer,
+    right: PublishingTransducer,
+    instances: Iterable[Instance],
+) -> Instance | None:
+    """Testing-based refutation: the first instance on which the outputs differ.
+
+    Works for every fragment (including the undecidable ones); a ``None``
+    result is of course *not* a proof of equivalence.
+    """
+    for instance in instances:
+        if publish(left, instance) != publish(right, instance):
+            return instance
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Virtual-node elimination for non-recursive tuple-register CQ transducers.
+# ---------------------------------------------------------------------------
+
+
+def eliminate_virtual_nonrecursive(transducer: PublishingTransducer) -> PublishingTransducer:
+    """Compile virtual tags away by splicing their rules into their parents.
+
+    Every rule item that spawns a virtual tag is replaced, in place, by the
+    items of the virtual node's own rule with their queries composed with the
+    spawning query (the ``G'_tau`` construction of Theorem 2).  The transducer
+    must be non-recursive with tuple registers and CQ queries; transducers
+    without virtual tags are returned unchanged.
+    """
+    if not transducer.uses_virtual_nodes():
+        return transducer
+    graph = DependencyGraph(transducer)
+    if graph.is_recursive():
+        raise ValueError("virtual elimination requires a non-recursive transducer")
+
+    virtual = transducer.virtual_tags
+
+    def expand_item(item: RuleItem, depth: int = 0) -> list[RuleItem]:
+        if item.tag not in virtual:
+            return [item]
+        if depth > len(graph):
+            raise ValueError("virtual chains longer than the dependency graph")
+        inner_rule = transducer.rule_for(item.state, item.tag)
+        expanded: list[RuleItem] = []
+        outer_query = item.query.query
+        if not isinstance(outer_query, ConjunctiveQuery):
+            raise ValueError("virtual elimination requires CQ rule queries")
+        for inner in inner_rule.items:
+            inner_query = inner.query.query
+            if not isinstance(inner_query, ConjunctiveQuery):
+                raise ValueError("virtual elimination requires CQ rule queries")
+            composed = compose_rule_query(inner_query, item.tag, outer_query)
+            new_item = RuleItem(inner.state, inner.tag, RuleQuery(composed, inner.query.group_arity))
+            expanded.extend(expand_item(new_item, depth + 1))
+        return expanded
+
+    new_rules: list[TransductionRule] = []
+    for rule_ in transducer.rules:
+        if rule_.tag in virtual:
+            continue  # rules for virtual tags have been inlined
+        items: list[RuleItem] = []
+        for item in rule_.items:
+            items.extend(expand_item(item))
+        new_rules.append(TransductionRule(rule_.state, rule_.tag, tuple(items)))
+
+    register_arities = {
+        tag: arity for tag, arity in transducer.register_arities.items() if tag not in virtual
+    }
+    return make_transducer(
+        new_rules,
+        start_state=transducer.start_state,
+        root_tag=transducer.root_tag,
+        register_arities=register_arities,
+        name=f"{transducer.name}-devirtualised",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Graph isomorphism preserving tags and types.
+# ---------------------------------------------------------------------------
+
+
+def _find_isomorphism(
+    left: PublishingTransducer,
+    right: PublishingTransducer,
+    graph_left: DependencyGraph,
+    graph_right: DependencyGraph,
+) -> dict[Node, Node] | None:
+    nodes_left = sorted(graph_left.reachable_nodes())
+    nodes_right = sorted(graph_right.reachable_nodes())
+    if len(nodes_left) != len(nodes_right):
+        return None
+    types_left = graph_left.node_types()
+    types_right = graph_right.node_types()
+
+    mapping: dict[Node, Node] = {}
+    used: set[Node] = set()
+
+    def compatible(a: Node, b: Node) -> bool:
+        if a[1] != b[1]:
+            return False
+        return types_left[a] == types_right[b]
+
+    def extend(index: int) -> bool:
+        if index == len(nodes_left):
+            return _edges_preserved(graph_left, graph_right, mapping)
+        node = nodes_left[index]
+        for candidate in nodes_right:
+            if candidate in used or not compatible(node, candidate):
+                continue
+            mapping[node] = candidate
+            used.add(candidate)
+            if extend(index + 1):
+                return True
+            del mapping[node]
+            used.discard(candidate)
+        return False
+
+    root_left, root_right = graph_left.root, graph_right.root
+    if not compatible(root_left, root_right):
+        return None
+    mapping[root_left] = root_right
+    used.add(root_right)
+    remaining = [n for n in nodes_left if n != root_left]
+
+    def extend_remaining(index: int) -> bool:
+        if index == len(remaining):
+            return _edges_preserved(graph_left, graph_right, mapping)
+        node = remaining[index]
+        for candidate in nodes_right:
+            if candidate in used or not compatible(node, candidate):
+                continue
+            mapping[node] = candidate
+            used.add(candidate)
+            if extend_remaining(index + 1):
+                return True
+            del mapping[node]
+            used.discard(candidate)
+        return False
+
+    if extend_remaining(0):
+        return dict(mapping)
+    return None
+
+
+def _edges_preserved(
+    graph_left: DependencyGraph, graph_right: DependencyGraph, mapping: dict[Node, Node]
+) -> bool:
+    for node, image in mapping.items():
+        succ_left = {mapping[s] for s in graph_left.successors(node) if s in mapping}
+        succ_right = set(graph_right.successors(image)) & set(mapping.values())
+        if succ_left != succ_right:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Path and child comparisons (Claim 4).
+# ---------------------------------------------------------------------------
+
+
+def _node_paths(graph: DependencyGraph, max_paths: int) -> list[tuple[Node, ...]]:
+    """All root-anchored node paths of a non-recursive dependency graph."""
+    paths: list[tuple[Node, ...]] = [(graph.root,)]
+    frontier: list[tuple[Node, ...]] = [(graph.root,)]
+    while frontier and len(paths) < max_paths:
+        path = frontier.pop()
+        for successor in set(graph.successors(path[-1])):
+            extended = path + (successor,)
+            paths.append(extended)
+            frontier.append(extended)
+    return paths
+
+
+def _composed_queries_for_node_path(
+    transducer: PublishingTransducer, node_path: Sequence[Node]
+) -> list[ConjunctiveQuery]:
+    """All CQ compositions realising a node path (several parallel edges may exist)."""
+    current: list[ConjunctiveQuery | None] = [None]
+    for parent, child in zip(node_path, node_path[1:]):
+        rule_ = transducer.rule_for(*parent)
+        next_queries: list[ConjunctiveQuery | None] = []
+        for item in rule_.items:
+            if (item.state, item.tag) != child:
+                continue
+            query = item.query.query
+            if not isinstance(query, ConjunctiveQuery):
+                raise ValueError("the equivalence procedure requires CQ rule queries")
+            for previous in current:
+                next_queries.append(compose_rule_query(query, parent[1], previous))
+        current = next_queries
+    return [q for q in current if q is not None]
+
+
+def _child_runs(transducer: PublishingTransducer, node: Node) -> list[tuple[str, list[int]]]:
+    """The maximal runs of equal child tags of the node's rule (tag, item indices)."""
+    rule_ = transducer.rule_for(*node)
+    runs: list[tuple[str, list[int]]] = []
+    for index, item in enumerate(rule_.items):
+        if runs and runs[-1][0] == item.tag:
+            runs[-1][1].append(index)
+        else:
+            runs.append((item.tag, [index]))
+    return runs
+
+
+def _compare_children(
+    left: PublishingTransducer,
+    right: PublishingTransducer,
+    node_path: Sequence[Node],
+    image_path: Sequence[Node],
+) -> EquivalenceResult | None:
+    """Compare the child-producing queries of two corresponding nodes; None = agree."""
+    base_left = _composed_queries_for_node_path(left, node_path)
+    base_right = _composed_queries_for_node_path(right, image_path)
+    if len(node_path) == 1:
+        base_left, base_right = [None], [None]
+    elif not base_left and not base_right:
+        return None
+    runs_left = _child_runs(left, node_path[-1])
+    runs_right = _child_runs(right, image_path[-1])
+    if [tag for tag, _ in runs_left] != [tag for tag, _ in runs_right]:
+        return EquivalenceResult(False, f"nodes {node_path[-1]} / {image_path[-1]} have different child types")
+    rule_left = left.rule_for(*node_path[-1])
+    rule_right = right.rule_for(*image_path[-1])
+    parent_tag_left = node_path[-1][1]
+    parent_tag_right = image_path[-1][1]
+    for (tag, indices_left), (_, indices_right) in zip(runs_left, runs_right):
+        union_left = _compose_run(rule_left, indices_left, parent_tag_left, base_left)
+        union_right = _compose_run(rule_right, indices_right, parent_tag_right, base_right)
+        if tag == TEXT_TAG:
+            agree = ucq_equivalent(
+                UnionOfConjunctiveQueries(union_left), UnionOfConjunctiveQueries(union_right)
+            )
+        else:
+            agree = ucq_count_equivalent(union_left, union_right)
+        if not agree:
+            return EquivalenceResult(
+                False,
+                f"the queries spawning {tag!r} children of {node_path[-1]} differ "
+                f"(path {' -> '.join(f'{s}/{t}' for s, t in node_path)})",
+            )
+    return None
+
+
+def _compose_run(
+    rule_,
+    indices: list[int],
+    parent_tag: str,
+    base_queries: Sequence[ConjunctiveQuery | None],
+) -> list[ConjunctiveQuery]:
+    queries: list[ConjunctiveQuery] = []
+    for index in indices:
+        item = rule_.items[index]
+        query = item.query.query
+        if not isinstance(query, ConjunctiveQuery):
+            raise ValueError("the equivalence procedure requires CQ rule queries")
+        for base in base_queries:
+            queries.append(compose_rule_query(query, parent_tag, base))
+    return queries

@@ -1,0 +1,339 @@
+"""The membership problem (Theorem 1(2) and Theorem 2(3)).
+
+*Membership*: given a Σ-tree ``t`` and a transducer ``tau``, is there an
+instance ``I`` with ``tau(I) = t``?
+
+The paper proves the problem Σ₂ᵖ-complete for ``PT(CQ, tuple, normal)`` and
+``PTnr(CQ, tuple, O)`` and undecidable beyond (relation registers, virtual
+nodes with recursion, FO/IFP).  The procedure implemented here follows the
+Σ₂ᵖ algorithm of the proof:
+
+1. a *small-model property*: if a witness instance exists then one exists
+   with at most ``K * |t|`` tuples (``K * D * |t|`` with virtual nodes),
+   where ``K`` bounds the number of source atoms per rule query and ``D`` is
+   the depth of the dependency graph;
+2. guess an instance within that bound and check ``tau(I) = t``.
+
+The "guess" is realised two ways:
+
+* a **constructive candidate** built by freezing the composed queries along
+  each root-to-node path of ``t`` (fast; sound for the positive answer and
+  sufficient for all canonical trees produced by a transducer);
+* an optional **exhaustive search** over all instances within the small-model
+  bound (exact but exponential -- the problem *is* Σ₂ᵖ-complete), enabled via
+  ``exhaustive=True`` and governed by explicit budgets.
+
+The result is a three-valued :class:`MembershipResult` so callers always know
+whether an answer is definitive.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+
+from repro.analysis.complexity import DecisionProblem, UndecidableProblemError, complexity_of
+from repro.analysis.composition import compose_rule_query
+from repro.core.classes import classify
+from repro.core.rules import GENERIC_REGISTER_NAME
+from repro.core.runtime import TransducerRuntime, TransformationLimitError
+from repro.core.transducer import PublishingTransducer
+from repro.logic.cq import ConjunctiveQuery, equality
+from repro.logic.terms import Constant
+from repro.relational.domain import DataValue
+from repro.relational.instance import Instance
+from repro.relational.schema import RelationSchema, RelationalSchema
+from repro.xmltree.tree import TEXT_TAG, TreeNode
+
+
+class MembershipStatus(enum.Enum):
+    """Outcome of the membership analysis."""
+
+    MEMBER = "member"
+    NOT_MEMBER = "not-member"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class MembershipResult:
+    """Result of :func:`is_member` with an optional witness instance."""
+
+    status: MembershipStatus
+    witness: Instance | None = None
+    note: str = ""
+
+    @property
+    def is_member(self) -> bool:
+        """True when a witness instance was found."""
+        return self.status is MembershipStatus.MEMBER
+
+
+def is_member(
+    transducer: PublishingTransducer,
+    tree: TreeNode,
+    exhaustive: bool = False,
+    max_domain_size: int = 6,
+    max_tuples: int = 6,
+    max_candidates: int = 200_000,
+) -> MembershipResult:
+    """Decide (within budgets) whether some instance publishes exactly ``tree``."""
+    fragment = classify(transducer)
+    entry = complexity_of(DecisionProblem.MEMBERSHIP, fragment)
+    if not entry.bound.decidable:
+        raise UndecidableProblemError(DecisionProblem.MEMBERSHIP, fragment, entry.reference)
+
+    if tree.label != transducer.root_tag:
+        return MembershipResult(MembershipStatus.NOT_MEMBER, note="root tag mismatch")
+    if not tree.labels() <= transducer.normal_tags():
+        return MembershipResult(
+            MembershipStatus.NOT_MEMBER, note="the tree uses tags the transducer cannot emit"
+        )
+
+    assignment = _assign_states(transducer, tree)
+    if assignment is None and not transducer.uses_virtual_nodes():
+        return MembershipResult(
+            MembershipStatus.NOT_MEMBER,
+            note="no consistent assignment of tree nodes to transduction rules",
+        )
+
+    schema = _source_schema(transducer)
+
+    # Constructive candidate: freeze composed queries along the tree's paths.
+    if assignment is not None:
+        candidate = _constructive_candidate(transducer, tree, assignment, schema)
+        if candidate is not None and _produces(transducer, candidate, tree):
+            return MembershipResult(MembershipStatus.MEMBER, witness=candidate)
+
+    if not exhaustive:
+        return MembershipResult(
+            MembershipStatus.UNKNOWN,
+            note="constructive candidates failed; re-run with exhaustive=True for an exact answer",
+        )
+
+    found, complete = _exhaustive_search(
+        transducer, tree, schema, max_domain_size, max_tuples, max_candidates
+    )
+    if found is not None:
+        return MembershipResult(MembershipStatus.MEMBER, witness=found)
+    if complete:
+        return MembershipResult(
+            MembershipStatus.NOT_MEMBER, note="exhaustive search within the small-model bound"
+        )
+    return MembershipResult(
+        MembershipStatus.UNKNOWN, note="search budget exhausted before covering the small model bound"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Structural assignment of tree nodes to rules.
+# ---------------------------------------------------------------------------
+
+
+def _assign_states(
+    transducer: PublishingTransducer, tree: TreeNode
+) -> dict[int, tuple[str, str]] | None:
+    """Assign a ``(state, tag)`` pair to every tree node consistently with the rules.
+
+    Children must be attributable to right-hand-side items of the parent's
+    rule in a left-to-right, item-order-monotone fashion.  Returns a mapping
+    from ``id(node)`` to the pair, or ``None`` when no assignment exists.
+    """
+    assignment: dict[int, tuple[str, str]] = {}
+
+    def assign(node: TreeNode, state: str, tag: str) -> bool:
+        if node.label != tag:
+            return False
+        assignment[id(node)] = (state, tag)
+        rule_ = transducer.rule_for(state, tag)
+        items = rule_.items
+        item_index = 0
+        for child in node.children:
+            progressed = False
+            while item_index < len(items):
+                item = items[item_index]
+                if item.tag == child.label and assign(child, item.state, item.tag):
+                    progressed = True
+                    break
+                item_index += 1
+            if not progressed:
+                return False
+        return True
+
+    if assign(tree, transducer.start_state, transducer.root_tag):
+        return assignment
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Candidate construction.
+# ---------------------------------------------------------------------------
+
+
+def _source_schema(transducer: PublishingTransducer) -> RelationalSchema:
+    """Reconstruct the source schema (names and arities) from the rule queries."""
+    arities: dict[str, int] = {}
+    for rule_query in transducer.all_rule_queries():
+        query = rule_query.query
+        if not isinstance(query, ConjunctiveQuery):
+            continue
+        for atom in query.atoms:
+            if atom.relation == GENERIC_REGISTER_NAME or atom.relation.startswith("Reg_"):
+                continue
+            arities.setdefault(atom.relation, atom.arity)
+    return RelationalSchema(RelationSchema(name, arity) for name, arity in arities.items())
+
+
+def _constructive_candidate(
+    transducer: PublishingTransducer,
+    tree: TreeNode,
+    assignment: dict[int, tuple[str, str]],
+    schema: RelationalSchema,
+) -> Instance | None:
+    """Build a candidate instance by freezing one rule query per tree node.
+
+    The tree is walked top-down carrying a *concrete* register tuple for every
+    node: a child's rule query is grounded by replacing register atoms with
+    the parent's concrete register values, then frozen with fresh constants
+    (this contributes the child's "source tuples" in the sense of Claim 2).
+    PCDATA of text children is used to pin the frozen value of unary
+    registers, so trees whose text content carries data values can be hit
+    exactly.
+    """
+    counter = itertools.count()
+    data: dict[str, set[tuple[DataValue, ...]]] = {name: set() for name in schema}
+
+    def ground_register(query: ConjunctiveQuery, parent_tag: str, register: tuple) -> ConjunctiveQuery | None:
+        register_names = {GENERIC_REGISTER_NAME, f"Reg_{parent_tag}"}
+        atoms = []
+        comparisons = list(query.comparisons)
+        for atom in query.atoms:
+            if atom.relation in register_names:
+                if len(atom.terms) != len(register):
+                    return None
+                for term, value in zip(atom.terms, register):
+                    comparisons.append(equality(term, Constant(value)))
+            else:
+                atoms.append(atom)
+        return ConjunctiveQuery(query.head, tuple(atoms), tuple(comparisons))
+
+    def visit(node: TreeNode, register: tuple) -> bool:
+        state, tag = assignment[id(node)]
+        rule_ = transducer.rule_for(state, tag)
+        for child in node.children:
+            if child.label == TEXT_TAG and id(child) not in assignment:
+                continue
+            child_state, child_tag = assignment[id(child)]
+            item = next(
+                (i for i in rule_.items if (i.state, i.tag) == (child_state, child_tag)), None
+            )
+            if item is None:
+                return False
+            query = item.query.query
+            if not isinstance(query, ConjunctiveQuery):
+                return False
+            grounded = ground_register(query, tag, register)
+            if grounded is None or not grounded.is_satisfiable():
+                return False
+            text_values = _text_values(child)
+            preset = {}
+            if text_values is not None and len(grounded.head) == 1 and len(text_values) == 1:
+                preset = {grounded.head[0]: text_values[0]}
+            frozen, valuation = grounded.canonical_instance(
+                schema, preset, prefix=f"_m{next(counter)}_"
+            )
+            for name in schema:
+                data[name] |= set(frozen[name].tuples)
+            child_register = tuple(valuation[v] for v in grounded.head)
+            if not visit(child, child_register):
+                return False
+        return True
+
+    if not visit(tree, ()):
+        return None
+    return Instance(schema, data)
+
+
+def _text_values(node: TreeNode) -> list[str] | None:
+    """PCDATA carried by the text children of ``node`` (None when there are none)."""
+    values = [child.text for child in node.children if child.label == TEXT_TAG and child.text]
+    return values or None
+
+
+def _produces(transducer: PublishingTransducer, instance: Instance, tree: TreeNode) -> bool:
+    """Check ``tau(I) = t`` exactly (the NP-oracle step of the proof)."""
+    try:
+        produced = TransducerRuntime(transducer, max_nodes=max(10_000, 50 * tree.size())).run(instance)
+    except TransformationLimitError:
+        return False
+    return _trees_equal_modulo_text(produced.tree, tree)
+
+
+def _trees_equal_modulo_text(left: TreeNode, right: TreeNode) -> bool:
+    """Structural equality; text leaves compare equal when either side omits PCDATA."""
+    if left.label != right.label:
+        return False
+    if left.label == TEXT_TAG:
+        if left.text is None or right.text is None:
+            return True
+        return left.text == right.text
+    if len(left.children) != len(right.children):
+        return False
+    return all(
+        _trees_equal_modulo_text(a, b) for a, b in zip(left.children, right.children)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Exhaustive small-model search.
+# ---------------------------------------------------------------------------
+
+
+def _exhaustive_search(
+    transducer: PublishingTransducer,
+    tree: TreeNode,
+    schema: RelationalSchema,
+    max_domain_size: int,
+    max_tuples: int,
+    max_candidates: int,
+) -> tuple[Instance | None, bool]:
+    """Enumerate instances within the small-model bound; returns (witness, complete?)."""
+    constants: set[DataValue] = set()
+    for rule_query in transducer.all_rule_queries():
+        constants |= set(rule_query.query.constants())
+    for node in tree.walk():
+        if node.label == TEXT_TAG and node.text:
+            constants.add(node.text)
+    source_atom_bound = max(
+        (
+            len([a for a in q.query.atoms if not a.relation.startswith("Reg") and a.relation != GENERIC_REGISTER_NAME])
+            for q in transducer.all_rule_queries()
+            if isinstance(q.query, ConjunctiveQuery)
+        ),
+        default=1,
+    )
+    small_model_tuples = max(1, source_atom_bound) * tree.size()
+    needed_fresh = min(max_domain_size, small_model_tuples)
+    domain = sorted(constants, key=repr) + [f"_u{i}" for i in range(needed_fresh)]
+    tuple_budget = min(max_tuples, small_model_tuples)
+    complete = tuple_budget >= small_model_tuples and len(domain) >= small_model_tuples + len(constants)
+
+    all_possible: list[tuple[str, tuple[DataValue, ...]]] = []
+    for name in schema:
+        arity = schema.arity(name)
+        for combo in itertools.product(domain, repeat=arity):
+            all_possible.append((name, combo))
+
+    candidates_checked = 0
+    for size in range(0, tuple_budget + 1):
+        for selection in itertools.combinations(all_possible, size):
+            candidates_checked += 1
+            if candidates_checked > max_candidates:
+                return None, False
+            data: dict[str, set[tuple[DataValue, ...]]] = {name: set() for name in schema}
+            for name, row in selection:
+                data[name].add(row)
+            instance = Instance(schema, data)
+            if _produces(transducer, instance, tree):
+                return instance, True
+    return None, complete

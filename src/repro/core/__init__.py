@@ -1,0 +1,57 @@
+"""The paper's primary contribution: publishing transducers ``PT(L, S, O)``.
+
+A publishing transducer (Definition 3.1) is a deterministic, top-down,
+finite-state machine ``tau = (Q, Sigma, Theta, q0, delta[, Sigma_e])`` that
+builds an XML tree from a relational instance: at every node it issues the
+queries of the applicable transduction rule against the source and the node's
+register, groups the answers, and spawns one child per group.  The process
+stops at a leaf when the paper's *stop condition* holds (an ancestor repeats
+the leaf's state, tag and register content).
+
+Public surface:
+
+* :class:`~repro.core.rules.RuleQuery` and
+  :class:`~repro.core.rules.TransductionRule` -- the rule syntax
+  ``(q, a) -> (q1, a1, phi1(x; y)), ...``;
+* :class:`~repro.core.transducer.PublishingTransducer` -- the machine;
+* :func:`~repro.core.runtime.publish` /
+  :class:`~repro.core.runtime.TransducerRuntime` -- evaluation;
+* :mod:`~repro.core.classes` -- classification into the fragments
+  ``PT(L, S, O)`` / ``PTnr(L, S, O)``;
+* :mod:`~repro.core.dependency` -- the dependency graph and recursion test;
+* :mod:`~repro.core.relational_query` -- a transducer viewed as a relational
+  query (Section 6.1).
+"""
+
+from repro.core.classes import OutputKind, StoreKind, TransducerClass, classify
+from repro.core.dependency import DependencyGraph
+from repro.core.relational_query import TransducerRelationalQuery, output_relation
+from repro.core.rules import RuleItem, RuleQuery, TransductionRule
+from repro.core.runtime import (
+    AnnotatedNode,
+    TransducerRuntime,
+    TransformationLimitError,
+    TransformationResult,
+    publish,
+)
+from repro.core.transducer import PublishingTransducer, TransducerDefinitionError
+
+__all__ = [
+    "AnnotatedNode",
+    "DependencyGraph",
+    "OutputKind",
+    "PublishingTransducer",
+    "RuleItem",
+    "RuleQuery",
+    "StoreKind",
+    "TransducerClass",
+    "TransducerDefinitionError",
+    "TransducerRelationalQuery",
+    "TransducerRuntime",
+    "TransductionRule",
+    "TransformationLimitError",
+    "TransformationResult",
+    "classify",
+    "output_relation",
+    "publish",
+]

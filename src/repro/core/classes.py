@@ -1,0 +1,146 @@
+"""Classification of transducers into the fragments ``PT(L, S, O)``.
+
+The paper's fragment lattice has three axes (Section 3, "Fragments"):
+
+* the logic ``L`` in ``{CQ, FO, IFP}`` (ordered by expressiveness),
+* the store ``S`` in ``{tuple, relation}`` (tuple stores are the special case
+  ``|y| = 0`` of relation stores),
+* the output ``O`` in ``{normal, virtual}`` (normal transducers are the
+  special case with no virtual tags),
+
+plus the *non-recursive* restriction ``PTnr`` defined through the dependency
+graph.  :func:`classify` computes the least fragment containing a given
+transducer, which Table I uses to characterise the existing publishing
+languages and Tables II/III use to look up complexity and expressiveness.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.dependency import DependencyGraph
+from repro.core.transducer import PublishingTransducer
+from repro.logic.base import QueryLogic
+
+
+class StoreKind(enum.IntEnum):
+    """The register kind ``S``: tuple stores are a special case of relation stores."""
+
+    TUPLE = 1
+    RELATION = 2
+
+    def __str__(self) -> str:
+        return "tuple" if self is StoreKind.TUPLE else "relation"
+
+    def includes(self, other: "StoreKind") -> bool:
+        """True when this store kind subsumes ``other``."""
+        return self >= other
+
+
+class OutputKind(enum.IntEnum):
+    """The output discipline ``O``: normal-only or with virtual nodes."""
+
+    NORMAL = 1
+    VIRTUAL = 2
+
+    def __str__(self) -> str:
+        return "normal" if self is OutputKind.NORMAL else "virtual"
+
+    def includes(self, other: "OutputKind") -> bool:
+        """True when this output kind subsumes ``other``."""
+        return self >= other
+
+
+@dataclass(frozen=True, order=False)
+class TransducerClass:
+    """A fragment ``PT(L, S, O)`` or ``PTnr(L, S, O)``."""
+
+    logic: QueryLogic
+    store: StoreKind
+    output: OutputKind
+    recursive: bool = True
+
+    def __str__(self) -> str:
+        name = "PT" if self.recursive else "PTnr"
+        return f"{name}({self.logic}, {self.store}, {self.output})"
+
+    # -- lattice structure -------------------------------------------------------
+
+    def contains(self, other: "TransducerClass") -> bool:
+        """Syntactic containment of fragments (not semantic expressiveness).
+
+        ``PT(L, S, O)`` contains ``PT(L', S', O')`` when ``L >= L'``,
+        ``S >= S'``, ``O >= O'`` and recursion is allowed whenever the smaller
+        fragment allows it.  Non-recursive fragments are contained in their
+        recursive counterparts.
+        """
+        if not self.recursive and other.recursive:
+            return False
+        return (
+            self.logic.includes(other.logic)
+            and self.store.includes(other.store)
+            and self.output.includes(other.output)
+        )
+
+    def join(self, other: "TransducerClass") -> "TransducerClass":
+        """The least fragment containing both."""
+        return TransducerClass(
+            QueryLogic.join(self.logic, other.logic),
+            max(self.store, other.store),
+            max(self.output, other.output),
+            self.recursive or other.recursive,
+        )
+
+    def nonrecursive(self) -> "TransducerClass":
+        """The non-recursive restriction of this fragment."""
+        return TransducerClass(self.logic, self.store, self.output, recursive=False)
+
+    @staticmethod
+    def parse(text: str) -> "TransducerClass":
+        """Parse a fragment name such as ``"PT(CQ, tuple, normal)"``."""
+        text = text.strip()
+        recursive = True
+        if text.startswith("PTnr"):
+            recursive = False
+            body = text[len("PTnr"):]
+        elif text.startswith("PT"):
+            body = text[len("PT"):]
+        else:
+            raise ValueError(f"not a fragment name: {text!r}")
+        body = body.strip().strip("()")
+        parts = [part.strip() for part in body.split(",")]
+        if len(parts) != 3:
+            raise ValueError(f"fragment name needs three parameters: {text!r}")
+        logic = QueryLogic[parts[0].upper()]
+        store = StoreKind.TUPLE if parts[1].lower() == "tuple" else StoreKind.RELATION
+        output = OutputKind.NORMAL if parts[2].lower() == "normal" else OutputKind.VIRTUAL
+        return TransducerClass(logic, store, output, recursive)
+
+
+#: The largest fragment considered in the paper.
+LARGEST_CLASS = TransducerClass(QueryLogic.IFP, StoreKind.RELATION, OutputKind.VIRTUAL)
+
+#: The smallest fragment considered in the paper.
+SMALLEST_CLASS = TransducerClass(QueryLogic.CQ, StoreKind.TUPLE, OutputKind.NORMAL)
+
+
+def classify(transducer: PublishingTransducer) -> TransducerClass:
+    """The least fragment ``PT(L, S, O)`` / ``PTnr(L, S, O)`` containing ``transducer``."""
+    logic = transducer.logic()
+    store = StoreKind.RELATION if transducer.uses_relation_registers() else StoreKind.TUPLE
+    output = OutputKind.VIRTUAL if transducer.uses_virtual_nodes() else OutputKind.NORMAL
+    recursive = DependencyGraph(transducer).is_recursive()
+    return TransducerClass(logic, store, output, recursive)
+
+
+def all_fragments(include_nonrecursive: bool = True) -> list[TransducerClass]:
+    """Enumerate every fragment of the paper's lattice (24 or 48 classes)."""
+    fragments = []
+    for logic in QueryLogic:
+        for store in StoreKind:
+            for output in OutputKind:
+                fragments.append(TransducerClass(logic, store, output, recursive=True))
+                if include_nonrecursive:
+                    fragments.append(TransducerClass(logic, store, output, recursive=False))
+    return fragments

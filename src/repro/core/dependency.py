@@ -1,0 +1,181 @@
+"""The dependency graph ``G_tau`` of a publishing transducer.
+
+Section 3: the dependency graph has one node per ``(state, tag)`` pair and an
+edge from ``(q, a)`` to ``(q', a')`` whenever ``(q', a')`` occurs on the
+right-hand side of the rule for ``(q, a)``.  A transducer is *recursive* iff
+``G_tau`` has a cycle.  The emptiness and equivalence procedures of Section 5
+analyse paths of this graph, composing the rule queries along them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.core.rules import RuleQuery
+from repro.core.transducer import PublishingTransducer
+
+#: A node of the dependency graph: a ``(state, tag)`` pair.
+Node = tuple[str, str]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """An edge of the dependency graph, labelled by the rule query creating it."""
+
+    source: Node
+    target: Node
+    query: RuleQuery
+    item_index: int
+
+
+class DependencyGraph:
+    """The dependency graph of a transducer, with path enumeration utilities."""
+
+    def __init__(self, transducer: PublishingTransducer) -> None:
+        self._transducer = transducer
+        self._edges: dict[Node, list[Edge]] = {}
+        self._nodes: set[Node] = set()
+        root: Node = (transducer.start_state, transducer.root_tag)
+        self._root = root
+        self._nodes.add(root)
+        for rule_ in transducer.rules:
+            source: Node = (rule_.state, rule_.tag)
+            self._nodes.add(source)
+            for index, item in enumerate(rule_.items):
+                target: Node = (item.state, item.tag)
+                self._nodes.add(target)
+                self._edges.setdefault(source, []).append(Edge(source, target, item.query, index))
+
+    # -- basic accessors -------------------------------------------------------
+
+    @property
+    def root(self) -> Node:
+        """The start node ``(q0, root_tag)``."""
+        return self._root
+
+    @property
+    def nodes(self) -> frozenset[Node]:
+        """All ``(state, tag)`` nodes."""
+        return frozenset(self._nodes)
+
+    def edges_from(self, node: Node) -> tuple[Edge, ...]:
+        """Out-edges of ``node`` in rule order."""
+        return tuple(self._edges.get(node, ()))
+
+    def edges(self) -> Iterator[Edge]:
+        """All edges of the graph."""
+        for outgoing in self._edges.values():
+            yield from outgoing
+
+    def successors(self, node: Node) -> tuple[Node, ...]:
+        """Successor nodes of ``node`` in rule order."""
+        return tuple(edge.target for edge in self.edges_from(node))
+
+    # -- reachability and recursion --------------------------------------------
+
+    def reachable_nodes(self, start: Node | None = None) -> frozenset[Node]:
+        """Nodes reachable from ``start`` (default: the root)."""
+        start = start or self._root
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for successor in self.successors(node):
+                if successor not in seen:
+                    seen.add(successor)
+                    stack.append(successor)
+        return frozenset(seen)
+
+    def is_recursive(self) -> bool:
+        """True iff the graph (restricted to reachable nodes) has a cycle."""
+        reachable = self.reachable_nodes()
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {node: WHITE for node in reachable}
+
+        def visit(node: Node) -> bool:
+            colour[node] = GREY
+            for successor in self.successors(node):
+                if successor not in colour:
+                    continue
+                if colour[successor] == GREY:
+                    return True
+                if colour[successor] == WHITE and visit(successor):
+                    return True
+            colour[node] = BLACK
+            return False
+
+        return any(visit(node) for node in reachable if colour[node] == WHITE)
+
+    def depth(self) -> int:
+        """Length of the longest simple path from the root (the ``D`` of Theorem 2).
+
+        For non-recursive transducers this bounds the depth of every output
+        tree; for recursive ones it is the longest *simple* path and is used
+        only by the small-model bounds.
+        """
+        best = 0
+        for path in self.simple_paths_from_root():
+            best = max(best, len(path))
+        return best
+
+    # -- path enumeration --------------------------------------------------------
+
+    def simple_paths_from_root(
+        self,
+        target_predicate=None,
+        max_paths: int | None = None,
+    ) -> list[tuple[Edge, ...]]:
+        """Enumerate simple paths (as edge sequences) starting at the root.
+
+        ``target_predicate`` optionally filters paths by their final node; the
+        enumeration never repeats a node within one path (simple paths), which
+        is exactly what the NP emptiness procedure of Theorem 1(1) guesses.
+        ``max_paths`` caps the enumeration for safety on large graphs.
+        """
+        results: list[tuple[Edge, ...]] = []
+
+        def extend(node: Node, path: list[Edge], visited: set[Node]) -> None:
+            if max_paths is not None and len(results) >= max_paths:
+                return
+            if path and (target_predicate is None or target_predicate(node)):
+                results.append(tuple(path))
+            for edge in self.edges_from(node):
+                if edge.target in visited:
+                    continue
+                visited.add(edge.target)
+                path.append(edge)
+                extend(edge.target, path, visited)
+                path.pop()
+                visited.remove(edge.target)
+
+        extend(self._root, [], {self._root})
+        return results
+
+    def paths_to_tag(self, tag: str, max_paths: int | None = None) -> list[tuple[Edge, ...]]:
+        """Simple paths from the root ending at a node with the given tag."""
+        return self.simple_paths_from_root(
+            target_predicate=lambda node: node[1] == tag, max_paths=max_paths
+        )
+
+    # -- comparison (used by the equivalence procedure) ----------------------------
+
+    def node_types(self) -> dict[Node, tuple[str, ...]]:
+        """The *type* of every node: the de-duplicated run of child tags.
+
+        Following the proof of Theorem 2, the type of ``(q, a)`` is the list of
+        labels of the maximal runs of equal tags on the right-hand side of its
+        rule.
+        """
+        types: dict[Node, tuple[str, ...]] = {}
+        for node in self._nodes:
+            rule_ = self._transducer.rule_for(*node)
+            tags: list[str] = []
+            for item in rule_.items:
+                if not tags or tags[-1] != item.tag:
+                    tags.append(item.tag)
+            types[node] = tuple(tags)
+        return types
+
+    def __len__(self) -> int:
+        return len(self._nodes)

@@ -1,0 +1,89 @@
+"""Publishing transducers as relational queries (Section 6.1).
+
+Fixing a designated, non-virtual output label ``a_o``, the *output relation*
+induced by a transducer ``tau`` on an instance ``I`` is the union of the
+registers of all ``a_o``-labelled nodes of the final extended tree ``xi``.
+Viewed this way every class ``PT(L, S, O)`` becomes a relational query
+language, which is how Theorem 3 and Proposition 6 characterise their
+expressive power (LinDatalog, LinDatalog(FO), IFP, PSPACE, UCQ, FO, ...).
+"""
+
+from __future__ import annotations
+
+from repro.core.runtime import TransducerRuntime, publish_full
+from repro.core.transducer import PublishingTransducer
+from repro.logic.base import Query, QueryLogic
+from repro.logic.terms import Variable
+from repro.relational.domain import DataValue
+from repro.relational.instance import Instance
+
+
+def output_relation(
+    transducer: PublishingTransducer,
+    instance: Instance,
+    output_tag: str,
+    max_nodes: int | None = None,
+) -> frozenset[tuple[DataValue, ...]]:
+    """The output relation ``R_tau(I)`` for the designated label ``output_tag``."""
+    if output_tag in transducer.virtual_tags:
+        raise ValueError("the designated output label must not be a virtual tag")
+    kwargs = {} if max_nodes is None else {"max_nodes": max_nodes}
+    result = publish_full(transducer, instance, **kwargs)
+    return result.output_relation(output_tag)
+
+
+class TransducerRelationalQuery(Query):
+    """Adapter presenting a transducer + output label as an ordinary query.
+
+    The head variables are synthesised (``o1 .. ok`` with ``k`` the register
+    arity of the output tag) so the adapter can be compared against genuine
+    CQ/FO/IFP/Datalog queries in the expressiveness benchmarks of Table III.
+    """
+
+    def __init__(
+        self,
+        transducer: PublishingTransducer,
+        output_tag: str,
+        max_nodes: int | None = None,
+    ) -> None:
+        if output_tag in transducer.virtual_tags:
+            raise ValueError("the designated output label must not be a virtual tag")
+        self._transducer = transducer
+        self._output_tag = output_tag
+        self._max_nodes = max_nodes
+        arity = transducer.register_arity(output_tag)
+        self._head = tuple(Variable(f"o{i + 1}") for i in range(arity))
+
+    @property
+    def transducer(self) -> PublishingTransducer:
+        """The underlying transducer."""
+        return self._transducer
+
+    @property
+    def output_tag(self) -> str:
+        """The designated output label ``a_o``."""
+        return self._output_tag
+
+    @property
+    def head(self) -> tuple[Variable, ...]:
+        return self._head
+
+    @property
+    def logic(self) -> QueryLogic:
+        return self._transducer.logic()
+
+    def relation_names(self) -> frozenset[str]:
+        return self._transducer.source_relation_names()
+
+    def constants(self) -> frozenset[DataValue]:
+        values: set[DataValue] = set()
+        for rule_query in self._transducer.all_rule_queries():
+            values |= rule_query.query.constants()
+        return frozenset(values)
+
+    def evaluate(self, instance: Instance) -> frozenset[tuple[DataValue, ...]]:
+        if self._max_nodes is None:
+            runtime = TransducerRuntime(self._transducer)
+        else:
+            runtime = TransducerRuntime(self._transducer, max_nodes=self._max_nodes)
+        return runtime.run(instance).output_relation(self._output_tag)

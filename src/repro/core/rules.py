@@ -1,0 +1,182 @@
+"""Transduction rules ``(q, a) -> (q1, a1, phi1(x; y)), ..., (qk, ak, phik(x; y))``.
+
+Every query in a rule is a :class:`RuleQuery`: a relational query whose head
+is the concatenation ``x ++ y`` of the *grouping* variables ``x`` and the
+*register* variables ``y``.  The runtime groups the answer set by the values
+of ``x``; each group becomes one child whose register stores the group
+(Section 3, "Transformations"):
+
+* ``|y| = 0`` -- the result is grouped by the entire tuple, each child carries
+  a single tuple: a **tuple register**;
+* ``|x| = 0`` -- no grouping, a single child carries the whole answer set: a
+  **relation register**;
+* otherwise each child carries ``{d} x {e | phi(d; e)}`` for one value ``d``
+  of ``x``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.logic.base import Query, QueryLogic
+from repro.logic.terms import Variable
+
+#: Reserved relation name under which the parent register is always visible.
+GENERIC_REGISTER_NAME = "Reg"
+
+
+def register_relation_name(tag: str) -> str:
+    """The tag-specific name under which the register of an ``a``-node is visible."""
+    return f"Reg_{tag}"
+
+
+@dataclass(frozen=True)
+class RuleQuery:
+    """A query ``phi(x; y)`` of a transduction rule.
+
+    Parameters
+    ----------
+    query:
+        The underlying relational query; its head must be ``x ++ y``.
+    group_arity:
+        The number ``|x|`` of grouping variables (a prefix of the head).
+    """
+
+    query: Query
+    group_arity: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.group_arity <= self.query.arity:
+            raise ValueError(
+                f"group arity {self.group_arity} out of range for a query of arity {self.query.arity}"
+            )
+
+    @property
+    def register_arity(self) -> int:
+        """The arity of the child registers produced by this query (``|x| + |y|``)."""
+        return self.query.arity
+
+    @property
+    def group_variables(self) -> tuple[Variable, ...]:
+        """The grouping variables ``x``."""
+        return self.query.head[: self.group_arity]
+
+    @property
+    def register_variables(self) -> tuple[Variable, ...]:
+        """The non-grouped variables ``y``."""
+        return self.query.head[self.group_arity:]
+
+    @property
+    def is_tuple_query(self) -> bool:
+        """True when ``|y| = 0``, i.e. the children carry tuple registers."""
+        return self.group_arity == self.query.arity
+
+    @property
+    def logic(self) -> QueryLogic:
+        """The logic of the underlying query."""
+        return self.query.logic
+
+    def uses_register(self) -> bool:
+        """True when the query reads the parent register."""
+        return any(
+            name == GENERIC_REGISTER_NAME or name.startswith("Reg_")
+            for name in self.query.relation_names()
+        )
+
+    def __str__(self) -> str:
+        xs = ", ".join(v.name for v in self.group_variables) or "()"
+        ys = ", ".join(v.name for v in self.register_variables) or "()"
+        return f"phi({xs}; {ys})[{self.query}]"
+
+
+def tuple_query(query: Query) -> RuleQuery:
+    """Wrap a query so that the whole head is the grouping tuple (``|y| = 0``)."""
+    return RuleQuery(query, query.arity)
+
+
+def relation_query(query: Query, group_arity: int = 0) -> RuleQuery:
+    """Wrap a query grouping only on a prefix of the head (``|y| > 0``)."""
+    return RuleQuery(query, group_arity)
+
+
+@dataclass(frozen=True)
+class RuleItem:
+    """One item ``(state, tag, phi)`` on the right-hand side of a rule."""
+
+    state: str
+    tag: str
+    query: RuleQuery
+
+    def __str__(self) -> str:
+        return f"({self.state}, {self.tag}, {self.query})"
+
+
+@dataclass(frozen=True)
+class TransductionRule:
+    """A rule ``(state, tag) -> item1, ..., itemk`` (``k = 0`` for leaf rules)."""
+
+    state: str
+    tag: str
+    items: tuple[RuleItem, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "items", tuple(self.items))
+
+    @property
+    def is_leaf_rule(self) -> bool:
+        """True when the right-hand side is empty."""
+        return not self.items
+
+    def child_pairs(self) -> tuple[tuple[str, str], ...]:
+        """The ``(state, tag)`` pairs on the right-hand side, in order."""
+        return tuple((item.state, item.tag) for item in self.items)
+
+    def queries(self) -> tuple[RuleQuery, ...]:
+        """The rule queries, in right-hand-side order."""
+        return tuple(item.query for item in self.items)
+
+    def __str__(self) -> str:
+        if not self.items:
+            return f"({self.state}, {self.tag}) -> ."
+        rhs = ", ".join(str(item) for item in self.items)
+        return f"({self.state}, {self.tag}) -> {rhs}"
+
+
+def rule(
+    state: str,
+    tag: str,
+    items: Iterable[tuple[str, str, RuleQuery] | RuleItem] = (),
+) -> TransductionRule:
+    """Terse rule constructor accepting either :class:`RuleItem` or triples."""
+    resolved = tuple(
+        item if isinstance(item, RuleItem) else RuleItem(item[0], item[1], item[2])
+        for item in items
+    )
+    return TransductionRule(state, tag, resolved)
+
+
+def leaf_rule(state: str, tag: str) -> TransductionRule:
+    """A rule with empty right-hand side."""
+    return TransductionRule(state, tag, ())
+
+
+def check_rule_queries(rule_: TransductionRule, register_arities: dict[str, int]) -> list[str]:
+    """Validate a rule against the arity assignment ``Theta``.
+
+    Returns a list of human-readable problems (empty when the rule is fine):
+    every item's query must produce registers of the arity ``Theta`` assigns
+    to the item's tag.
+    """
+    problems: list[str] = []
+    for item in rule_.items:
+        expected = register_arities.get(item.tag)
+        if expected is None:
+            problems.append(f"tag {item.tag!r} has no register arity assigned")
+            continue
+        if item.query.register_arity != expected:
+            problems.append(
+                f"rule {rule_.state}/{rule_.tag}: query for child tag {item.tag!r} produces "
+                f"registers of arity {item.query.register_arity}, expected {expected}"
+            )
+    return problems

@@ -1,0 +1,262 @@
+"""The transformation engine: evaluating a publishing transducer on an instance.
+
+The runtime follows the step relation of Section 3 literally:
+
+1. start with a single node labelled ``(q0, root)`` carrying an empty
+   register;
+2. repeatedly pick an unexpanded leaf ``u`` labelled ``(q, a)``;
+3. if an ancestor of ``u`` carries the same state, tag and register content,
+   the **stop condition** fires and ``u`` becomes a plain ``a``-leaf;
+4. otherwise evaluate each rule query ``phi_i(x; y)`` over ``I`` extended with
+   ``Reg_a(u)``, group the answers by the values of ``x``, and spawn one child
+   per group, ordering the children of each query by the implicit order on the
+   domain and concatenating the per-query lists in rule order;
+5. when no unexpanded leaves remain, strip states and registers and splice out
+   virtual nodes to obtain the output Σ-tree.
+
+Proposition 1(1) guarantees termination; Proposition 1(3, 4) show that output
+trees can be exponentially (tuple stores) or doubly exponentially (relation
+stores) large, so the runtime enforces a configurable node budget and raises
+:class:`TransformationLimitError` beyond it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.rules import GENERIC_REGISTER_NAME, RuleQuery, register_relation_name
+from repro.core.transducer import PublishingTransducer
+from repro.core.virtual import eliminate_virtual_nodes, strip_annotations
+from repro.relational.domain import DataValue, relation_to_text, tuple_order_key
+from repro.relational.instance import Instance
+from repro.relational.schema import RelationSchema
+from repro.xmltree.tree import TEXT_TAG, TreeNode
+
+#: Default ceiling on the number of generated nodes (including virtual ones).
+DEFAULT_MAX_NODES = 200_000
+
+#: A register content: a set of equal-width tuples over the domain.
+RegisterContent = frozenset[tuple[DataValue, ...]]
+
+
+class TransformationLimitError(RuntimeError):
+    """The transformation exceeded the configured node budget.
+
+    The paper shows (Proposition 1) that outputs can be doubly exponential in
+    the input size for relation stores; this error protects callers that feed
+    adversarial inputs to such transducers.
+    """
+
+
+@dataclass
+class AnnotatedNode:
+    """A node of the intermediate tree in ``Tree_{Q x Sigma}``.
+
+    Until finalised the node is labelled by the pair ``(state, tag)``; once
+    expansion at the node has finished the state is conceptually dropped
+    (``finalized`` becomes true) but kept for inspection.
+    """
+
+    state: str
+    tag: str
+    register: RegisterContent
+    parent: "AnnotatedNode | None" = None
+    children: list["AnnotatedNode"] = field(default_factory=list)
+    finalized: bool = False
+    stopped_by_condition: bool = False
+    text: str | None = None
+
+    def ancestors(self) -> Iterator["AnnotatedNode"]:
+        """Proper ancestors, nearest first."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def walk(self) -> Iterator["AnnotatedNode"]:
+        """Pre-order traversal of the annotated subtree."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def depth(self) -> int:
+        """Depth of the annotated subtree (single node = 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def size(self) -> int:
+        """Number of nodes in the annotated subtree."""
+        return 1 + sum(child.size() for child in self.children)
+
+
+@dataclass
+class TransformationResult:
+    """The outcome of running a transducer on an instance."""
+
+    transducer: PublishingTransducer
+    instance: Instance
+    extended_root: AnnotatedNode
+    tree: TreeNode
+    steps: int
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes of the *extended* tree (before virtual elimination)."""
+        return self.extended_root.size()
+
+    @property
+    def output_size(self) -> int:
+        """Number of nodes of the output Σ-tree."""
+        return self.tree.size()
+
+    def nodes_with_tag(self, tag: str) -> list[AnnotatedNode]:
+        """Annotated nodes carrying the given tag (document order)."""
+        return [node for node in self.extended_root.walk() if node.tag == tag]
+
+    def output_relation(self, tag: str) -> frozenset[tuple[DataValue, ...]]:
+        """Union of the registers of all ``tag``-nodes (Section 6.1)."""
+        rows: set[tuple[DataValue, ...]] = set()
+        for node in self.nodes_with_tag(tag):
+            rows |= node.register
+        return frozenset(rows)
+
+
+class TransducerRuntime:
+    """Evaluates one transducer; reusable across instances."""
+
+    def __init__(
+        self,
+        transducer: PublishingTransducer,
+        max_nodes: int = DEFAULT_MAX_NODES,
+    ) -> None:
+        self._transducer = transducer
+        self._max_nodes = max_nodes
+
+    @property
+    def transducer(self) -> PublishingTransducer:
+        return self._transducer
+
+    # -- the main loop -----------------------------------------------------------
+
+    def run(self, instance: Instance) -> TransformationResult:
+        """Run the transformation on ``instance`` and return the full result."""
+        transducer = self._transducer
+        problems = transducer.validate_against_schema(instance.schema)
+        if problems:
+            raise ValueError("; ".join(problems))
+        root = AnnotatedNode(
+            state=transducer.start_state,
+            tag=transducer.root_tag,
+            register=frozenset(),
+        )
+        frontier: list[AnnotatedNode] = [root]
+        node_budget = self._max_nodes
+        produced = 1
+        steps = 0
+        while frontier:
+            node = frontier.pop()
+            if node.finalized:
+                continue
+            steps += 1
+            children = self._expand(node, instance)
+            node.finalized = True
+            if children is None:
+                continue
+            produced += len(children)
+            if produced > node_budget:
+                raise TransformationLimitError(
+                    f"transformation exceeded the node budget of {node_budget} nodes; "
+                    f"raise max_nodes if the blow-up is intended"
+                )
+            node.children = children
+            # Depth-first expansion; order within the frontier does not affect
+            # the result because the transformation is confluent (each leaf's
+            # subtree depends only on its own state, tag and register).
+            frontier.extend(reversed(children))
+        tree = self._finalize_tree(root)
+        return TransformationResult(transducer, instance, root, tree, steps)
+
+    # -- one expansion step --------------------------------------------------------
+
+    def _expand(self, node: AnnotatedNode, instance: Instance) -> list[AnnotatedNode] | None:
+        transducer = self._transducer
+        # Stop condition (condition (1) of the step relation).
+        for ancestor in node.ancestors():
+            if (
+                ancestor.state == node.state
+                and ancestor.tag == node.tag
+                and ancestor.register == node.register
+            ):
+                node.stopped_by_condition = True
+                return None
+        rule_ = transducer.rule_for(node.state, node.tag)
+        if node.tag == TEXT_TAG:
+            node.text = relation_to_text(node.register)
+            return None
+        if rule_.is_leaf_rule:
+            return None
+        extended = self._instance_with_register(instance, node)
+        children: list[AnnotatedNode] = []
+        for item in rule_.items:
+            for register in self._grouped_registers(item.query, extended):
+                children.append(
+                    AnnotatedNode(
+                        state=item.state,
+                        tag=item.tag,
+                        register=register,
+                        parent=node,
+                    )
+                )
+        return children
+
+    def _instance_with_register(self, instance: Instance, node: AnnotatedNode) -> Instance:
+        arity = self._transducer.register_arity(node.tag)
+        if node.register:
+            arity = len(next(iter(node.register)))
+        generic = GENERIC_REGISTER_NAME
+        specific = register_relation_name(node.tag)
+        extra_schema = [RelationSchema(generic, arity), RelationSchema(specific, arity)]
+        return instance.extended(
+            {generic: node.register, specific: node.register}, extra_schema
+        )
+
+    @staticmethod
+    def _grouped_registers(query: RuleQuery, instance: Instance) -> list[RegisterContent]:
+        """Evaluate a rule query and group its answers into child registers."""
+        answers = query.query.evaluate(instance)
+        if not answers:
+            return []
+        group_arity = query.group_arity
+        if group_arity == 0:
+            return [frozenset(answers)]
+        groups: dict[tuple[DataValue, ...], set[tuple[DataValue, ...]]] = {}
+        for row in answers:
+            groups.setdefault(row[:group_arity], set()).add(row)
+        ordered_keys = sorted(groups, key=tuple_order_key)
+        return [frozenset(groups[key]) for key in ordered_keys]
+
+    # -- output construction ----------------------------------------------------------
+
+    def _finalize_tree(self, root: AnnotatedNode) -> TreeNode:
+        stripped = strip_annotations(root)
+        return eliminate_virtual_nodes(stripped, self._transducer.virtual_tags)
+
+
+def publish(
+    transducer: PublishingTransducer,
+    instance: Instance,
+    max_nodes: int = DEFAULT_MAX_NODES,
+) -> TreeNode:
+    """Evaluate ``transducer`` on ``instance`` and return the output Σ-tree ``tau(I)``."""
+    return TransducerRuntime(transducer, max_nodes=max_nodes).run(instance).tree
+
+
+def publish_full(
+    transducer: PublishingTransducer,
+    instance: Instance,
+    max_nodes: int = DEFAULT_MAX_NODES,
+) -> TransformationResult:
+    """Evaluate ``transducer`` on ``instance`` and return the full result object."""
+    return TransducerRuntime(transducer, max_nodes=max_nodes).run(instance)

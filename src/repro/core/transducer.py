@@ -1,0 +1,260 @@
+"""The publishing transducer ``tau = (Q, Sigma, Theta, q0, delta[, Sigma_e])``.
+
+Definition 3.1 of the paper, with virtual tags (Section 3, "Virtual versus
+normal nodes") folded into the same class: a transducer without virtual tags
+simply has ``virtual_tags = frozenset()``.
+
+Determinism is enforced syntactically: for every pair ``(q, a)`` with ``q``
+a non-start state and ``a`` a non-root tag -- plus the start pair
+``(q0, root)`` -- there is at most one rule, and the runtime only ever looks
+up that rule.  Missing rules are treated as empty right-hand sides, which is a
+convenience the paper also uses implicitly for ``text``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.rules import (
+    GENERIC_REGISTER_NAME,
+    RuleItem,
+    RuleQuery,
+    TransductionRule,
+    check_rule_queries,
+    register_relation_name,
+)
+from repro.logic.base import QueryLogic
+from repro.relational.schema import RelationalSchema
+from repro.xmltree.tree import TEXT_TAG
+
+
+class TransducerDefinitionError(ValueError):
+    """Raised when a transducer definition violates Definition 3.1."""
+
+
+@dataclass(frozen=True)
+class PublishingTransducer:
+    """A publishing transducer.
+
+    Parameters
+    ----------
+    states:
+        The finite set ``Q`` of states.
+    alphabet:
+        The tag alphabet ``Sigma`` (must contain ``root_tag``; ``text`` is
+        added automatically when any rule mentions it).
+    register_arities:
+        The arity assignment ``Theta``: a mapping from tags to register
+        arities.  ``Theta(root) = 0`` is enforced.
+    start_state:
+        The start state ``q0``.
+    rules:
+        The transduction rules ``delta``, one per ``(state, tag)`` pair.
+    root_tag:
+        The distinguished root tag ``r``.
+    virtual_tags:
+        The set ``Sigma_e`` of virtual tags (may be empty); must not contain
+        the root tag.
+    name:
+        Optional human-readable name used in reports and benchmarks.
+    """
+
+    states: frozenset[str]
+    alphabet: frozenset[str]
+    register_arities: Mapping[str, int]
+    start_state: str
+    rules: tuple[TransductionRule, ...]
+    root_tag: str = "r"
+    virtual_tags: frozenset[str] = frozenset()
+    name: str = "transducer"
+    _rule_index: dict[tuple[str, str], TransductionRule] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "states", frozenset(self.states))
+        alphabet = set(self.alphabet) | {self.root_tag}
+        for rule_ in self.rules:
+            alphabet.add(rule_.tag)
+            for item in rule_.items:
+                alphabet.add(item.tag)
+        object.__setattr__(self, "alphabet", frozenset(alphabet))
+        object.__setattr__(self, "virtual_tags", frozenset(self.virtual_tags))
+        arities = dict(self.register_arities)
+        arities.setdefault(self.root_tag, 0)
+        object.__setattr__(self, "register_arities", arities)
+        object.__setattr__(self, "rules", tuple(self.rules))
+        self._validate()
+        index: dict[tuple[str, str], TransductionRule] = {}
+        for rule_ in self.rules:
+            index[(rule_.state, rule_.tag)] = rule_
+        object.__setattr__(self, "_rule_index", index)
+
+    # -- validation ---------------------------------------------------------
+
+    def _validate(self) -> None:
+        if self.start_state not in self.states:
+            raise TransducerDefinitionError(
+                f"start state {self.start_state!r} is not among the states"
+            )
+        if self.root_tag in self.virtual_tags:
+            raise TransducerDefinitionError("the root tag cannot be virtual")
+        if self.register_arities.get(self.root_tag, 0) != 0:
+            raise TransducerDefinitionError("Theta(root) must be 0")
+        seen: set[tuple[str, str]] = set()
+        problems: list[str] = []
+        for rule_ in self.rules:
+            key = (rule_.state, rule_.tag)
+            if key in seen:
+                raise TransducerDefinitionError(
+                    f"duplicate rule for (state, tag) = {key}; transducers are deterministic"
+                )
+            seen.add(key)
+            if rule_.state not in self.states:
+                raise TransducerDefinitionError(f"rule uses unknown state {rule_.state!r}")
+            if rule_.tag == TEXT_TAG and rule_.items:
+                raise TransducerDefinitionError("rules for the text tag must have an empty rhs")
+            for item in rule_.items:
+                if item.state not in self.states:
+                    raise TransducerDefinitionError(
+                        f"rule rhs uses unknown state {item.state!r}"
+                    )
+                if item.state == self.start_state:
+                    raise TransducerDefinitionError(
+                        "the start state may not appear on a rule right-hand side"
+                    )
+                if item.tag == self.root_tag:
+                    raise TransducerDefinitionError(
+                        "the root tag may not appear on a rule right-hand side"
+                    )
+            problems.extend(check_rule_queries(rule_, dict(self.register_arities)))
+        if problems:
+            raise TransducerDefinitionError("; ".join(problems))
+        if (self.start_state, self.root_tag) not in seen:
+            raise TransducerDefinitionError(
+                f"missing start rule for ({self.start_state!r}, {self.root_tag!r})"
+            )
+
+    # -- lookup ---------------------------------------------------------------
+
+    def rule_for(self, state: str, tag: str) -> TransductionRule:
+        """The unique rule for ``(state, tag)``; an empty rule when undeclared."""
+        return self._rule_index.get((state, tag), TransductionRule(state, tag, ()))
+
+    def has_rule(self, state: str, tag: str) -> bool:
+        """True when a rule for ``(state, tag)`` was declared explicitly."""
+        return (state, tag) in self._rule_index
+
+    @property
+    def start_rule(self) -> TransductionRule:
+        """The start rule ``(q0, root) -> ...``."""
+        return self.rule_for(self.start_state, self.root_tag)
+
+    def register_arity(self, tag: str) -> int:
+        """The arity ``Theta(tag)`` of registers attached to ``tag``-nodes."""
+        return self.register_arities.get(tag, 0)
+
+    # -- structural properties -----------------------------------------------
+
+    def all_rule_queries(self) -> tuple[RuleQuery, ...]:
+        """Every rule query occurring in the transducer."""
+        return tuple(item.query for rule_ in self.rules for item in rule_.items)
+
+    def logic(self) -> QueryLogic:
+        """The least logic containing every rule query (CQ when there are none)."""
+        return QueryLogic.join(*(q.logic for q in self.all_rule_queries()))
+
+    def uses_relation_registers(self) -> bool:
+        """True when some rule query groups on a strict prefix (``|y| > 0``)."""
+        return any(not q.is_tuple_query for q in self.all_rule_queries())
+
+    def uses_virtual_nodes(self) -> bool:
+        """True when the transducer declares virtual tags that a rule can emit."""
+        emitted = {item.tag for rule_ in self.rules for item in rule_.items}
+        return bool(self.virtual_tags & emitted)
+
+    def normal_tags(self) -> frozenset[str]:
+        """The non-virtual tags."""
+        return self.alphabet - self.virtual_tags
+
+    def source_relation_names(self) -> frozenset[str]:
+        """Relation names of the source schema referenced by rule queries.
+
+        Register relations (``Reg`` and ``Reg_<tag>``) are excluded.
+        """
+        names: set[str] = set()
+        for query in self.all_rule_queries():
+            for name in query.query.relation_names():
+                if name == GENERIC_REGISTER_NAME or name.startswith("Reg_"):
+                    continue
+                names.add(name)
+        return frozenset(names)
+
+    def validate_against_schema(self, schema: RelationalSchema) -> list[str]:
+        """Check that every source relation used by the rules exists in ``schema``."""
+        problems = []
+        for name in sorted(self.source_relation_names()):
+            if name not in schema:
+                problems.append(f"rule queries reference unknown source relation {name!r}")
+        return problems
+
+    def register_names_for(self, tag: str) -> tuple[str, str]:
+        """The two relation names under which a ``tag``-node's register is visible."""
+        return GENERIC_REGISTER_NAME, register_relation_name(tag)
+
+    def describe(self) -> str:
+        """A human-readable multi-line description of the transducer."""
+        lines = [f"transducer {self.name}"]
+        lines.append(f"  states: {', '.join(sorted(self.states))}")
+        lines.append(f"  root tag: {self.root_tag}")
+        if self.virtual_tags:
+            lines.append(f"  virtual tags: {', '.join(sorted(self.virtual_tags))}")
+        for rule_ in self.rules:
+            lines.append(f"  {rule_}")
+        return "\n".join(lines)
+
+
+def make_transducer(
+    rules: Iterable[TransductionRule],
+    start_state: str,
+    root_tag: str = "r",
+    virtual_tags: Iterable[str] = (),
+    register_arities: Mapping[str, int] | None = None,
+    name: str = "transducer",
+) -> PublishingTransducer:
+    """Build a transducer, inferring ``Q``, ``Sigma`` and ``Theta`` from the rules.
+
+    The register arity of a tag is inferred from the (necessarily unique)
+    arity of the rule queries that spawn nodes with that tag; an explicit
+    ``register_arities`` mapping overrides or supplements the inference.
+    """
+    rules = tuple(rules)
+    states = {start_state}
+    alphabet = {root_tag}
+    inferred: dict[str, int] = {}
+    for rule_ in rules:
+        states.add(rule_.state)
+        alphabet.add(rule_.tag)
+        for item in rule_.items:
+            states.add(item.state)
+            alphabet.add(item.tag)
+            arity = item.query.register_arity
+            if item.tag in inferred and inferred[item.tag] != arity:
+                raise TransducerDefinitionError(
+                    f"conflicting register arities inferred for tag {item.tag!r}: "
+                    f"{inferred[item.tag]} vs {arity}"
+                )
+            inferred.setdefault(item.tag, arity)
+    if register_arities:
+        inferred.update(register_arities)
+    return PublishingTransducer(
+        states=frozenset(states),
+        alphabet=frozenset(alphabet),
+        register_arities=inferred,
+        start_state=start_state,
+        rules=rules,
+        root_tag=root_tag,
+        virtual_tags=frozenset(virtual_tags),
+        name=name,
+    )

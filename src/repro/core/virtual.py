@@ -1,0 +1,53 @@
+"""Turning the extended tree into the output Σ-tree.
+
+Two post-processing steps produce ``tau(I)`` from the result ``xi`` of the
+transformation (Section 3):
+
+1. **stripping** -- remove states and registers, keeping only tags (and the
+   PCDATA of ``text`` leaves);
+2. **virtual-node elimination** -- repeatedly shortcut every node labelled
+   with a virtual tag, i.e. replace it by its list of children in place,
+   until no virtual tag remains.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TYPE_CHECKING
+
+from repro.xmltree.tree import TreeNode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.core.runtime import AnnotatedNode
+
+
+def strip_annotations(node: "AnnotatedNode") -> TreeNode:
+    """Strip states and registers from an annotated tree, keeping tags and text."""
+    children = tuple(strip_annotations(child) for child in node.children)
+    return TreeNode(node.tag, children, node.text)
+
+
+def eliminate_virtual_nodes(node: TreeNode, virtual_tags: Iterable[str]) -> TreeNode:
+    """Splice out every node whose tag is virtual.
+
+    Virtual children are replaced, in place, by their own (already processed)
+    children; the process is applied bottom-up, which reaches the fixpoint the
+    paper describes ("the process continues until no node in the tree is
+    labeled with a tag in Sigma_e") in a single pass.
+
+    The root is never virtual (enforced by the transducer definition).
+    """
+    virtual = frozenset(virtual_tags)
+    if not virtual:
+        return node
+    return _eliminate(node, virtual)
+
+
+def _eliminate(node: TreeNode, virtual: frozenset[str]) -> TreeNode:
+    new_children: list[TreeNode] = []
+    for child in node.children:
+        processed = _eliminate(child, virtual)
+        if processed.label in virtual:
+            new_children.extend(processed.children)
+        else:
+            new_children.append(processed)
+    return TreeNode(node.label, tuple(new_children), node.text)

@@ -1,0 +1,42 @@
+"""Datalog substrate: Datalog, LinDatalog and LinDatalog(FO).
+
+Theorem 3 characterises the relational expressive power of publishing
+transducers in terms of Datalog fragments:
+
+* ``PT(CQ, tuple, O)``  =  **LinDatalog** (linear Datalog with ``!=``),
+* ``PT(FO, tuple, O)``  =  **LinDatalog(FO)** (bodies may contain arbitrary
+  FO conditions over the EDB),
+* ``PT(IFP, tuple, O)`` =  **IFP**.
+
+This package provides programs, semi-naive evaluation, linearity checks, the
+deterministic sub-programs and CQ unfoldings used by the equivalence procedure
+(Claim 5 of Theorem 2), and the two translations of Theorem 3(2).
+"""
+
+from repro.datalog.evaluation import evaluate_program
+from repro.datalog.linear import (
+    deterministic_subprograms,
+    is_deterministic,
+    is_linear,
+    is_nonrecursive,
+    unfold_to_cq,
+)
+from repro.datalog.program import DatalogProgram, DatalogRule, FormulaCondition
+from repro.datalog.translate import (
+    lindatalog_to_transducer,
+    transducer_to_lindatalog,
+)
+
+__all__ = [
+    "DatalogProgram",
+    "DatalogRule",
+    "FormulaCondition",
+    "deterministic_subprograms",
+    "evaluate_program",
+    "is_deterministic",
+    "is_linear",
+    "is_nonrecursive",
+    "lindatalog_to_transducer",
+    "transducer_to_lindatalog",
+    "unfold_to_cq",
+]

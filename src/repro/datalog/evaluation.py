@@ -1,0 +1,113 @@
+"""Semi-naive bottom-up evaluation of Datalog programs.
+
+The evaluator supports the three program classes used in the reproduction --
+plain Datalog, LinDatalog and LinDatalog(FO) -- uniformly: rules whose body
+consists only of relation atoms and comparisons are evaluated with the CQ
+join machinery, rules with FO conditions fall back to the formula evaluator.
+Evaluation is inflationary and terminates because the Herbrand base over the
+active domain is finite.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.datalog.program import DatalogProgram, DatalogRule
+from repro.logic.builders import cq_to_formula
+from repro.logic.cq import ConjunctiveQuery
+from repro.logic.fo import And, FormulaEvaluator, conjunction
+from repro.logic.terms import Constant, Variable
+from repro.relational.domain import DataValue
+from repro.relational.instance import Instance
+from repro.relational.schema import RelationSchema
+
+#: A mapping from IDB predicate names to their current sets of facts.
+IdbState = dict[str, set[tuple[DataValue, ...]]]
+
+
+def evaluate_program(
+    program: DatalogProgram,
+    instance: Instance,
+    max_iterations: int | None = None,
+) -> frozenset[tuple[DataValue, ...]]:
+    """Evaluate ``program`` on ``instance`` and return the output predicate's facts."""
+    state = evaluate_all_predicates(program, instance, max_iterations=max_iterations)
+    return frozenset(state.get(program.output_predicate, set()))
+
+
+def evaluate_all_predicates(
+    program: DatalogProgram,
+    instance: Instance,
+    max_iterations: int | None = None,
+) -> dict[str, frozenset[tuple[DataValue, ...]]]:
+    """Evaluate ``program`` and return the facts of every IDB predicate."""
+    idb = program.idb_predicates()
+    state: IdbState = {predicate: set() for predicate in idb}
+    iterations = 0
+    changed = True
+    while changed:
+        changed = False
+        iterations += 1
+        if max_iterations is not None and iterations > max_iterations:
+            break
+        extended = _instance_with_idb(instance, program, state)
+        for rule in program.rules:
+            for fact in _apply_rule(rule, extended):
+                if fact not in state[rule.head.relation]:
+                    state[rule.head.relation].add(fact)
+                    changed = True
+    return {predicate: frozenset(facts) for predicate, facts in state.items()}
+
+
+def _instance_with_idb(
+    instance: Instance, program: DatalogProgram, state: Mapping[str, set]
+) -> Instance:
+    extra_schema = []
+    extra_data = {}
+    for predicate, facts in state.items():
+        arity = program.predicate_arity(predicate)
+        extra_schema.append(RelationSchema(predicate, arity))
+        extra_data[predicate] = facts
+    return instance.extended(extra_data, extra_schema)
+
+
+def _apply_rule(rule: DatalogRule, instance: Instance) -> set[tuple[DataValue, ...]]:
+    """Evaluate one rule body and build its head facts."""
+    head_variables: list[Variable] = []
+    for term in rule.head.terms:
+        if isinstance(term, Variable) and term not in head_variables:
+            head_variables.append(term)
+    if rule.conditions():
+        answers = _evaluate_body_fo(rule, tuple(head_variables), instance)
+    else:
+        query = ConjunctiveQuery(tuple(head_variables), rule.body_atoms(), rule.comparisons())
+        answers = query.evaluate(instance)
+    facts: set[tuple[DataValue, ...]] = set()
+    for row in answers:
+        binding = dict(zip(head_variables, row))
+        fact = tuple(
+            term.value if isinstance(term, Constant) else binding[term]
+            for term in rule.head.terms
+        )
+        facts.add(fact)
+    return facts
+
+
+def _evaluate_body_fo(
+    rule: DatalogRule, head_variables: tuple[Variable, ...], instance: Instance
+) -> frozenset[tuple[DataValue, ...]]:
+    """Evaluate a rule body containing FO conditions via the formula evaluator."""
+    cq_part = ConjunctiveQuery(head_variables, rule.body_atoms(), rule.comparisons())
+    conjuncts = [cq_to_formula(cq_part.with_head(tuple(sorted(cq_part.variables(), key=lambda v: v.name))))]
+    for condition in rule.conditions():
+        conjuncts.append(condition.formula)
+    body = conjunction(conjuncts)
+    constants: set[DataValue] = set()
+    constants |= set(cq_part.constants())
+    for condition in rule.conditions():
+        constants |= set(condition.formula.constants())
+    domain = set(instance.active_domain()) | constants
+    evaluator = FormulaEvaluator(instance, domain)
+    table = evaluator.evaluate(body)
+    table = table.expand(head_variables, evaluator.domain)
+    return frozenset(table.rows)

@@ -1,0 +1,145 @@
+"""Linearity, recursion and determinism of Datalog programs; CQ unfolding.
+
+These are the structural notions the paper needs around LinDatalog:
+
+* **linear** -- every rule body contains at most one IDB atom (the definition
+  of LinDatalog / LinDatalog(FO));
+* **non-recursive** -- the IDB dependency graph is acyclic;
+* **deterministic** -- every IDB predicate has exactly one rule (Claim 5 of
+  Theorem 2 speaks about deterministic sub-programs of a non-recursive
+  LinDatalog program);
+* :func:`deterministic_subprograms` enumerates the deterministic sub-programs
+  of a program (choosing one rule per IDB predicate);
+* :func:`unfold_to_cq` implements Claim 5: a non-recursive *deterministic*
+  LinDatalog program unfolds, in linear time, into a single equivalent CQ.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from repro.datalog.program import DatalogProgram, DatalogRule
+from repro.logic.cq import Comparison, ConjunctiveQuery, RelationAtom
+from repro.logic.terms import Variable
+
+
+def is_linear(program: DatalogProgram) -> bool:
+    """True when every rule body has at most one IDB atom."""
+    idb = program.idb_predicates()
+    return all(len(rule.idb_atoms(idb)) <= 1 for rule in program.rules)
+
+
+def is_nonrecursive(program: DatalogProgram) -> bool:
+    """True when the IDB dependency graph of the program is acyclic."""
+    edges = program.dependency_edges()
+    adjacency: dict[str, set[str]] = {}
+    for source, target in edges:
+        adjacency.setdefault(source, set()).add(target)
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: dict[str, int] = {}
+
+    def visit(node: str) -> bool:
+        colour[node] = GREY
+        for successor in adjacency.get(node, ()):
+            if colour.get(successor, WHITE) == GREY:
+                return True
+            if colour.get(successor, WHITE) == WHITE and visit(successor):
+                return True
+        colour[node] = BLACK
+        return False
+
+    return not any(
+        visit(predicate)
+        for predicate in program.idb_predicates()
+        if colour.get(predicate, WHITE) == WHITE
+    )
+
+
+def is_deterministic(program: DatalogProgram) -> bool:
+    """True when every IDB predicate has exactly one rule."""
+    counts: dict[str, int] = {}
+    for rule in program.rules:
+        counts[rule.head.relation] = counts.get(rule.head.relation, 0) + 1
+    return all(count == 1 for count in counts.values())
+
+
+def deterministic_subprograms(program: DatalogProgram) -> Iterator[DatalogProgram]:
+    """Enumerate the deterministic sub-programs (one rule per IDB predicate).
+
+    The equivalence procedure of Theorem 2 guesses such a sub-program of one
+    program and checks non-containment in the other; the enumeration here
+    realises that guess exhaustively.
+    """
+    predicates = sorted(program.idb_predicates())
+    rule_choices = [program.rules_for(predicate) for predicate in predicates]
+    for combination in itertools.product(*rule_choices):
+        yield DatalogProgram(combination, program.output_predicate)
+
+
+def unfold_to_cq(program: DatalogProgram, max_unfoldings: int = 10_000) -> ConjunctiveQuery:
+    """Unfold a non-recursive *deterministic* LinDatalog program into a CQ.
+
+    Claim 5 (proof of Theorem 2): because the program is linear and
+    deterministic, every IDB predicate has a unique defining rule containing
+    at most one IDB atom, so repeatedly replacing IDB atoms by their rule
+    bodies terminates after linearly many steps and yields a CQ equivalent to
+    the program.  Rules with FO conditions are rejected (the claim is about
+    LinDatalog, not LinDatalog(FO)).
+    """
+    if not is_deterministic(program):
+        raise ValueError("unfold_to_cq requires a deterministic program")
+    if not is_nonrecursive(program):
+        raise ValueError("unfold_to_cq requires a non-recursive program")
+    if not is_linear(program):
+        raise ValueError("unfold_to_cq requires a linear program")
+    for rule in program.rules:
+        if rule.conditions():
+            raise ValueError("unfold_to_cq handles pure LinDatalog rules only")
+
+    idb = program.idb_predicates()
+    output_rules = program.rules_for(program.output_predicate)
+    if not output_rules:
+        raise ValueError(f"no rule for output predicate {program.output_predicate!r}")
+    root = output_rules[0]
+
+    head_variables = tuple(t for t in root.head.terms if isinstance(t, Variable))
+    query = ConjunctiveQuery(head_variables, root.body_atoms(), root.comparisons())
+
+    steps = 0
+    while True:
+        idb_atoms = [atom for atom in query.atoms if atom.relation in idb]
+        if not idb_atoms:
+            return query
+        steps += 1
+        if steps > max_unfoldings:
+            raise RuntimeError("unfolding did not terminate within the step budget")
+        atom = idb_atoms[0]
+        defining = program.rules_for(atom.relation)[0]
+        inner = _rule_to_cq(defining)
+        query = query.compose(atom.relation, inner)
+
+
+def _rule_to_cq(rule: DatalogRule) -> ConjunctiveQuery:
+    """View one rule as a CQ whose head is the rule's head argument tuple.
+
+    Constants in the head are handled by introducing fresh head variables
+    equated to them, which keeps :meth:`ConjunctiveQuery.compose` applicable.
+    """
+    head_terms = rule.head.terms
+    head_variables: list[Variable] = []
+    extra_comparisons: list[Comparison] = []
+    used = set()
+    for index, term in enumerate(head_terms):
+        if isinstance(term, Variable) and term not in used:
+            head_variables.append(term)
+            used.add(term)
+        else:
+            fresh = Variable(f"_h{index}")
+            head_variables.append(fresh)
+            extra_comparisons.append(Comparison(fresh, term, negated=False))
+    return ConjunctiveQuery(
+        tuple(head_variables),
+        rule.body_atoms(),
+        rule.comparisons() + tuple(extra_comparisons),
+    )

@@ -1,0 +1,161 @@
+"""Datalog programs with (in)equalities and optional FO body conditions.
+
+A rule has the shape ``p(t) <- p1(t1), ..., pn(tn), comparisons, conditions``
+where each ``pi`` is an EDB or IDB predicate, comparisons are ``=`` / ``!=``
+literals, and conditions are arbitrary FO formulas over the EDB (only used by
+LinDatalog(FO) programs).  Programs designate an output predicate, by default
+``ans``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.logic.cq import Comparison, RelationAtom
+from repro.logic.fo import Formula
+from repro.logic.terms import Constant, Term, Variable
+
+
+@dataclass(frozen=True)
+class FormulaCondition:
+    """An FO condition allowed in LinDatalog(FO) rule bodies."""
+
+    formula: Formula
+
+    def free_variables(self) -> frozenset[Variable]:
+        return self.formula.free_variables()
+
+    def __str__(self) -> str:
+        return f"[{self.formula}]"
+
+
+#: A body literal: a relation atom, a comparison, or an FO condition.
+BodyLiteral = RelationAtom | Comparison | FormulaCondition
+
+
+@dataclass(frozen=True)
+class DatalogRule:
+    """A single rule ``head <- body``."""
+
+    head: RelationAtom
+    body: tuple[BodyLiteral, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+
+    def body_atoms(self) -> tuple[RelationAtom, ...]:
+        """The relation atoms of the body (EDB and IDB)."""
+        return tuple(literal for literal in self.body if isinstance(literal, RelationAtom))
+
+    def comparisons(self) -> tuple[Comparison, ...]:
+        """The (in)equality literals of the body."""
+        return tuple(literal for literal in self.body if isinstance(literal, Comparison))
+
+    def conditions(self) -> tuple[FormulaCondition, ...]:
+        """The FO conditions of the body."""
+        return tuple(literal for literal in self.body if isinstance(literal, FormulaCondition))
+
+    def idb_atoms(self, idb_predicates: frozenset[str]) -> tuple[RelationAtom, ...]:
+        """Body atoms over IDB predicates."""
+        return tuple(atom for atom in self.body_atoms() if atom.relation in idb_predicates)
+
+    def variables(self) -> frozenset[Variable]:
+        """All variables of the rule."""
+        found: set[Variable] = set(t for t in self.head.terms if isinstance(t, Variable))
+        for literal in self.body:
+            if isinstance(literal, RelationAtom):
+                found.update(literal.variables())
+            elif isinstance(literal, Comparison):
+                found.update(literal.variables())
+            else:
+                found.update(literal.free_variables())
+        return frozenset(found)
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        return f"{self.head} <- {', '.join(str(l) for l in self.body)}."
+
+
+class DatalogProgram:
+    """A Datalog program: a list of rules plus a designated output predicate."""
+
+    def __init__(self, rules: Iterable[DatalogRule], output_predicate: str = "ans") -> None:
+        self._rules = tuple(rules)
+        self._output = output_predicate
+
+    @property
+    def rules(self) -> tuple[DatalogRule, ...]:
+        """The rules, in declaration order."""
+        return self._rules
+
+    @property
+    def output_predicate(self) -> str:
+        """The predicate holding the program's answer."""
+        return self._output
+
+    def idb_predicates(self) -> frozenset[str]:
+        """Predicates defined by some rule head."""
+        return frozenset(rule.head.relation for rule in self._rules)
+
+    def edb_predicates(self) -> frozenset[str]:
+        """Predicates used in bodies but never defined."""
+        idb = self.idb_predicates()
+        found: set[str] = set()
+        for rule in self._rules:
+            for atom in rule.body_atoms():
+                if atom.relation not in idb:
+                    found.add(atom.relation)
+            for condition in rule.conditions():
+                found |= set(condition.formula.relation_names()) - idb
+        return frozenset(found)
+
+    def rules_for(self, predicate: str) -> tuple[DatalogRule, ...]:
+        """All rules whose head predicate is ``predicate``."""
+        return tuple(rule for rule in self._rules if rule.head.relation == predicate)
+
+    def predicate_arity(self, predicate: str) -> int:
+        """Arity of an IDB predicate (taken from its first rule head)."""
+        for rule in self._rules:
+            if rule.head.relation == predicate:
+                return len(rule.head.terms)
+        raise KeyError(f"predicate {predicate!r} has no rule")
+
+    def dependency_edges(self) -> frozenset[tuple[str, str]]:
+        """IDB dependency edges ``(head predicate, body IDB predicate)``."""
+        idb = self.idb_predicates()
+        edges: set[tuple[str, str]] = set()
+        for rule in self._rules:
+            for atom in rule.body_atoms():
+                if atom.relation in idb:
+                    edges.add((rule.head.relation, atom.relation))
+        return frozenset(edges)
+
+    def uses_inequalities(self) -> bool:
+        """True when some rule body uses ``!=``."""
+        return any(
+            comparison.negated for rule in self._rules for comparison in rule.comparisons()
+        )
+
+    def constants(self) -> frozenset:
+        """All constants appearing in the program."""
+        values: set = set()
+        for rule in self._rules:
+            for term in rule.head.terms:
+                if isinstance(term, Constant):
+                    values.add(term.value)
+            for literal in rule.body:
+                if isinstance(literal, RelationAtom):
+                    values |= literal.constants()
+                elif isinstance(literal, Comparison):
+                    values |= literal.constants()
+                else:
+                    values |= literal.formula.constants()
+        return frozenset(values)
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)

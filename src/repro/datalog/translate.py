@@ -1,0 +1,271 @@
+"""The two translations of Theorem 3(2): ``PT(CQ, tuple, O)`` = LinDatalog.
+
+* :func:`transducer_to_lindatalog` -- a tuple-register CQ transducer, viewed
+  as a relational query with designated output label ``a_o``, becomes a
+  linear Datalog program with one IDB predicate ``T`` encoding the reachable
+  ``(state, tag, register)`` configurations plus the answer predicate.
+
+* :func:`lindatalog_to_transducer` -- a LinDatalog program in the normal form
+  of the proof (a single recursive IDB predicate ``S`` plus the output
+  predicate ``ans``) becomes a ``PT(CQ, tuple, normal)`` transducer whose
+  output relation for the designated tag equals the program's answer.
+
+Both translations preserve the induced *relational query*; they do not (and
+need not) preserve the generated trees.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.dependency import DependencyGraph
+from repro.core.rules import GENERIC_REGISTER_NAME, RuleItem, RuleQuery, TransductionRule
+from repro.core.transducer import PublishingTransducer, make_transducer
+from repro.datalog.program import DatalogProgram, DatalogRule
+from repro.logic.base import QueryLogic
+from repro.logic.cq import Comparison, ConjunctiveQuery, RelationAtom, equality
+from repro.logic.terms import Constant, Term, Variable
+
+#: Constant used to pad registers up to the maximal register arity.
+PAD = "_#"
+
+#: Name of the configuration predicate of the forward translation.
+CONFIGURATION_PREDICATE = "T"
+
+
+class TranslationError(ValueError):
+    """Raised when a transducer or program is outside the translatable fragment."""
+
+
+# ---------------------------------------------------------------------------
+# PT(CQ, tuple, O)  ->  LinDatalog.
+# ---------------------------------------------------------------------------
+
+
+def transducer_to_lindatalog(
+    transducer: PublishingTransducer,
+    output_tag: str,
+    output_predicate: str = "ans",
+) -> DatalogProgram:
+    """Translate a tuple-register CQ transducer into an equivalent LinDatalog program.
+
+    Equivalence is as relational queries: for every instance ``I`` the
+    program's ``ans`` facts coincide with ``R_tau(I)`` for the designated
+    ``output_tag``.  Raises :class:`TranslationError` when the transducer is
+    not in ``PT(CQ, tuple, O)``.
+    """
+    if transducer.logic() != QueryLogic.CQ:
+        raise TranslationError("the translation to LinDatalog needs CQ rule queries")
+    if transducer.uses_relation_registers():
+        raise TranslationError("the translation to LinDatalog needs tuple registers")
+    if output_tag in transducer.virtual_tags:
+        raise TranslationError("the output tag must not be virtual")
+
+    max_arity = max(
+        [transducer.register_arity(tag) for tag in transducer.alphabet] or [0]
+    )
+    config_vars = tuple(Variable(f"z{i}") for i in range(max_arity))
+
+    rules: list[DatalogRule] = []
+    # The root configuration is a fact.
+    root_head = RelationAtom(
+        CONFIGURATION_PREDICATE,
+        (Constant(transducer.start_state), Constant(transducer.root_tag))
+        + tuple(Constant(PAD) for _ in range(max_arity)),
+    )
+    rules.append(DatalogRule(root_head, ()))
+
+    graph = DependencyGraph(transducer)
+    reachable = graph.reachable_nodes()
+    for state, tag in sorted(reachable):
+        rule_ = transducer.rule_for(state, tag)
+        parent_arity = transducer.register_arity(tag)
+        for item in rule_.items:
+            child_arity = item.query.register_arity
+            body, head_terms = _child_configuration_rule(
+                transducer, state, tag, parent_arity, item, child_arity, max_arity, config_vars
+            )
+            rules.append(DatalogRule(RelationAtom(CONFIGURATION_PREDICATE, head_terms), body))
+
+    # Answer rules: project the register out of every output-tag configuration.
+    out_arity = transducer.register_arity(output_tag)
+    answer_vars = tuple(Variable(f"o{i}") for i in range(out_arity))
+    for state in sorted(transducer.states):
+        if (state, output_tag) not in reachable:
+            continue
+        body_terms: tuple[Term, ...] = (
+            Constant(state),
+            Constant(output_tag),
+        ) + answer_vars + tuple(Constant(PAD) for _ in range(max_arity - out_arity))
+        rules.append(
+            DatalogRule(
+                RelationAtom(output_predicate, answer_vars),
+                (RelationAtom(CONFIGURATION_PREDICATE, body_terms),),
+            )
+        )
+    return DatalogProgram(rules, output_predicate)
+
+
+def _child_configuration_rule(
+    transducer: PublishingTransducer,
+    state: str,
+    tag: str,
+    parent_arity: int,
+    item: RuleItem,
+    child_arity: int,
+    max_arity: int,
+    config_vars: tuple[Variable, ...],
+):
+    """Build the body and head of one configuration-propagation rule."""
+    query = item.query.query
+    if not isinstance(query, ConjunctiveQuery):
+        raise TranslationError("rule queries must be conjunctive queries")
+    taken = set(query.variables()) | set(config_vars)
+    parent_vars = config_vars[:parent_arity]
+
+    # Replace register atoms by equalities with the parent configuration's columns.
+    atoms: list[RelationAtom] = []
+    comparisons: list[Comparison] = list(query.comparisons)
+    register_names = {GENERIC_REGISTER_NAME, f"Reg_{tag}"}
+    for atom in query.atoms:
+        if atom.relation in register_names:
+            if len(atom.terms) != parent_arity:
+                raise TranslationError(
+                    f"register atom {atom} does not match the register arity {parent_arity} of tag {tag!r}"
+                )
+            for term, parent_var in zip(atom.terms, parent_vars):
+                comparisons.append(equality(term, parent_var))
+        elif atom.relation.startswith("Reg_"):
+            raise TranslationError(
+                f"rule query for ({state}, {tag}) references a foreign register {atom.relation!r}"
+            )
+        else:
+            atoms.append(atom)
+
+    parent_terms: tuple[Term, ...] = (
+        Constant(state),
+        Constant(tag),
+    ) + parent_vars + tuple(Constant(PAD) for _ in range(max_arity - parent_arity))
+    body = (RelationAtom(CONFIGURATION_PREDICATE, parent_terms),) + tuple(atoms) + tuple(comparisons)
+    head_terms: tuple[Term, ...] = (
+        Constant(item.state),
+        Constant(item.tag),
+    ) + tuple(query.head[:child_arity]) + tuple(Constant(PAD) for _ in range(max_arity - child_arity))
+    return body, head_terms
+
+
+# ---------------------------------------------------------------------------
+# LinDatalog (normal form)  ->  PT(CQ, tuple, normal).
+# ---------------------------------------------------------------------------
+
+
+def lindatalog_to_transducer(
+    program: DatalogProgram,
+    output_tag: str = "ao",
+) -> PublishingTransducer:
+    """Translate a LinDatalog program in normal form into a CQ tuple transducer.
+
+    The required normal form (from the proof of Theorem 3(2)) is:
+
+    * exactly one IDB predicate ``S`` besides the output predicate;
+    * initialisation rules ``S(y) <- body`` whose bodies are EDB-only;
+    * recursive rules ``S(y) <- S(z), body`` with exactly one ``S`` atom;
+    * output rules ``ans(y) <- S(z), body`` with exactly one ``S`` atom.
+
+    The resulting transducer's output relation for ``output_tag`` equals the
+    program's answer on every instance.
+    """
+    idb = program.idb_predicates()
+    recursive_predicates = sorted(idb - {program.output_predicate})
+    if len(recursive_predicates) != 1:
+        raise TranslationError(
+            "normal form requires exactly one IDB predicate besides the output predicate"
+        )
+    s_predicate = recursive_predicates[0]
+    s_arity = program.predicate_arity(s_predicate)
+
+    init_rules: list[DatalogRule] = []
+    step_rules: list[DatalogRule] = []
+    for rule_ in program.rules_for(s_predicate):
+        s_atoms = [a for a in rule_.body_atoms() if a.relation == s_predicate]
+        if len(s_atoms) == 0:
+            init_rules.append(rule_)
+        elif len(s_atoms) == 1:
+            step_rules.append(rule_)
+        else:
+            raise TranslationError("normal form requires at most one S atom per body")
+    answer_rules = program.rules_for(program.output_predicate)
+    for rule_ in answer_rules:
+        if len([a for a in rule_.body_atoms() if a.relation == s_predicate]) != 1:
+            raise TranslationError("normal form requires exactly one S atom in output rules")
+
+    counter = itertools.count()
+
+    def fresh_tag(prefix: str) -> str:
+        return f"{prefix}{next(counter)}"
+
+    # One tag per initialisation rule and per recursive rule; all of them carry
+    # an S-tuple in a tuple register and share the same continuation.
+    init_tags = {fresh_tag("s_init"): rule_ for rule_ in init_rules}
+    step_tags = {fresh_tag("s_step"): rule_ for rule_ in step_rules}
+    s_tags = list(init_tags) + list(step_tags)
+
+    def rule_to_query(rule_: DatalogRule, replace_s_with_register: bool) -> ConjunctiveQuery:
+        head_vars, extra = _head_as_variables(rule_.head.terms)
+        atoms: list[RelationAtom] = []
+        comparisons: list[Comparison] = list(rule_.comparisons()) + extra
+        for atom in rule_.body_atoms():
+            if replace_s_with_register and atom.relation == s_predicate:
+                atoms.append(RelationAtom(GENERIC_REGISTER_NAME, atom.terms))
+            else:
+                atoms.append(atom)
+        return ConjunctiveQuery(tuple(head_vars), tuple(atoms), tuple(comparisons))
+
+    continuation_items = []
+    for tag, rule_ in step_tags.items():
+        query = rule_to_query(rule_, replace_s_with_register=True)
+        continuation_items.append(RuleItem("q", tag, RuleQuery(query, query.arity)))
+    for rule_ in answer_rules:
+        # Several answer rules map to several items with the same output tag;
+        # the step relation happily spawns multiple sibling groups with one
+        # tag, and the output relation is the union of all their registers.
+        query = rule_to_query(rule_, replace_s_with_register=True)
+        continuation_items.append(RuleItem("q", output_tag, RuleQuery(query, query.arity)))
+
+    start_items = []
+    for tag, rule_ in init_tags.items():
+        query = rule_to_query(rule_, replace_s_with_register=False)
+        start_items.append(RuleItem("q", tag, RuleQuery(query, query.arity)))
+
+    transduction_rules = [TransductionRule("q0", "r", tuple(start_items))]
+    rhs = tuple(continuation_items)
+    for tag in s_tags:
+        transduction_rules.append(TransductionRule("q", tag, rhs))
+    transduction_rules.append(TransductionRule("q", output_tag, ()))
+
+    register_arities = {tag: s_arity for tag in s_tags}
+    register_arities[output_tag] = program.predicate_arity(program.output_predicate)
+    return make_transducer(
+        transduction_rules,
+        start_state="q0",
+        root_tag="r",
+        register_arities=register_arities,
+        name=f"lindatalog-{program.output_predicate}",
+    )
+
+
+def _head_as_variables(terms: tuple[Term, ...]) -> tuple[list[Variable], list[Comparison]]:
+    """Turn a rule-head term tuple into distinct variables plus equalities."""
+    head_vars: list[Variable] = []
+    extra: list[Comparison] = []
+    seen: set[Variable] = set()
+    for index, term in enumerate(terms):
+        if isinstance(term, Variable) and term not in seen:
+            head_vars.append(term)
+            seen.add(term)
+        else:
+            fresh = Variable(f"_o{index}")
+            head_vars.append(fresh)
+            extra.append(equality(fresh, term))
+            seen.add(fresh)
+    return head_vars, extra

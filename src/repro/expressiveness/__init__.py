@@ -1,0 +1,30 @@
+"""Expressiveness of publishing transducers as relational query languages.
+
+Reproduces the Table III characterisations (Theorem 3, Propositions 4 and 6)
+as executable translations and empirical agreement checks, and the separation
+witnesses of Proposition 4/5.
+"""
+
+from repro.expressiveness.capture import (
+    TABLE_III,
+    ExpressivenessEntry,
+    nonrecursive_transducer_to_ucq,
+    queries_agree,
+    relational_language_of,
+)
+from repro.expressiveness.separations import (
+    dtd_choice_language,
+    path_through_constant_transducer,
+    simple_path_counting_transducer,
+)
+
+__all__ = [
+    "ExpressivenessEntry",
+    "TABLE_III",
+    "dtd_choice_language",
+    "nonrecursive_transducer_to_ucq",
+    "path_through_constant_transducer",
+    "queries_agree",
+    "relational_language_of",
+    "simple_path_counting_transducer",
+]

@@ -1,0 +1,108 @@
+"""Table III: the relational expressive power of every fragment.
+
+Theorem 3 and Propositions 4/6 characterise each class ``PT(L, S, O)`` -- and
+each non-recursive class -- as a known relational query language or complexity
+class.  This module records the table, implements the constructive
+translation ``PTnr(CQ, tuple, O) -> UCQ`` of Proposition 6(1), and provides an
+empirical agreement harness used by the Table III benchmarks (the other
+directions of Theorem 3 live in :mod:`repro.datalog.translate`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.analysis.composition import composed_queries_to_tag
+from repro.core.classes import OutputKind, StoreKind, TransducerClass, classify
+from repro.core.dependency import DependencyGraph
+from repro.core.transducer import PublishingTransducer
+from repro.logic.base import Query, QueryLogic
+from repro.logic.cq import UnionOfConjunctiveQueries
+from repro.relational.instance import Instance
+
+
+@dataclass(frozen=True)
+class ExpressivenessEntry:
+    """One row of Table III."""
+
+    fragment: str
+    characterisation: str
+    reference: str
+
+    def __str__(self) -> str:
+        return f"{self.fragment} = {self.characterisation} ({self.reference})"
+
+
+#: Table III of the paper (relational query power).
+TABLE_III: tuple[ExpressivenessEntry, ...] = (
+    ExpressivenessEntry("PT(IFP, relation, O)", "PSPACE", "Thm. 3(4)"),
+    ExpressivenessEntry("PT(FO, relation, O)", "PSPACE", "Thm. 3(4)"),
+    ExpressivenessEntry("PT(IFP, tuple, O)", "IFP (PTIME on ordered databases)", "Thm. 3(5)"),
+    ExpressivenessEntry("PT(FO, tuple, O)", "LinDatalog(FO) (NLOGSPACE on ordered databases)", "Thm. 3(3)"),
+    ExpressivenessEntry("PT(CQ, tuple, O)", "LinDatalog", "Thm. 3(2)"),
+    ExpressivenessEntry("PTnr(IFP, tuple, O)", "IFP", "Prop. 6(3)"),
+    ExpressivenessEntry("PTnr(FO, tuple, O)", "FO", "Prop. 6(2)"),
+    ExpressivenessEntry("PTnr(CQ, tuple, O)", "UCQ", "Prop. 6(1)"),
+)
+
+
+def relational_language_of(fragment: TransducerClass) -> ExpressivenessEntry:
+    """Look up the Table III characterisation covering ``fragment``."""
+    logic_name = str(fragment.logic)
+    store_name = str(fragment.store)
+    prefix = "PT" if fragment.recursive else "PTnr"
+    wanted = f"{prefix}({logic_name}, {store_name}, O)"
+    for entry in TABLE_III:
+        if entry.fragment == wanted:
+            return entry
+    # Relation-store non-recursive fragments are covered by their recursive rows.
+    fallback = f"PT({logic_name}, {store_name}, O)"
+    for entry in TABLE_III:
+        if entry.fragment == fallback:
+            return entry
+    raise KeyError(f"no Table III row covers {fragment}")
+
+
+def nonrecursive_transducer_to_ucq(
+    transducer: PublishingTransducer,
+    output_tag: str,
+    max_paths: int | None = 10_000,
+) -> UnionOfConjunctiveQueries:
+    """Proposition 6(1): a ``PTnr(CQ, tuple, O)`` transducer, viewed as a relational
+    query, equals the union of the CQ compositions along all dependency-graph
+    paths from the root to the output tag."""
+    fragment = classify(transducer)
+    if fragment.recursive:
+        raise ValueError("the UCQ translation applies to non-recursive transducers only")
+    if fragment.logic is not QueryLogic.CQ or fragment.store is not StoreKind.TUPLE:
+        raise ValueError("the UCQ translation applies to CQ transducers with tuple registers")
+    queries = composed_queries_to_tag(transducer, output_tag, max_paths=max_paths)
+    satisfiable = [q for q in queries if q.is_satisfiable()]
+    if not satisfiable:
+        # An unsatisfiable placeholder keeps the UCQ well-formed and empty.
+        from repro.logic.builders import empty_cq
+
+        arity = transducer.register_arity(output_tag)
+        return UnionOfConjunctiveQueries([empty_cq([f"o{i}" for i in range(arity)])])
+    return UnionOfConjunctiveQueries(satisfiable)
+
+
+def queries_agree(left: Query, right: Query, instances: Iterable[Instance]) -> bool:
+    """Empirical agreement of two queries on a set of instances."""
+    return all(left.evaluate(instance) == right.evaluate(instance) for instance in instances)
+
+
+def transducer_depth_bound(transducer: PublishingTransducer) -> int:
+    """Depth bound of a non-recursive transducer (used by Proposition 3 benchmarks)."""
+    return DependencyGraph(transducer).depth() + 1
+
+
+def describe_table_iii() -> list[str]:
+    """Printable Table III rows."""
+    return [str(entry) for entry in TABLE_III]
+
+
+def output_kind_irrelevant(fragment: TransducerClass) -> TransducerClass:
+    """Theorem 3(1): virtual nodes do not change the induced relational query."""
+    return TransducerClass(fragment.logic, fragment.store, OutputKind.NORMAL, fragment.recursive)

@@ -1,0 +1,116 @@
+"""Separation witnesses from Propositions 4 and 5 and Theorem 5.
+
+Each function builds the concrete transducer (or tree language) used in the
+paper to separate two fragments; tests exercise them to confirm the claimed
+behaviour on witness instances.
+"""
+
+from __future__ import annotations
+
+from repro.core.rules import RuleItem, RuleQuery, TransductionRule
+from repro.core.transducer import PublishingTransducer, make_transducer
+from repro.logic.cq import ConjunctiveQuery, RelationAtom, equality
+from repro.logic.terms import Constant, Variable
+from repro.xmltree.dtd import DTD, alt
+
+
+def path_through_constant_transducer(
+    source: str = "c1", middle: str = "c2", target: str = "c3"
+) -> PublishingTransducer:
+    """Proposition 4(5)-style witness: a ``PT(CQ, relation, normal)`` query
+    exploiting relation registers.
+
+    The relation register of the ``a``-chain holds, at depth ``k``, all pairs
+    connected by a walk of length exactly ``k``; the output pair
+    ``(source, target)`` is emitted when some register simultaneously
+    witnesses a walk ``source -> middle`` and a walk ``middle -> target`` --
+    the two-joined-reachability pattern the paper uses to separate relation
+    registers from tuple registers (plain reachability alone would still be
+    LinDatalog-expressible).
+    """
+    y1, y2, y = Variable("y1"), Variable("y2"), Variable("y")
+    phi = ConjunctiveQuery(
+        (y1, y2),
+        (RelationAtom("E", (y1, y2)),),
+    )
+    phi1 = ConjunctiveQuery(
+        (y1, y2),
+        (RelationAtom("Reg_a", (y1, y)), RelationAtom("E", (y, y2))),
+    )
+    phi2 = ConjunctiveQuery(
+        (y1, y2),
+        (
+            RelationAtom("Reg_a", (Constant(source), Constant(middle))),
+            RelationAtom("Reg_a", (Constant(middle), Constant(target))),
+        ),
+        (equality(y1, Constant(source)), equality(y2, Constant(target))),
+    )
+    rules = [
+        TransductionRule("q0", "r", (RuleItem("q", "a", RuleQuery(phi, 0)),)),
+        TransductionRule(
+            "q",
+            "a",
+            (
+                RuleItem("q", "a", RuleQuery(phi1, 0)),
+                RuleItem("q", "ao", RuleQuery(phi2, 0)),
+            ),
+        ),
+        TransductionRule("q", "ao", ()),
+    ]
+    return make_transducer(
+        rules,
+        start_state="q0",
+        root_tag="r",
+        register_arities={"a": 2, "ao": 2},
+        name="path-through-constant",
+    )
+
+
+def simple_path_counting_transducer(
+    source: str = "s", target: str = "t"
+) -> PublishingTransducer:
+    """Proposition 5(10, 11): a ``PT(CQ, tuple, virtual)`` tree mapping outside
+    ``PT(FO, relation, normal)``.
+
+    The output tree is ``r(a ... a)`` with one ``a``-leaf per simple path from
+    ``source`` to ``target`` in the edge relation ``R`` -- a counting behaviour
+    no normal-output FO transducer can produce.
+    """
+    x, y = Variable("x"), Variable("y")
+    start = ConjunctiveQuery((x,), (RelationAtom("R", (Constant(source), x)),))
+    step = ConjunctiveQuery((x,), (RelationAtom("Reg_v", (y,)), RelationAtom("R", (y, x))))
+    arrived = ConjunctiveQuery(
+        (x,),
+        (RelationAtom("Reg_v", (y,)),),
+        (equality(y, Constant(target)), equality(x, Constant(target))),
+    )
+    rules = [
+        TransductionRule("q0", "r", (RuleItem("q", "v", RuleQuery(start, 1)),)),
+        TransductionRule(
+            "q",
+            "v",
+            (
+                RuleItem("q", "v", RuleQuery(step, 1)),
+                RuleItem("q", "a", RuleQuery(arrived, 1)),
+            ),
+        ),
+        TransductionRule("q", "a", ()),
+    ]
+    return make_transducer(
+        rules,
+        start_state="q0",
+        root_tag="r",
+        virtual_tags={"v"},
+        name="simple-path-counter",
+    )
+
+
+def dtd_choice_language() -> DTD:
+    """Theorem 5: the DTD ``a -> b1 + b2`` that no monotone (CQ) transducer defines.
+
+    The language contains the two trees ``a(b1)`` and ``a(b2)`` but not
+    ``a(b1, b2)``; monotonicity of CQ forces any transducer producing the first
+    two trees (on instances ``I1``, ``I2``) to produce a tree containing both
+    children on ``I1 ∪ I2``.
+    """
+    return DTD("a", {"a": alt("b1", "b2")})

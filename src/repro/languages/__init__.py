@@ -1,0 +1,56 @@
+"""Front-ends for the existing XML publishing languages of Section 4.
+
+Each commercial or research language the paper analyses is modelled as a
+small, typed specification object that *compiles into a publishing
+transducer* of exactly the class Table I assigns to it:
+
+==============================  =================================
+Language                        Smallest containing class
+==============================  =================================
+Microsoft FOR-XML               ``PTnr(FO, tuple, normal)``
+Microsoft annotated XSD         ``PTnr(CQ, tuple, normal)``
+IBM SQL/XML                     ``PTnr(IFP, tuple, normal)``
+IBM DAD (SQL mapping)           ``PTnr(IFP, tuple, normal)``
+IBM DAD (RDB mapping)           ``PTnr(CQ, tuple, normal)``
+Oracle SQL/XML                  ``PTnr(FO, tuple, normal)``
+Oracle DBMS_XMLGEN              ``PT(IFP, tuple, normal)``
+XPERANTO                        ``PTnr(FO, tuple, normal)``
+TreeQL                          ``PTnr(CQ, tuple, virtual)``
+ATG                             ``PT(FO, relation, virtual)``
+==============================  =================================
+
+The specifications capture the features the paper's analysis relies on (query
+language, information passing, tree template vs. recursion, virtual nodes);
+they are not SQL parsers -- the paper itself abstracts SQL as FO and recursive
+SQL as IFP, and so do we.
+"""
+
+from repro.languages.annotated_xsd import AnnotatedXsdView
+from repro.languages.atg import AtgProduction, AtgView
+from repro.languages.common import TemplateElement, TemplateError
+from repro.languages.dad import DadRdbMappingView, DadSqlMappingView
+from repro.languages.forxml import ForXmlView
+from repro.languages.registry import TABLE_I, LanguageEntry, characterize, example_views
+from repro.languages.sqlxml import SqlXmlView
+from repro.languages.treeql import TreeQLView
+from repro.languages.xmlgen import DbmsXmlgenView
+from repro.languages.xperanto import XperantoView
+
+__all__ = [
+    "AnnotatedXsdView",
+    "AtgProduction",
+    "AtgView",
+    "DadRdbMappingView",
+    "DadSqlMappingView",
+    "DbmsXmlgenView",
+    "ForXmlView",
+    "LanguageEntry",
+    "SqlXmlView",
+    "TABLE_I",
+    "TemplateElement",
+    "TemplateError",
+    "TreeQLView",
+    "XperantoView",
+    "characterize",
+    "example_views",
+]

@@ -1,0 +1,108 @@
+"""Microsoft SQL Server annotated XSD schemas.
+
+An annotated XSD maps elements to tables and attributes to columns and passes
+information between parent and child through key-based ``relationship``
+annotations; it supports only simple condition tests, no virtual nodes, and a
+fixed tree template.  The paper places it in ``PTnr(CQ, tuple, normal)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.transducer import PublishingTransducer
+from repro.languages.common import TemplateElement, TemplateError, compile_template, element
+from repro.logic.cq import ConjunctiveQuery, RelationAtom, equality
+from repro.logic.terms import Constant, Variable
+from repro.relational.schema import RelationalSchema
+
+
+@dataclass(frozen=True)
+class XsdRelationship:
+    """A parent/child key join: ``parent.parent_column = child.child_column``."""
+
+    parent_column: str
+    child_column: str
+
+
+@dataclass(frozen=True)
+class XsdElement:
+    """An element mapped to a table, with attribute columns and child elements."""
+
+    tag: str
+    table: str
+    columns: tuple[str, ...]
+    relationship: XsdRelationship | None = None
+    condition: tuple[str, object] | None = None
+    children: tuple["XsdElement", ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "columns", tuple(self.columns))
+        object.__setattr__(self, "children", tuple(self.children))
+
+
+@dataclass(frozen=True)
+class AnnotatedXsdView:
+    """An annotated XSD view over a relational schema with named attributes."""
+
+    root_tag: str
+    schema: RelationalSchema
+    elements: tuple[XsdElement, ...]
+    name: str = "annotated-xsd-view"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "elements", tuple(self.elements))
+
+    def compile(self) -> PublishingTransducer:
+        """Compile into a ``PTnr(CQ, tuple, normal)`` transducer."""
+        template = tuple(
+            self._compile_element(elem, parent=None) for elem in self.elements
+        )
+        return compile_template(self.root_tag, template, self.name)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _table_variables(self, table: str, prefix: str) -> dict[str, Variable]:
+        relation = self.schema[table]
+        if not relation.attributes:
+            raise TemplateError(f"annotated XSD needs named attributes for table {table!r}")
+        return {column: Variable(f"{prefix}_{column}") for column in relation.attributes}
+
+    def _compile_element(self, elem: XsdElement, parent: XsdElement | None) -> TemplateElement:
+        variables = self._table_variables(elem.table, elem.tag)
+        relation = self.schema[elem.table]
+        atom = RelationAtom(elem.table, tuple(variables[c] for c in relation.attributes))
+        comparisons = []
+        if elem.condition is not None:
+            column, value = elem.condition
+            comparisons.append(equality(variables[column], Constant(value)))
+        atoms = [atom]
+        if parent is not None:
+            if elem.relationship is None:
+                raise TemplateError(
+                    f"child element {elem.tag!r} needs a relationship annotation"
+                )
+            parent_relation = self.schema[parent.table]
+            parent_vars = tuple(Variable(f"p_{c}") for c in parent_relation.attributes)
+            atoms.append(RelationAtom(f"Reg_{parent.tag}", parent_vars))
+            parent_index = parent_relation.attributes.index(elem.relationship.parent_column)
+            comparisons.append(
+                equality(parent_vars[parent_index], variables[elem.relationship.child_column])
+            )
+        head = tuple(variables[c] for c in relation.attributes)
+        query = ConjunctiveQuery(head, tuple(atoms), tuple(comparisons))
+
+        attribute_children = tuple(
+            element(
+                column,
+                ConjunctiveQuery(
+                    (variables[column],),
+                    (RelationAtom(f"Reg_{elem.tag}", head),),
+                ),
+                text_column=0,
+            )
+            for column in elem.columns
+        )
+        nested_children = tuple(self._compile_element(child, elem) for child in elem.children)
+        return element(elem.tag, query, attribute_children + nested_children)

@@ -1,0 +1,122 @@
+"""ATG -- attribute transformation grammars (PRATA; Benedikt et al. 2002,
+Bohannon et al. 2004).
+
+An ATG is DTD-directed publishing: every element type of a (possibly
+recursive) DTD carries an inherited attribute (a *relation* register) and
+every production ``a -> alpha`` is annotated, for each sub-element type ``b``
+occurring in ``alpha``, with a query that populates the ``b`` children of an
+``a`` element from the source and the register of ``a``.  The revised ATGs
+use FO queries, relation registers, virtual nodes (to cope with entities) and
+the stop condition of Section 3 -- hence the class ``PT(FO, relation,
+virtual)`` of Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.rules import RuleItem, RuleQuery, TransductionRule
+from repro.core.transducer import PublishingTransducer, make_transducer
+from repro.languages.common import TemplateError
+from repro.logic.base import Query, QueryLogic
+from repro.xmltree.dtd import DTD
+from repro.xmltree.tree import TEXT_TAG
+
+
+@dataclass(frozen=True)
+class AtgProduction:
+    """The annotation of one DTD production ``tag -> ...``.
+
+    ``child_queries`` maps each sub-element tag occurring in the production's
+    content model to the query populating those children; ``group_arities``
+    optionally grants a child a *relation* register by grouping on a strict
+    prefix of its query head (default: group on the full tuple).
+    """
+
+    tag: str
+    child_queries: Mapping[str, Query]
+    group_arities: Mapping[str, int] | None = None
+    text_query: Query | None = None
+
+    def group_arity(self, child: str) -> int:
+        query = self.child_queries[child]
+        if self.group_arities and child in self.group_arities:
+            return self.group_arities[child]
+        return query.arity
+
+
+@dataclass(frozen=True)
+class AtgView:
+    """An ATG: a DTD, per-production query annotations and optional virtual tags."""
+
+    dtd: DTD
+    productions: tuple[AtgProduction, ...]
+    virtual_tags: frozenset[str] = frozenset()
+    name: str = "atg-view"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "productions", tuple(self.productions))
+        object.__setattr__(self, "virtual_tags", frozenset(self.virtual_tags))
+        self.validate()
+
+    def validate(self) -> None:
+        """Check that annotations stay within the ATG fragment (FO queries, DTD tags)."""
+        alphabet = self.dtd.alphabet() | {TEXT_TAG}
+        for production in self.productions:
+            if production.tag not in alphabet:
+                raise TemplateError(f"production for unknown tag {production.tag!r}")
+            allowed = self.dtd.content_model(production.tag).symbols() | {TEXT_TAG}
+            for child, query in production.child_queries.items():
+                if child not in allowed and child not in self.virtual_tags:
+                    raise TemplateError(
+                        f"production {production.tag!r} spawns {child!r}, which its "
+                        f"content model does not allow"
+                    )
+                if query.logic > QueryLogic.FO:
+                    raise TemplateError("ATG queries are FO")
+
+    def compile(self) -> PublishingTransducer:
+        """Compile into a ``PT(FO, relation, virtual)`` transducer."""
+        rules: list[TransductionRule] = []
+        productions = {p.tag: p for p in self.productions}
+        register_arities: dict[str, int] = {TEXT_TAG: 1}
+
+        for tag in sorted(self.dtd.alphabet() | set(productions) | self.virtual_tags):
+            production = productions.get(tag)
+            if production is None:
+                if tag != self.dtd.root:
+                    rules.append(TransductionRule("q", tag, ()))
+                continue
+            items: list[RuleItem] = []
+            for child, query in production.child_queries.items():
+                group = production.group_arity(child)
+                items.append(RuleItem("q", child, RuleQuery(query, group)))
+                register_arities.setdefault(child, query.arity)
+            if production.text_query is not None:
+                items.append(
+                    RuleItem("q", TEXT_TAG, RuleQuery(production.text_query, production.text_query.arity))
+                )
+            state = "q0" if tag == self.dtd.root else "q"
+            rules.append(TransductionRule(state, tag, tuple(items)))
+        if not any(rule.tag == TEXT_TAG for rule in rules):
+            rules.append(TransductionRule("q", TEXT_TAG, ()))
+
+        return make_transducer(
+            rules,
+            start_state="q0",
+            root_tag=self.dtd.root,
+            virtual_tags=self.virtual_tags,
+            register_arities=register_arities,
+            name=self.name,
+        )
+
+
+def atg(
+    dtd: DTD,
+    productions: Sequence[AtgProduction],
+    virtual_tags: Sequence[str] = (),
+    name: str = "atg-view",
+) -> AtgView:
+    """Terse constructor."""
+    return AtgView(dtd, tuple(productions), frozenset(virtual_tags), name)

@@ -1,0 +1,178 @@
+"""Shared machinery of the publishing-language front-ends.
+
+Most of the non-recursive languages of Section 4 describe an XML view through
+a *tree template*: a fixed-depth nesting of elements, each annotated with a
+query that populates it from the source (and from its parent's bindings).
+:class:`TemplateElement` captures one template node and
+:func:`compile_template` turns a template into a publishing transducer whose
+class is determined by the queries used (CQ / FO / IFP), the presence of
+virtual elements and the grouping mode of each query.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.rules import RuleItem, RuleQuery, TransductionRule
+from repro.core.transducer import PublishingTransducer, make_transducer
+from repro.logic.base import Query
+from repro.logic.cq import ConjunctiveQuery, RelationAtom
+from repro.logic.terms import Variable
+from repro.xmltree.tree import TEXT_TAG
+
+
+class TemplateError(ValueError):
+    """Raised when a template specification is malformed."""
+
+
+@dataclass(frozen=True)
+class TemplateElement:
+    """One node of a tree template.
+
+    Parameters
+    ----------
+    tag:
+        The element tag.
+    query:
+        The query populating this element: one element instance is created per
+        answer tuple (tuple registers) unless ``group_arity`` says otherwise.
+        ``None`` means the element is a structural wrapper that inherits its
+        parent's bindings (one copy per parent).
+    children:
+        Child template elements.
+    text_column:
+        When set, the element additionally gets a ``text`` child carrying the
+        value of that column of its own register (0-based).
+    virtual:
+        Whether the element is virtual (removed from the final tree).
+    group_arity:
+        ``None`` (default) means group by the entire tuple (tuple register);
+        an integer ``g`` groups by the first ``g`` head variables, producing
+        relation registers when ``g`` is smaller than the query arity.
+    """
+
+    tag: str
+    query: Query | None = None
+    children: tuple["TemplateElement", ...] = ()
+    text_column: int | None = None
+    virtual: bool = False
+    group_arity: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "children", tuple(self.children))
+
+    def depth(self) -> int:
+        """Depth of the template (a single element has depth 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def walk(self):
+        """Pre-order traversal of the template."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def element(
+    tag: str,
+    query: Query | None = None,
+    children: Sequence[TemplateElement] = (),
+    text_column: int | None = None,
+    virtual: bool = False,
+    group_arity: int | None = None,
+) -> TemplateElement:
+    """Terse :class:`TemplateElement` constructor."""
+    return TemplateElement(tag, query, tuple(children), text_column, virtual, group_arity)
+
+
+def text_leaf_query(parent_tag: str, register_arity: int, column: int) -> ConjunctiveQuery:
+    """A CQ selecting one column of the parent register (for ``text`` children)."""
+    variables = tuple(Variable(f"t{i}") for i in range(register_arity))
+    if not 0 <= column < register_arity:
+        raise TemplateError(f"text column {column} out of range for arity {register_arity}")
+    return ConjunctiveQuery(
+        (variables[column],), (RelationAtom(f"Reg_{parent_tag}", variables),)
+    )
+
+
+def inherit_query(parent_tag: str, register_arity: int) -> ConjunctiveQuery:
+    """A CQ copying the parent register (for structural wrapper elements)."""
+    variables = tuple(Variable(f"t{i}") for i in range(register_arity))
+    return ConjunctiveQuery(variables, (RelationAtom(f"Reg_{parent_tag}", variables),))
+
+
+def compile_template(
+    root_tag: str,
+    elements: Sequence[TemplateElement],
+    name: str,
+) -> PublishingTransducer:
+    """Compile a tree template into a publishing transducer.
+
+    Every template element gets its own state so that identically-tagged
+    elements at different template positions keep distinct rules; virtual
+    elements are collected into the transducer's virtual-tag set.  Tags reused
+    at several positions must have registers of one arity (a template
+    restriction shared by all the languages modelled here).
+    """
+    counter = itertools.count()
+    virtual_tags: set[str] = set()
+    rules: list[TransductionRule] = []
+    register_arities: dict[str, int] = {}
+
+    def element_arity(elem: TemplateElement, parent_arity: int) -> int:
+        if elem.query is not None:
+            return elem.query.arity
+        return parent_arity
+
+    def compile_element(elem: TemplateElement, state: str, parent_tag: str, parent_arity: int) -> None:
+        arity = element_arity(elem, parent_arity)
+        existing = register_arities.get(elem.tag)
+        if existing is not None and existing != arity:
+            raise TemplateError(
+                f"tag {elem.tag!r} is used with register arities {existing} and {arity}"
+            )
+        register_arities[elem.tag] = arity
+        if elem.virtual:
+            virtual_tags.add(elem.tag)
+        items: list[RuleItem] = []
+        child_states: list[tuple[TemplateElement, str]] = []
+        for child in elem.children:
+            child_state = f"s{next(counter)}"
+            child_query = child.query if child.query is not None else inherit_query(elem.tag, arity)
+            group = child.group_arity if child.group_arity is not None else child_query.arity
+            items.append(RuleItem(child_state, child.tag, RuleQuery(child_query, group)))
+            child_states.append((child, child_state))
+        if elem.text_column is not None:
+            text_state = f"s{next(counter)}"
+            query = text_leaf_query(elem.tag, arity, elem.text_column)
+            items.append(RuleItem(text_state, TEXT_TAG, RuleQuery(query, 1)))
+            rules.append(TransductionRule(text_state, TEXT_TAG, ()))
+        rules.append(TransductionRule(state, elem.tag, tuple(items)))
+        for child, child_state in child_states:
+            compile_element(child, child_state, elem.tag, arity)
+
+    start_items: list[RuleItem] = []
+    top_level: list[tuple[TemplateElement, str]] = []
+    for elem in elements:
+        if elem.query is None:
+            raise TemplateError("top-level template elements need a populating query")
+        state = f"s{next(counter)}"
+        group = elem.group_arity if elem.group_arity is not None else elem.query.arity
+        start_items.append(RuleItem(state, elem.tag, RuleQuery(elem.query, group)))
+        top_level.append((elem, state))
+    rules.insert(0, TransductionRule("q0", root_tag, tuple(start_items)))
+    for elem, state in top_level:
+        compile_element(elem, state, root_tag, 0)
+
+    register_arities[TEXT_TAG] = 1
+    return make_transducer(
+        rules,
+        start_state="q0",
+        root_tag=root_tag,
+        virtual_tags=virtual_tags,
+        register_arities=register_arities,
+        name=name,
+    )

@@ -1,0 +1,106 @@
+"""IBM DB2 XML Extender DAD (document access definition).
+
+Two flavours (Section 4):
+
+* **SQL mapping** -- a single SQL query whose result is organised into a
+  hierarchy by grouping on a fixed order of its columns; recursive SQL is
+  allowed inside the query, so the class is ``PTnr(IFP, tuple, normal)``.
+* **RDB mapping** -- a fixed tree template (the DAD) whose ``rdb_node``
+  expressions are essentially conjunctive queries, giving
+  ``PTnr(CQ, tuple, normal)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.transducer import PublishingTransducer
+from repro.languages.common import TemplateElement, TemplateError, compile_template, element
+from repro.logic.base import Query, QueryLogic
+from repro.logic.cq import ConjunctiveQuery, RelationAtom
+from repro.logic.terms import Variable
+
+
+@dataclass(frozen=True)
+class DadSqlMappingView:
+    """A DAD with SQL mapping: one query, grouped column by column.
+
+    ``column_tags`` names, in grouping order, the element tag wrapping each
+    column of the query result; the generated tree has one level per column
+    (depth bounded by the query arity), each leaf carrying the column value as
+    text.
+    """
+
+    root_tag: str
+    query: Query
+    column_tags: tuple[str, ...]
+    name: str = "dad-sql-mapping"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "column_tags", tuple(self.column_tags))
+        if len(self.column_tags) != self.query.arity:
+            raise TemplateError("one column tag per query column is required")
+        if self.query.logic > QueryLogic.IFP:
+            raise TemplateError("SQL mapping queries must be (recursive) SQL, i.e. at most IFP")
+
+    def compile(self) -> PublishingTransducer:
+        """Compile into a ``PTnr(IFP, tuple, normal)`` transducer.
+
+        Level ``i`` groups the query result by its first ``i + 1`` columns; a
+        child of a level-``i`` node restricts the parent's group to one value
+        of column ``i + 1``.  Every level stores the full result tuple, so the
+        registers stay tuples and the tree is the nested grouping of the
+        single query result, exactly like the ``group by`` cascade of the DAD.
+        """
+        arity = self.query.arity
+        leaf_level = len(self.column_tags) - 1
+
+        def level_element(level: int) -> TemplateElement:
+            if level == 0:
+                query: Query = self.query
+            else:
+                parent_tag = self.column_tags[level - 1]
+                variables = tuple(Variable(f"c{i}") for i in range(arity))
+                query = ConjunctiveQuery(variables, (RelationAtom(f"Reg_{parent_tag}", variables),))
+            children = () if level == leaf_level else (level_element(level + 1),)
+            return element(
+                self.column_tags[level],
+                query,
+                children,
+                text_column=level,
+            )
+
+        return compile_template(self.root_tag, (level_element(0),), self.name)
+
+
+@dataclass(frozen=True)
+class DadRdbMappingView:
+    """A DAD with RDB mapping: a CQ-annotated tree template, no virtual nodes."""
+
+    root_tag: str
+    elements: tuple[TemplateElement, ...]
+    name: str = "dad-rdb-mapping"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "elements", tuple(self.elements))
+        self.validate()
+
+    def validate(self) -> None:
+        for root in self.elements:
+            for elem in root.walk():
+                if elem.virtual:
+                    raise TemplateError("RDB mapping does not support virtual nodes")
+                if elem.query is not None and elem.query.logic > QueryLogic.CQ:
+                    raise TemplateError("rdb_node expressions are conjunctive queries")
+
+    def compile(self) -> PublishingTransducer:
+        """Compile into a ``PTnr(CQ, tuple, normal)`` transducer."""
+        return compile_template(self.root_tag, self.elements, self.name)
+
+
+def dad_sql_mapping(
+    root_tag: str, query: Query, column_tags: Sequence[str], name: str = "dad-sql-mapping"
+) -> DadSqlMappingView:
+    """Terse constructor for the SQL-mapping flavour."""
+    return DadSqlMappingView(root_tag, query, tuple(column_tags), name)

@@ -1,0 +1,49 @@
+"""Microsoft SQL Server ``FOR XML`` expressions.
+
+The ``for-xml`` construct nests SQL queries; information flows from a node to
+its children via correlation (tuple variables of the outer query), trees have
+a depth bounded by the nesting level and there are no virtual nodes.  The
+paper places it in ``PTnr(FO, tuple, normal)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.transducer import PublishingTransducer
+from repro.languages.common import TemplateElement, TemplateError, compile_template
+from repro.logic.base import QueryLogic
+
+
+@dataclass(frozen=True)
+class ForXmlView:
+    """A ``FOR XML`` view: a root tag plus nested, FO-annotated template elements."""
+
+    root_tag: str
+    elements: tuple[TemplateElement, ...]
+    name: str = "for-xml-view"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "elements", tuple(self.elements))
+        self.validate()
+
+    def validate(self) -> None:
+        """FOR XML allows SQL (FO) queries, no virtual nodes, bounded depth."""
+        for root in self.elements:
+            for elem in root.walk():
+                if elem.virtual:
+                    raise TemplateError("FOR XML does not support virtual nodes")
+                if elem.query is not None and elem.query.logic > QueryLogic.FO:
+                    raise TemplateError("FOR XML queries are (non-recursive) SQL, i.e. FO")
+                if elem.group_arity is not None and elem.query is not None and elem.group_arity != elem.query.arity:
+                    raise TemplateError("FOR XML passes information via tuple correlation only")
+
+    def compile(self) -> PublishingTransducer:
+        """Compile into a ``PTnr(FO, tuple, normal)`` transducer."""
+        return compile_template(self.root_tag, self.elements, self.name)
+
+
+def for_xml(root_tag: str, elements: Sequence[TemplateElement], name: str = "for-xml-view") -> ForXmlView:
+    """Terse constructor."""
+    return ForXmlView(root_tag, tuple(elements), name)

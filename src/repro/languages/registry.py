@@ -1,0 +1,283 @@
+"""Table I: characterisation of the existing publishing languages.
+
+For every language of Section 4 the registry records the smallest transducer
+class the paper assigns to it and provides an example view over the registrar
+database of Example 1.1 (the views of Figures 2-6 where the paper gives one).
+The Table I benchmark compiles every example and checks that the resulting
+transducer indeed falls inside the declared class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.classes import TransducerClass, classify
+from repro.core.transducer import PublishingTransducer
+from repro.languages.annotated_xsd import AnnotatedXsdView, XsdElement
+from repro.languages.atg import AtgProduction, AtgView
+from repro.languages.common import element
+from repro.languages.dad import DadRdbMappingView, DadSqlMappingView
+from repro.languages.forxml import ForXmlView
+from repro.languages.sqlxml import SqlXmlView
+from repro.languages.treeql import TreeQLView
+from repro.languages.xmlgen import DbmsXmlgenView
+from repro.languages.xperanto import XperantoView
+from repro.logic.cq import ConjunctiveQuery, RelationAtom, equality
+from repro.logic.fo import And, Eq, Exists, FormulaQuery, Not, Rel
+from repro.logic.terms import Constant, Variable
+from repro.workloads.registrar import REGISTRAR_SCHEMA
+from repro.xmltree.dtd import DTD, concat, star
+
+
+@dataclass(frozen=True)
+class LanguageEntry:
+    """One row of Table I."""
+
+    language: str
+    vendor: str
+    expected_class: TransducerClass
+    build_example: Callable[[], PublishingTransducer]
+
+    def check_example(self) -> bool:
+        """Whether the example view compiles into the declared class (or smaller)."""
+        compiled = self.build_example()
+        return self.expected_class.contains(classify(compiled))
+
+
+# ---------------------------------------------------------------------------
+# Example views over the registrar database (Figures 2-6).
+# ---------------------------------------------------------------------------
+
+
+def _no_db_prereq_query() -> FormulaQuery:
+    """The SQL query of Figures 2-4: courses without a 'Databases' immediate prereq."""
+    cno, title, dept = Variable("cno"), Variable("title"), Variable("dept")
+    c2, t2, d2 = Variable("c2"), Variable("t2"), Variable("d2")
+    return FormulaQuery(
+        (cno, title),
+        Exists(
+            (dept,),
+            And(
+                (
+                    Rel("course", (cno, title, dept)),
+                    Not(
+                        Exists(
+                            (c2, t2, d2),
+                            And(
+                                (
+                                    Rel("prereq", (cno, c2)),
+                                    Rel("course", (c2, t2, d2)),
+                                    Eq(t2, Constant("Databases")),
+                                )
+                            ),
+                        )
+                    ),
+                )
+            ),
+        ),
+    )
+
+
+def _course_column_elements(parent_tag: str = "course"):
+    """``cno`` / ``title`` children copying one column of the parent register."""
+    c, t = Variable("c"), Variable("t")
+    return (
+        element(
+            "cno",
+            ConjunctiveQuery((c,), (RelationAtom(f"Reg_{parent_tag}", (c, t)),)),
+            text_column=0,
+        ),
+        element(
+            "title",
+            ConjunctiveQuery((t,), (RelationAtom(f"Reg_{parent_tag}", (c, t)),)),
+            text_column=0,
+        ),
+    )
+
+
+def example_forxml() -> PublishingTransducer:
+    """Figure 2: the FOR-XML view of the courses without a DB prerequisite."""
+    view = ForXmlView(
+        "db",
+        (element("course", _no_db_prereq_query(), _course_column_elements()),),
+        name="figure2-for-xml",
+    )
+    return view.compile()
+
+
+def example_annotated_xsd() -> PublishingTransducer:
+    """An annotated XSD exporting CS courses with their cno / title attributes."""
+    view = AnnotatedXsdView(
+        "db",
+        REGISTRAR_SCHEMA,
+        (XsdElement("course", "course", ("cno", "title"), condition=("dept", "CS")),),
+        name="annotated-xsd-cs-courses",
+    )
+    return view.compile()
+
+
+def example_sqlxml() -> PublishingTransducer:
+    """Figure 3: the same view as Figure 2 written with SQL/XML constructors."""
+    view = SqlXmlView(
+        "db",
+        (element("course", _no_db_prereq_query(), _course_column_elements()),),
+        allow_recursive_sql=True,
+        name="figure3-sqlxml",
+    )
+    return view.compile()
+
+
+def example_dad_sql_mapping() -> PublishingTransducer:
+    """Figure 4: the DAD SQL-mapping view grouping the query result by cno then title."""
+    view = DadSqlMappingView(
+        "db",
+        _no_db_prereq_query(),
+        ("cno", "title"),
+        name="figure4-dad-sql-mapping",
+    )
+    return view.compile()
+
+
+def example_dad_rdb_mapping() -> PublishingTransducer:
+    """A DAD RDB-mapping view: the CS courses with their columns (CQ template)."""
+    cno, title, dept = Variable("cno"), Variable("title"), Variable("dept")
+    cs_courses = ConjunctiveQuery(
+        (cno, title),
+        (RelationAtom("course", (cno, title, dept)),),
+        (equality(dept, Constant("CS")),),
+    )
+    view = DadRdbMappingView(
+        "db",
+        (element("course", cs_courses, _course_column_elements()),),
+        name="dad-rdb-mapping-cs-courses",
+    )
+    return view.compile()
+
+
+def example_xmlgen() -> PublishingTransducer:
+    """Figure 5: the recursive DBMS_XMLGEN view expanding the prerequisite hierarchy."""
+    cno, title, dept = Variable("cno"), Variable("title"), Variable("dept")
+    all_courses = ConjunctiveQuery((cno, title), (RelationAtom("course", (cno, title, dept)),))
+    pc, pt, c, t, d = Variable("pc"), Variable("pt"), Variable("c"), Variable("t"), Variable("d")
+    connect_by = ConjunctiveQuery(
+        (c, t),
+        (
+            RelationAtom("Reg_course", (pc, pt)),
+            RelationAtom("prereq", (pc, c)),
+            RelationAtom("course", (c, t, d)),
+        ),
+    )
+    view = DbmsXmlgenView(
+        "db",
+        "course",
+        all_courses,
+        ("cno", "title"),
+        REGISTRAR_SCHEMA,
+        connect_by=connect_by,
+        name="figure5-dbms-xmlgen",
+    )
+    return view.compile()
+
+
+def example_xperanto() -> PublishingTransducer:
+    """An XPERANTO view equivalent to the Figure 2 query."""
+    view = XperantoView(
+        "db",
+        (element("course", _no_db_prereq_query(), _course_column_elements()),),
+        name="xperanto-no-db-prereq",
+    )
+    return view.compile()
+
+
+def example_treeql() -> PublishingTransducer:
+    """A TreeQL view using a virtual wrapper node around the course list."""
+    cno, title, dept = Variable("cno"), Variable("title"), Variable("dept")
+    cs_courses = ConjunctiveQuery(
+        (cno, title),
+        (RelationAtom("course", (cno, title, dept)),),
+        (equality(dept, Constant("CS")),),
+    )
+    c, t = Variable("c"), Variable("t")
+    copy_course = ConjunctiveQuery((c, t), (RelationAtom("Reg_group", (c, t)),))
+    view = TreeQLView(
+        "db",
+        (
+            element(
+                "group",
+                cs_courses,
+                (element("course", copy_course, _course_column_elements()),),
+                virtual=True,
+            ),
+        ),
+        name="treeql-virtual-group",
+    )
+    return view.compile()
+
+
+def example_atg() -> PublishingTransducer:
+    """Figure 6: the ATG listing every course with its recursive prerequisite hierarchy."""
+    cno, title, dept = Variable("cno"), Variable("title"), Variable("dept")
+    c, t, d, pc, pt = Variable("c"), Variable("t"), Variable("d"), Variable("pc"), Variable("pt")
+
+    dtd = DTD(
+        "db",
+        {
+            "db": star("course"),
+            "course": concat("cno", "title", "prereq"),
+            "prereq": star("course"),
+        },
+    )
+    all_courses = ConjunctiveQuery((cno, title), (RelationAtom("course", (cno, title, dept)),))
+    course_cno = ConjunctiveQuery((c,), (RelationAtom("Reg_course", (c, t)),))
+    course_title = ConjunctiveQuery((t,), (RelationAtom("Reg_course", (c, t)),))
+    prereq_courses = ConjunctiveQuery(
+        (c, t),
+        (
+            RelationAtom("Reg_prereq", (pc,)),
+            RelationAtom("prereq", (pc, c)),
+            RelationAtom("course", (c, t, d)),
+        ),
+    )
+    text_of = lambda tag: ConjunctiveQuery((c,), (RelationAtom(f"Reg_{tag}", (c,)),))  # noqa: E731
+
+    productions = (
+        AtgProduction("db", {"course": all_courses}),
+        AtgProduction(
+            "course",
+            {"cno": course_cno, "title": course_title, "prereq": course_cno},
+        ),
+        AtgProduction("prereq", {"course": prereq_courses}, group_arities={"course": 2}),
+        AtgProduction("cno", {}, text_query=text_of("cno")),
+        AtgProduction("title", {}, text_query=text_of("title")),
+    )
+    return AtgView(dtd, productions, name="figure6-atg").compile()
+
+
+# ---------------------------------------------------------------------------
+# Table I.
+# ---------------------------------------------------------------------------
+
+
+TABLE_I: tuple[LanguageEntry, ...] = (
+    LanguageEntry("FOR XML", "Microsoft SQL Server 2005", TransducerClass.parse("PTnr(FO, tuple, normal)"), example_forxml),
+    LanguageEntry("annotated XSD", "Microsoft SQL Server 2005", TransducerClass.parse("PTnr(CQ, tuple, normal)"), example_annotated_xsd),
+    LanguageEntry("SQL/XML", "IBM DB2 XML Extender", TransducerClass.parse("PTnr(IFP, tuple, normal)"), example_sqlxml),
+    LanguageEntry("DAD (SQL mapping)", "IBM DB2 XML Extender", TransducerClass.parse("PTnr(IFP, tuple, normal)"), example_dad_sql_mapping),
+    LanguageEntry("DAD (RDB mapping)", "IBM DB2 XML Extender", TransducerClass.parse("PTnr(CQ, tuple, normal)"), example_dad_rdb_mapping),
+    LanguageEntry("SQL/XML", "Oracle 10g XML DB", TransducerClass.parse("PTnr(FO, tuple, normal)"), example_xperanto),
+    LanguageEntry("DBMS_XMLGEN", "Oracle 10g XML DB", TransducerClass.parse("PT(IFP, tuple, normal)"), example_xmlgen),
+    LanguageEntry("XPERANTO", "IBM Research", TransducerClass.parse("PTnr(FO, tuple, normal)"), example_xperanto),
+    LanguageEntry("TreeQL", "SilkRoute", TransducerClass.parse("PTnr(CQ, tuple, virtual)"), example_treeql),
+    LanguageEntry("ATG", "PRATA", TransducerClass.parse("PT(FO, relation, virtual)"), example_atg),
+)
+
+
+def characterize(transducer: PublishingTransducer) -> TransducerClass:
+    """The smallest fragment containing a compiled view (alias of :func:`classify`)."""
+    return classify(transducer)
+
+
+def example_views() -> dict[str, PublishingTransducer]:
+    """Compile every Table I example view, keyed by ``vendor: language``."""
+    return {f"{entry.vendor}: {entry.language}": entry.build_example() for entry in TABLE_I}

@@ -1,0 +1,67 @@
+"""IBM / Oracle ``SQL/XML`` (xmlelement, xmlforest, xmlagg, ...).
+
+SQL/XML builds a fixed-depth tree from nested queries; IBM DB2 additionally
+allows recursive SQL (common table expressions) inside the queries, so the
+paper places DB2's SQL/XML in ``PTnr(IFP, tuple, normal)`` and Oracle's in
+``PTnr(FO, tuple, normal)``.  The specification object is a tree template
+whose queries may be CQ, FO or IFP, restricted to tuple information passing
+and no virtual nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.transducer import PublishingTransducer
+from repro.languages.common import TemplateElement, TemplateError, compile_template
+from repro.logic.base import QueryLogic
+
+
+@dataclass(frozen=True)
+class SqlXmlView:
+    """A SQL/XML view: nested xmlelement constructors with embedded queries.
+
+    ``allow_recursive_sql`` distinguishes IBM's dialect (recursive common
+    table expressions, i.e. IFP query payloads) from Oracle's (plain FO).
+    """
+
+    root_tag: str
+    elements: tuple[TemplateElement, ...]
+    allow_recursive_sql: bool = True
+    name: str = "sqlxml-view"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "elements", tuple(self.elements))
+        self.validate()
+
+    def validate(self) -> None:
+        limit = QueryLogic.IFP if self.allow_recursive_sql else QueryLogic.FO
+        for root in self.elements:
+            for elem in root.walk():
+                if elem.virtual:
+                    raise TemplateError("SQL/XML does not support virtual nodes")
+                if elem.query is not None and elem.query.logic > limit:
+                    raise TemplateError(
+                        f"SQL/XML query logic {elem.query.logic} exceeds the dialect limit {limit}"
+                    )
+                if (
+                    elem.group_arity is not None
+                    and elem.query is not None
+                    and elem.group_arity != elem.query.arity
+                ):
+                    raise TemplateError("SQL/XML passes information via correlation (tuple registers)")
+
+    def compile(self) -> PublishingTransducer:
+        """Compile into a ``PTnr(IFP, tuple, normal)`` (or FO) transducer."""
+        return compile_template(self.root_tag, self.elements, self.name)
+
+
+def sql_xml(
+    root_tag: str,
+    elements: Sequence[TemplateElement],
+    allow_recursive_sql: bool = True,
+    name: str = "sqlxml-view",
+) -> SqlXmlView:
+    """Terse constructor."""
+    return SqlXmlView(root_tag, tuple(elements), allow_recursive_sql, name)

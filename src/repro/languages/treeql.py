@@ -1,0 +1,50 @@
+"""TreeQL (SilkRoute; abstraction of Alon et al. 2003).
+
+TreeQL annotates the nodes of a fixed tree template with conjunctive queries,
+passes information through free-variable binding (the free variables of a
+node's query are a subset of those of its children's queries) and supports
+*virtual* template nodes.  The paper places it in ``PTnr(CQ, tuple, virtual)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.transducer import PublishingTransducer
+from repro.languages.common import TemplateElement, TemplateError, compile_template
+from repro.logic.base import QueryLogic
+
+
+@dataclass(frozen=True)
+class TreeQLView:
+    """A TreeQL view: a CQ-annotated tree template, possibly with virtual nodes."""
+
+    root_tag: str
+    elements: tuple[TemplateElement, ...]
+    name: str = "treeql-view"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "elements", tuple(self.elements))
+        self.validate()
+
+    def validate(self) -> None:
+        for root in self.elements:
+            for elem in root.walk():
+                if elem.query is not None and elem.query.logic > QueryLogic.CQ:
+                    raise TemplateError("TreeQL node annotations are conjunctive queries")
+                if (
+                    elem.group_arity is not None
+                    and elem.query is not None
+                    and elem.group_arity != elem.query.arity
+                ):
+                    raise TemplateError("TreeQL passes information via free-variable (tuple) binding")
+
+    def compile(self) -> PublishingTransducer:
+        """Compile into a ``PTnr(CQ, tuple, virtual)`` transducer."""
+        return compile_template(self.root_tag, self.elements, self.name)
+
+
+def treeql(root_tag: str, elements: Sequence[TemplateElement], name: str = "treeql-view") -> TreeQLView:
+    """Terse constructor."""
+    return TreeQLView(root_tag, tuple(elements), name)

@@ -1,0 +1,134 @@
+"""Oracle 10g XML DB ``DBMS_XMLGEN`` with ``CONNECT BY`` recursion.
+
+``dbms_xmlgen.newContextFromHierarchy`` evaluates a SQL query and expands a
+hierarchy through the SQL'99 ``connect by prior`` linear recursion; each step
+passes the current row to its children through the connect-by join.  With the
+stop condition of Section 3 imposed, such views are expressible in
+``PT(IFP, tuple, normal)`` -- the only commercial language in the paper that
+supports recursive XML views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.rules import RuleItem, RuleQuery, TransductionRule
+from repro.core.transducer import PublishingTransducer, make_transducer
+from repro.languages.common import TemplateError, text_leaf_query
+from repro.logic.base import Query, QueryLogic
+from repro.logic.cq import ConjunctiveQuery, RelationAtom, equality
+from repro.logic.terms import Variable
+from repro.relational.schema import RelationalSchema
+from repro.xmltree.tree import TEXT_TAG
+
+
+@dataclass(frozen=True)
+class ConnectBy:
+    """``CONNECT BY PRIOR parent_column = child_column`` over ``table``.
+
+    ``parent_column`` refers to a column of the row stored at the current
+    node (by 0-based position in the row query's head); ``child_column`` and
+    ``columns`` refer to attributes of ``table``.
+    """
+
+    table: str
+    parent_column: int
+    child_column: str
+
+
+@dataclass(frozen=True)
+class DbmsXmlgenView:
+    """A ``DBMS_XMLGEN`` view: a row query, element/column tags and a CONNECT BY."""
+
+    root_tag: str
+    row_tag: str
+    row_query: Query
+    column_tags: tuple[str, ...]
+    schema: RelationalSchema
+    connect_by: "ConnectBy | Query | None" = None
+    name: str = "dbms-xmlgen-view"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "column_tags", tuple(self.column_tags))
+        if len(self.column_tags) != self.row_query.arity:
+            raise TemplateError("one column tag per row-query column is required")
+        if self.row_query.logic > QueryLogic.IFP:
+            raise TemplateError("DBMS_XMLGEN row queries are (recursive) SQL, i.e. at most IFP")
+
+    def compile(self) -> PublishingTransducer:
+        """Compile into a ``PT(IFP, tuple, normal)`` transducer (recursive when CONNECT BY)."""
+        arity = self.row_query.arity
+        row_vars = tuple(Variable(f"r{i}") for i in range(arity))
+
+        column_items: list[RuleItem] = []
+        rules: list[TransductionRule] = []
+        for index, tag in enumerate(self.column_tags):
+            query = ConjunctiveQuery(
+                (row_vars[index],), (RelationAtom(f"Reg_{self.row_tag}", row_vars),)
+            )
+            column_items.append(RuleItem("q", tag, RuleQuery(query, 1)))
+            rules.append(
+                TransductionRule(
+                    "q", tag, (RuleItem("q", TEXT_TAG, RuleQuery(text_leaf_query(tag, 1, 0), 1)),)
+                )
+            )
+
+        row_items = list(column_items)
+        if self.connect_by is not None:
+            join = self._connect_by_query(arity, row_vars)
+            if join.arity != arity:
+                raise TemplateError("the CONNECT BY query must return rows of the row-query arity")
+            row_items.append(RuleItem("q", self.row_tag, RuleQuery(join, join.arity)))
+
+        rules.insert(
+            0,
+            TransductionRule(
+                "q0",
+                self.root_tag,
+                (RuleItem("q", self.row_tag, RuleQuery(self.row_query, arity)),),
+            ),
+        )
+        rules.insert(1, TransductionRule("q", self.row_tag, tuple(row_items)))
+        rules.append(TransductionRule("q", TEXT_TAG, ()))
+        return make_transducer(
+            rules,
+            start_state="q0",
+            root_tag=self.root_tag,
+            name=self.name,
+        )
+
+    def _connect_by_query(self, arity: int, row_vars: tuple[Variable, ...]) -> Query:
+        """The query producing the child rows of the current row.
+
+        A raw :class:`~repro.logic.base.Query` is used as-is (it may read the
+        current row through ``Reg_<row_tag>``); a structured :class:`ConnectBy`
+        is expanded into the corresponding key join against its table.
+        """
+        if isinstance(self.connect_by, ConnectBy):
+            relation = self.schema[self.connect_by.table]
+            if not relation.attributes:
+                raise TemplateError("CONNECT BY needs named attributes on the hierarchy table")
+            child_vars = tuple(Variable(f"c_{c}") for c in relation.attributes)
+            child_index = relation.attributes.index(self.connect_by.child_column)
+            return ConjunctiveQuery(
+                child_vars[:arity],
+                (
+                    RelationAtom(f"Reg_{self.row_tag}", row_vars),
+                    RelationAtom(self.connect_by.table, child_vars),
+                ),
+                (equality(row_vars[self.connect_by.parent_column], child_vars[child_index]),),
+            )
+        return self.connect_by
+
+def dbms_xmlgen(
+    root_tag: str,
+    row_tag: str,
+    row_query: Query,
+    column_tags: Sequence[str],
+    schema: RelationalSchema,
+    connect_by: ConnectBy | None = None,
+    name: str = "dbms-xmlgen-view",
+) -> DbmsXmlgenView:
+    """Terse constructor."""
+    return DbmsXmlgenView(root_tag, row_tag, row_query, tuple(column_tags), schema, connect_by, name)

@@ -1,0 +1,38 @@
+"""XPERANTO (Shanmugasundaram et al., VLDB Journal 2001).
+
+The paper notes that XPERANTO supports essentially the same views as SQL/XML
+without recursive SQL, i.e. ``PTnr(FO, tuple, normal)``; the front-end is the
+SQL/XML one with recursion disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.transducer import PublishingTransducer
+from repro.languages.common import TemplateElement
+from repro.languages.sqlxml import SqlXmlView
+
+
+@dataclass(frozen=True)
+class XperantoView:
+    """An XPERANTO view: SQL/XML-style nesting with plain (FO) SQL queries."""
+
+    root_tag: str
+    elements: tuple[TemplateElement, ...]
+    name: str = "xperanto-view"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "elements", tuple(self.elements))
+
+    def compile(self) -> PublishingTransducer:
+        """Compile into a ``PTnr(FO, tuple, normal)`` transducer."""
+        return SqlXmlView(
+            self.root_tag, self.elements, allow_recursive_sql=False, name=self.name
+        ).compile()
+
+
+def xperanto(root_tag: str, elements: Sequence[TemplateElement], name: str = "xperanto-view") -> XperantoView:
+    """Terse constructor."""
+    return XperantoView(root_tag, tuple(elements), name)

@@ -1,0 +1,59 @@
+"""Query logics embedded in publishing transducers: CQ, FO and IFP.
+
+The paper parameterises publishing transducers by the relational query
+language ``L`` used in transduction rules, with three choices (Section 2):
+
+* **CQ** -- conjunctive queries with equality and inequality,
+* **FO** -- first-order queries,
+* **IFP** -- inflationary fixpoint queries.
+
+This package implements abstract syntax, evaluation over a database instance
+(active-domain semantics), and the satisfiability / containment / composition
+machinery the static analyses of Section 5 need.
+"""
+
+from repro.logic.base import Query, QueryLogic
+from repro.logic.cq import ConjunctiveQuery, RelationAtom, Comparison, UnionOfConjunctiveQueries
+from repro.logic.fo import (
+    And,
+    Eq,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    FormulaQuery,
+    Not,
+    Or,
+    Rel,
+    TrueFormula,
+)
+from repro.logic.ifp import Fixpoint
+from repro.logic.parser import parse_cq, parse_formula, parse_formula_query
+from repro.logic.terms import Constant, Term, Variable
+
+__all__ = [
+    "And",
+    "Comparison",
+    "ConjunctiveQuery",
+    "Constant",
+    "Eq",
+    "Exists",
+    "FalseFormula",
+    "Fixpoint",
+    "Forall",
+    "Formula",
+    "FormulaQuery",
+    "Not",
+    "Or",
+    "Query",
+    "QueryLogic",
+    "Rel",
+    "RelationAtom",
+    "Term",
+    "TrueFormula",
+    "UnionOfConjunctiveQueries",
+    "Variable",
+    "parse_cq",
+    "parse_formula",
+    "parse_formula_query",
+]

@@ -1,0 +1,79 @@
+"""The common interface of all query languages.
+
+A :class:`Query` maps a database instance to a set of answer tuples over its
+*head* variables.  Publishing transducers embed queries of the three logics
+``CQ``, ``FO`` and ``IFP``; the :class:`QueryLogic` enumeration orders them by
+expressive power so that the classifier of :mod:`repro.core.classes` can
+compute the smallest fragment containing a given transducer.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import FrozenSet
+
+from repro.relational.domain import DataValue
+from repro.relational.instance import Instance
+from repro.logic.terms import Variable
+
+
+class QueryLogic(enum.IntEnum):
+    """The three query logics of the paper, ordered by expressiveness."""
+
+    CQ = 1
+    FO = 2
+    IFP = 3
+
+    def __str__(self) -> str:
+        return self.name
+
+    @staticmethod
+    def join(*logics: "QueryLogic") -> "QueryLogic":
+        """The least logic containing all the given logics."""
+        return max(logics, default=QueryLogic.CQ)
+
+    def includes(self, other: "QueryLogic") -> bool:
+        """True when this logic is at least as expressive as ``other``."""
+        return self >= other
+
+
+class Query(ABC):
+    """A relational query with an explicit tuple of head variables."""
+
+    @property
+    @abstractmethod
+    def head(self) -> tuple[Variable, ...]:
+        """The output (distinguished) variables, in order."""
+
+    @property
+    def arity(self) -> int:
+        """Number of output columns."""
+        return len(self.head)
+
+    @property
+    @abstractmethod
+    def logic(self) -> QueryLogic:
+        """The smallest logic of the paper this query belongs to."""
+
+    @abstractmethod
+    def evaluate(self, instance: Instance) -> FrozenSet[tuple[DataValue, ...]]:
+        """Evaluate the query over ``instance`` and return the answer tuples."""
+
+    @abstractmethod
+    def relation_names(self) -> frozenset[str]:
+        """The relation names referenced by the query."""
+
+    @abstractmethod
+    def constants(self) -> frozenset[DataValue]:
+        """The constants mentioned in the query."""
+
+    # -- generic helpers -----------------------------------------------------
+
+    def is_boolean(self) -> bool:
+        """True for Boolean (0-ary) queries."""
+        return self.arity == 0
+
+    def holds(self, instance: Instance) -> bool:
+        """Evaluate a Boolean query: true iff the answer is non-empty."""
+        return bool(self.evaluate(instance))

@@ -1,0 +1,97 @@
+"""Convenience builders bridging the query representations.
+
+These helpers keep the examples, front-ends and tests terse: building the
+constant/empty queries used by several proof constructions, converting a CQ to
+an equivalent FO formula (needed when a CQ-defined view has to be embedded in
+an FO/IFP context such as the transduction translations of Theorem 4), and
+constructing common query shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.relational.domain import DataValue
+from repro.logic.cq import Comparison, ConjunctiveQuery, RelationAtom, equality, inequality
+from repro.logic.fo import And, Eq, Exists, Formula, FormulaQuery, Not, Rel, TrueFormula, conjunction
+from repro.logic.terms import Constant, Term, Variable, term, terms_of, var
+
+
+def atom(relation: str, *terms: object) -> RelationAtom:
+    """Build a relation atom, coercing raw Python values into constants."""
+    return RelationAtom(relation, terms_of(terms))
+
+
+def cq(
+    head: Sequence[str | Variable],
+    atoms: Iterable[RelationAtom] = (),
+    equalities: Iterable[tuple[object, object]] = (),
+    inequalities: Iterable[tuple[object, object]] = (),
+) -> ConjunctiveQuery:
+    """Build a conjunctive query from loosely-typed pieces."""
+    head_vars = tuple(v if isinstance(v, Variable) else var(v) for v in head)
+    comparisons: list[Comparison] = []
+    for left, right in equalities:
+        comparisons.append(equality(term(left) if not isinstance(left, (Variable, Constant)) else left,
+                                    term(right) if not isinstance(right, (Variable, Constant)) else right))
+    for left, right in inequalities:
+        comparisons.append(inequality(term(left) if not isinstance(left, (Variable, Constant)) else left,
+                                      term(right) if not isinstance(right, (Variable, Constant)) else right))
+    return ConjunctiveQuery(head_vars, tuple(atoms), tuple(comparisons))
+
+
+def empty_cq(head: Sequence[str | Variable] = ()) -> ConjunctiveQuery:
+    """A CQ that returns the empty set on every instance.
+
+    The paper writes this query as ``(x = 'c') and not (x = 'c')``; here it is
+    the contradiction ``x = '0' and x != '0'`` over a fresh variable.  It is
+    used by the membership reduction of Proposition 2 and by tests.
+    """
+    head_vars = tuple(v if isinstance(v, Variable) else var(v) for v in head)
+    witness = head_vars[0] if head_vars else var("_w")
+    return ConjunctiveQuery(
+        head_vars,
+        (),
+        (equality(witness, Constant("0")), inequality(witness, Constant("0"))),
+    )
+
+
+def constant_cq(values: Sequence[DataValue], head: Sequence[str | Variable] | None = None) -> ConjunctiveQuery:
+    """A CQ returning the single constant tuple ``values`` on every instance."""
+    if head is None:
+        head = [f"c{i}" for i in range(len(values))]
+    head_vars = tuple(v if isinstance(v, Variable) else var(v) for v in head)
+    comparisons = tuple(equality(v, Constant(value)) for v, value in zip(head_vars, values))
+    return ConjunctiveQuery(head_vars, (), comparisons)
+
+
+def register_atom(tag: str | None, *terms: object) -> RelationAtom:
+    """An atom over the parent register.
+
+    ``register_atom(None, x, y)`` refers to the generic register relation
+    ``Reg``; ``register_atom("course", x, y)`` refers to ``Reg_course``, the
+    register of a parent tagged ``course`` (both names resolve to the same
+    relation at runtime).
+    """
+    name = "Reg" if tag is None else f"Reg_{tag}"
+    return RelationAtom(name, terms_of(terms))
+
+
+def cq_to_formula(query: ConjunctiveQuery) -> Formula:
+    """Translate a CQ body into an equivalent FO formula over the same head."""
+    conjuncts: list[Formula] = []
+    for a in query.atoms:
+        conjuncts.append(Rel(a.relation, a.terms))
+    for comparison in query.comparisons:
+        eq = Eq(comparison.left, comparison.right)
+        conjuncts.append(Not(eq) if comparison.negated else eq)
+    body: Formula = conjunction(conjuncts) if conjuncts else TrueFormula()
+    existential = tuple(sorted(query.existential_variables(), key=lambda v: v.name))
+    if existential:
+        body = Exists(existential, body)
+    return body
+
+
+def cq_to_formula_query(query: ConjunctiveQuery) -> FormulaQuery:
+    """Wrap :func:`cq_to_formula` into a :class:`FormulaQuery` with the same head."""
+    return FormulaQuery(query.head, cq_to_formula(query))

@@ -1,0 +1,605 @@
+"""Conjunctive queries with equality and inequality (the logic ``CQ``).
+
+A conjunctive query is a set of relation atoms plus a set of (in)equality
+comparisons over terms, with a designated tuple of head variables; all other
+variables are implicitly existentially quantified.  This matches the paper's
+``CQ`` -- conjunctive queries "with '=' and '!='" -- which is the logic of the
+smallest transducer class ``PT(CQ, tuple, normal)`` and of the annotated-XSD,
+RDB-mapping and TreeQL front-ends.
+
+Besides evaluation, this module provides the syntactic machinery the static
+analyses of Section 5 rely on:
+
+* satisfiability by equivalence-class closure (Theorem 1(1));
+* canonical ("frozen") databases for containment checks;
+* composition of queries along transduction rules, used to analyse paths in
+  the dependency graph (Theorem 1, Theorem 2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.relational.domain import DataValue
+from repro.relational.instance import Instance
+from repro.logic.base import Query, QueryLogic
+from repro.logic.terms import (
+    Constant,
+    Term,
+    Variable,
+    evaluate_term,
+    fresh_variable,
+    substitute_term,
+    terms_of,
+)
+
+
+@dataclass(frozen=True)
+class RelationAtom:
+    """An atom ``R(t1, ..., tk)`` over relation ``R``."""
+
+    relation: str
+    terms: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "terms", terms_of(self.terms))
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> tuple[Variable, ...]:
+        """Variables occurring in the atom, with repetitions, in order."""
+        return tuple(t for t in self.terms if isinstance(t, Variable))
+
+    def constants(self) -> frozenset[DataValue]:
+        return frozenset(t.value for t in self.terms if isinstance(t, Constant))
+
+    def substitute(self, substitution: Mapping[Variable, Term]) -> "RelationAtom":
+        return RelationAtom(self.relation, tuple(substitute_term(t, substitution) for t in self.terms))
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(str(t) for t in self.terms)})"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """An equality ``t1 = t2`` or inequality ``t1 != t2`` between terms."""
+
+    left: Term
+    right: Term
+    negated: bool = False
+
+    def variables(self) -> tuple[Variable, ...]:
+        return tuple(t for t in (self.left, self.right) if isinstance(t, Variable))
+
+    def constants(self) -> frozenset[DataValue]:
+        return frozenset(t.value for t in (self.left, self.right) if isinstance(t, Constant))
+
+    def substitute(self, substitution: Mapping[Variable, Term]) -> "Comparison":
+        return Comparison(
+            substitute_term(self.left, substitution),
+            substitute_term(self.right, substitution),
+            self.negated,
+        )
+
+    def holds(self, valuation: Mapping[Variable, DataValue]) -> bool:
+        """Evaluate the comparison under a (total enough) valuation."""
+        left = evaluate_term(self.left, valuation)
+        right = evaluate_term(self.right, valuation)
+        return (left != right) if self.negated else (left == right)
+
+    def is_ground(self, valuation: Mapping[Variable, DataValue]) -> bool:
+        """True when both sides are constants or bound by ``valuation``."""
+        for side in (self.left, self.right):
+            if isinstance(side, Variable) and side not in valuation:
+                return False
+        return True
+
+    def __str__(self) -> str:
+        op = "!=" if self.negated else "="
+        return f"{str(self.left)} {op} {str(self.right)}"
+
+
+def equality(left: Term, right: Term) -> Comparison:
+    """Convenience constructor for an equality comparison."""
+    return Comparison(left, right, negated=False)
+
+
+def inequality(left: Term, right: Term) -> Comparison:
+    """Convenience constructor for an inequality comparison."""
+    return Comparison(left, right, negated=True)
+
+
+class _UnionFind:
+    """Union-find over terms, used for satisfiability and reduction."""
+
+    def __init__(self) -> None:
+        self._parent: dict[Term, Term] = {}
+
+    def find(self, item: Term) -> Term:
+        parent = self._parent.setdefault(item, item)
+        if parent is item or parent == item:
+            return item
+        root = self.find(parent)
+        self._parent[item] = root
+        return root
+
+    def union(self, a: Term, b: Term) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            # Prefer constants as representatives so classes expose their value.
+            if isinstance(ra, Constant):
+                self._parent[rb] = ra
+            else:
+                self._parent[ra] = rb
+
+    def classes(self) -> dict[Term, set[Term]]:
+        groups: dict[Term, set[Term]] = {}
+        for item in list(self._parent):
+            groups.setdefault(self.find(item), set()).add(item)
+        return groups
+
+
+class ConjunctiveQuery(Query):
+    """A conjunctive query ``head :- atoms, comparisons`` with ``=`` and ``!=``."""
+
+    def __init__(
+        self,
+        head: Sequence[Variable],
+        atoms: Iterable[RelationAtom] = (),
+        comparisons: Iterable[Comparison] = (),
+    ) -> None:
+        self._head = tuple(head)
+        if not all(isinstance(v, Variable) for v in self._head):
+            raise TypeError("CQ head must consist of variables only")
+        self._atoms = tuple(atoms)
+        self._comparisons = tuple(comparisons)
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def head(self) -> tuple[Variable, ...]:
+        return self._head
+
+    @property
+    def atoms(self) -> tuple[RelationAtom, ...]:
+        """The relation atoms of the body."""
+        return self._atoms
+
+    @property
+    def comparisons(self) -> tuple[Comparison, ...]:
+        """The (in)equality comparisons of the body."""
+        return self._comparisons
+
+    @property
+    def logic(self) -> QueryLogic:
+        return QueryLogic.CQ
+
+    def variables(self) -> frozenset[Variable]:
+        """All variables of the query (head and body)."""
+        found: set[Variable] = set(self._head)
+        for atom in self._atoms:
+            found.update(atom.variables())
+        for comparison in self._comparisons:
+            found.update(comparison.variables())
+        return frozenset(found)
+
+    def existential_variables(self) -> frozenset[Variable]:
+        """Body variables that are not part of the head."""
+        return self.variables() - frozenset(self._head)
+
+    def relation_names(self) -> frozenset[str]:
+        return frozenset(atom.relation for atom in self._atoms)
+
+    def constants(self) -> frozenset[DataValue]:
+        found: set[DataValue] = set()
+        for atom in self._atoms:
+            found |= atom.constants()
+        for comparison in self._comparisons:
+            found |= comparison.constants()
+        return frozenset(found)
+
+    def has_inequalities(self) -> bool:
+        """True when the query uses ``!=``."""
+        return any(c.negated for c in self._comparisons)
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate(self, instance: Instance) -> frozenset[tuple[DataValue, ...]]:
+        """Evaluate the query by incremental joins over the body atoms.
+
+        Active-domain semantics: a variable not bound by any relation atom is
+        bound through the equality constraints when possible, and otherwise
+        ranges over the active domain of the instance extended with the
+        query's constants.
+        """
+        valuations: list[dict[Variable, DataValue]] = [{}]
+        pending = list(self._comparisons)
+
+        for atom in self._atoms:
+            if atom.relation not in instance.schema:
+                return frozenset()
+            relation = instance[atom.relation]
+            if relation.arity != atom.arity:
+                return frozenset()
+            new_valuations: list[dict[Variable, DataValue]] = []
+            for valuation in valuations:
+                for row in relation:
+                    extended = self._match_atom(atom, row, valuation)
+                    if extended is not None:
+                        new_valuations.append(extended)
+            valuations = new_valuations
+            if not valuations:
+                return frozenset()
+            valuations, pending = self._apply_ground_comparisons(valuations, pending)
+            if not valuations:
+                return frozenset()
+
+        valuations = self._bind_remaining_variables(instance, valuations, pending)
+        answers = set()
+        for valuation in valuations:
+            if all(c.holds(valuation) for c in self._comparisons):
+                try:
+                    answers.add(tuple(valuation[v] for v in self._head))
+                except KeyError:
+                    # A head variable is genuinely unconstrained; the query is
+                    # unsafe on this instance and yields no finite answer row
+                    # for that valuation.
+                    continue
+        return frozenset(answers)
+
+    @staticmethod
+    def _match_atom(
+        atom: RelationAtom,
+        row: tuple[DataValue, ...],
+        valuation: dict[Variable, DataValue],
+    ) -> dict[Variable, DataValue] | None:
+        extended = dict(valuation)
+        for term, value in zip(atom.terms, row):
+            if isinstance(term, Constant):
+                if term.value != value:
+                    return None
+            else:
+                bound = extended.get(term, _UNBOUND)
+                if bound is _UNBOUND:
+                    extended[term] = value
+                elif bound != value:
+                    return None
+        return extended
+
+    @staticmethod
+    def _apply_ground_comparisons(
+        valuations: list[dict[Variable, DataValue]],
+        pending: list[Comparison],
+    ) -> tuple[list[dict[Variable, DataValue]], list[Comparison]]:
+        if not valuations:
+            return valuations, pending
+        sample = valuations[0]
+        ground = [c for c in pending if c.is_ground(sample)]
+        if not ground:
+            return valuations, pending
+        remaining = [c for c in pending if not c.is_ground(sample)]
+        filtered = [v for v in valuations if all(c.holds(v) for c in ground if c.is_ground(v))]
+        return filtered, remaining
+
+    def _bind_remaining_variables(
+        self,
+        instance: Instance,
+        valuations: list[dict[Variable, DataValue]],
+        pending: list[Comparison],
+    ) -> list[dict[Variable, DataValue]]:
+        needed = set(self._head)
+        for comparison in pending:
+            needed.update(comparison.variables())
+        atom_bound = set()
+        for atom in self._atoms:
+            atom_bound.update(atom.variables())
+        free = [v for v in needed if v not in atom_bound]
+        if not free:
+            return valuations
+
+        # First propagate equalities of the form x = c / x = y where one side
+        # is determined; this covers the common "x = 'c'" pattern of the paper
+        # without blowing up over the active domain.
+        results: list[dict[Variable, DataValue]] = []
+        domain = list(instance.active_domain() | self.constants())
+        for valuation in valuations:
+            results.extend(self._expand_free(dict(valuation), list(free), domain))
+        return results
+
+    def _expand_free(
+        self,
+        valuation: dict[Variable, DataValue],
+        free: list[Variable],
+        domain: list[DataValue],
+    ) -> list[dict[Variable, DataValue]]:
+        free = [v for v in free if v not in valuation]
+        changed = True
+        while changed:
+            changed = False
+            for comparison in self._comparisons:
+                if comparison.negated:
+                    continue
+                left, right = comparison.left, comparison.right
+                lval = self._resolve(left, valuation)
+                rval = self._resolve(right, valuation)
+                if lval is _UNBOUND and rval is not _UNBOUND and isinstance(left, Variable):
+                    valuation[left] = rval
+                    changed = True
+                elif rval is _UNBOUND and lval is not _UNBOUND and isinstance(right, Variable):
+                    valuation[right] = lval
+                    changed = True
+        still_free = [v for v in free if v not in valuation]
+        if not still_free:
+            return [valuation]
+        expansions: list[dict[Variable, DataValue]] = []
+        for combo in itertools.product(domain, repeat=len(still_free)):
+            extended = dict(valuation)
+            extended.update(zip(still_free, combo))
+            expansions.append(extended)
+        return expansions
+
+    @staticmethod
+    def _resolve(term: Term, valuation: Mapping[Variable, DataValue]):
+        if isinstance(term, Constant):
+            return term.value
+        return valuation.get(term, _UNBOUND)
+
+    # -- satisfiability (Theorem 1(1)) -----------------------------------------
+
+    def is_satisfiable(self) -> bool:
+        """Decide satisfiability of the query in PTIME.
+
+        Following the proof of Theorem 1(1): build the equivalence classes of
+        terms induced by the equality comparisons and check that no class
+        contains two distinct constants and that no inequality relates two
+        terms of the same class.  Relation atoms never cause unsatisfiability
+        because an instance making them true can always be constructed.
+        """
+        uf = _UnionFind()
+        for term_ in self._all_terms():
+            uf.find(term_)
+        for comparison in self._comparisons:
+            if not comparison.negated:
+                uf.union(comparison.left, comparison.right)
+        # (i) two distinct constants in one class
+        class_constant: dict[Term, DataValue] = {}
+        for term_ in self._all_terms():
+            if isinstance(term_, Constant):
+                root = uf.find(term_)
+                if root in class_constant and class_constant[root] != term_.value:
+                    return False
+                class_constant[root] = term_.value
+        # (ii)/(iii) an inequality within one equivalence class
+        for comparison in self._comparisons:
+            if comparison.negated and uf.find(comparison.left) == uf.find(comparison.right):
+                return False
+        return True
+
+    def _all_terms(self) -> Iterable[Term]:
+        for variable in self._head:
+            yield variable
+        for atom in self._atoms:
+            yield from atom.terms
+        for comparison in self._comparisons:
+            yield comparison.left
+            yield comparison.right
+
+    def equality_classes(self) -> dict[Term, set[Term]]:
+        """Equivalence classes of terms induced by the equality comparisons."""
+        uf = _UnionFind()
+        for term_ in self._all_terms():
+            uf.find(term_)
+        for comparison in self._comparisons:
+            if not comparison.negated:
+                uf.union(comparison.left, comparison.right)
+        return uf.classes()
+
+    # -- syntactic transformations ---------------------------------------------
+
+    def substitute(self, substitution: Mapping[Variable, Term]) -> "ConjunctiveQuery":
+        """Apply a substitution to head and body (head terms must stay variables)."""
+        new_head = []
+        extra_comparisons: list[Comparison] = []
+        for variable in self._head:
+            image = substitution.get(variable, variable)
+            if isinstance(image, Variable):
+                new_head.append(image)
+            else:
+                # A head variable mapped to a constant is kept as a variable
+                # constrained to equal that constant, so the head stays clean.
+                new_head.append(variable)
+                extra_comparisons.append(equality(variable, image))
+        return ConjunctiveQuery(
+            tuple(new_head),
+            tuple(atom.substitute(substitution) for atom in self._atoms),
+            tuple(c.substitute(substitution) for c in self._comparisons) + tuple(extra_comparisons),
+        )
+
+    def rename_apart(self, taken: set[Variable]) -> "ConjunctiveQuery":
+        """Rename every variable so that none occurs in ``taken``."""
+        substitution: dict[Variable, Term] = {}
+        for variable in sorted(self.variables(), key=lambda v: v.name):
+            substitution[variable] = fresh_variable(variable.name, taken)
+        return self.substitute(substitution)
+
+    def conjoin(self, other: "ConjunctiveQuery", head: Sequence[Variable] | None = None) -> "ConjunctiveQuery":
+        """Conjoin two queries sharing variables, with an optional new head."""
+        return ConjunctiveQuery(
+            tuple(head) if head is not None else self._head,
+            self._atoms + other.atoms,
+            self._comparisons + other.comparisons,
+        )
+
+    def with_head(self, head: Sequence[Variable]) -> "ConjunctiveQuery":
+        """Return a copy with a different head."""
+        return ConjunctiveQuery(tuple(head), self._atoms, self._comparisons)
+
+    def compose(self, relation: str, inner: "ConjunctiveQuery") -> "ConjunctiveQuery":
+        """Unfold every occurrence of ``relation`` using the query ``inner``.
+
+        Each atom ``relation(t1, ..., tk)`` is replaced by the body of
+        ``inner`` with ``inner``'s head variables unified with ``t1..tk`` and
+        its existential variables renamed apart.  This is the query
+        composition used to analyse paths of the dependency graph in the
+        emptiness and equivalence procedures of Section 5.
+        """
+        if len(inner.head) != self._relation_arity(relation):
+            raise ValueError(
+                f"cannot compose: {relation!r} has arity {self._relation_arity(relation)} "
+                f"but the inner query has head width {len(inner.head)}"
+            )
+        taken = set(self.variables())
+        atoms: list[RelationAtom] = []
+        comparisons: list[Comparison] = list(self._comparisons)
+        for atom in self._atoms:
+            if atom.relation != relation:
+                atoms.append(atom)
+                continue
+            renamed = inner.rename_apart(taken)
+            unifier: dict[Variable, Term] = dict(zip(renamed.head, atom.terms))
+            unfolded = renamed.substitute(unifier)
+            atoms.extend(unfolded.atoms)
+            comparisons.extend(unfolded.comparisons)
+            # Head variables of the renamed query that were substituted by a
+            # constant need the corresponding equality retained; substitute()
+            # already added it to `unfolded.comparisons`.
+        return ConjunctiveQuery(self._head, tuple(atoms), tuple(comparisons))
+
+    def _relation_arity(self, relation: str) -> int:
+        for atom in self._atoms:
+            if atom.relation == relation:
+                return atom.arity
+        raise ValueError(f"relation {relation!r} does not occur in the query")
+
+    def canonical_instance(
+        self,
+        schema,
+        variable_values: Mapping[Variable, DataValue] | None = None,
+        prefix: str = "_v",
+    ) -> tuple[Instance, dict[Variable, DataValue]]:
+        """Freeze the query into its canonical database.
+
+        Every variable is mapped to a fresh constant (or to the value supplied
+        in ``variable_values``); equalities are honoured by mapping a whole
+        equivalence class to the same value.  Returns the frozen instance over
+        ``schema`` and the valuation used.
+        """
+        classes = self.equality_classes()
+        valuation: dict[Variable, DataValue] = dict(variable_values or {})
+        class_value: dict[Term, DataValue] = {}
+        counter = itertools.count()
+        for root, members in classes.items():
+            constants = [m.value for m in members if isinstance(m, Constant)]
+            preset = [valuation[m] for m in members if isinstance(m, Variable) and m in valuation]
+            if constants:
+                value = constants[0]
+            elif preset:
+                value = preset[0]
+            else:
+                value = f"{prefix}{next(counter)}"
+            class_value[root] = value
+        uf_lookup = {}
+        for root, members in classes.items():
+            for member in members:
+                uf_lookup[member] = class_value[root]
+        for variable in self.variables():
+            if variable not in valuation:
+                valuation[variable] = uf_lookup.get(variable, f"{prefix}{next(counter)}")
+        data: dict[str, set[tuple[DataValue, ...]]] = {name: set() for name in schema}
+        for atom in self._atoms:
+            row = tuple(
+                t.value if isinstance(t, Constant) else valuation[t] for t in atom.terms
+            )
+            data.setdefault(atom.relation, set()).add(row)
+        return Instance.from_dict(
+            {k: v for k, v in data.items() if v or k in schema}, schema
+        ), valuation
+
+    def __str__(self) -> str:
+        head = ", ".join(str(v) for v in self._head)
+        body = ", ".join(
+            [str(a) for a in self._atoms] + [str(c) for c in self._comparisons]
+        )
+        return f"ans({head}) :- {body}" if body else f"ans({head}) :- true"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConjunctiveQuery):
+            return NotImplemented
+        return (
+            self._head == other._head
+            and set(self._atoms) == set(other._atoms)
+            and set(self._comparisons) == set(other._comparisons)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._head, frozenset(self._atoms), frozenset(self._comparisons)))
+
+
+class UnionOfConjunctiveQueries(Query):
+    """A union of conjunctive queries (UCQ), all with the same head width.
+
+    Proposition 6(1): non-recursive transducers in ``PTnr(CQ, tuple, O)``
+    capture exactly UCQ when treated as relational queries; this class is the
+    target of that translation.
+    """
+
+    def __init__(self, disjuncts: Sequence[ConjunctiveQuery]) -> None:
+        disjuncts = tuple(disjuncts)
+        if not disjuncts:
+            raise ValueError("a UCQ needs at least one disjunct")
+        width = len(disjuncts[0].head)
+        if any(len(q.head) != width for q in disjuncts):
+            raise ValueError("all UCQ disjuncts must have the same head width")
+        self._disjuncts = disjuncts
+
+    @property
+    def disjuncts(self) -> tuple[ConjunctiveQuery, ...]:
+        """The CQ disjuncts."""
+        return self._disjuncts
+
+    @property
+    def head(self) -> tuple[Variable, ...]:
+        return self._disjuncts[0].head
+
+    @property
+    def logic(self) -> QueryLogic:
+        return QueryLogic.CQ
+
+    def evaluate(self, instance: Instance) -> frozenset[tuple[DataValue, ...]]:
+        answers: set[tuple[DataValue, ...]] = set()
+        for disjunct in self._disjuncts:
+            answers |= disjunct.evaluate(instance)
+        return frozenset(answers)
+
+    def relation_names(self) -> frozenset[str]:
+        names: set[str] = set()
+        for disjunct in self._disjuncts:
+            names |= disjunct.relation_names()
+        return frozenset(names)
+
+    def constants(self) -> frozenset[DataValue]:
+        values: set[DataValue] = set()
+        for disjunct in self._disjuncts:
+            values |= disjunct.constants()
+        return frozenset(values)
+
+    def is_satisfiable(self) -> bool:
+        """A UCQ is satisfiable iff one of its disjuncts is."""
+        return any(d.is_satisfiable() for d in self._disjuncts)
+
+    def __str__(self) -> str:
+        return " UNION ".join(str(d) for d in self._disjuncts)
+
+
+class _UnboundSentinel:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<unbound>"
+
+
+_UNBOUND = _UnboundSentinel()

@@ -1,0 +1,696 @@
+"""First-order queries (``FO``) and the formula machinery shared with ``IFP``.
+
+Formulas are built from relation atoms, equality, the Boolean connectives and
+quantifiers; :class:`Fixpoint` (defined here, re-exported by
+:mod:`repro.logic.ifp`) adds the inflationary fixpoint operator
+``[mu+_{S,x}(phi)](t)`` of the paper.  Evaluation uses active-domain
+semantics: quantified variables range over the active domain of the instance
+extended with the constants of the query, which is the standard semantics for
+relational calculus and the one intended by the paper (the order on ``D`` is
+*not* accessible to formulas).
+
+The evaluator is bottom-up: every sub-formula is evaluated to the set of
+valuations of its free variables that satisfy it.  This is exponential only in
+the number of free variables under a negation, which is small in all the
+queries of the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.relational.domain import DataValue
+from repro.relational.instance import Instance
+from repro.logic.base import Query, QueryLogic
+from repro.logic.terms import Constant, Term, Variable, substitute_term, terms_of
+
+
+class Formula:
+    """Base class of first-order / fixpoint formulas."""
+
+    def free_variables(self) -> frozenset[Variable]:
+        """The free variables of the formula."""
+        raise NotImplementedError
+
+    def relation_names(self) -> frozenset[str]:
+        """All relation names mentioned (including inside fixpoints)."""
+        raise NotImplementedError
+
+    def constants(self) -> frozenset[DataValue]:
+        """All constants mentioned."""
+        raise NotImplementedError
+
+    def substitute(self, substitution: Mapping[Variable, Term]) -> "Formula":
+        """Apply a substitution to the free variables of the formula."""
+        raise NotImplementedError
+
+    def transform_atoms(self, transform: Callable[["Rel"], "Formula"]) -> "Formula":
+        """Rebuild the formula, replacing every relation atom via ``transform``."""
+        raise NotImplementedError
+
+    def uses_fixpoint(self) -> bool:
+        """True when the formula contains a :class:`Fixpoint` operator."""
+        raise NotImplementedError
+
+    # Connective sugar -------------------------------------------------------
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or((self, other))
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TrueFormula(Formula):
+    """The formula that is always true."""
+
+    def free_variables(self) -> frozenset[Variable]:
+        return frozenset()
+
+    def relation_names(self) -> frozenset[str]:
+        return frozenset()
+
+    def constants(self) -> frozenset[DataValue]:
+        return frozenset()
+
+    def substitute(self, substitution: Mapping[Variable, Term]) -> Formula:
+        return self
+
+    def transform_atoms(self, transform: Callable[["Rel"], Formula]) -> Formula:
+        return self
+
+    def uses_fixpoint(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseFormula(Formula):
+    """The formula that is always false."""
+
+    def free_variables(self) -> frozenset[Variable]:
+        return frozenset()
+
+    def relation_names(self) -> frozenset[str]:
+        return frozenset()
+
+    def constants(self) -> frozenset[DataValue]:
+        return frozenset()
+
+    def substitute(self, substitution: Mapping[Variable, Term]) -> Formula:
+        return self
+
+    def transform_atoms(self, transform: Callable[["Rel"], Formula]) -> Formula:
+        return self
+
+    def uses_fixpoint(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class Rel(Formula):
+    """A relation atom ``R(t1, ..., tk)``."""
+
+    relation: str
+    terms: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "terms", terms_of(self.terms))
+
+    def free_variables(self) -> frozenset[Variable]:
+        return frozenset(t for t in self.terms if isinstance(t, Variable))
+
+    def relation_names(self) -> frozenset[str]:
+        return frozenset({self.relation})
+
+    def constants(self) -> frozenset[DataValue]:
+        return frozenset(t.value for t in self.terms if isinstance(t, Constant))
+
+    def substitute(self, substitution: Mapping[Variable, Term]) -> Formula:
+        return Rel(self.relation, tuple(substitute_term(t, substitution) for t in self.terms))
+
+    def transform_atoms(self, transform: Callable[["Rel"], Formula]) -> Formula:
+        return transform(self)
+
+    def uses_fixpoint(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(str(t) for t in self.terms)})"
+
+
+@dataclass(frozen=True)
+class Eq(Formula):
+    """Equality between two terms; use ``Not(Eq(...))`` (or ``Neq``) for ``!=``."""
+
+    left: Term
+    right: Term
+
+    def free_variables(self) -> frozenset[Variable]:
+        return frozenset(t for t in (self.left, self.right) if isinstance(t, Variable))
+
+    def relation_names(self) -> frozenset[str]:
+        return frozenset()
+
+    def constants(self) -> frozenset[DataValue]:
+        return frozenset(t.value for t in (self.left, self.right) if isinstance(t, Constant))
+
+    def substitute(self, substitution: Mapping[Variable, Term]) -> Formula:
+        return Eq(substitute_term(self.left, substitution), substitute_term(self.right, substitution))
+
+    def transform_atoms(self, transform: Callable[["Rel"], Formula]) -> Formula:
+        return self
+
+    def uses_fixpoint(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+def Neq(left: Term, right: Term) -> Formula:
+    """Inequality ``left != right`` as syntactic sugar for ``Not(Eq(...))``."""
+    return Not(Eq(left, right))
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    operand: Formula
+
+    def free_variables(self) -> frozenset[Variable]:
+        return self.operand.free_variables()
+
+    def relation_names(self) -> frozenset[str]:
+        return self.operand.relation_names()
+
+    def constants(self) -> frozenset[DataValue]:
+        return self.operand.constants()
+
+    def substitute(self, substitution: Mapping[Variable, Term]) -> Formula:
+        return Not(self.operand.substitute(substitution))
+
+    def transform_atoms(self, transform: Callable[["Rel"], Formula]) -> Formula:
+        return Not(self.operand.transform_atoms(transform))
+
+    def uses_fixpoint(self) -> bool:
+        return self.operand.uses_fixpoint()
+
+    def __str__(self) -> str:
+        return f"~({self.operand})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction of any number of operands."""
+
+    operands: tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "operands", tuple(self.operands))
+
+    def free_variables(self) -> frozenset[Variable]:
+        result: frozenset[Variable] = frozenset()
+        for operand in self.operands:
+            result |= operand.free_variables()
+        return result
+
+    def relation_names(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for operand in self.operands:
+            result |= operand.relation_names()
+        return result
+
+    def constants(self) -> frozenset[DataValue]:
+        result: frozenset[DataValue] = frozenset()
+        for operand in self.operands:
+            result |= operand.constants()
+        return result
+
+    def substitute(self, substitution: Mapping[Variable, Term]) -> Formula:
+        return And(tuple(op.substitute(substitution) for op in self.operands))
+
+    def transform_atoms(self, transform: Callable[["Rel"], Formula]) -> Formula:
+        return And(tuple(op.transform_atoms(transform) for op in self.operands))
+
+    def uses_fixpoint(self) -> bool:
+        return any(op.uses_fixpoint() for op in self.operands)
+
+    def __str__(self) -> str:
+        return "(" + " & ".join(str(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Disjunction of any number of operands."""
+
+    operands: tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "operands", tuple(self.operands))
+
+    def free_variables(self) -> frozenset[Variable]:
+        result: frozenset[Variable] = frozenset()
+        for operand in self.operands:
+            result |= operand.free_variables()
+        return result
+
+    def relation_names(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for operand in self.operands:
+            result |= operand.relation_names()
+        return result
+
+    def constants(self) -> frozenset[DataValue]:
+        result: frozenset[DataValue] = frozenset()
+        for operand in self.operands:
+            result |= operand.constants()
+        return result
+
+    def substitute(self, substitution: Mapping[Variable, Term]) -> Formula:
+        return Or(tuple(op.substitute(substitution) for op in self.operands))
+
+    def transform_atoms(self, transform: Callable[["Rel"], Formula]) -> Formula:
+        return Or(tuple(op.transform_atoms(transform) for op in self.operands))
+
+    def uses_fixpoint(self) -> bool:
+        return any(op.uses_fixpoint() for op in self.operands)
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """Existential quantification over one or more variables."""
+
+    variables: tuple[Variable, ...]
+    operand: Formula
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "variables", tuple(self.variables))
+
+    def free_variables(self) -> frozenset[Variable]:
+        return self.operand.free_variables() - frozenset(self.variables)
+
+    def relation_names(self) -> frozenset[str]:
+        return self.operand.relation_names()
+
+    def constants(self) -> frozenset[DataValue]:
+        return self.operand.constants()
+
+    def substitute(self, substitution: Mapping[Variable, Term]) -> Formula:
+        trimmed = {v: t for v, t in substitution.items() if v not in self.variables}
+        return Exists(self.variables, self.operand.substitute(trimmed))
+
+    def transform_atoms(self, transform: Callable[["Rel"], Formula]) -> Formula:
+        return Exists(self.variables, self.operand.transform_atoms(transform))
+
+    def uses_fixpoint(self) -> bool:
+        return self.operand.uses_fixpoint()
+
+    def __str__(self) -> str:
+        names = " ".join(v.name for v in self.variables)
+        return f"(exists {names}. {self.operand})"
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    """Universal quantification over one or more variables."""
+
+    variables: tuple[Variable, ...]
+    operand: Formula
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "variables", tuple(self.variables))
+
+    def free_variables(self) -> frozenset[Variable]:
+        return self.operand.free_variables() - frozenset(self.variables)
+
+    def relation_names(self) -> frozenset[str]:
+        return self.operand.relation_names()
+
+    def constants(self) -> frozenset[DataValue]:
+        return self.operand.constants()
+
+    def substitute(self, substitution: Mapping[Variable, Term]) -> Formula:
+        trimmed = {v: t for v, t in substitution.items() if v not in self.variables}
+        return Forall(self.variables, self.operand.substitute(trimmed))
+
+    def transform_atoms(self, transform: Callable[["Rel"], Formula]) -> Formula:
+        return Forall(self.variables, self.operand.transform_atoms(transform))
+
+    def uses_fixpoint(self) -> bool:
+        return self.operand.uses_fixpoint()
+
+    def __str__(self) -> str:
+        names = " ".join(v.name for v in self.variables)
+        return f"(forall {names}. {self.operand})"
+
+
+@dataclass(frozen=True)
+class Fixpoint(Formula):
+    """The inflationary fixpoint ``[mu+_{S, x}(phi(S, x))](t)`` of the paper.
+
+    ``recursion_relation`` is the second-order variable ``S``; ``variables``
+    is the tuple ``x`` of recursion variables (whose length is the arity of
+    ``S``); ``formula`` is ``phi`` (which may mention ``S`` as an ordinary
+    relation atom); ``terms`` is the tuple ``t`` of terms the fixpoint is
+    applied to.  The free variables of the whole formula are the variables of
+    ``terms``.
+    """
+
+    recursion_relation: str
+    variables: tuple[Variable, ...]
+    formula: Formula
+    terms: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "variables", tuple(self.variables))
+        object.__setattr__(self, "terms", terms_of(self.terms))
+        if len(self.variables) != len(self.terms):
+            raise ValueError("fixpoint recursion variables and applied terms must have equal length")
+
+    def free_variables(self) -> frozenset[Variable]:
+        return frozenset(t for t in self.terms if isinstance(t, Variable))
+
+    def relation_names(self) -> frozenset[str]:
+        return self.formula.relation_names() - {self.recursion_relation}
+
+    def constants(self) -> frozenset[DataValue]:
+        result = self.formula.constants()
+        result |= frozenset(t.value for t in self.terms if isinstance(t, Constant))
+        return result
+
+    def substitute(self, substitution: Mapping[Variable, Term]) -> Formula:
+        # Only the applied terms contain free variables; phi's free variables
+        # are exactly the recursion variables, which are bound here.
+        return Fixpoint(
+            self.recursion_relation,
+            self.variables,
+            self.formula,
+            tuple(substitute_term(t, substitution) for t in self.terms),
+        )
+
+    def transform_atoms(self, transform: Callable[["Rel"], Formula]) -> Formula:
+        def guarded(atom: Rel) -> Formula:
+            if atom.relation == self.recursion_relation:
+                return atom
+            return transform(atom)
+
+        return Fixpoint(
+            self.recursion_relation,
+            self.variables,
+            self.formula.transform_atoms(guarded),
+            self.terms,
+        )
+
+    def uses_fixpoint(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        xs = ", ".join(v.name for v in self.variables)
+        ts = ", ".join(str(t) for t in self.terms)
+        return f"[ifp {self.recursion_relation}({xs}). {self.formula}]({ts})"
+
+
+# ---------------------------------------------------------------------------
+# Evaluation: bottom-up over assignment tables.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Table:
+    """A set of valuations over a fixed, ordered tuple of variables."""
+
+    variables: tuple[Variable, ...]
+    rows: set[tuple[DataValue, ...]] = field(default_factory=set)
+
+    def project(self, variables: Sequence[Variable]) -> "_Table":
+        positions = [self.variables.index(v) for v in variables]
+        return _Table(tuple(variables), {tuple(row[p] for p in positions) for row in self.rows})
+
+    def expand(self, variables: Sequence[Variable], domain: Sequence[DataValue]) -> "_Table":
+        """Cylindrify the table to a superset of variables over ``domain``."""
+        variables = tuple(variables)
+        missing = [v for v in variables if v not in self.variables]
+        if not missing:
+            return self.project(variables)
+        rows: set[tuple[DataValue, ...]] = set()
+        for row in self.rows:
+            base = dict(zip(self.variables, row))
+            for combo in itertools.product(domain, repeat=len(missing)):
+                assignment = dict(base)
+                assignment.update(zip(missing, combo))
+                rows.add(tuple(assignment[v] for v in variables))
+        if not self.rows and not self.variables:
+            return _Table(variables, set())
+        return _Table(variables, rows)
+
+    def join(self, other: "_Table") -> "_Table":
+        shared = [v for v in self.variables if v in other.variables]
+        out_vars = tuple(self.variables) + tuple(v for v in other.variables if v not in self.variables)
+        index: dict[tuple[DataValue, ...], list[tuple[DataValue, ...]]] = {}
+        shared_other = [other.variables.index(v) for v in shared]
+        for row in other.rows:
+            key = tuple(row[p] for p in shared_other)
+            index.setdefault(key, []).append(row)
+        shared_self = [self.variables.index(v) for v in shared]
+        extra_positions = [other.variables.index(v) for v in other.variables if v not in self.variables]
+        rows: set[tuple[DataValue, ...]] = set()
+        for row in self.rows:
+            key = tuple(row[p] for p in shared_self)
+            for match in index.get(key, ()):
+                rows.add(row + tuple(match[p] for p in extra_positions))
+        return _Table(out_vars, rows)
+
+
+class FormulaEvaluator:
+    """Evaluates formulas bottom-up over a fixed instance and domain."""
+
+    def __init__(self, instance: Instance, domain: Iterable[DataValue]) -> None:
+        self._instance = instance
+        self._domain = tuple(sorted(set(domain), key=repr))
+
+    @property
+    def domain(self) -> tuple[DataValue, ...]:
+        return self._domain
+
+    def evaluate(
+        self,
+        formula: Formula,
+        second_order: Mapping[str, frozenset[tuple[DataValue, ...]]] | None = None,
+    ) -> _Table:
+        """Return the table of satisfying valuations of ``formula``."""
+        env = dict(second_order or {})
+        return self._eval(formula, env)
+
+    # -- dispatch -------------------------------------------------------------
+
+    def _eval(self, formula: Formula, env: dict[str, frozenset[tuple[DataValue, ...]]]) -> _Table:
+        if isinstance(formula, TrueFormula):
+            return _Table((), {()})
+        if isinstance(formula, FalseFormula):
+            return _Table((), set())
+        if isinstance(formula, Rel):
+            return self._eval_rel(formula, env)
+        if isinstance(formula, Eq):
+            return self._eval_eq(formula)
+        if isinstance(formula, Not):
+            return self._eval_not(formula, env)
+        if isinstance(formula, And):
+            return self._eval_and(formula, env)
+        if isinstance(formula, Or):
+            return self._eval_or(formula, env)
+        if isinstance(formula, Exists):
+            return self._eval_exists(formula, env)
+        if isinstance(formula, Forall):
+            return self._eval_forall(formula, env)
+        if isinstance(formula, Fixpoint):
+            return self._eval_fixpoint(formula, env)
+        raise TypeError(f"unknown formula node: {formula!r}")
+
+    def _eval_rel(self, formula: Rel, env: dict[str, frozenset[tuple[DataValue, ...]]]) -> _Table:
+        if formula.relation in env:
+            rows_source: Iterable[tuple[DataValue, ...]] = env[formula.relation]
+        elif formula.relation in self._instance.schema:
+            rows_source = self._instance[formula.relation].tuples
+        else:
+            rows_source = ()
+        variables: list[Variable] = []
+        for term_ in formula.terms:
+            if isinstance(term_, Variable) and term_ not in variables:
+                variables.append(term_)
+        rows: set[tuple[DataValue, ...]] = set()
+        for row in rows_source:
+            if len(row) != len(formula.terms):
+                continue
+            assignment: dict[Variable, DataValue] = {}
+            ok = True
+            for term_, value in zip(formula.terms, row):
+                if isinstance(term_, Constant):
+                    if term_.value != value:
+                        ok = False
+                        break
+                else:
+                    if term_ in assignment and assignment[term_] != value:
+                        ok = False
+                        break
+                    assignment[term_] = value
+            if ok:
+                rows.add(tuple(assignment[v] for v in variables))
+        return _Table(tuple(variables), rows)
+
+    def _eval_eq(self, formula: Eq) -> _Table:
+        left, right = formula.left, formula.right
+        if isinstance(left, Constant) and isinstance(right, Constant):
+            return _Table((), {()} if left.value == right.value else set())
+        if isinstance(left, Variable) and isinstance(right, Constant):
+            return _Table((left,), {(right.value,)})
+        if isinstance(left, Constant) and isinstance(right, Variable):
+            return _Table((right,), {(left.value,)})
+        assert isinstance(left, Variable) and isinstance(right, Variable)
+        if left == right:
+            return _Table((left,), {(d,) for d in self._domain})
+        return _Table((left, right), {(d, d) for d in self._domain})
+
+    def _eval_not(self, formula: Not, env) -> _Table:
+        inner = self._eval(formula.operand, env)
+        variables = tuple(sorted(formula.free_variables(), key=lambda v: v.name))
+        inner = inner.expand(variables, self._domain)
+        universe = set(itertools.product(self._domain, repeat=len(variables)))
+        return _Table(variables, universe - inner.rows)
+
+    def _eval_and(self, formula: And, env) -> _Table:
+        result = _Table((), {()})
+        for operand in formula.operands:
+            result = result.join(self._eval(operand, env))
+            if not result.rows:
+                # Keep going just to collect the right variable set lazily;
+                # an empty join stays empty, so we can short-circuit.
+                variables = tuple(sorted(formula.free_variables(), key=lambda v: v.name))
+                return _Table(variables, set())
+        return result
+
+    def _eval_or(self, formula: Or, env) -> _Table:
+        variables = tuple(sorted(formula.free_variables(), key=lambda v: v.name))
+        rows: set[tuple[DataValue, ...]] = set()
+        for operand in formula.operands:
+            table = self._eval(operand, env).expand(variables, self._domain)
+            rows |= table.rows
+        return _Table(variables, rows)
+
+    def _eval_exists(self, formula: Exists, env) -> _Table:
+        inner = self._eval(formula.operand, env)
+        keep = tuple(v for v in inner.variables if v not in formula.variables)
+        return inner.project(keep)
+
+    def _eval_forall(self, formula: Forall, env) -> _Table:
+        # forall x. phi  ===  not exists x. not phi
+        rewritten = Not(Exists(formula.variables, Not(formula.operand)))
+        return self._eval(rewritten, env)
+
+    def _eval_fixpoint(self, formula: Fixpoint, env) -> _Table:
+        arity = len(formula.variables)
+        current: frozenset[tuple[DataValue, ...]] = frozenset()
+        while True:
+            inner_env = dict(env)
+            inner_env[formula.recursion_relation] = current
+            table = self._eval(formula.formula, inner_env)
+            table = table.expand(formula.variables, self._domain)
+            stage = {row for row in table.rows if len(row) == arity}
+            new = frozenset(current | stage)
+            if new == current:
+                break
+            current = new
+        # Now treat the fixpoint applied to ``terms`` as an atom over `current`.
+        atom = Rel("_fixpoint_result", formula.terms)
+        saved = env.get("_fixpoint_result")
+        env["_fixpoint_result"] = current
+        try:
+            return self._eval_rel(atom, env)
+        finally:
+            if saved is None:
+                env.pop("_fixpoint_result", None)
+            else:
+                env["_fixpoint_result"] = saved
+
+
+class FormulaQuery(Query):
+    """A query given by a head tuple of variables and an FO/IFP formula."""
+
+    def __init__(self, head: Sequence[Variable], formula: Formula) -> None:
+        self._head = tuple(head)
+        if not all(isinstance(v, Variable) for v in self._head):
+            raise TypeError("query head must consist of variables")
+        self._formula = formula
+
+    @property
+    def head(self) -> tuple[Variable, ...]:
+        return self._head
+
+    @property
+    def formula(self) -> Formula:
+        """The defining formula."""
+        return self._formula
+
+    @property
+    def logic(self) -> QueryLogic:
+        return QueryLogic.IFP if self._formula.uses_fixpoint() else QueryLogic.FO
+
+    def relation_names(self) -> frozenset[str]:
+        return self._formula.relation_names()
+
+    def constants(self) -> frozenset[DataValue]:
+        return self._formula.constants()
+
+    def evaluate(self, instance: Instance) -> frozenset[tuple[DataValue, ...]]:
+        domain = set(instance.active_domain()) | set(self.constants())
+        evaluator = FormulaEvaluator(instance, domain)
+        table = evaluator.evaluate(self._formula)
+        table = table.expand(self._head, evaluator.domain)
+        return frozenset(table.rows)
+
+    def transform_atoms(self, transform: Callable[[Rel], Formula]) -> "FormulaQuery":
+        """Return a copy whose relation atoms are rewritten via ``transform``."""
+        return FormulaQuery(self._head, self._formula.transform_atoms(transform))
+
+    def __str__(self) -> str:
+        head = ", ".join(v.name for v in self._head)
+        return f"({head}) . {self._formula}"
+
+
+def conjunction(operands: Iterable[Formula]) -> Formula:
+    """Smart n-ary conjunction (drops trivial operands)."""
+    flattened = [op for op in operands if not isinstance(op, TrueFormula)]
+    if any(isinstance(op, FalseFormula) for op in flattened):
+        return FalseFormula()
+    if not flattened:
+        return TrueFormula()
+    if len(flattened) == 1:
+        return flattened[0]
+    return And(tuple(flattened))
+
+
+def disjunction(operands: Iterable[Formula]) -> Formula:
+    """Smart n-ary disjunction (drops trivial operands)."""
+    flattened = [op for op in operands if not isinstance(op, FalseFormula)]
+    if any(isinstance(op, TrueFormula) for op in flattened):
+        return TrueFormula()
+    if not flattened:
+        return FalseFormula()
+    if len(flattened) == 1:
+        return flattened[0]
+    return Or(tuple(flattened))

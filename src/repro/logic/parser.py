@@ -1,0 +1,278 @@
+"""Text syntax for conjunctive queries and first-order formulas.
+
+The formal constructions work with ASTs, but examples, tests and the
+publishing-language front-ends read much better with a concrete syntax.  Two
+small recursive-descent parsers are provided:
+
+* :func:`parse_cq` parses Datalog-style conjunctive queries::
+
+      ans(c, t) :- course(c, t, d), d = 'CS', c != 'cs101'
+
+* :func:`parse_formula` parses first-order formulas::
+
+      exists d. course(c, t, d) & d = 'CS' & ~(c = 'cs101')
+
+Conventions: bare identifiers are **variables**, quoted strings and numeric
+literals are **constants**.  The fixpoint operator of IFP has no concrete
+syntax; build it with :class:`repro.logic.fo.Fixpoint` directly.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.logic.cq import Comparison, ConjunctiveQuery, RelationAtom
+from repro.logic.fo import (
+    And,
+    Eq,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    FormulaQuery,
+    Not,
+    Or,
+    Rel,
+    TrueFormula,
+)
+from repro.logic.terms import Constant, Term, Variable
+
+
+class ParseError(ValueError):
+    """Raised when a query or formula string cannot be parsed."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<neq>!=)
+  | (?P<arrow>:-)
+  | (?P<symbol>[(),.=~&|])
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"exists", "forall", "true", "false"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character {text[position]!r} at offset {position}")
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: Sequence[_Token]) -> None:
+        self._tokens = list(tokens)
+        self._index = 0
+
+    def peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._index += 1
+        return token
+
+    def expect(self, text: str) -> _Token:
+        token = self.next()
+        if token.text != text:
+            raise ParseError(f"expected {text!r} but found {token.text!r} at offset {token.position}")
+        return token
+
+    def accept(self, text: str) -> bool:
+        token = self.peek()
+        if token is not None and token.text == text:
+            self._index += 1
+            return True
+        return False
+
+    def at_end(self) -> bool:
+        return self._index >= len(self._tokens)
+
+
+def _parse_term(stream: _TokenStream) -> Term:
+    token = stream.next()
+    if token.kind == "string":
+        return Constant(token.text[1:-1])
+    if token.kind == "number":
+        text = token.text
+        return Constant(float(text)) if "." in text else Constant(int(text))
+    if token.kind == "name":
+        if token.text in _KEYWORDS:
+            raise ParseError(f"keyword {token.text!r} cannot be used as a term")
+        return Variable(token.text)
+    raise ParseError(f"expected a term but found {token.text!r} at offset {token.position}")
+
+
+def _parse_term_list(stream: _TokenStream) -> tuple[Term, ...]:
+    stream.expect("(")
+    terms: list[Term] = []
+    if not stream.accept(")"):
+        terms.append(_parse_term(stream))
+        while stream.accept(","):
+            terms.append(_parse_term(stream))
+        stream.expect(")")
+    return tuple(terms)
+
+
+# ---------------------------------------------------------------------------
+# Conjunctive queries.
+# ---------------------------------------------------------------------------
+
+
+def parse_cq(text: str) -> ConjunctiveQuery:
+    """Parse a Datalog-style conjunctive query with ``=`` / ``!=`` literals."""
+    stream = _TokenStream(_tokenize(text))
+    head_token = stream.next()
+    if head_token.kind != "name":
+        raise ParseError("a conjunctive query must start with a head predicate")
+    head_terms = _parse_term_list(stream)
+    head_vars: list[Variable] = []
+    for term in head_terms:
+        if not isinstance(term, Variable):
+            raise ParseError("CQ head arguments must be variables")
+        head_vars.append(term)
+    atoms: list[RelationAtom] = []
+    comparisons: list[Comparison] = []
+    if not stream.at_end():
+        stream.expect(":-")
+        while True:
+            atoms_or_cmp = _parse_cq_literal(stream)
+            if isinstance(atoms_or_cmp, RelationAtom):
+                atoms.append(atoms_or_cmp)
+            else:
+                comparisons.append(atoms_or_cmp)
+            if not stream.accept(","):
+                break
+    if not stream.at_end():
+        extra = stream.next()
+        raise ParseError(f"unexpected trailing input {extra.text!r} at offset {extra.position}")
+    return ConjunctiveQuery(tuple(head_vars), tuple(atoms), tuple(comparisons))
+
+
+def _parse_cq_literal(stream: _TokenStream) -> RelationAtom | Comparison:
+    token = stream.peek()
+    if token is None:
+        raise ParseError("unexpected end of query body")
+    if token.kind == "name":
+        lookahead_index = stream._index + 1
+        if lookahead_index < len(stream._tokens) and stream._tokens[lookahead_index].text == "(":
+            name = stream.next().text
+            return RelationAtom(name, _parse_term_list(stream))
+    left = _parse_term(stream)
+    operator = stream.next()
+    if operator.text == "=":
+        return Comparison(left, _parse_term(stream), negated=False)
+    if operator.text == "!=":
+        return Comparison(left, _parse_term(stream), negated=True)
+    raise ParseError(f"expected '=' or '!=' but found {operator.text!r} at offset {operator.position}")
+
+
+# ---------------------------------------------------------------------------
+# First-order formulas.
+# ---------------------------------------------------------------------------
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse a first-order formula (``exists``/``forall``, ``&``, ``|``, ``~``)."""
+    stream = _TokenStream(_tokenize(text))
+    formula = _parse_quantified(stream)
+    if not stream.at_end():
+        extra = stream.next()
+        raise ParseError(f"unexpected trailing input {extra.text!r} at offset {extra.position}")
+    return formula
+
+
+def parse_formula_query(head: Sequence[str], text: str) -> FormulaQuery:
+    """Parse a formula and wrap it into a query with the given head variables."""
+    return FormulaQuery(tuple(Variable(name) for name in head), parse_formula(text))
+
+
+def _parse_quantified(stream: _TokenStream) -> Formula:
+    token = stream.peek()
+    if token is not None and token.kind == "name" and token.text in ("exists", "forall"):
+        quantifier = stream.next().text
+        variables: list[Variable] = []
+        while True:
+            name_token = stream.peek()
+            if name_token is None or name_token.kind != "name" or name_token.text in _KEYWORDS:
+                break
+            variables.append(Variable(stream.next().text))
+        if not variables:
+            raise ParseError(f"{quantifier} needs at least one variable")
+        stream.expect(".")
+        body = _parse_quantified(stream)
+        return Exists(tuple(variables), body) if quantifier == "exists" else Forall(tuple(variables), body)
+    return _parse_or(stream)
+
+
+def _parse_or(stream: _TokenStream) -> Formula:
+    operands = [_parse_and(stream)]
+    while stream.accept("|"):
+        operands.append(_parse_and(stream))
+    return operands[0] if len(operands) == 1 else Or(tuple(operands))
+
+
+def _parse_and(stream: _TokenStream) -> Formula:
+    operands = [_parse_unary(stream)]
+    while stream.accept("&"):
+        operands.append(_parse_unary(stream))
+    return operands[0] if len(operands) == 1 else And(tuple(operands))
+
+
+def _parse_unary(stream: _TokenStream) -> Formula:
+    if stream.accept("~"):
+        return Not(_parse_unary(stream))
+    token = stream.peek()
+    if token is None:
+        raise ParseError("unexpected end of formula")
+    if token.text == "(":
+        stream.next()
+        inner = _parse_quantified(stream)
+        stream.expect(")")
+        return inner
+    if token.kind == "name" and token.text == "true":
+        stream.next()
+        return TrueFormula()
+    if token.kind == "name" and token.text == "false":
+        stream.next()
+        return FalseFormula()
+    if token.kind == "name" and token.text in ("exists", "forall"):
+        return _parse_quantified(stream)
+    if token.kind == "name":
+        lookahead_index = stream._index + 1
+        if lookahead_index < len(stream._tokens) and stream._tokens[lookahead_index].text == "(":
+            name = stream.next().text
+            return Rel(name, _parse_term_list(stream))
+    left = _parse_term(stream)
+    operator = stream.next()
+    if operator.text == "=":
+        return Eq(left, _parse_term(stream))
+    if operator.text == "!=":
+        return Not(Eq(left, _parse_term(stream)))
+    raise ParseError(f"expected '=' or '!=' but found {operator.text!r} at offset {operator.position}")

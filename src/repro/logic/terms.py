@@ -1,0 +1,111 @@
+"""Terms: variables and constants.
+
+Terms are the leaves of every query language in this package.  They are
+frozen dataclasses so they can be used as dictionary keys (valuations map
+variables to data values) and members of sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Union
+
+from repro.relational.domain import DataValue
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A first-order variable, identified by its name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Variable({self.name!r})"
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A constant denoting a data value from the domain ``D``."""
+
+    value: DataValue
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Constant({self.value!r})"
+
+
+#: A term is either a variable or a constant.
+Term = Union[Variable, Constant]
+
+#: A valuation maps variables to data values.
+Valuation = Mapping[Variable, DataValue]
+
+
+def term(value: object) -> Term:
+    """Coerce a Python object into a term.
+
+    Strings starting with a lowercase letter followed by letters/digits/_
+    could denote either a variable or a constant; to avoid ambiguity, only
+    existing :class:`Variable` / :class:`Constant` objects are passed through
+    and *everything else is treated as a constant*.  Use :func:`var` for
+    variables.
+    """
+    if isinstance(value, (Variable, Constant)):
+        return value
+    return Constant(value)
+
+
+def var(name: str) -> Variable:
+    """Shorthand constructor for a variable."""
+    return Variable(name)
+
+
+def vars_(*names: str) -> tuple[Variable, ...]:
+    """Construct several variables at once: ``vars_("x", "y", "z")``."""
+    return tuple(Variable(name) for name in names)
+
+
+def const(value: DataValue) -> Constant:
+    """Shorthand constructor for a constant."""
+    return Constant(value)
+
+
+def terms_of(values: Iterable[object]) -> tuple[Term, ...]:
+    """Coerce an iterable of objects into a tuple of terms."""
+    return tuple(term(value) for value in values)
+
+
+def evaluate_term(t: Term, valuation: Valuation) -> DataValue:
+    """Evaluate a term under a valuation.
+
+    Raises ``KeyError`` when the term is an unbound variable; callers are
+    expected to only evaluate terms whose variables are bound.
+    """
+    if isinstance(t, Constant):
+        return t.value
+    return valuation[t]
+
+
+def substitute_term(t: Term, substitution: Mapping[Variable, Term]) -> Term:
+    """Apply a variable-to-term substitution to a term."""
+    if isinstance(t, Variable):
+        return substitution.get(t, t)
+    return t
+
+
+def fresh_variable(base: str, taken: set[Variable]) -> Variable:
+    """Return a variable named after ``base`` that does not occur in ``taken``."""
+    candidate = Variable(base)
+    counter = 0
+    while candidate in taken:
+        counter += 1
+        candidate = Variable(f"{base}_{counter}")
+    taken.add(candidate)
+    return candidate

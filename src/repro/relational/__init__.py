@@ -1,0 +1,42 @@
+"""Relational substrate: schemas, ordered data domain, instances and algebra.
+
+The paper assumes a relational source of a schema ``R`` together with a
+recursively enumerable, totally ordered domain ``D`` of data values.  The
+order is only used to make the sibling order of generated XML trees
+deterministic; it is *not* visible to the query languages.  This package
+provides exactly that substrate:
+
+* :mod:`repro.relational.domain` -- data values and the implicit order ``<=``;
+* :mod:`repro.relational.schema` -- relation schemas and relational schemas;
+* :mod:`repro.relational.tuples` -- validated tuples over the domain;
+* :mod:`repro.relational.instance` -- relations and database instances;
+* :mod:`repro.relational.algebra` -- a small relational algebra used by the
+  IFP simulation, the DAD front-end and several proof constructions.
+"""
+
+from repro.relational.domain import DataValue, order_key, sort_tuples, sort_values
+from repro.relational.errors import (
+    ArityError,
+    RelationalError,
+    SchemaError,
+    UnknownRelationError,
+)
+from repro.relational.instance import Instance, Relation
+from repro.relational.schema import RelationSchema, RelationalSchema
+from repro.relational.tuples import make_tuple
+
+__all__ = [
+    "ArityError",
+    "DataValue",
+    "Instance",
+    "Relation",
+    "RelationSchema",
+    "RelationalError",
+    "RelationalSchema",
+    "SchemaError",
+    "UnknownRelationError",
+    "make_tuple",
+    "order_key",
+    "sort_tuples",
+    "sort_values",
+]

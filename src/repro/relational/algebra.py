@@ -1,0 +1,233 @@
+"""A small relational algebra over :class:`~repro.relational.instance.Relation`.
+
+The algebra is used in three places of the reproduction:
+
+* the membership-undecidability reduction for ``PT(CQ, relation, normal)``
+  (Theorem 1(2)) builds transducers from relational-algebra parse trees;
+* the IBM DAD "SQL mapping" front-end groups one query result by a fixed
+  column order;
+* tests compare query-language evaluation against a straightforward algebraic
+  evaluation.
+
+Operations are positional (columns are numbered from 0) and return anonymous
+relations named ``"_result"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.relational.domain import DataValue
+from repro.relational.errors import ArityError, SchemaError
+from repro.relational.instance import Instance, Relation
+
+RESULT_NAME = "_result"
+
+
+def _result(arity: int, rows: Iterable[Sequence[DataValue]]) -> Relation:
+    return Relation(RESULT_NAME, arity, rows)
+
+
+def selection(relation: Relation, predicate: Callable[[tuple[DataValue, ...]], bool]) -> Relation:
+    """Select the tuples satisfying ``predicate``."""
+    return _result(relation.arity, (row for row in relation if predicate(row)))
+
+
+def select_eq(relation: Relation, column: int, value: DataValue) -> Relation:
+    """Select tuples whose ``column`` equals ``value`` (sigma_{col=value})."""
+    return selection(relation, lambda row: row[column] == value)
+
+
+def select_columns_eq(relation: Relation, left: int, right: int) -> Relation:
+    """Select tuples whose two columns agree (sigma_{A=B})."""
+    return selection(relation, lambda row: row[left] == row[right])
+
+
+def projection(relation: Relation, columns: Sequence[int]) -> Relation:
+    """Project onto ``columns`` (duplicates removed, order preserved)."""
+    for column in columns:
+        if not 0 <= column < relation.arity:
+            raise SchemaError(f"projection column {column} out of range for arity {relation.arity}")
+    return _result(len(columns), (tuple(row[c] for c in columns) for row in relation))
+
+
+def rename(relation: Relation, name: str) -> Relation:
+    """Rename the relation (columns are positional, so only the name changes)."""
+    return Relation(name, relation.arity, relation.tuples)
+
+
+def product(left: Relation, right: Relation) -> Relation:
+    """Cartesian product."""
+    rows = (l + r for l in left for r in right)
+    return _result(left.arity + right.arity, rows)
+
+
+def union(left: Relation, right: Relation) -> Relation:
+    """Set union (arity must match)."""
+    if left.arity != right.arity:
+        raise ArityError(RESULT_NAME, left.arity, right.arity)
+    return _result(left.arity, set(left.tuples) | set(right.tuples))
+
+
+def difference(left: Relation, right: Relation) -> Relation:
+    """Set difference ``left \\ right`` (arity must match)."""
+    if left.arity != right.arity:
+        raise ArityError(RESULT_NAME, left.arity, right.arity)
+    return _result(left.arity, set(left.tuples) - set(right.tuples))
+
+
+def intersection(left: Relation, right: Relation) -> Relation:
+    """Set intersection (arity must match)."""
+    if left.arity != right.arity:
+        raise ArityError(RESULT_NAME, left.arity, right.arity)
+    return _result(left.arity, set(left.tuples) & set(right.tuples))
+
+
+def natural_join(left: Relation, right: Relation, on: Sequence[tuple[int, int]]) -> Relation:
+    """Equi-join on the given ``(left_column, right_column)`` pairs.
+
+    The result contains all columns of ``left`` followed by all columns of
+    ``right`` (join columns are *not* deduplicated; project afterwards if
+    needed).
+    """
+    index: dict[tuple[DataValue, ...], list[tuple[DataValue, ...]]] = {}
+    for row in right:
+        key = tuple(row[rc] for _, rc in on)
+        index.setdefault(key, []).append(row)
+    rows = []
+    for row in left:
+        key = tuple(row[lc] for lc, _ in on)
+        for match in index.get(key, ()):
+            rows.append(row + match)
+    return _result(left.arity + right.arity, rows)
+
+
+# ---------------------------------------------------------------------------
+# Relational-algebra expression trees (used by the Theorem 1(2) reduction and
+# by the DAD front-end).
+# ---------------------------------------------------------------------------
+
+
+class AlgebraExpression:
+    """Base class of relational-algebra expression trees."""
+
+    def evaluate(self, instance: Instance) -> Relation:
+        """Evaluate the expression over ``instance``."""
+        raise NotImplementedError
+
+    def subexpressions(self) -> tuple["AlgebraExpression", ...]:
+        """Direct sub-expressions (empty for base relations)."""
+        return ()
+
+    def walk(self) -> Iterable["AlgebraExpression"]:
+        """Yield the expression and all sub-expressions, root first."""
+        yield self
+        for child in self.subexpressions():
+            yield from child.walk()
+
+    def arity(self, instance_schema) -> int:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class BaseRelation(AlgebraExpression):
+    """A reference to a base relation of the schema."""
+
+    name: str
+
+    def evaluate(self, instance: Instance) -> Relation:
+        return instance[self.name]
+
+    def arity(self, instance_schema) -> int:
+        return instance_schema.arity(self.name)
+
+
+@dataclass(frozen=True)
+class Select(AlgebraExpression):
+    """``sigma_{column = value}`` or ``sigma_{left = right}`` selection."""
+
+    child: AlgebraExpression
+    column: int
+    value: DataValue | None = None
+    other_column: int | None = None
+
+    def evaluate(self, instance: Instance) -> Relation:
+        relation = self.child.evaluate(instance)
+        if self.other_column is not None:
+            return select_columns_eq(relation, self.column, self.other_column)
+        return select_eq(relation, self.column, self.value)
+
+    def subexpressions(self) -> tuple[AlgebraExpression, ...]:
+        return (self.child,)
+
+    def arity(self, instance_schema) -> int:
+        return self.child.arity(instance_schema)
+
+
+@dataclass(frozen=True)
+class Project(AlgebraExpression):
+    """``pi_{columns}`` projection."""
+
+    child: AlgebraExpression
+    columns: tuple[int, ...]
+
+    def evaluate(self, instance: Instance) -> Relation:
+        return projection(self.child.evaluate(instance), self.columns)
+
+    def subexpressions(self) -> tuple[AlgebraExpression, ...]:
+        return (self.child,)
+
+    def arity(self, instance_schema) -> int:
+        return len(self.columns)
+
+
+@dataclass(frozen=True)
+class Product(AlgebraExpression):
+    """Cartesian product of two expressions."""
+
+    left: AlgebraExpression
+    right: AlgebraExpression
+
+    def evaluate(self, instance: Instance) -> Relation:
+        return product(self.left.evaluate(instance), self.right.evaluate(instance))
+
+    def subexpressions(self) -> tuple[AlgebraExpression, ...]:
+        return (self.left, self.right)
+
+    def arity(self, instance_schema) -> int:
+        return self.left.arity(instance_schema) + self.right.arity(instance_schema)
+
+
+@dataclass(frozen=True)
+class Union(AlgebraExpression):
+    """Set union of two expressions."""
+
+    left: AlgebraExpression
+    right: AlgebraExpression
+
+    def evaluate(self, instance: Instance) -> Relation:
+        return union(self.left.evaluate(instance), self.right.evaluate(instance))
+
+    def subexpressions(self) -> tuple[AlgebraExpression, ...]:
+        return (self.left, self.right)
+
+    def arity(self, instance_schema) -> int:
+        return self.left.arity(instance_schema)
+
+
+@dataclass(frozen=True)
+class Difference(AlgebraExpression):
+    """Set difference of two expressions."""
+
+    left: AlgebraExpression
+    right: AlgebraExpression
+
+    def evaluate(self, instance: Instance) -> Relation:
+        return difference(self.left.evaluate(instance), self.right.evaluate(instance))
+
+    def subexpressions(self) -> tuple[AlgebraExpression, ...]:
+        return (self.left, self.right)
+
+    def arity(self, instance_schema) -> int:
+        return self.left.arity(instance_schema)

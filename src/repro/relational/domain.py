@@ -1,0 +1,100 @@
+"""The data domain ``D`` and its implicit total order.
+
+The paper assumes an infinite domain ``D`` of data values shared by the
+relational database and the registers of the generated tree, together with an
+implicit total order ``<=`` on ``D``.  The order has a single purpose: it
+fixes the order of the children spawned by a transduction rule so that every
+transducer produces a *unique* output tree.  Crucially the order is **not**
+available to the query languages (Section 3, "Transformations").
+
+In this implementation a data value is any hashable Python object.  Because
+Python does not order values of different types, :func:`order_key` maps every
+value to a sortable key ``(type_rank, printable)`` which realises a canonical
+total order across heterogeneous values.  Booleans, integers and floats are
+ordered numerically among themselves, strings lexicographically, and values of
+distinct type groups are ordered by the group rank.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+#: A data value drawn from the domain ``D``.  Any hashable object is allowed.
+DataValue = Hashable
+
+_NUMERIC_RANK = 0
+_STRING_RANK = 1
+_BYTES_RANK = 2
+_NONE_RANK = 3
+_TUPLE_RANK = 4
+_OTHER_RANK = 5
+
+
+def order_key(value: DataValue) -> tuple:
+    """Return a sort key realising the implicit total order on ``D``.
+
+    The key is a tuple whose first component is a small integer ranking the
+    *type group* of the value and whose remaining components order values
+    within the group.  The resulting order is total on every finite set of
+    values that can appear in an instance.
+
+    >>> sorted(["b", 2, "a", 1], key=order_key)
+    [1, 2, 'a', 'b']
+    """
+    if isinstance(value, bool):
+        # bool is a subclass of int; keep it with the numeric group so that
+        # True/False interleave deterministically with 0/1.
+        return (_NUMERIC_RANK, float(value), 0, "bool")
+    if isinstance(value, (int, float)):
+        return (_NUMERIC_RANK, float(value), 1, type(value).__name__)
+    if isinstance(value, str):
+        return (_STRING_RANK, value)
+    if isinstance(value, bytes):
+        return (_BYTES_RANK, value)
+    if value is None:
+        return (_NONE_RANK,)
+    if isinstance(value, tuple):
+        return (_TUPLE_RANK, tuple(order_key(item) for item in value))
+    return (_OTHER_RANK, type(value).__name__, repr(value))
+
+
+def tuple_order_key(values: Sequence[DataValue]) -> tuple:
+    """Return a sort key for a tuple of data values (lexicographic lift)."""
+    return tuple(order_key(value) for value in values)
+
+
+def sort_values(values: Iterable[DataValue]) -> list[DataValue]:
+    """Sort data values according to the implicit order on ``D``."""
+    return sorted(values, key=order_key)
+
+
+def sort_tuples(tuples: Iterable[Sequence[DataValue]]) -> list[tuple[DataValue, ...]]:
+    """Sort tuples of data values lexicographically by the implicit order."""
+    return sorted((tuple(item) for item in tuples), key=tuple_order_key)
+
+
+def value_to_text(value: DataValue) -> str:
+    """Render a single data value as PCDATA text."""
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def relation_to_text(tuples: Iterable[Sequence[DataValue]]) -> str:
+    """Render a register content as the string carried by a ``text`` node.
+
+    The paper assumes "a function that maps relations over D to strings,
+    based on the order <=" (Section 3).  We render each tuple as a
+    comma-separated list of values and join distinct tuples with ``"; "``,
+    after sorting by the implicit order so the rendering is deterministic.
+    A singleton unary relation renders as the bare value, which is the common
+    case for text leaves holding one attribute value.
+    """
+    ordered = sort_tuples(tuples)
+    if not ordered:
+        return ""
+    if len(ordered) == 1 and len(ordered[0]) == 1:
+        return value_to_text(ordered[0][0])
+    return "; ".join(", ".join(value_to_text(v) for v in row) for row in ordered)

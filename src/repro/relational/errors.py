@@ -1,0 +1,35 @@
+"""Exception hierarchy for the relational substrate."""
+
+from __future__ import annotations
+
+
+class RelationalError(Exception):
+    """Base class for all errors raised by :mod:`repro.relational`."""
+
+
+class SchemaError(RelationalError):
+    """A schema is malformed (bad arity, duplicate relation names, ...)."""
+
+
+class ArityError(RelationalError):
+    """A tuple or query result does not match the arity of its relation."""
+
+    def __init__(self, relation: str, expected: int, actual: int) -> None:
+        super().__init__(
+            f"relation {relation!r} has arity {expected}, got a tuple of width {actual}"
+        )
+        self.relation = relation
+        self.expected = expected
+        self.actual = actual
+
+
+class UnknownRelationError(RelationalError):
+    """A query or update referenced a relation that the schema does not declare."""
+
+    def __init__(self, name: str, known: tuple[str, ...] = ()) -> None:
+        message = f"unknown relation {name!r}"
+        if known:
+            message += f" (known relations: {', '.join(sorted(known))})"
+        super().__init__(message)
+        self.name = name
+        self.known = known

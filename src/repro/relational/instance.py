@@ -1,0 +1,242 @@
+"""Relations and database instances.
+
+An *instance* ``I`` of a relational schema ``R`` assigns a finite relation to
+every relation name of ``R``.  Instances are immutable value objects: all
+"mutating" operations return new instances, which keeps transducer evaluation,
+query composition and the various proof constructions free of aliasing bugs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.relational.domain import DataValue, sort_tuples
+from repro.relational.errors import ArityError, SchemaError, UnknownRelationError
+from repro.relational.schema import RelationSchema, RelationalSchema
+from repro.relational.tuples import check_arity
+
+
+class Relation:
+    """A finite relation: a set of equal-width tuples over the domain."""
+
+    __slots__ = ("_name", "_arity", "_tuples")
+
+    def __init__(
+        self,
+        name: str,
+        arity: int,
+        tuples: Iterable[Sequence[DataValue]] = (),
+    ) -> None:
+        self._name = name
+        self._arity = arity
+        rows = frozenset(check_arity(name, arity, row) for row in tuples)
+        self._tuples = rows
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The relation name."""
+        return self._name
+
+    @property
+    def arity(self) -> int:
+        """The number of columns."""
+        return self._arity
+
+    @property
+    def tuples(self) -> frozenset[tuple[DataValue, ...]]:
+        """The set of tuples in the relation."""
+        return self._tuples
+
+    def sorted_tuples(self) -> list[tuple[DataValue, ...]]:
+        """Return the tuples sorted by the implicit order on ``D``."""
+        return sort_tuples(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[tuple[DataValue, ...]]:
+        return iter(self._tuples)
+
+    def __contains__(self, row: object) -> bool:
+        return tuple(row) in self._tuples if isinstance(row, (tuple, list)) else False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self._name == other._name
+            and self._arity == other._arity
+            and self._tuples == other._tuples
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._name, self._arity, self._tuples))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Relation({self._name!r}, arity={self._arity}, size={len(self._tuples)})"
+
+    # -- algebraic helpers ---------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """True when the relation has no tuples."""
+        return not self._tuples
+
+    def with_tuples(self, tuples: Iterable[Sequence[DataValue]]) -> "Relation":
+        """Return a copy with the given tuples added."""
+        return Relation(self._name, self._arity, set(self._tuples) | {tuple(t) for t in tuples})
+
+    def union(self, other: "Relation") -> "Relation":
+        """Set union (requires matching arity)."""
+        if other.arity != self._arity:
+            raise ArityError(self._name, self._arity, other.arity)
+        return Relation(self._name, self._arity, self._tuples | other.tuples)
+
+    def active_domain(self) -> frozenset[DataValue]:
+        """The set of data values appearing in the relation."""
+        return frozenset(value for row in self._tuples for value in row)
+
+
+class Instance(Mapping[str, Relation]):
+    """An immutable database instance of a relational schema."""
+
+    def __init__(
+        self,
+        schema: RelationalSchema,
+        relations: Mapping[str, Iterable[Sequence[DataValue]]] | None = None,
+    ) -> None:
+        self._schema = schema
+        data: dict[str, Relation] = {}
+        provided = dict(relations or {})
+        for name in provided:
+            if name not in schema:
+                raise UnknownRelationError(name, schema.names())
+        for name in schema:
+            rows = provided.get(name, ())
+            data[name] = Relation(name, schema.arity(name), rows)
+        self._relations = data
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_dict(
+        cls,
+        relations: Mapping[str, Iterable[Sequence[DataValue]]],
+        schema: RelationalSchema | None = None,
+    ) -> "Instance":
+        """Build an instance (and infer a schema when none is given).
+
+        When ``schema`` is omitted the arity of each relation is inferred from
+        its first tuple; empty relations are not allowed in that case because
+        their arity would be ambiguous.
+        """
+        if schema is None:
+            inferred = RelationalSchema()
+            for name, rows in relations.items():
+                rows = [tuple(r) for r in rows]
+                if not rows:
+                    raise SchemaError(
+                        f"cannot infer the arity of empty relation {name!r}; pass a schema"
+                    )
+                inferred.add(RelationSchema(name, len(rows[0])))
+            schema = inferred
+        return cls(schema, relations)
+
+    def updated(self, name: str, tuples: Iterable[Sequence[DataValue]]) -> "Instance":
+        """Return a copy in which relation ``name`` is replaced by ``tuples``."""
+        if name not in self._schema:
+            raise UnknownRelationError(name, self._schema.names())
+        data = {rel: relation.tuples for rel, relation in self._relations.items()}
+        data[name] = frozenset(tuple(t) for t in tuples)
+        return Instance(self._schema, data)
+
+    def extended(
+        self,
+        extra: Mapping[str, Iterable[Sequence[DataValue]]],
+        extra_schema: Iterable[RelationSchema] | None = None,
+    ) -> "Instance":
+        """Return an instance over an extended schema with extra relations.
+
+        This is how the publishing-transducer runtime makes the parent
+        register visible to rule queries: the register is added under the
+        reserved names ``Reg`` / ``Reg_<tag>`` without touching the source.
+        """
+        if extra_schema is None:
+            extra_schema = []
+            for name, rows in extra.items():
+                rows = [tuple(r) for r in rows]
+                arity = len(rows[0]) if rows else 0
+                extra_schema.append(RelationSchema(name, arity))
+        schema = self._schema.extended(extra_schema)
+        data: dict[str, Iterable[Sequence[DataValue]]] = {
+            name: relation.tuples for name, relation in self._relations.items()
+        }
+        for name, rows in extra.items():
+            data[name] = [tuple(r) for r in rows]
+        return Instance(schema, data)
+
+    def union(self, other: "Instance") -> "Instance":
+        """Relation-wise union of two instances over compatible schemas."""
+        schema = self._schema.extended(other.schema[name] for name in other.schema)
+        data: dict[str, set[tuple[DataValue, ...]]] = {}
+        for name in schema:
+            rows: set[tuple[DataValue, ...]] = set()
+            if name in self._relations:
+                rows |= self._relations[name].tuples
+            if name in other:
+                rows |= other[name].tuples
+            data[name] = rows
+        return Instance(schema, data)
+
+    # -- Mapping interface ----------------------------------------------------
+
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(name, tuple(self._relations)) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def schema(self) -> RelationalSchema:
+        """The relational schema of this instance."""
+        return self._schema
+
+    def tuples(self, name: str) -> frozenset[tuple[DataValue, ...]]:
+        """The tuples of relation ``name`` (empty if the relation is empty)."""
+        return self[name].tuples
+
+    def active_domain(self) -> frozenset[DataValue]:
+        """The set of all data values occurring anywhere in the instance."""
+        values: set[DataValue] = set()
+        for relation in self._relations.values():
+            values |= relation.active_domain()
+        return frozenset(values)
+
+    def total_size(self) -> int:
+        """Total number of tuples across all relations."""
+        return sum(len(relation) for relation in self._relations.values())
+
+    def is_empty(self) -> bool:
+        """True when every relation is empty."""
+        return all(relation.is_empty() for relation in self._relations.values())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._relations.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{name}:{len(rel)}" for name, rel in self._relations.items())
+        return f"Instance({parts})"

@@ -1,0 +1,148 @@
+"""Relation schemas and relational schemas.
+
+A *relational schema* ``R`` is a finite collection of relation names with
+associated arities (Section 2 of the paper).  Attribute names are optional --
+the formal model is positional -- but the publishing-language front-ends
+(Section 4) speak in terms of named columns, so :class:`RelationSchema`
+supports them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.relational.errors import SchemaError, UnknownRelationError
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A single relation name with its arity and optional attribute names.
+
+    Parameters
+    ----------
+    name:
+        The relation name, e.g. ``"course"``.
+    arity:
+        Number of columns.  Must be non-negative.
+    attributes:
+        Optional column names.  When provided their number must equal
+        ``arity`` and they must be pairwise distinct.
+    """
+
+    name: str
+    arity: int
+    attributes: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relation name must be a non-empty string")
+        if self.arity < 0:
+            raise SchemaError(f"relation {self.name!r} has negative arity {self.arity}")
+        attributes = tuple(self.attributes)
+        object.__setattr__(self, "attributes", attributes)
+        if attributes:
+            if len(attributes) != self.arity:
+                raise SchemaError(
+                    f"relation {self.name!r} declares {len(attributes)} attributes "
+                    f"but has arity {self.arity}"
+                )
+            if len(set(attributes)) != len(attributes):
+                raise SchemaError(f"relation {self.name!r} has duplicate attribute names")
+
+    def position_of(self, attribute: str) -> int:
+        """Return the column index of ``attribute``.
+
+        Raises :class:`SchemaError` if the relation has no named attributes or
+        the attribute is unknown.
+        """
+        if not self.attributes:
+            raise SchemaError(f"relation {self.name!r} has no named attributes")
+        try:
+            return self.attributes.index(attribute)
+        except ValueError as exc:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {attribute!r}; "
+                f"attributes are {self.attributes}"
+            ) from exc
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.attributes:
+            return f"{self.name}({', '.join(self.attributes)})"
+        return f"{self.name}/{self.arity}"
+
+
+class RelationalSchema(Mapping[str, RelationSchema]):
+    """A finite collection of relation schemas, indexed by relation name."""
+
+    def __init__(self, relations: Iterable[RelationSchema] = ()) -> None:
+        self._relations: dict[str, RelationSchema] = {}
+        for relation in relations:
+            self.add(relation)
+
+    # -- construction -----------------------------------------------------
+
+    def add(self, relation: RelationSchema) -> None:
+        """Add a relation schema; raise on duplicate names with other arities."""
+        existing = self._relations.get(relation.name)
+        if existing is not None and existing != relation:
+            raise SchemaError(
+                f"relation {relation.name!r} already declared with a different shape"
+            )
+        self._relations[relation.name] = relation
+
+    @classmethod
+    def from_arities(cls, arities: Mapping[str, int]) -> "RelationalSchema":
+        """Build a schema from a ``name -> arity`` mapping (positional columns)."""
+        return cls(RelationSchema(name, arity) for name, arity in arities.items())
+
+    @classmethod
+    def from_attributes(cls, attributes: Mapping[str, Iterable[str]]) -> "RelationalSchema":
+        """Build a schema from a ``name -> attribute names`` mapping."""
+        return cls(
+            RelationSchema(name, len(tuple(columns)), tuple(columns))
+            for name, columns in attributes.items()
+        )
+
+    def extended(self, extra: Iterable[RelationSchema]) -> "RelationalSchema":
+        """Return a copy of this schema with extra relations added."""
+        merged = RelationalSchema(self._relations.values())
+        for relation in extra:
+            merged.add(relation)
+        return merged
+
+    # -- Mapping interface -------------------------------------------------
+
+    def __getitem__(self, name: str) -> RelationSchema:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(name, tuple(self._relations)) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    # -- convenience -------------------------------------------------------
+
+    def arity(self, name: str) -> int:
+        """Return the arity of relation ``name``."""
+        return self[name].arity
+
+    def names(self) -> tuple[str, ...]:
+        """Return relation names in insertion order."""
+        return tuple(self._relations)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationalSchema):
+            return NotImplemented
+        return dict(self._relations) == dict(other._relations)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(str(schema) for schema in self._relations.values())
+        return f"RelationalSchema({inner})"

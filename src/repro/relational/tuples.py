@@ -1,0 +1,30 @@
+"""Validated tuples over the data domain."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.relational.domain import DataValue
+from repro.relational.errors import ArityError
+
+
+def make_tuple(values: Sequence[DataValue]) -> tuple[DataValue, ...]:
+    """Normalise a sequence of data values into a plain tuple.
+
+    Lists and other sequences are accepted for convenience; the result is
+    always an immutable tuple so that it can be stored in relation sets.
+    """
+    return tuple(values)
+
+
+def check_arity(relation: str, arity: int, values: Sequence[DataValue]) -> tuple[DataValue, ...]:
+    """Return ``values`` as a tuple, raising :class:`ArityError` on mismatch."""
+    row = make_tuple(values)
+    if len(row) != arity:
+        raise ArityError(relation, arity, len(row))
+    return row
+
+
+def project(row: Sequence[DataValue], positions: Iterable[int]) -> tuple[DataValue, ...]:
+    """Project a tuple onto the given column positions (in the given order)."""
+    return tuple(row[i] for i in positions)

@@ -1,0 +1,25 @@
+"""Logical transductions and their relationship to publishing transducers.
+
+Section 6.3 compares the tree-generating power of publishing transducers with
+first-order logical transductions: an ``L``-transduction of width ``k``
+describes an output DAG (unfolded into a tree) through a fixed tuple of
+``L``-formulas over the input instance.  Theorem 4 shows
+
+* every ``L``-transduction is definable in ``PT(L, tuple, virtual)``;
+* every non-recursive ``PTnr(L, tuple, virtual)`` transducer is a fixed-depth
+  ``L``-transduction (for L in {FO, IFP});
+* there are recursive ``PT(FO, tuple, normal)`` transducers that are not
+  FO-transductions (reachability).
+
+The classes here implement first-order transductions, their direct evaluation
+(build the DAG, unfold it), and the translation of Theorem 4(1).
+"""
+
+from repro.transductions.first_order import FirstOrderTransduction, TransductionError
+from repro.transductions.translate import transduction_to_transducer
+
+__all__ = [
+    "FirstOrderTransduction",
+    "TransductionError",
+    "transduction_to_transducer",
+]

@@ -1,0 +1,137 @@
+"""First-order transductions of width ``k`` (Section 6.3).
+
+A transduction is given by formulas ``phi_dom``, ``phi_root``, ``phi_e``,
+``phi_<`` and one ``phi_a`` per output tag, all with ``k``-tuples of free
+variables (``2k`` for the edge relation, ``3k`` for the sibling order).  On an
+input instance the formulas define a node set, a rooted DAG over it, a sibling
+order and a labelling; the transduction's output tree is the unfolding of that
+DAG from its root.
+
+Evaluation materialises the DAG (node by node) and unfolds it; the unfolding
+may be exponentially larger than the DAG, which is exactly the size regime the
+paper discusses, so a node budget protects against runaway inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.logic.fo import Formula, FormulaEvaluator
+from repro.logic.terms import Variable
+from repro.relational.domain import DataValue, tuple_order_key
+from repro.relational.instance import Instance
+from repro.xmltree.tree import TreeNode
+
+
+class TransductionError(ValueError):
+    """Raised when the transduction formulas do not define a valid tree/DAG."""
+
+
+@dataclass(frozen=True)
+class FirstOrderTransduction:
+    """An FO (or IFP) transduction of width ``k``.
+
+    Formula conventions: ``domain_formula`` and each ``label_formulas[a]`` are
+    over the variables ``x1..xk``; ``root_formula`` over ``x1..xk``;
+    ``edge_formula`` over ``x1..xk, y1..yk`` (parent, child); ``order_formula``
+    over ``x1..xk, y1..yk, z1..zk`` (parent, earlier child, later child).  The
+    sibling order may be omitted, in which case siblings are ordered by the
+    implicit domain order.
+    """
+
+    width: int
+    domain_formula: Formula
+    root_formula: Formula
+    edge_formula: Formula
+    label_formulas: Mapping[str, Formula]
+    order_formula: Formula | None = None
+    root_tag: str = "r"
+    max_nodes: int = 100_000
+    _variables: tuple[Variable, ...] = field(default=(), compare=False, repr=False)
+
+    def variables(self, prefix: str) -> tuple[Variable, ...]:
+        """The canonical variable tuple ``prefix1 .. prefixk``."""
+        return tuple(Variable(f"{prefix}{i + 1}") for i in range(self.width))
+
+    # -- evaluation --------------------------------------------------------------
+
+    def apply(self, instance: Instance) -> TreeNode:
+        """Evaluate the transduction: build the DAG and unfold it into a tree."""
+        constants: set[DataValue] = set()
+        for formula in self._all_formulas():
+            constants |= set(formula.constants())
+        domain = set(instance.active_domain()) | constants
+        evaluator = FormulaEvaluator(instance, domain)
+
+        xs = self.variables("x")
+        ys = self.variables("y")
+
+        node_rows = self._rows(evaluator, self.domain_formula, xs)
+        labels: dict[tuple[DataValue, ...], str] = {}
+        for tag, formula in self.label_formulas.items():
+            for row in self._rows(evaluator, formula, xs):
+                if row in labels and labels[row] != tag:
+                    raise TransductionError(f"node {row} receives two labels")
+                labels[row] = tag
+        nodes = {row for row in node_rows if row in labels}
+
+        roots = self._rows(evaluator, self.root_formula, xs) & nodes
+        if len(roots) != 1:
+            raise TransductionError(f"the root formula selects {len(roots)} nodes, expected 1")
+        root = next(iter(roots))
+
+        edge_rows = self._rows(evaluator, self.edge_formula, xs + ys)
+        children: dict[tuple[DataValue, ...], list[tuple[DataValue, ...]]] = {}
+        for row in edge_rows:
+            parent, child = row[: self.width], row[self.width :]
+            if parent in nodes and child in nodes:
+                children.setdefault(parent, []).append(child)
+        for parent in children:
+            children[parent] = sorted(set(children[parent]), key=tuple_order_key)
+        self._check_acyclic(root, children)
+
+        budget = [self.max_nodes]
+
+        def unfold(node: tuple[DataValue, ...]) -> TreeNode:
+            budget[0] -= 1
+            if budget[0] < 0:
+                raise TransductionError("transduction unfolding exceeded the node budget")
+            child_nodes = tuple(unfold(child) for child in children.get(node, []))
+            return TreeNode(labels[node], child_nodes)
+
+        return TreeNode(self.root_tag, (unfold(root),))
+
+    def _all_formulas(self):
+        yield self.domain_formula
+        yield self.root_formula
+        yield self.edge_formula
+        if self.order_formula is not None:
+            yield self.order_formula
+        yield from self.label_formulas.values()
+
+    def _rows(self, evaluator: FormulaEvaluator, formula: Formula, variables) -> set[tuple]:
+        table = evaluator.evaluate(formula)
+        table = table.expand(variables, evaluator.domain)
+        return set(table.rows)
+
+    @staticmethod
+    def _check_acyclic(root, children) -> None:
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: dict = {}
+
+        def visit(node) -> None:
+            colour[node] = GREY
+            for child in children.get(node, ()):
+                state = colour.get(child, WHITE)
+                if state == GREY:
+                    raise TransductionError("the edge formula defines a cyclic graph")
+                if state == WHITE:
+                    visit(child)
+            colour[node] = BLACK
+
+        visit(root)
+
+    def is_fixed_depth(self, bound: int, instances) -> bool:
+        """Check (on sample instances) that output depth never exceeds ``bound``."""
+        return all(self.apply(instance).depth() <= bound + 1 for instance in instances)

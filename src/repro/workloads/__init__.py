@@ -1,0 +1,39 @@
+"""Workload generators and the paper's worked examples.
+
+* :mod:`repro.workloads.registrar` -- the registrar database of Example 1.1
+  and the three XML views of Figure 1 (Examples 3.1 and 3.2);
+* :mod:`repro.workloads.blowup` -- the exponential and doubly exponential
+  blow-up families of Proposition 1(3, 4);
+* :mod:`repro.workloads.random_instances` -- random graphs and generic
+  instances for the expressiveness and decision-problem benchmarks;
+* :mod:`repro.workloads.random_transducers` -- random non-recursive CQ
+  transducers for the static-analysis benchmarks.
+"""
+
+from repro.workloads.blowup import (
+    binary_counter_instance,
+    binary_counter_transducer,
+    chain_of_diamonds_instance,
+    chain_of_diamonds_transducer,
+)
+from repro.workloads.registrar import (
+    REGISTRAR_SCHEMA,
+    example_registrar_instance,
+    generate_registrar_instance,
+    tau1_prerequisite_hierarchy,
+    tau2_prerequisite_closure,
+    tau3_courses_without_db_prereq,
+)
+
+__all__ = [
+    "REGISTRAR_SCHEMA",
+    "binary_counter_instance",
+    "binary_counter_transducer",
+    "chain_of_diamonds_instance",
+    "chain_of_diamonds_transducer",
+    "example_registrar_instance",
+    "generate_registrar_instance",
+    "tau1_prerequisite_hierarchy",
+    "tau2_prerequisite_closure",
+    "tau3_courses_without_db_prereq",
+]

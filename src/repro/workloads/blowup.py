@@ -1,0 +1,151 @@
+"""The output-size blow-up families of Proposition 1(3) and 1(4).
+
+* :func:`chain_of_diamonds_transducer` together with
+  :func:`chain_of_diamonds_instance` realises Proposition 1(3): a
+  ``PT(CQ, tuple, normal)`` transducer that unfolds a "chain of diamonds"
+  graph ``I_n`` of size ``O(n)`` into a tree of size at least ``2^n``.
+
+* :func:`binary_counter_transducer` together with
+  :func:`binary_counter_instance` realises Proposition 1(4): a
+  ``PT(CQ, relation, normal)`` transducer that simulates an ``n``-bit binary
+  counter while duplicating the chain at every step, so the output tree of the
+  instance ``J_n`` (of size ``O(n)``) has at least ``2^(2^n)`` nodes.
+"""
+
+from __future__ import annotations
+
+from repro.core.rules import RuleItem, RuleQuery, TransductionRule
+from repro.core.transducer import PublishingTransducer, make_transducer
+from repro.logic.cq import ConjunctiveQuery, RelationAtom
+from repro.logic.terms import Variable
+from repro.relational.instance import Instance
+from repro.relational.schema import RelationalSchema
+
+#: Schema of the graph instances used by Proposition 1(3): a binary edge relation.
+GRAPH_SCHEMA = RelationalSchema.from_attributes({"R": ("src", "dst")})
+
+#: Schema of the counter instances used by Proposition 1(4).
+COUNTER_SCHEMA = RelationalSchema.from_attributes(
+    {
+        "counter": ("k", "d", "c"),
+        "add": ("d1", "d2", "d3", "d", "c"),
+        "next": ("k", "kp"),
+    }
+)
+
+
+def chain_of_diamonds_transducer() -> PublishingTransducer:
+    """The graph-unfolding transducer ``tau1`` from the proof of Proposition 1(3)."""
+    x, y = Variable("x"), Variable("y")
+    phi_start = ConjunctiveQuery((x,), (RelationAtom("R", (x, y)),))
+    phi_step = ConjunctiveQuery(
+        (x,),
+        (RelationAtom("Reg_a", (y,)), RelationAtom("R", (y, x))),
+    )
+    rules = [
+        TransductionRule("q0", "r", (RuleItem("q", "a", RuleQuery(phi_start, 1)),)),
+        TransductionRule("q", "a", (RuleItem("q", "a", RuleQuery(phi_step, 1)),)),
+    ]
+    return make_transducer(rules, start_state="q0", root_tag="r", name="chain-of-diamonds")
+
+
+def chain_of_diamonds_instance(n: int) -> Instance:
+    """The instance ``I_n``: a chain of ``n`` diamonds (``4n`` edges, ``O(n)`` size).
+
+    Unfolding the chain from its source doubles the number of paths at every
+    diamond, so the transducer's output has at least ``2^n`` leaves.
+    """
+    edges: list[tuple[str, str]] = []
+    for index in range(n):
+        a, a_next = f"a{index}", f"a{index + 1}"
+        b1, b2 = f"b{index}_1", f"b{index}_2"
+        edges.extend([(a, b1), (a, b2), (b1, a_next), (b2, a_next)])
+    return Instance(GRAPH_SCHEMA, {"R": edges})
+
+
+def binary_counter_transducer() -> PublishingTransducer:
+    """The relation-register counter transducer ``tau2`` of Proposition 1(4).
+
+    Every ``a``-node carries the full counter state (a relation of ``n``
+    digits) in its register; each rule application increments the counter and
+    spawns *two* children with the new state, so the tree both deepens ``2^n``
+    times and branches at every level.
+    """
+    k, d, c = Variable("k"), Variable("d"), Variable("c")
+    d1, c1 = Variable("d1"), Variable("c1")
+    kp, d2, c2 = Variable("kp"), Variable("d2"), Variable("c2")
+    d3, c3 = Variable("d3"), Variable("c3")
+
+    phi_init = ConjunctiveQuery((k, d, c), (RelationAtom("counter", (k, d, c)),))
+    # The step query reads the parent register under the generic name ``Reg``
+    # because both ``a``- and ``b``-labelled parents use the same rule body.
+    phi_step = ConjunctiveQuery(
+        (k, d, c),
+        (
+            RelationAtom("Reg", (k, d1, c1)),
+            RelationAtom("Reg", (kp, d2, c2)),
+            RelationAtom("next", (kp, k)),
+            RelationAtom("counter", (k, d3, c3)),
+            RelationAtom("add", (d1, c2, c3, d, c)),
+        ),
+    )
+    rules = [
+        TransductionRule(
+            "q0",
+            "r",
+            (
+                RuleItem("q", "a", RuleQuery(phi_init, 0)),
+                RuleItem("q", "b", RuleQuery(phi_init, 0)),
+            ),
+        ),
+        TransductionRule(
+            "q",
+            "a",
+            (
+                RuleItem("q", "a", RuleQuery(phi_step, 0)),
+                RuleItem("q", "b", RuleQuery(phi_step, 0)),
+            ),
+        ),
+        TransductionRule(
+            "q",
+            "b",
+            (
+                RuleItem("q", "a", RuleQuery(phi_step, 0)),
+                RuleItem("q", "b", RuleQuery(phi_step, 0)),
+            ),
+        ),
+    ]
+    return make_transducer(
+        rules,
+        start_state="q0",
+        root_tag="r",
+        register_arities={"a": 3, "b": 3},
+        name="binary-counter",
+    )
+
+
+def binary_counter_instance(n: int) -> Instance:
+    """The instance ``J_n``: an ``n``-bit counter, a full adder and a successor ring."""
+    counter = [(0, 0, 1)] + [(k, 0, 0) for k in range(1, n)]
+    add = [
+        (0, 0, 0, 0, 0),
+        (0, 0, 1, 1, 0),
+        (0, 1, 0, 1, 0),
+        (0, 1, 1, 0, 1),
+        (1, 0, 0, 1, 0),
+        (1, 0, 1, 0, 1),
+        (1, 1, 0, 0, 1),
+        (1, 1, 1, 1, 1),
+    ]
+    nxt = [(k, k + 1) for k in range(n - 1)] + [(n - 1, 0)]
+    return Instance(COUNTER_SCHEMA, {"counter": counter, "add": add, "next": nxt})
+
+
+def expected_minimum_output_size_exponential(n: int) -> int:
+    """Lower bound ``2^n`` claimed by Proposition 1(3) for ``I_n``."""
+    return 2**n
+
+
+def expected_minimum_output_size_doubly_exponential(n: int) -> int:
+    """Lower bound ``2^(2^n)`` claimed by Proposition 1(4) for ``J_n``."""
+    return 2 ** (2**n)

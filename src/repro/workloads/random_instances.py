@@ -1,0 +1,78 @@
+"""Random instances for the expressiveness and decision-problem benchmarks."""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.relational.instance import Instance
+from repro.relational.schema import RelationalSchema
+
+#: A single binary edge relation (graphs).
+EDGE_SCHEMA = RelationalSchema.from_attributes({"E": ("src", "dst")})
+
+
+def random_graph_instance(
+    num_nodes: int,
+    num_edges: int,
+    seed: int = 0,
+    relation: str = "E",
+) -> Instance:
+    """A random directed graph with ``num_nodes`` nodes and ``num_edges`` edges."""
+    rng = random.Random(seed)
+    nodes = [f"n{i}" for i in range(num_nodes)]
+    edges: set[tuple[str, str]] = set()
+    attempts = 0
+    while len(edges) < num_edges and attempts < 20 * num_edges + 100:
+        edges.add((rng.choice(nodes), rng.choice(nodes)))
+        attempts += 1
+    schema = RelationalSchema.from_attributes({relation: ("src", "dst")})
+    return Instance(schema, {relation: sorted(edges)})
+
+
+def layered_dag_instance(layers: int, width: int, seed: int = 0, relation: str = "E") -> Instance:
+    """A layered DAG: every node has an edge to each node of the next layer."""
+    rng = random.Random(seed)
+    edges: list[tuple[str, str]] = []
+    for layer in range(layers - 1):
+        for i in range(width):
+            for j in range(width):
+                if rng.random() < 0.8:
+                    edges.append((f"v{layer}_{i}", f"v{layer + 1}_{j}"))
+    schema = RelationalSchema.from_attributes({relation: ("src", "dst")})
+    return Instance(schema, {relation: edges})
+
+
+def chain_instance(length: int, relation: str = "E") -> Instance:
+    """A simple path ``n0 -> n1 -> ... -> n_length``."""
+    edges = [(f"n{i}", f"n{i + 1}") for i in range(length)]
+    schema = RelationalSchema.from_attributes({relation: ("src", "dst")})
+    return Instance(schema, {relation: edges})
+
+
+def random_unary_binary_instance(
+    domain_size: int,
+    unary_relations: Sequence[str] = ("P",),
+    binary_relations: Sequence[str] = ("E",),
+    density: float = 0.3,
+    seed: int = 0,
+) -> Instance:
+    """A random instance over a mix of unary and binary relations.
+
+    Used by the membership / equivalence benchmarks, which need instances over
+    arbitrary small schemas.
+    """
+    rng = random.Random(seed)
+    domain = [f"d{i}" for i in range(domain_size)]
+    schema_spec: dict[str, int] = {}
+    data: dict[str, list[tuple]] = {}
+    for name in unary_relations:
+        schema_spec[name] = 1
+        data[name] = [(value,) for value in domain if rng.random() < density]
+    for name in binary_relations:
+        schema_spec[name] = 2
+        data[name] = [
+            (a, b) for a in domain for b in domain if rng.random() < density * 0.5
+        ]
+    schema = RelationalSchema.from_arities(schema_spec)
+    return Instance(schema, data)

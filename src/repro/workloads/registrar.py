@@ -1,0 +1,357 @@
+"""The registrar database of Example 1.1 and the XML views of Figure 1.
+
+The running example of the paper is a registrar database with
+
+* ``course(cno, title, dept)`` -- the course catalogue, and
+* ``prereq(cno1, cno2)`` -- ``cno2`` is an *immediate* prerequisite of
+  ``cno1``,
+
+together with three XML views:
+
+* ``tau1`` (Example 3.1, Figure 1(a)): the recursive prerequisite hierarchy of
+  every CS course, a ``PT(CQ, tuple, normal)`` transducer;
+* ``tau2`` (Example 3.2, Figure 1(b)): a depth-three view listing, under each
+  CS course, the *set* of all course numbers in its prerequisite hierarchy,
+  a ``PT(FO, relation, virtual)`` transducer using a virtual tag to compute
+  the closure;
+* ``tau3`` (Figure 1(c), Figure 2): a depth-two view of the courses that do
+  not have the DB course as an immediate prerequisite, a
+  ``PTnr(FO, tuple, normal)`` transducer.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.rules import RuleItem, RuleQuery, TransductionRule
+from repro.core.transducer import PublishingTransducer, make_transducer
+from repro.logic.cq import ConjunctiveQuery, RelationAtom, equality
+from repro.logic.fo import And, Eq, Exists, Forall, FormulaQuery, Not, Or, Rel
+from repro.logic.terms import Constant, Variable
+
+#: Relation layout of the registrar database.
+REGISTRAR_SCHEMA_ATTRIBUTES = {
+    "course": ("cno", "title", "dept"),
+    "prereq": ("cno1", "cno2"),
+}
+
+
+def _registrar_schema():
+    from repro.relational.schema import RelationalSchema
+
+    return RelationalSchema.from_attributes(REGISTRAR_SCHEMA_ATTRIBUTES)
+
+
+#: The relational schema R0 of Example 1.1.
+REGISTRAR_SCHEMA = _registrar_schema()
+
+
+def example_registrar_instance():
+    """A small hand-written registrar instance used in tests and the quickstart.
+
+    The CS prerequisite hierarchy is::
+
+        cs452 (Distributed Systems) -> cs340 (Operating Systems) -> cs240 -> cs101
+        cs450 (Databases)           -> cs240 (Data Structures)   -> cs101 (Intro)
+
+    plus one Math course with no prerequisites and a deliberately cyclic pair
+    (cs610 <-> cs620) exercising the stop condition.
+    """
+    from repro.relational.instance import Instance
+
+    courses = [
+        ("cs101", "Introduction to Programming", "CS"),
+        ("cs240", "Data Structures", "CS"),
+        ("cs340", "Operating Systems", "CS"),
+        ("cs450", "Databases", "CS"),
+        ("cs452", "Distributed Systems", "CS"),
+        ("cs610", "Advanced Topics A", "CS"),
+        ("cs620", "Advanced Topics B", "CS"),
+        ("math101", "Calculus", "Math"),
+    ]
+    prereqs = [
+        ("cs240", "cs101"),
+        ("cs340", "cs240"),
+        ("cs450", "cs240"),
+        ("cs452", "cs340"),
+        ("cs610", "cs620"),
+        ("cs620", "cs610"),
+    ]
+    return Instance(REGISTRAR_SCHEMA, {"course": courses, "prereq": prereqs})
+
+
+def generate_registrar_instance(
+    num_courses: int,
+    cs_fraction: float = 0.7,
+    max_prereqs: int = 2,
+    depth: int | None = None,
+    cycle_fraction: float = 0.0,
+    seed: int = 0,
+):
+    """Generate a synthetic registrar database.
+
+    Parameters
+    ----------
+    num_courses:
+        Number of courses.
+    cs_fraction:
+        Fraction of courses assigned to the ``CS`` department (the views only
+        export CS courses).
+    max_prereqs:
+        Maximum number of immediate prerequisites per course.
+    depth:
+        When given, courses are layered into ``depth`` levels and
+        prerequisites only point to the next level down, producing hierarchies
+        of bounded depth; otherwise prerequisites point to any earlier course
+        (an acyclic hierarchy of unbounded depth).
+    cycle_fraction:
+        Fraction of courses that additionally get a back edge, introducing
+        cycles that exercise the stop condition.
+    seed:
+        Random seed (generation is deterministic given the seed).
+    """
+    from repro.relational.instance import Instance
+
+    rng = random.Random(seed)
+    courses = []
+    prereqs: set[tuple[str, str]] = set()
+    names = [f"cs{i:04d}" for i in range(num_courses)]
+    for index, cno in enumerate(names):
+        dept = "CS" if rng.random() < cs_fraction else rng.choice(["Math", "Physics", "EE"])
+        courses.append((cno, f"Course {index}", dept))
+    for index, cno in enumerate(names):
+        if index == 0:
+            continue
+        if depth is not None:
+            level = index * depth // num_courses
+            candidates = [
+                names[j]
+                for j in range(num_courses)
+                if j < index and (j * depth // num_courses) == level - 1
+            ]
+        else:
+            candidates = names[:index]
+        if not candidates:
+            continue
+        for _ in range(rng.randint(0, max_prereqs)):
+            prereqs.add((cno, rng.choice(candidates)))
+    for index, cno in enumerate(names):
+        if rng.random() < cycle_fraction and index + 1 < num_courses:
+            prereqs.add((cno, names[index + 1]))
+            prereqs.add((names[index + 1], cno))
+    return Instance(REGISTRAR_SCHEMA, {"course": courses, "prereq": sorted(prereqs)})
+
+
+# ---------------------------------------------------------------------------
+# tau1: the recursive prerequisite hierarchy (Example 3.1, Figure 1(a)).
+# ---------------------------------------------------------------------------
+
+
+def tau1_prerequisite_hierarchy(department: str = "CS") -> PublishingTransducer:
+    """The transducer ``tau1`` of Example 3.1 (class ``PT(CQ, tuple, normal)``)."""
+    cno, title, dept = Variable("cno"), Variable("title"), Variable("dept")
+    c, t, d, cp = Variable("c"), Variable("t"), Variable("d"), Variable("cp")
+
+    phi1 = ConjunctiveQuery(
+        (cno, title),
+        (RelationAtom("course", (cno, title, dept)),),
+        (equality(dept, Constant(department)),),
+    )
+    phi2_cno = ConjunctiveQuery((cno,), (RelationAtom("Reg_course", (cno, title)),))
+    phi2_title = ConjunctiveQuery((title,), (RelationAtom("Reg_course", (cno, title)),))
+    phi3 = ConjunctiveQuery(
+        (c, t),
+        (
+            RelationAtom("Reg_prereq", (cp,)),
+            RelationAtom("prereq", (cp, c)),
+            RelationAtom("course", (c, t, d)),
+        ),
+    )
+    phi4_cno = ConjunctiveQuery((c,), (RelationAtom("Reg_cno", (c,)),))
+    phi4_title = ConjunctiveQuery((t,), (RelationAtom("Reg_title", (t,)),))
+
+    def tq(query) -> RuleQuery:
+        return RuleQuery(query, query.arity)
+
+    rules = [
+        TransductionRule("q0", "db", (RuleItem("q", "course", tq(phi1)),)),
+        TransductionRule(
+            "q",
+            "course",
+            (
+                RuleItem("q", "cno", tq(phi2_cno)),
+                RuleItem("q", "title", tq(phi2_title)),
+                RuleItem("q", "prereq", tq(phi2_cno)),
+            ),
+        ),
+        TransductionRule("q", "prereq", (RuleItem("q", "course", tq(phi3)),)),
+        TransductionRule("q", "cno", (RuleItem("q", "text", tq(phi4_cno)),)),
+        TransductionRule("q", "title", (RuleItem("q", "text", tq(phi4_title)),)),
+        TransductionRule("q", "text", ()),
+    ]
+    return make_transducer(rules, start_state="q0", root_tag="db", name="tau1-prereq-hierarchy")
+
+
+# ---------------------------------------------------------------------------
+# tau2: the flattened prerequisite closure (Example 3.2, Figure 1(b)).
+# ---------------------------------------------------------------------------
+
+
+def tau2_prerequisite_closure(department: str = "CS") -> PublishingTransducer:
+    """The transducer ``tau2`` of Example 3.2 (class ``PT(FO, relation, virtual)``).
+
+    The virtual tag ``l`` accumulates, step by step, the set of course numbers
+    in the prerequisite hierarchy of a course; only when the set reaches its
+    fixpoint does the query ``phi2`` fire and emit one ``cno`` child per
+    element of the set.
+    """
+    cno, title, dept = Variable("cno"), Variable("title"), Variable("dept")
+    c, cp, c2 = Variable("c"), Variable("cp"), Variable("c2")
+
+    phi1 = ConjunctiveQuery(
+        (cno, title),
+        (RelationAtom("course", (cno, title, dept)),),
+        (equality(dept, Constant(department)),),
+    )
+    phi2_cno = ConjunctiveQuery((cno,), (RelationAtom("Reg_course", (cno, title)),))
+    phi2_title = ConjunctiveQuery((title,), (RelationAtom("Reg_course", (cno, title)),))
+
+    # varphi1(c): immediate prerequisites of the course stored in Reg_prereq.
+    varphi1 = FormulaQuery(
+        (c,),
+        Exists((cp,), And((Rel("Reg_prereq", (cp,)), Rel("prereq", (cp, c))))),
+    )
+
+    # varphi1'(c): one inflationary step from the set stored in Reg_l.
+    def closure_step(register: str):
+        return Or(
+            (
+                Rel(register, (c,)),
+                Exists((cp,), And((Rel(register, (cp,)), Rel("prereq", (cp, c))))),
+            )
+        )
+
+    varphi1_prime = FormulaQuery((c,), closure_step("Reg_l"))
+
+    # varphi2(c): c is in the set and the set is already a fixpoint.
+    step_for_c2 = Or(
+        (
+            Rel("Reg_l", (c2,)),
+            Exists((cp,), And((Rel("Reg_l", (cp,)), Rel("prereq", (cp, c2))))),
+        )
+    )
+    fixpoint_reached = Forall(
+        (c2,),
+        Or(
+            (
+                And((Rel("Reg_l", (c2,)), step_for_c2)),
+                And((Not(Rel("Reg_l", (c2,))), Not(step_for_c2))),
+            )
+        ),
+    )
+    varphi2 = FormulaQuery((c,), And((closure_step("Reg_l"), fixpoint_reached)))
+
+    phi_text_cno = ConjunctiveQuery((c,), (RelationAtom("Reg_cno", (c,)),))
+    phi_text_title = ConjunctiveQuery((c,), (RelationAtom("Reg_title", (c,)),))
+
+    def tq(query) -> RuleQuery:
+        return RuleQuery(query, query.arity)
+
+    def relq(query) -> RuleQuery:
+        return RuleQuery(query, 0)
+
+    rules = [
+        TransductionRule("q0", "db", (RuleItem("q", "course", tq(phi1)),)),
+        TransductionRule(
+            "q",
+            "course",
+            (
+                RuleItem("q", "cno", tq(phi2_cno)),
+                RuleItem("q", "title", tq(phi2_title)),
+                RuleItem("q", "prereq", tq(phi2_cno)),
+            ),
+        ),
+        TransductionRule("q", "prereq", (RuleItem("q", "l", relq(varphi1)),)),
+        TransductionRule(
+            "q",
+            "l",
+            (
+                RuleItem("q", "l", relq(varphi1_prime)),
+                RuleItem("q", "cno", tq(varphi2)),
+            ),
+        ),
+        TransductionRule("q", "cno", (RuleItem("q", "text", tq(phi_text_cno)),)),
+        TransductionRule("q", "title", (RuleItem("q", "text", tq(phi_text_title)),)),
+        TransductionRule("q", "text", ()),
+    ]
+    return make_transducer(
+        rules,
+        start_state="q0",
+        root_tag="db",
+        virtual_tags={"l"},
+        name="tau2-prereq-closure",
+    )
+
+
+# ---------------------------------------------------------------------------
+# tau3: courses without DB as an immediate prerequisite (Figure 1(c), Figure 2).
+# ---------------------------------------------------------------------------
+
+
+def tau3_courses_without_db_prereq(banned_title: str = "Databases") -> PublishingTransducer:
+    """The depth-two view of Figures 1(c) and 2 (class ``PTnr(FO, tuple, normal)``).
+
+    It exports all courses that do *not* have a course titled ``banned_title``
+    as an immediate prerequisite, matching the ``for-xml`` query of Figure 2
+    (whose SQL uses ``NOT EXISTS``, i.e. genuine FO negation).
+    """
+    cno, title, dept = Variable("cno"), Variable("title"), Variable("dept")
+    c2, t2, d2 = Variable("c2"), Variable("t2"), Variable("d2")
+    c = Variable("c")
+    t = Variable("t")
+
+    no_banned_prereq = Not(
+        Exists(
+            (c2, t2, d2),
+            And(
+                (
+                    Rel("prereq", (cno, c2)),
+                    Rel("course", (c2, t2, d2)),
+                    Eq(t2, Constant(banned_title)),
+                )
+            ),
+        )
+    )
+    psi = FormulaQuery(
+        (cno, title),
+        Exists((dept,), And((Rel("course", (cno, title, dept)), no_banned_prereq))),
+    )
+    phi_cno = ConjunctiveQuery((c,), (RelationAtom("Reg_course", (c, t)),))
+    phi_title = ConjunctiveQuery((t,), (RelationAtom("Reg_course", (c, t)),))
+    phi_text_cno = ConjunctiveQuery((c,), (RelationAtom("Reg_cno", (c,)),))
+    phi_text_title = ConjunctiveQuery((t,), (RelationAtom("Reg_title", (t,)),))
+
+    def tq(query) -> RuleQuery:
+        return RuleQuery(query, query.arity)
+
+    rules = [
+        TransductionRule("q0", "db", (RuleItem("q", "course", tq(psi)),)),
+        TransductionRule(
+            "q",
+            "course",
+            (
+                RuleItem("q", "cno", tq(phi_cno)),
+                RuleItem("q", "title", tq(phi_title)),
+            ),
+        ),
+        TransductionRule("q", "cno", (RuleItem("q", "text", tq(phi_text_cno)),)),
+        TransductionRule("q", "title", (RuleItem("q", "text", tq(phi_text_title)),)),
+        TransductionRule("q", "text", ()),
+    ]
+    return make_transducer(rules, start_state="q0", root_tag="db", name="tau3-no-db-prereq")
+
+
+def cs_course_numbers(instance, department: str = "CS") -> Sequence[str]:
+    """Course numbers of the given department, sorted (helper for assertions)."""
+    return sorted(row[0] for row in instance["course"] if row[2] == department)

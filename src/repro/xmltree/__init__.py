@@ -1,0 +1,31 @@
+"""XML substrate: unranked node-labelled trees, serialisation and DTDs.
+
+Section 2 of the paper models an XML document as an unranked, ordered,
+node-labelled tree over a finite tag alphabet with a distinguished ``root``
+tag and a ``text`` tag for PCDATA leaves.  This package provides:
+
+* :mod:`repro.xmltree.tree` -- Σ-trees with both a navigational (node-object)
+  and a formal (tree-domain) view;
+* :mod:`repro.xmltree.serialize` -- rendering to XML text;
+* :mod:`repro.xmltree.dtd` -- DTDs, extended (specialised) DTDs and
+  conformance checking, needed for Theorem 5 and the ATG front-end.
+"""
+
+from repro.xmltree.dtd import DTD, ExtendedDTD, Regex, alt, concat, empty, star, sym
+from repro.xmltree.serialize import to_xml
+from repro.xmltree.tree import TEXT_TAG, TreeNode, tree
+
+__all__ = [
+    "DTD",
+    "ExtendedDTD",
+    "Regex",
+    "TEXT_TAG",
+    "TreeNode",
+    "alt",
+    "concat",
+    "empty",
+    "star",
+    "sym",
+    "to_xml",
+    "tree",
+]

@@ -1,0 +1,424 @@
+"""DTDs and extended (specialised) DTDs.
+
+Section 6.3 of the paper relates publishing transducers to regular unranked
+tree languages: a DTD maps each tag to a regular expression over tags, and an
+*extended DTD* (also called specialised DTD) adds a relabelling ``mu`` from an
+auxiliary alphabet back to the visible one.  Extended DTDs capture exactly the
+regular unranked tree languages, hence also MSO-definable tree languages.
+
+This module implements
+
+* a small regular-expression language over tags (:class:`Regex` and the
+  constructors :func:`sym`, :func:`concat`, :func:`alt`, :func:`star`,
+  :func:`opt`, :func:`plus`, :func:`empty`);
+* Glushkov-style compilation to an NFA and membership of label sequences;
+* :class:`DTD` conformance checking of Σ-trees;
+* :class:`ExtendedDTD` conformance checking via bottom-up computation of the
+  possible auxiliary labels of every node (the standard unranked
+  tree-automaton argument);
+* DTD normalisation (:meth:`DTD.normalized`) into rules of the forms used in
+  the proof of Theorem 5 (concatenation, disjunction, Kleene star), which the
+  DTD-to-transducer construction consumes.
+
+ATG (Section 4) is "DTD-directed" publishing; its front-end in
+:mod:`repro.languages.atg` validates its grammar against these DTDs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.xmltree.tree import TEXT_TAG, TreeNode
+
+
+# ---------------------------------------------------------------------------
+# Regular expressions over tags.
+# ---------------------------------------------------------------------------
+
+
+class Regex:
+    """Base class of content-model regular expressions."""
+
+    def symbols(self) -> frozenset[str]:
+        """The tags mentioned by the expression."""
+        raise NotImplementedError
+
+    def nullable(self) -> bool:
+        """True when the expression accepts the empty word."""
+        raise NotImplementedError
+
+    def to_nfa(self) -> "_NFA":
+        """Compile to a non-deterministic finite automaton."""
+        builder = _NFABuilder()
+        start = builder.new_state()
+        accept = builder.new_state()
+        self._build(builder, start, accept)
+        return _NFA(builder.transitions, builder.epsilon, start, accept)
+
+    def _build(self, builder: "_NFABuilder", start: int, accept: int) -> None:
+        raise NotImplementedError
+
+    def matches(self, word: Sequence[str]) -> bool:
+        """Membership of a tag sequence in the language of the expression."""
+        return self.to_nfa().accepts(word)
+
+
+@dataclass(frozen=True)
+class Epsilon(Regex):
+    """The expression accepting only the empty word."""
+
+    def symbols(self) -> frozenset[str]:
+        return frozenset()
+
+    def nullable(self) -> bool:
+        return True
+
+    def _build(self, builder: "_NFABuilder", start: int, accept: int) -> None:
+        builder.add_epsilon(start, accept)
+
+    def __str__(self) -> str:
+        return "eps"
+
+
+@dataclass(frozen=True)
+class Symbol(Regex):
+    """A single tag."""
+
+    tag: str
+
+    def symbols(self) -> frozenset[str]:
+        return frozenset({self.tag})
+
+    def nullable(self) -> bool:
+        return False
+
+    def _build(self, builder: "_NFABuilder", start: int, accept: int) -> None:
+        builder.add_transition(start, self.tag, accept)
+
+    def __str__(self) -> str:
+        return self.tag
+
+
+@dataclass(frozen=True)
+class Concat(Regex):
+    """Concatenation of sub-expressions."""
+
+    parts: tuple[Regex, ...]
+
+    def symbols(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for part in self.parts:
+            result |= part.symbols()
+        return result
+
+    def nullable(self) -> bool:
+        return all(part.nullable() for part in self.parts)
+
+    def _build(self, builder: "_NFABuilder", start: int, accept: int) -> None:
+        current = start
+        for index, part in enumerate(self.parts):
+            target = accept if index == len(self.parts) - 1 else builder.new_state()
+            part._build(builder, current, target)
+            current = target
+        if not self.parts:
+            builder.add_epsilon(start, accept)
+
+    def __str__(self) -> str:
+        return ", ".join(str(part) for part in self.parts)
+
+
+@dataclass(frozen=True)
+class Alt(Regex):
+    """Disjunction of sub-expressions."""
+
+    parts: tuple[Regex, ...]
+
+    def symbols(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for part in self.parts:
+            result |= part.symbols()
+        return result
+
+    def nullable(self) -> bool:
+        return any(part.nullable() for part in self.parts)
+
+    def _build(self, builder: "_NFABuilder", start: int, accept: int) -> None:
+        for part in self.parts:
+            part._build(builder, start, accept)
+        if not self.parts:
+            pass  # empty alternation accepts nothing
+
+    def __str__(self) -> str:
+        return "(" + " + ".join(str(part) for part in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    """Kleene star."""
+
+    operand: Regex
+
+    def symbols(self) -> frozenset[str]:
+        return self.operand.symbols()
+
+    def nullable(self) -> bool:
+        return True
+
+    def _build(self, builder: "_NFABuilder", start: int, accept: int) -> None:
+        hub = builder.new_state()
+        builder.add_epsilon(start, hub)
+        builder.add_epsilon(hub, accept)
+        self.operand._build(builder, hub, hub)
+
+    def __str__(self) -> str:
+        return f"({self.operand})*"
+
+
+def sym(tag: str) -> Regex:
+    """A single-tag expression."""
+    return Symbol(tag)
+
+
+def concat(*parts: Regex | str) -> Regex:
+    """Concatenation; strings are promoted to :func:`sym`."""
+    return Concat(tuple(sym(p) if isinstance(p, str) else p for p in parts))
+
+
+def alt(*parts: Regex | str) -> Regex:
+    """Disjunction; strings are promoted to :func:`sym`."""
+    return Alt(tuple(sym(p) if isinstance(p, str) else p for p in parts))
+
+
+def star(operand: Regex | str) -> Regex:
+    """Kleene star; strings are promoted to :func:`sym`."""
+    return Star(sym(operand) if isinstance(operand, str) else operand)
+
+
+def opt(operand: Regex | str) -> Regex:
+    """Optional occurrence (``e?``)."""
+    return alt(Epsilon(), sym(operand) if isinstance(operand, str) else operand)
+
+
+def plus(operand: Regex | str) -> Regex:
+    """One or more occurrences (``e+``)."""
+    inner = sym(operand) if isinstance(operand, str) else operand
+    return concat(inner, star(inner))
+
+
+def empty() -> Regex:
+    """The empty-word expression (for leaf content models)."""
+    return Epsilon()
+
+
+# ---------------------------------------------------------------------------
+# A small NFA with epsilon transitions.
+# ---------------------------------------------------------------------------
+
+
+class _NFABuilder:
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+        self.transitions: dict[tuple[int, str], set[int]] = {}
+        self.epsilon: dict[int, set[int]] = {}
+
+    def new_state(self) -> int:
+        return next(self._counter)
+
+    def add_transition(self, source: int, tag: str, target: int) -> None:
+        self.transitions.setdefault((source, tag), set()).add(target)
+
+    def add_epsilon(self, source: int, target: int) -> None:
+        self.epsilon.setdefault(source, set()).add(target)
+
+
+@dataclass
+class _NFA:
+    transitions: dict[tuple[int, str], set[int]]
+    epsilon: dict[int, set[int]]
+    start: int
+    accept: int
+
+    def _closure(self, states: Iterable[int]) -> frozenset[int]:
+        seen = set(states)
+        stack = list(seen)
+        while stack:
+            state = stack.pop()
+            for target in self.epsilon.get(state, ()):
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return frozenset(seen)
+
+    def accepts(self, word: Sequence[str]) -> bool:
+        current = self._closure({self.start})
+        for tag in word:
+            moved: set[int] = set()
+            for state in current:
+                moved |= self.transitions.get((state, tag), set())
+            current = self._closure(moved)
+            if not current:
+                return False
+        return self.accept in current
+
+    def accepts_sets(self, word: Sequence[frozenset[str]]) -> bool:
+        """Membership where each position may carry any tag of a candidate set."""
+        current = self._closure({self.start})
+        for candidates in word:
+            moved: set[int] = set()
+            for state in current:
+                for tag in candidates:
+                    moved |= self.transitions.get((state, tag), set())
+            current = self._closure(moved)
+            if not current:
+                return False
+        return self.accept in current
+
+
+# ---------------------------------------------------------------------------
+# DTDs.
+# ---------------------------------------------------------------------------
+
+
+class DTD:
+    """A DTD: a root tag plus a content-model expression for every tag.
+
+    Tags without an explicit rule default to the empty content model (leaf
+    elements); the ``text`` tag is always a leaf.
+    """
+
+    def __init__(self, root: str, rules: Mapping[str, Regex]) -> None:
+        self._root = root
+        self._rules = dict(rules)
+
+    @property
+    def root(self) -> str:
+        """The required root tag."""
+        return self._root
+
+    @property
+    def rules(self) -> dict[str, Regex]:
+        """The content-model rules."""
+        return dict(self._rules)
+
+    def alphabet(self) -> frozenset[str]:
+        """All tags mentioned by the DTD."""
+        tags = {self._root} | set(self._rules)
+        for regex in self._rules.values():
+            tags |= regex.symbols()
+        return frozenset(tags)
+
+    def content_model(self, tag: str) -> Regex:
+        """The content model of ``tag`` (empty model when unspecified)."""
+        return self._rules.get(tag, Epsilon())
+
+    def conforms(self, node: TreeNode) -> bool:
+        """Check whether a Σ-tree conforms to the DTD."""
+        if node.label != self._root:
+            return False
+        return self._conforms_subtree(node)
+
+    def _conforms_subtree(self, node: TreeNode) -> bool:
+        if node.label == TEXT_TAG:
+            return node.is_leaf()
+        model = self.content_model(node.label)
+        if not model.matches(node.child_labels()):
+            return False
+        return all(self._conforms_subtree(child) for child in node.children)
+
+    def normalized(self) -> "DTD":
+        """Return an equivalent *normalised* DTD.
+
+        The proof of Theorem 5 assumes DTD rules of only three shapes --
+        concatenation of tags, disjunction of tags, and ``b*`` -- obtained by
+        introducing fresh auxiliary tags.  The auxiliary tags are prefixed
+        with ``"_n"`` so callers (the DTD-to-transducer construction) can mark
+        them as virtual.
+        """
+        counter = itertools.count()
+        new_rules: dict[str, Regex] = {}
+
+        def fresh() -> str:
+            return f"_n{next(counter)}"
+
+        def normalise(regex: Regex) -> str:
+            """Return a tag whose rule is equivalent to ``regex``."""
+            tag = fresh()
+            new_rules[tag] = lower(regex)
+            return tag
+
+        def lower(regex: Regex) -> Regex:
+            if isinstance(regex, (Epsilon, Symbol)):
+                return regex
+            if isinstance(regex, Concat):
+                return Concat(tuple(Symbol(atomic(part)) for part in regex.parts))
+            if isinstance(regex, Alt):
+                return Alt(tuple(Symbol(atomic(part)) for part in regex.parts))
+            if isinstance(regex, Star):
+                return Star(Symbol(atomic(regex.operand)))
+            raise TypeError(f"unknown regex node {regex!r}")
+
+        def atomic(regex: Regex) -> str:
+            if isinstance(regex, Symbol):
+                return regex.tag
+            return normalise(regex)
+
+        for tag, regex in self._rules.items():
+            new_rules[tag] = lower(regex)
+        return DTD(self._root, new_rules)
+
+    def auxiliary_tags(self) -> frozenset[str]:
+        """Tags introduced by :meth:`normalized` (named ``_n<i>``)."""
+        return frozenset(tag for tag in self.alphabet() if tag.startswith("_n"))
+
+
+class ExtendedDTD:
+    """An extended (specialised) DTD ``(Sigma', d, mu)``.
+
+    ``d`` is a DTD over the auxiliary alphabet ``Sigma'`` and ``mu`` maps
+    auxiliary tags to visible tags.  A visible Σ-tree ``t`` conforms when some
+    Σ'-tree ``t'`` conforms to ``d`` with ``mu(t') = t``.  Extended DTDs
+    capture the regular unranked tree languages (Papakonstantinou & Vianu).
+    """
+
+    def __init__(self, dtd: DTD, relabeling: Mapping[str, str]) -> None:
+        self._dtd = dtd
+        self._mu = dict(relabeling)
+        for tag in dtd.alphabet():
+            self._mu.setdefault(tag, tag)
+
+    @property
+    def dtd(self) -> DTD:
+        """The underlying DTD over the auxiliary alphabet."""
+        return self._dtd
+
+    @property
+    def relabeling(self) -> dict[str, str]:
+        """The map ``mu`` from auxiliary to visible tags."""
+        return dict(self._mu)
+
+    def visible_alphabet(self) -> frozenset[str]:
+        """The visible alphabet (image of ``mu``)."""
+        return frozenset(self._mu.values())
+
+    def conforms(self, node: TreeNode) -> bool:
+        """Check conformance of a visible Σ-tree (bottom-up tree-automaton run)."""
+        candidate_roots = self._possible_labels(node)
+        return any(
+            label == self._dtd.root and self._mu.get(label, label) == node.label
+            for label in candidate_roots
+        )
+
+    def _possible_labels(self, node: TreeNode) -> frozenset[str]:
+        """Auxiliary labels that could decorate ``node`` in a witnessing tree."""
+        child_candidates = [self._possible_labels(child) for child in node.children]
+        result: set[str] = set()
+        for aux in self._dtd.alphabet():
+            if self._mu.get(aux, aux) != node.label:
+                continue
+            model = self._dtd.content_model(aux)
+            nfa = model.to_nfa()
+            if nfa.accepts_sets(child_candidates):
+                result.add(aux)
+        return frozenset(result)

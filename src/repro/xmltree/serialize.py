@@ -1,0 +1,40 @@
+"""Serialisation of Σ-trees to XML text."""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+from repro.xmltree.tree import TreeNode
+
+
+def to_xml(node: TreeNode, indent: int = 2, _level: int = 0) -> str:
+    """Render a Σ-tree as pretty-printed XML.
+
+    Text nodes become character data of their parent element; element nodes
+    become tags.  The output is deterministic because sibling order is part of
+    the tree.
+    """
+    pad = " " * (indent * _level)
+    if node.is_text():
+        return f"{pad}{escape(node.text or '')}"
+    if not node.children:
+        return f"{pad}<{node.label}/>"
+    only_text = all(child.is_text() for child in node.children)
+    if only_text:
+        content = "".join(escape(child.text or "") for child in node.children)
+        return f"{pad}<{node.label}>{content}</{node.label}>"
+    lines = [f"{pad}<{node.label}>"]
+    for child in node.children:
+        lines.append(to_xml(child, indent, _level + 1))
+    lines.append(f"{pad}</{node.label}>")
+    return "\n".join(lines)
+
+
+def to_compact_xml(node: TreeNode) -> str:
+    """Render a Σ-tree as single-line XML (useful in assertions and logs)."""
+    if node.is_text():
+        return escape(node.text or "")
+    if not node.children:
+        return f"<{node.label}/>"
+    inner = "".join(to_compact_xml(child) for child in node.children)
+    return f"<{node.label}>{inner}</{node.label}>"

@@ -1,0 +1,170 @@
+"""Unranked ordered Σ-trees.
+
+A Σ-tree in the paper is a pair ``(dom(t), lab)`` where ``dom(t)`` is a
+prefix-closed, left-sibling-closed subset of ``IN*`` and ``lab`` maps nodes to
+tags.  Working directly with address strings is awkward, so the primary
+representation here is an immutable node-object tree (:class:`TreeNode`);
+:meth:`TreeNode.tree_domain` recovers the formal view when needed (tests use
+it to check the tree-domain invariants).
+
+Text leaves carry a PCDATA string in :attr:`TreeNode.text`; the paper reserves
+the tag ``text`` for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+#: The reserved tag for PCDATA leaves.
+TEXT_TAG = "text"
+
+#: The default root tag used when none is specified.
+DEFAULT_ROOT_TAG = "r"
+
+
+@dataclass(frozen=True)
+class TreeNode:
+    """An immutable node of an unranked ordered tree.
+
+    Parameters
+    ----------
+    label:
+        The tag of the node.
+    children:
+        The ordered tuple of child nodes.
+    text:
+        PCDATA carried by the node; only meaningful for ``text``-labelled
+        leaves but not enforced here (the transducer runtime enforces it).
+    """
+
+    label: str
+    children: tuple["TreeNode", ...] = field(default=())
+    text: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "children", tuple(self.children))
+
+    # -- structure ----------------------------------------------------------
+
+    def is_leaf(self) -> bool:
+        """True when the node has no children."""
+        return not self.children
+
+    def is_text(self) -> bool:
+        """True when the node is a PCDATA leaf."""
+        return self.label == TEXT_TAG
+
+    def size(self) -> int:
+        """Number of nodes in the subtree rooted at this node."""
+        return 1 + sum(child.size() for child in self.children)
+
+    def depth(self) -> int:
+        """Length of the longest root-to-leaf path (a single node has depth 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def labels(self) -> frozenset[str]:
+        """The set of tags occurring in the subtree."""
+        found = {self.label}
+        for child in self.children:
+            found |= child.labels()
+        return frozenset(found)
+
+    def walk(self) -> Iterator["TreeNode"]:
+        """Pre-order traversal of the subtree."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find_all(self, label: str) -> list["TreeNode"]:
+        """All descendants (including self) with the given tag, in document order."""
+        return [node for node in self.walk() if node.label == label]
+
+    def child_labels(self) -> tuple[str, ...]:
+        """The tags of the children, in order."""
+        return tuple(child.label for child in self.children)
+
+    # -- the formal tree-domain view ----------------------------------------
+
+    def tree_domain(self) -> dict[tuple[int, ...], str]:
+        """Return ``dom(t)`` as a mapping from addresses to labels.
+
+        The root has address ``()``; the i-th child of a node with address
+        ``v`` has address ``v + (i,)`` with ``i`` starting at 1, as in the
+        paper's definition of a tree domain.
+        """
+        domain: dict[tuple[int, ...], str] = {}
+
+        def visit(node: "TreeNode", address: tuple[int, ...]) -> None:
+            domain[address] = node.label
+            for index, child in enumerate(node.children, start=1):
+                visit(child, address + (index,))
+
+        visit(self, ())
+        return domain
+
+    # -- construction helpers ------------------------------------------------
+
+    def with_children(self, children: Sequence["TreeNode"]) -> "TreeNode":
+        """Return a copy of this node with different children."""
+        return TreeNode(self.label, tuple(children), self.text)
+
+    def replace_label(self, label: str) -> "TreeNode":
+        """Return a copy of this node with a different label."""
+        return TreeNode(label, self.children, self.text)
+
+    def map_labels(self, mapping) -> "TreeNode":
+        """Relabel the whole subtree through ``mapping`` (a dict or callable)."""
+        rename = mapping.get if hasattr(mapping, "get") else mapping
+        new_label = rename(self.label) if not hasattr(mapping, "get") else mapping.get(self.label, self.label)
+        return TreeNode(new_label, tuple(child.map_labels(mapping) for child in self.children), self.text)
+
+    def __str__(self) -> str:
+        if self.is_text():
+            return f"text[{self.text or ''}]"
+        if not self.children:
+            return self.label
+        return f"{self.label}({', '.join(str(child) for child in self.children)})"
+
+
+def tree(label: str, *children: TreeNode | str, text: str | None = None) -> TreeNode:
+    """Terse tree constructor used throughout tests and examples.
+
+    String children are shorthand for leaf nodes::
+
+        tree("db", tree("course", "cno", "title"))
+    """
+    resolved = tuple(
+        child if isinstance(child, TreeNode) else TreeNode(child) for child in children
+    )
+    return TreeNode(label, resolved, text)
+
+
+def text_node(content: str) -> TreeNode:
+    """A PCDATA leaf."""
+    return TreeNode(TEXT_TAG, (), content)
+
+
+def is_valid_tree_domain(domain: Iterable[tuple[int, ...]]) -> bool:
+    """Check the two closure conditions of a tree domain.
+
+    ``dom`` must be closed under parents (if ``v.i`` is present then so is
+    ``v``) and under smaller sibling indices (if ``v.i`` with ``i > 1`` is
+    present then so is ``v.(i-1)``).
+    """
+    addresses = set(domain)
+    if not addresses:
+        return False
+    if () not in addresses:
+        return False
+    for address in addresses:
+        if not address:
+            continue
+        parent, index = address[:-1], address[-1]
+        if parent not in addresses:
+            return False
+        if index > 1 and parent + (index - 1,) not in addresses:
+            return False
+    return True

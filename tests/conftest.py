@@ -1,0 +1,66 @@
+"""Shared fixtures: the registrar database, the Figure 1 views and small graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.instance import Instance
+from repro.relational.schema import RelationalSchema
+from repro.workloads.random_instances import chain_instance, random_graph_instance
+from repro.workloads.registrar import (
+    example_registrar_instance,
+    generate_registrar_instance,
+    tau1_prerequisite_hierarchy,
+    tau2_prerequisite_closure,
+    tau3_courses_without_db_prereq,
+)
+
+
+@pytest.fixture(scope="session")
+def registrar_instance() -> Instance:
+    """The hand-written registrar database of Example 1.1."""
+    return example_registrar_instance()
+
+
+@pytest.fixture(scope="session")
+def larger_registrar_instance() -> Instance:
+    """A generated registrar database with a deeper prerequisite hierarchy."""
+    return generate_registrar_instance(40, max_prereqs=2, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tau1():
+    """The recursive prerequisite-hierarchy view (Example 3.1)."""
+    return tau1_prerequisite_hierarchy()
+
+
+@pytest.fixture(scope="session")
+def tau2():
+    """The virtual-node prerequisite-closure view (Example 3.2)."""
+    return tau2_prerequisite_closure()
+
+
+@pytest.fixture(scope="session")
+def tau3():
+    """The depth-two FO view of Figure 1(c)."""
+    return tau3_courses_without_db_prereq()
+
+
+@pytest.fixture(scope="session")
+def graph_instance() -> Instance:
+    """A small random graph over the edge relation ``E``."""
+    return random_graph_instance(8, 14, seed=3)
+
+
+@pytest.fixture(scope="session")
+def path_instance() -> Instance:
+    """A simple path graph ``n0 -> n1 -> ... -> n5``."""
+    return chain_instance(5)
+
+
+@pytest.fixture(scope="session")
+def simple_schema() -> RelationalSchema:
+    """A small schema used across unit tests."""
+    return RelationalSchema.from_attributes(
+        {"course": ("cno", "title", "dept"), "prereq": ("cno1", "cno2"), "E": ("src", "dst")}
+    )

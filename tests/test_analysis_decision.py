@@ -1,0 +1,287 @@
+"""Tests for the Section 5 decision procedures: emptiness, membership, equivalence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    DecisionProblem,
+    UndecidableProblemError,
+    are_equivalent,
+    complexity_of,
+    find_counterexample,
+    is_decidable,
+    is_empty,
+    is_member,
+)
+from repro.analysis.complexity import ComplexityBound, TABLE_II, table_ii_rows
+from repro.analysis.composition import compose_path, composed_queries_to_tag
+from repro.analysis.containment import (
+    cq_contained_in,
+    cq_equivalent,
+    count_equivalent,
+    reduce_query,
+    ucq_equivalent,
+)
+from repro.analysis.equivalence import eliminate_virtual_nonrecursive
+from repro.analysis.membership import MembershipStatus
+from repro.core import RuleQuery, classify, publish
+from repro.core.classes import TransducerClass
+from repro.core.dependency import DependencyGraph
+from repro.core.rules import RuleItem, TransductionRule
+from repro.core.transducer import make_transducer
+from repro.logic import parse_cq
+from repro.logic.cq import UnionOfConjunctiveQueries
+from repro.workloads.registrar import generate_registrar_instance
+from repro.xmltree.tree import tree
+
+
+def simple_cq_transducer(start_body: str, child_body: str | None = None, virtual=()):
+    """A small helper building one- or two-level CQ transducers for the tests."""
+    start = parse_cq(start_body)
+    rules = [TransductionRule("q0", "r", (RuleItem("q", "a", RuleQuery(start, start.arity)),))]
+    if child_body is not None:
+        child = parse_cq(child_body)
+        rules.append(
+            TransductionRule("q", "a", (RuleItem("q", "b", RuleQuery(child, child.arity)),))
+        )
+        rules.append(TransductionRule("q", "b", ()))
+    else:
+        rules.append(TransductionRule("q", "a", ()))
+    return make_transducer(rules, start_state="q0", root_tag="r", virtual_tags=virtual)
+
+
+class TestContainment:
+    def test_classic_containment(self):
+        specific = parse_cq("ans(x) :- E(x, y), E(y, z)")
+        general = parse_cq("ans(x) :- E(x, y)")
+        assert cq_contained_in(specific, general)
+        assert not cq_contained_in(general, specific)
+
+    def test_containment_with_inequalities(self):
+        left = parse_cq("ans(x, y) :- E(x, y), x != y")
+        right = parse_cq("ans(x, y) :- E(x, y)")
+        assert cq_contained_in(left, right)
+        assert not cq_contained_in(right, left)
+
+    def test_inequality_container_needs_matching_constraint(self):
+        left = parse_cq("ans(x, y) :- E(x, y)")
+        right = parse_cq("ans(x, y) :- E(x, y), x != y")
+        # The identity-pair instance {E(a, a)} separates them.
+        assert not cq_contained_in(left, right)
+
+    def test_equivalence_modulo_variable_names(self):
+        left = parse_cq("ans(u) :- course(u, v, w), w = 'CS'")
+        right = parse_cq("ans(c) :- course(c, t, d), d = 'CS'")
+        assert cq_equivalent(left, right)
+
+    def test_unsatisfiable_contained_in_everything(self):
+        bottom = parse_cq("ans(x) :- x = 'a', x != 'a'")
+        anything = parse_cq("ans(x) :- E(x, y)")
+        assert cq_contained_in(bottom, anything)
+
+    def test_ucq_equivalence(self):
+        union_one = UnionOfConjunctiveQueries(
+            [parse_cq("ans(x) :- P(x)"), parse_cq("ans(x) :- Q(x)")]
+        )
+        union_two = UnionOfConjunctiveQueries(
+            [parse_cq("ans(x) :- Q(x)"), parse_cq("ans(x) :- P(x)")]
+        )
+        assert ucq_equivalent(union_one, union_two)
+        assert not ucq_equivalent(union_one, UnionOfConjunctiveQueries([parse_cq("ans(x) :- P(x)")]))
+
+    def test_reduce_query_drops_constant_head(self):
+        query = parse_cq("ans(x, y) :- E(x, z), y = 'c'")
+        reduced = reduce_query(query)
+        assert [v.name for v in reduced.head] == ["x"]
+
+    def test_reduce_query_drops_duplicate_head(self):
+        query = parse_cq("ans(x, y) :- E(x, z), x = y")
+        reduced = reduce_query(query)
+        assert len(reduced.head) == 1
+
+    def test_count_equivalence(self):
+        left = parse_cq("ans(x, y) :- E(x, z), y = 'c'")
+        right = parse_cq("ans(x) :- E(x, z)")
+        assert count_equivalent(left, right)
+        assert not count_equivalent(left, parse_cq("ans(x, y) :- E(x, y)"))
+
+
+class TestComposition:
+    def test_compose_path_matches_runtime(self, tau1, registrar_instance):
+        graph = DependencyGraph(tau1)
+        paths = graph.paths_to_tag("course")
+        short = min(paths, key=len)
+        composed = compose_path(tau1, short)
+        # The one-edge path to `course` is the start rule query: CS courses.
+        expected = {
+            (row[0], row[1]) for row in registrar_instance["course"] if row[2] == "CS"
+        }
+        assert composed.evaluate(registrar_instance) == expected
+
+    def test_composed_queries_to_tag(self, tau1):
+        queries = composed_queries_to_tag(tau1, "cno")
+        assert queries and all(len(q.head) == 1 for q in queries)
+
+
+class TestTableII:
+    def test_registry_is_complete_for_all_problems(self):
+        problems = {entry.problem for entry in TABLE_II}
+        assert problems == set(DecisionProblem)
+
+    def test_lookup_matches_paper_rows(self):
+        cq_tuple_normal = TransducerClass.parse("PT(CQ, tuple, normal)")
+        assert complexity_of(DecisionProblem.EMPTINESS, cq_tuple_normal).bound is ComplexityBound.PTIME
+        assert (
+            complexity_of(DecisionProblem.MEMBERSHIP, cq_tuple_normal).bound
+            is ComplexityBound.SIGMA2P_COMPLETE
+        )
+        assert not is_decidable(DecisionProblem.EQUIVALENCE, cq_tuple_normal)
+
+        nonrec = TransducerClass.parse("PTnr(CQ, tuple, virtual)")
+        assert complexity_of(DecisionProblem.EMPTINESS, nonrec).bound is ComplexityBound.NP_COMPLETE
+        assert complexity_of(DecisionProblem.EQUIVALENCE, nonrec).bound is ComplexityBound.PI3P_COMPLETE
+
+        fo_any = TransducerClass.parse("PT(FO, relation, virtual)")
+        assert not is_decidable(DecisionProblem.EMPTINESS, fo_any)
+
+    def test_table_rows_render(self):
+        rows = table_ii_rows()
+        assert len(rows) == 8
+        assert all(len(row) == 4 for row in rows)
+
+
+class TestEmptiness:
+    def test_satisfiable_start_rule_is_nonempty(self):
+        transducer = simple_cq_transducer("ans(x) :- R(x, y)")
+        result = is_empty(transducer)
+        assert not result.empty and result.witness_query is not None
+
+    def test_contradictory_start_rule_is_empty(self):
+        transducer = simple_cq_transducer("ans(x) :- R(x, y), x = 'a', x != 'a'")
+        assert is_empty(transducer).empty
+
+    def test_register_reading_start_rule_is_empty(self):
+        transducer = simple_cq_transducer("ans(x) :- Reg(x)")
+        assert is_empty(transducer).empty
+
+    def test_virtual_chain_satisfiable(self):
+        transducer = simple_cq_transducer(
+            "ans(x) :- R(x, y)", "ans(z) :- Reg_a(z), z != 'forbidden'", virtual={"a"}
+        )
+        assert not is_empty(transducer).empty
+
+    def test_virtual_chain_unsatisfiable(self):
+        transducer = simple_cq_transducer(
+            "ans(x) :- R(x, y), x = 'only'", "ans(z) :- Reg_a(z), z != 'only'", virtual={"a"}
+        )
+        assert is_empty(transducer).empty
+
+    def test_fo_transducer_raises(self, tau3):
+        with pytest.raises(UndecidableProblemError):
+            is_empty(tau3)
+
+    def test_figure1_views_nonempty(self, tau1):
+        assert not is_empty(tau1).empty
+
+
+class TestMembership:
+    def test_root_mismatch(self, tau1):
+        assert is_member(tau1, tree("x")).status is MembershipStatus.NOT_MEMBER
+
+    def test_foreign_label(self, tau1):
+        assert is_member(tau1, tree("db", "zzz")).status is MembershipStatus.NOT_MEMBER
+
+    def test_produced_tree_is_member(self):
+        transducer = simple_cq_transducer("ans(x) :- R(x, y)", "ans(z) :- Reg_a(z)")
+        target = tree("r", tree("a", "b"))
+        result = is_member(transducer, target)
+        assert result.status is MembershipStatus.MEMBER
+        assert publish(transducer, result.witness) == target
+
+    def test_impossible_shape_not_member(self):
+        # Every generated `a` node always has exactly one `b` child (its own
+        # register value), so an `a` leaf next to an expanded one is impossible.
+        transducer = simple_cq_transducer("ans(x) :- R(x, y)", "ans(z) :- Reg_a(z)")
+        target = tree("r", tree("a", "b", "b"))
+        result = is_member(transducer, target, exhaustive=True, max_domain_size=3, max_tuples=3)
+        assert result.status in (MembershipStatus.NOT_MEMBER, MembershipStatus.UNKNOWN)
+        assert result.status is not MembershipStatus.MEMBER
+
+    def test_two_course_tree_never_refuted(self, tau1, registrar_instance):
+        # A tree actually produced by tau1 is a member by construction; the fast
+        # (non-exhaustive) procedure may answer MEMBER or UNKNOWN (it is a
+        # Sigma^p_2 problem), but must never answer NOT_MEMBER.
+        produced = publish(tau1, generate_registrar_instance(3, cs_fraction=1.0, max_prereqs=0, seed=1))
+        result = is_member(tau1, produced)
+        assert result.status is not MembershipStatus.NOT_MEMBER
+
+    def test_member_with_matching_text_values(self):
+        transducer = simple_cq_transducer("ans(x) :- R(x, y)", "ans(z) :- Reg_a(z)")
+        # Target tree whose labels match the canonical frozen constants is found
+        # by the constructive candidate directly.
+        target = tree("r", tree("a", "b"))
+        result = is_member(transducer, target)
+        assert result.is_member
+
+    def test_undecidable_fragment_raises(self, tau2):
+        with pytest.raises(UndecidableProblemError):
+            is_member(tau2, tree("db"))
+
+
+class TestEquivalence:
+    def test_identical_transducers_equivalent(self):
+        left = simple_cq_transducer("ans(x) :- R(x, y)", "ans(z) :- Reg_a(z)")
+        right = simple_cq_transducer("ans(x) :- R(x, y)", "ans(z) :- Reg_a(z)")
+        assert are_equivalent(left, right).equivalent
+
+    def test_renamed_variables_equivalent(self):
+        left = simple_cq_transducer("ans(x) :- R(x, y)")
+        right = simple_cq_transducer("ans(u) :- R(u, w)")
+        assert are_equivalent(left, right).equivalent
+
+    def test_different_selection_not_equivalent(self):
+        left = simple_cq_transducer("ans(x) :- R(x, y)")
+        right = simple_cq_transducer("ans(x) :- R(x, y), x != 'a'")
+        verdict = are_equivalent(left, right)
+        assert not verdict.equivalent
+
+    def test_different_shape_not_equivalent(self):
+        left = simple_cq_transducer("ans(x) :- R(x, y)")
+        right = simple_cq_transducer("ans(x) :- R(x, y)", "ans(z) :- Reg_a(z)")
+        assert not are_equivalent(left, right).equivalent
+
+    def test_recursive_fragment_raises(self, tau1):
+        with pytest.raises(UndecidableProblemError):
+            are_equivalent(tau1, tau1)
+
+    def test_virtual_elimination_preserves_output(self):
+        virtual_version = simple_cq_transducer(
+            "ans(x) :- R(x, y)", "ans(z) :- Reg_a(z), z != 'skip'", virtual={"a"}
+        )
+        plain = eliminate_virtual_nonrecursive(virtual_version)
+        assert not plain.uses_virtual_nodes()
+        from repro.workloads.random_instances import random_graph_instance
+
+        for seed in range(3):
+            instance = random_graph_instance(4, 6, seed=seed, relation="R")
+            assert publish(virtual_version, instance) == publish(plain, instance)
+
+    def test_virtual_equivalence(self):
+        left = simple_cq_transducer(
+            "ans(x) :- R(x, y)", "ans(z) :- Reg_a(z)", virtual={"a"}
+        )
+        right = simple_cq_transducer(
+            "ans(u) :- R(u, v)", "ans(w) :- Reg_a(w)", virtual={"a"}
+        )
+        assert are_equivalent(left, right).equivalent
+
+    def test_find_counterexample(self):
+        left = simple_cq_transducer("ans(x) :- R(x, y)")
+        right = simple_cq_transducer("ans(x) :- R(x, y), x != 'n0'")
+        from repro.workloads.random_instances import random_graph_instance
+
+        instances = [random_graph_instance(4, 6, seed=s, relation="R") for s in range(5)]
+        witness = find_counterexample(left, right, instances)
+        assert witness is not None
+        assert publish(left, witness) != publish(right, witness)

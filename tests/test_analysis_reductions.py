@@ -1,0 +1,143 @@
+"""Tests for the lower-bound reductions of Section 5."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import is_empty
+from repro.analysis.reductions import (
+    CnfFormula,
+    ExistsForallFormula,
+    Literal,
+    TwoRegisterMachine,
+    cnf,
+    exists_forall_sat_membership_gadget,
+    fo_equivalence_emptiness_gadget,
+    fo_equivalence_equivalence_gadget,
+    fo_equivalence_membership_gadget,
+    three_sat_emptiness_gadget,
+    three_sat_witness_instance,
+    two_register_machine_gadget,
+)
+from repro.core import classify, publish
+from repro.logic.fo import Eq, Exists, FormulaQuery, Rel
+from repro.logic.terms import Constant, Variable
+from repro.relational.instance import Instance
+from repro.relational.schema import RelationalSchema
+from repro.xmltree.tree import tree
+
+x, y = Variable("x"), Variable("y")
+
+
+class TestThreeSatGadget:
+    @pytest.mark.parametrize(
+        "formula, satisfiable",
+        [
+            (cnf(2, [[(0, True), (1, True)]]), True),
+            (cnf(1, [[(0, True)], [(0, False)]]), False),
+            (cnf(3, [[(0, True), (1, False), (2, True)], [(0, False), (1, True), (2, False)]]), True),
+            (cnf(2, [[(0, True)], [(0, False)], [(1, True)]]), False),
+        ],
+    )
+    def test_emptiness_decides_satisfiability(self, formula: CnfFormula, satisfiable: bool):
+        gadget = three_sat_emptiness_gadget(formula)
+        assert str(classify(gadget)) == "PTnr(CQ, tuple, virtual)"
+        assert is_empty(gadget).empty is (not satisfiable)
+        assert formula.is_satisfiable_bruteforce() is satisfiable
+
+    def test_witness_instance_produces_nontrivial_tree(self):
+        formula = cnf(2, [[(0, True), (1, True)]])
+        gadget = three_sat_emptiness_gadget(formula)
+        witness = three_sat_witness_instance(formula, (1, 0))
+        output = publish(gadget, witness)
+        assert output.size() > 1
+        non_satisfying = three_sat_witness_instance(cnf(1, [[(0, True)]]), (0,))
+        gadget_one = three_sat_emptiness_gadget(cnf(1, [[(0, True)]]))
+        assert publish(gadget_one, non_satisfying) == tree("r")
+
+
+class TestProposition2Gadgets:
+    @pytest.fixture
+    def equivalent_pair(self):
+        q1 = FormulaQuery((x,), Exists((y,), Rel("E", (x, y))))
+        q2 = FormulaQuery((x,), Exists((y,), Rel("E", (x, y))))
+        return q1, q2
+
+    @pytest.fixture
+    def inequivalent_pair(self):
+        q1 = FormulaQuery((x,), Exists((y,), Rel("E", (x, y))))
+        q2 = FormulaQuery((x,), Exists((y,), Rel("E", (y, x))))
+        return q1, q2
+
+    @pytest.fixture
+    def graph(self):
+        schema = RelationalSchema.from_arities({"E": 2})
+        return Instance(schema, {"E": [("a", "b")]})
+
+    def test_emptiness_gadget_behaviour(self, equivalent_pair, inequivalent_pair, graph):
+        same = fo_equivalence_emptiness_gadget(*equivalent_pair)
+        different = fo_equivalence_emptiness_gadget(*inequivalent_pair)
+        # For equivalent queries the gadget's output stays trivial on every instance.
+        assert publish(same, graph) == tree("r")
+        # For inequivalent queries some instance yields a non-trivial tree.
+        assert publish(different, graph) != tree("r")
+
+    def test_membership_gadget_behaviour(self, inequivalent_pair, graph):
+        gadget, target = fo_equivalence_membership_gadget(*inequivalent_pair)
+        assert publish(gadget, graph) == target
+
+    def test_equivalence_gadget_behaviour(self, equivalent_pair, inequivalent_pair, graph):
+        same_left, same_right = fo_equivalence_equivalence_gadget(*equivalent_pair)
+        assert publish(same_left, graph) == publish(same_right, graph)
+        diff_left, diff_right = fo_equivalence_equivalence_gadget(*inequivalent_pair)
+        assert publish(diff_left, graph) != publish(diff_right, graph)
+
+
+class TestExistsForallGadget:
+    def test_construction_classifies_correctly(self):
+        formula = ExistsForallFormula(
+            existential=1,
+            universal=1,
+            clauses=(
+                (Literal(0, True), Literal(1, True)),
+                (Literal(0, True), Literal(1, False)),
+            ),
+        )
+        gadget, target = exists_forall_sat_membership_gadget(formula)
+        assert str(classify(gadget)) == "PTnr(CQ, tuple, normal)"
+        assert target == tree("r", "b", "d")
+        assert formula.evaluate_bruteforce()
+
+    def test_intended_instance_reproduces_target_iff_true(self):
+        # phi = exists y . forall z . (y | z) & (y | !z)  -- true with y = 1.
+        formula = ExistsForallFormula(
+            existential=1,
+            universal=1,
+            clauses=((Literal(0, True), Literal(1, True)), (Literal(0, True), Literal(1, False))),
+        )
+        gadget, target = exists_forall_sat_membership_gadget(formula)
+        schema = RelationalSchema.from_arities({"RC": 1, "ROR": 3})
+        intended = Instance(
+            schema,
+            {
+                "RC": [(0,), (1,)],
+                "ROR": [(0, 0, 0), (1, 0, 1), (0, 1, 1), (1, 1, 1)],
+            },
+        )
+        assert publish(gadget, intended) == target
+
+
+class TestTwoRegisterMachineGadget:
+    def test_reference_simulation(self):
+        halting = TwoRegisterMachine(instructions=(("add", 1, 1), ("sub", 1, 2, 1)), halting_state=2)
+        assert not halting.runs_forever()
+        looping = TwoRegisterMachine(instructions=(("add", 1, 0),), halting_state=5)
+        assert looping.runs_forever(max_steps=200)
+
+    def test_gadget_construction(self):
+        machine = TwoRegisterMachine(instructions=(("add", 1, 1), ("sub", 1, 2, 1)), halting_state=2)
+        tau1, tau2 = two_register_machine_gadget(machine)
+        assert str(classify(tau1)) == "PT(CQ, tuple, normal)"
+        assert str(classify(tau2)) == "PT(CQ, tuple, normal)"
+        # Both simulate runs over the same 6-ary schema.
+        assert tau1.source_relation_names() == {"R"} == tau2.source_relation_names()

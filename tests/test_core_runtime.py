@@ -1,0 +1,170 @@
+"""Integration tests for the transformation engine on the paper's examples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TransformationLimitError, publish
+from repro.core.runtime import TransducerRuntime, publish_full
+from repro.core.virtual import eliminate_virtual_nodes
+from repro.workloads.blowup import (
+    binary_counter_instance,
+    binary_counter_transducer,
+    chain_of_diamonds_instance,
+    chain_of_diamonds_transducer,
+)
+from repro.workloads.registrar import generate_registrar_instance
+from repro.xmltree.tree import TEXT_TAG, tree
+
+
+class TestFigure1Views:
+    def test_tau1_exports_only_cs_courses(self, tau1, registrar_instance):
+        output = publish(tau1, registrar_instance)
+        top_level = [child.label for child in output.children]
+        assert set(top_level) == {"course"}
+        cs_courses = {
+            row[0] for row in registrar_instance["course"] if row[2] == "CS"
+        }
+        top_level_cnos = {
+            child.children[0].children[0].text for child in output.children
+        }
+        assert top_level_cnos == cs_courses
+
+    def test_tau1_unfolds_prerequisite_hierarchy(self, tau1, registrar_instance):
+        output = publish(tau1, registrar_instance)
+        # cs452 -> cs340 -> cs240 -> cs101: depth of that chain in the tree is
+        # 4 course levels * (course + prereq) plus leaf levels.
+        assert output.depth() >= 10
+
+    def test_tau1_stop_condition_on_cycles(self, tau1, registrar_instance):
+        # cs610 <-> cs620 is a prerequisite cycle; without the stop condition the
+        # transformation would not terminate.
+        output = publish(tau1, registrar_instance)
+        cycle_nodes = [
+            node
+            for node in output.walk()
+            if node.label == "cno" and node.children and node.children[0].text == "cs610"
+        ]
+        assert cycle_nodes  # the cyclic course is still published
+
+    def test_tau1_children_order(self, tau1, registrar_instance):
+        output = publish(tau1, registrar_instance)
+        course = output.children[0]
+        assert course.child_labels() == ("cno", "title", "prereq")
+
+    def test_tau2_closure_is_flat(self, tau2, registrar_instance):
+        output = publish(tau2, registrar_instance)
+        assert "l" not in output.labels()  # virtual tag eliminated
+        for course in output.children:
+            prereq = course.children[2]
+            assert set(prereq.child_labels()) <= {"cno"}
+
+    def test_tau2_closure_matches_transitive_closure(self, tau2, registrar_instance):
+        output = publish(tau2, registrar_instance)
+        closure: dict[str, set[str]] = {}
+        prereq_edges = registrar_instance["prereq"].tuples
+        for course_row in registrar_instance["course"]:
+            if course_row[2] != "CS":
+                continue
+            reachable: set[str] = set()
+            frontier = [course_row[0]]
+            while frontier:
+                current = frontier.pop()
+                for a, b in prereq_edges:
+                    if a == current and b not in reachable:
+                        reachable.add(b)
+                        frontier.append(b)
+            closure[course_row[0]] = reachable
+        for course in output.children:
+            cno = course.children[0].children[0].text
+            listed = {node.children[0].text for node in course.children[2].children}
+            assert listed == closure[cno]
+
+    def test_tau3_filters_db_prerequisite(self, tau3, registrar_instance):
+        output = publish(tau3, registrar_instance)
+        listed = {course.children[0].children[0].text for course in output.children}
+        # cs450 is titled 'Databases'; only courses having it as an *immediate*
+        # prerequisite are excluded -- there are none in the example instance,
+        # so every course appears.
+        assert "cs450" in listed
+        assert output.depth() == 4  # db / course / cno|title / text
+
+    def test_tau3_is_depth_bounded(self, tau3, larger_registrar_instance):
+        output = publish(tau3, larger_registrar_instance)
+        assert output.depth() <= 4
+
+
+class TestRuntimeMechanics:
+    def test_output_is_deterministic(self, tau1, registrar_instance):
+        first = publish(tau1, registrar_instance)
+        second = publish(tau1, registrar_instance)
+        assert first == second
+
+    def test_result_object_counts(self, tau1, registrar_instance):
+        result = publish_full(tau1, registrar_instance)
+        assert result.output_size == result.tree.size()
+        assert result.node_count >= result.output_size
+        assert result.steps > 0
+
+    def test_output_relation_collects_registers(self, tau1, registrar_instance):
+        result = publish_full(tau1, registrar_instance)
+        relation = result.output_relation("course")
+        assert all(len(row) == 2 for row in relation)
+        assert {row[0] for row in relation} >= {"cs101", "cs240"}
+
+    def test_text_nodes_carry_values(self, tau1, registrar_instance):
+        output = publish(tau1, registrar_instance)
+        text_nodes = [node for node in output.walk() if node.label == TEXT_TAG]
+        assert text_nodes and all(node.text for node in text_nodes)
+
+    def test_unknown_source_relation_raises(self, tau1, graph_instance):
+        with pytest.raises(ValueError):
+            publish(tau1, graph_instance)
+
+    def test_node_budget_enforced(self):
+        transducer = binary_counter_transducer()
+        with pytest.raises(TransformationLimitError):
+            TransducerRuntime(transducer, max_nodes=50).run(binary_counter_instance(3))
+
+    def test_empty_instance_gives_root_only(self, tau1):
+        instance = generate_registrar_instance(0)
+        assert publish(tau1, instance) == tree("db")
+
+
+class TestBlowupFamilies:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_exponential_growth(self, n):
+        result = publish_full(chain_of_diamonds_transducer(), chain_of_diamonds_instance(n))
+        assert result.output_size >= 2**n
+        assert chain_of_diamonds_instance(n).total_size() == 4 * n
+
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_doubly_exponential_growth(self, n):
+        result = publish_full(
+            binary_counter_transducer(), binary_counter_instance(n), max_nodes=10**6
+        )
+        assert result.output_size >= 2 ** (2**n)
+
+    def test_termination_on_cyclic_graph(self):
+        # A cyclic graph exercises the stop condition of the unfolding transducer.
+        from repro.relational.instance import Instance
+        from repro.workloads.blowup import GRAPH_SCHEMA
+
+        instance = Instance(GRAPH_SCHEMA, {"R": [("a", "b"), ("b", "a")]})
+        result = publish_full(chain_of_diamonds_transducer(), instance)
+        assert result.output_size > 1  # terminated and produced something
+
+
+class TestVirtualElimination:
+    def test_eliminate_nested_virtual_chain(self):
+        document = tree("r", tree("v", tree("v", "a", "b"), "c"), "d")
+        cleaned = eliminate_virtual_nodes(document, {"v"})
+        assert cleaned == tree("r", "a", "b", "c", "d")
+
+    def test_no_virtual_tags_is_identity(self):
+        document = tree("r", "a")
+        assert eliminate_virtual_nodes(document, set()) is document
+
+    def test_virtual_leaf_disappears(self):
+        document = tree("r", "v", "a")
+        assert eliminate_virtual_nodes(document, {"v"}) == tree("r", "a")

@@ -1,0 +1,178 @@
+"""Unit tests for the transducer definition, rules, classification and dependency graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    DependencyGraph,
+    OutputKind,
+    PublishingTransducer,
+    RuleQuery,
+    StoreKind,
+    TransducerClass,
+    TransducerDefinitionError,
+    classify,
+)
+from repro.core.classes import all_fragments
+from repro.core.rules import RuleItem, TransductionRule, leaf_rule, rule
+from repro.core.transducer import make_transducer
+from repro.logic import parse_cq
+from repro.logic.base import QueryLogic
+from repro.workloads.blowup import binary_counter_transducer, chain_of_diamonds_transducer
+
+
+def simple_rules():
+    start = parse_cq("ans(x) :- R(x, y)")
+    step = parse_cq("ans(x) :- Reg_a(y), R(y, x)")
+    return [
+        TransductionRule("q0", "r", (RuleItem("q", "a", RuleQuery(start, 1)),)),
+        TransductionRule("q", "a", (RuleItem("q", "a", RuleQuery(step, 1)),)),
+    ]
+
+
+class TestRuleQuery:
+    def test_group_and_register_variables(self):
+        query = parse_cq("ans(x, y) :- R(x, y)")
+        rq = RuleQuery(query, 1)
+        assert [v.name for v in rq.group_variables] == ["x"]
+        assert [v.name for v in rq.register_variables] == ["y"]
+        assert not rq.is_tuple_query
+        assert RuleQuery(query, 2).is_tuple_query
+
+    def test_group_arity_bounds(self):
+        query = parse_cq("ans(x) :- R(x, y)")
+        with pytest.raises(ValueError):
+            RuleQuery(query, 2)
+
+    def test_uses_register(self):
+        assert RuleQuery(parse_cq("ans(x) :- Reg(x)"), 1).uses_register()
+        assert RuleQuery(parse_cq("ans(x) :- Reg_a(x)"), 1).uses_register()
+        assert not RuleQuery(parse_cq("ans(x) :- R(x, y)"), 1).uses_register()
+
+
+class TestDefinition:
+    def test_make_transducer_infers_structure(self):
+        transducer = make_transducer(simple_rules(), start_state="q0", root_tag="r")
+        assert transducer.states == {"q0", "q"}
+        assert "a" in transducer.alphabet
+        assert transducer.register_arity("a") == 1
+        assert transducer.register_arity("r") == 0
+
+    def test_duplicate_rule_rejected(self):
+        rules = simple_rules() + [TransductionRule("q", "a", ())]
+        with pytest.raises(TransducerDefinitionError):
+            make_transducer(rules, start_state="q0", root_tag="r")
+
+    def test_missing_start_rule_rejected(self):
+        with pytest.raises(TransducerDefinitionError):
+            make_transducer(simple_rules()[1:], start_state="q0", root_tag="r")
+
+    def test_text_rule_with_rhs_rejected(self):
+        bad = TransductionRule(
+            "q", "text", (RuleItem("q", "a", RuleQuery(parse_cq("ans(x) :- R(x, y)"), 1)),)
+        )
+        with pytest.raises(TransducerDefinitionError):
+            make_transducer(simple_rules() + [bad], start_state="q0", root_tag="r")
+
+    def test_virtual_root_rejected(self):
+        with pytest.raises(TransducerDefinitionError):
+            make_transducer(simple_rules(), start_state="q0", root_tag="r", virtual_tags={"r"})
+
+    def test_register_arity_conflict_rejected(self):
+        other = parse_cq("ans(x, y) :- R(x, y)")
+        rules = simple_rules() + [
+            TransductionRule("q", "b", (RuleItem("q", "a", RuleQuery(other, 2)),))
+        ]
+        with pytest.raises(TransducerDefinitionError):
+            make_transducer(rules, start_state="q0", root_tag="r")
+
+    def test_start_state_on_rhs_rejected(self):
+        bad = [
+            TransductionRule(
+                "q0", "r", (RuleItem("q0", "a", RuleQuery(parse_cq("ans(x) :- R(x, y)"), 1)),)
+            )
+        ]
+        with pytest.raises(TransducerDefinitionError):
+            make_transducer(bad, start_state="q0", root_tag="r")
+
+    def test_rule_lookup_defaults_to_empty(self):
+        transducer = make_transducer(simple_rules(), start_state="q0", root_tag="r")
+        assert transducer.rule_for("q", "unknown").is_leaf_rule
+        assert not transducer.has_rule("q", "unknown")
+
+    def test_source_relations_exclude_registers(self):
+        transducer = make_transducer(simple_rules(), start_state="q0", root_tag="r")
+        assert transducer.source_relation_names() == {"R"}
+
+    def test_validate_against_schema(self, simple_schema):
+        transducer = make_transducer(simple_rules(), start_state="q0", root_tag="r")
+        assert transducer.validate_against_schema(simple_schema) == [
+            "rule queries reference unknown source relation 'R'"
+        ]
+
+    def test_describe_mentions_rules(self):
+        transducer = make_transducer(simple_rules(), start_state="q0", root_tag="r")
+        assert "(q0, r)" in transducer.describe()
+
+    def test_rule_helpers(self):
+        r = rule("q", "a", [("q", "b", RuleQuery(parse_cq("ans(x) :- R(x, y)"), 1))])
+        assert r.child_pairs() == (("q", "b"),)
+        assert leaf_rule("q", "b").is_leaf_rule
+
+
+class TestDependencyGraph:
+    def test_recursive_detection(self, tau1, tau3):
+        assert DependencyGraph(tau1).is_recursive()
+        assert not DependencyGraph(tau3).is_recursive()
+
+    def test_reachable_nodes(self, tau3):
+        graph = DependencyGraph(tau3)
+        assert graph.root == ("q0", "db")
+        assert ("q", "course") in graph.reachable_nodes()
+
+    def test_simple_paths(self, tau3):
+        graph = DependencyGraph(tau3)
+        paths = graph.paths_to_tag("text")
+        assert paths
+        assert all(path[-1].target[1] == "text" for path in paths)
+
+    def test_node_types(self, tau1):
+        graph = DependencyGraph(tau1)
+        assert graph.node_types()[("q", "course")] == ("cno", "title", "prereq")
+
+    def test_depth_of_nonrecursive(self, tau3):
+        assert DependencyGraph(tau3).depth() == 3
+
+
+class TestClassification:
+    def test_figure1_views(self, tau1, tau2, tau3):
+        assert str(classify(tau1)) == "PT(CQ, tuple, normal)"
+        assert str(classify(tau2)) == "PT(FO, relation, virtual)"
+        assert str(classify(tau3)) == "PTnr(FO, tuple, normal)"
+
+    def test_blowup_transducers(self):
+        assert str(classify(chain_of_diamonds_transducer())) == "PT(CQ, tuple, normal)"
+        assert str(classify(binary_counter_transducer())) == "PT(CQ, relation, normal)"
+
+    def test_class_lattice(self):
+        small = TransducerClass.parse("PTnr(CQ, tuple, normal)")
+        big = TransducerClass.parse("PT(IFP, relation, virtual)")
+        assert big.contains(small)
+        assert not small.contains(big)
+        assert big.join(small) == big
+
+    def test_class_parse_round_trip(self):
+        for fragment in all_fragments():
+            assert TransducerClass.parse(str(fragment)) == fragment
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            TransducerClass.parse("XX(CQ, tuple, normal)")
+        with pytest.raises(ValueError):
+            TransducerClass.parse("PT(CQ, tuple)")
+
+    def test_store_and_output_order(self):
+        assert StoreKind.RELATION.includes(StoreKind.TUPLE)
+        assert OutputKind.VIRTUAL.includes(OutputKind.NORMAL)
+        assert QueryLogic.IFP.includes(QueryLogic.CQ)

@@ -1,0 +1,205 @@
+"""Tests for the Datalog substrate and the Theorem 3(2) translations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.relational_query import TransducerRelationalQuery, output_relation
+from repro.datalog import (
+    DatalogProgram,
+    DatalogRule,
+    FormulaCondition,
+    deterministic_subprograms,
+    evaluate_program,
+    is_deterministic,
+    is_linear,
+    is_nonrecursive,
+    lindatalog_to_transducer,
+    transducer_to_lindatalog,
+    unfold_to_cq,
+)
+from repro.datalog.translate import TranslationError
+from repro.logic import parse_cq
+from repro.logic.cq import RelationAtom
+from repro.logic.fo import Not, Rel
+from repro.logic.terms import Constant, Variable
+from repro.workloads.random_instances import chain_instance, random_graph_instance
+from repro.workloads.registrar import tau1_prerequisite_hierarchy, example_registrar_instance
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+def transitive_closure_program() -> DatalogProgram:
+    return DatalogProgram(
+        [
+            DatalogRule(RelationAtom("S", (x, y)), (RelationAtom("E", (x, y)),)),
+            DatalogRule(
+                RelationAtom("S", (x, y)),
+                (RelationAtom("S", (x, z)), RelationAtom("E", (z, y))),
+            ),
+            DatalogRule(RelationAtom("ans", (x, y)), (RelationAtom("S", (x, y)),)),
+        ]
+    )
+
+
+class TestEvaluation:
+    def test_transitive_closure_on_chain(self):
+        program = transitive_closure_program()
+        instance = chain_instance(4)
+        result = evaluate_program(program, instance)
+        assert len(result) == 10  # all ordered pairs i < j over 5 nodes
+
+    def test_facts_and_constants_in_heads(self):
+        program = DatalogProgram(
+            [
+                DatalogRule(RelationAtom("ans", (Constant("seed"),)), ()),
+                DatalogRule(RelationAtom("ans", (x,)), (RelationAtom("E", (x, x)),)),
+            ]
+        )
+        instance = chain_instance(2)
+        assert evaluate_program(program, instance) == {("seed",)}
+
+    def test_inequality_in_body(self):
+        program = DatalogProgram(
+            [
+                DatalogRule(
+                    RelationAtom("ans", (x, y)),
+                    (RelationAtom("E", (x, y)), parse_cq("ans(x, y) :- x != y").comparisons[0]),
+                )
+            ]
+        )
+        instance = chain_instance(3)
+        assert len(evaluate_program(program, instance)) == 3
+
+    def test_fo_condition_in_body(self):
+        # ans(x, y) <- E(x, y), [not exists z E(y, z)]: edges into sinks.
+        from repro.logic.fo import Exists
+
+        condition = FormulaCondition(Not(Exists((z,), Rel("E", (y, z)))))
+        program = DatalogProgram(
+            [DatalogRule(RelationAtom("ans", (x, y)), (RelationAtom("E", (x, y)), condition))]
+        )
+        instance = chain_instance(3)
+        assert evaluate_program(program, instance) == {("n2", "n3")}
+
+    def test_evaluation_terminates_on_cycles(self):
+        program = transitive_closure_program()
+        instance = random_graph_instance(6, 12, seed=1)
+        result = evaluate_program(program, instance)
+        assert all(len(row) == 2 for row in result)
+
+
+class TestStructuralChecks:
+    def test_linearity(self):
+        assert is_linear(transitive_closure_program())
+        nonlinear = DatalogProgram(
+            [
+                DatalogRule(RelationAtom("S", (x, y)), (RelationAtom("E", (x, y)),)),
+                DatalogRule(
+                    RelationAtom("S", (x, y)),
+                    (RelationAtom("S", (x, z)), RelationAtom("S", (z, y))),
+                ),
+                DatalogRule(RelationAtom("ans", (x, y)), (RelationAtom("S", (x, y)),)),
+            ]
+        )
+        assert not is_linear(nonlinear)
+
+    def test_recursion_detection(self):
+        assert not is_nonrecursive(transitive_closure_program())
+        flat = DatalogProgram(
+            [DatalogRule(RelationAtom("ans", (x, y)), (RelationAtom("E", (x, y)),))]
+        )
+        assert is_nonrecursive(flat)
+
+    def test_deterministic_subprograms(self):
+        program = transitive_closure_program()
+        subs = list(deterministic_subprograms(program))
+        assert len(subs) == 2  # two rules for S, one for ans
+        assert all(is_deterministic(sub) for sub in subs)
+
+    def test_predicates(self):
+        program = transitive_closure_program()
+        assert program.idb_predicates() == {"S", "ans"}
+        assert program.edb_predicates() == {"E"}
+        assert program.predicate_arity("S") == 2
+
+
+class TestUnfolding:
+    def test_unfold_nonrecursive_deterministic(self):
+        program = DatalogProgram(
+            [
+                DatalogRule(RelationAtom("P", (x, y)), (RelationAtom("E", (x, z)), RelationAtom("E", (z, y)))),
+                DatalogRule(RelationAtom("ans", (x, y)), (RelationAtom("P", (x, z)), RelationAtom("E", (z, y)))),
+            ]
+        )
+        query = unfold_to_cq(program)
+        instance = chain_instance(4)
+        assert query.evaluate(instance) == evaluate_program(program, instance)
+
+    def test_unfold_rejects_recursive(self):
+        with pytest.raises(ValueError):
+            unfold_to_cq(transitive_closure_program())
+
+    def test_unfold_rejects_nondeterministic(self):
+        program = DatalogProgram(
+            [
+                DatalogRule(RelationAtom("ans", (x,)), (RelationAtom("E", (x, y)),)),
+                DatalogRule(RelationAtom("ans", (x,)), (RelationAtom("E", (y, x)),)),
+            ]
+        )
+        with pytest.raises(ValueError):
+            unfold_to_cq(program)
+
+
+class TestTheorem3Translations:
+    def test_transducer_to_lindatalog_is_linear(self):
+        program = transducer_to_lindatalog(tau1_prerequisite_hierarchy(), "course")
+        assert is_linear(program)
+
+    def test_transducer_to_lindatalog_agrees(self):
+        transducer = tau1_prerequisite_hierarchy()
+        instance = example_registrar_instance()
+        program = transducer_to_lindatalog(transducer, "course")
+        assert evaluate_program(program, instance) == output_relation(transducer, instance, "course")
+
+    def test_lindatalog_to_transducer_agrees(self):
+        program = transitive_closure_program()
+        transducer = lindatalog_to_transducer(program)
+        for seed in range(3):
+            instance = random_graph_instance(5, 8, seed=seed)
+            assert output_relation(transducer, instance, "ao") == evaluate_program(program, instance)
+
+    def test_round_trip_through_both_translations(self):
+        program = transitive_closure_program()
+        transducer = lindatalog_to_transducer(program)
+        back = transducer_to_lindatalog(transducer, "ao")
+        instance = chain_instance(3)
+        assert evaluate_program(back, instance) == evaluate_program(program, instance)
+
+    def test_translation_rejects_fo_transducer(self, tau3):
+        with pytest.raises(TranslationError):
+            transducer_to_lindatalog(tau3, "course")
+
+    def test_translation_rejects_relation_registers(self):
+        from repro.workloads.blowup import binary_counter_transducer
+
+        with pytest.raises(TranslationError):
+            transducer_to_lindatalog(binary_counter_transducer(), "a")
+
+    def test_normal_form_required(self):
+        bad = DatalogProgram(
+            [
+                DatalogRule(RelationAtom("S", (x,)), (RelationAtom("E", (x, y)),)),
+                DatalogRule(RelationAtom("T", (x,)), (RelationAtom("S", (x,)),)),
+                DatalogRule(RelationAtom("ans", (x,)), (RelationAtom("T", (x,)),)),
+            ]
+        )
+        with pytest.raises(TranslationError):
+            lindatalog_to_transducer(bad)
+
+    def test_transducer_relational_query_adapter(self):
+        transducer = tau1_prerequisite_hierarchy()
+        adapter = TransducerRelationalQuery(transducer, "course")
+        instance = example_registrar_instance()
+        assert adapter.evaluate(instance) == output_relation(transducer, instance, "course")
+        assert adapter.arity == 2

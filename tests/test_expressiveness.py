@@ -1,0 +1,188 @@
+"""Tests for Section 6: Table III, the UCQ translation, transductions, separations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import classify, publish
+from repro.core.classes import TransducerClass
+from repro.core.relational_query import TransducerRelationalQuery, output_relation
+from repro.expressiveness import (
+    TABLE_III,
+    dtd_choice_language,
+    nonrecursive_transducer_to_ucq,
+    path_through_constant_transducer,
+    queries_agree,
+    relational_language_of,
+    simple_path_counting_transducer,
+)
+from repro.logic.fo import And, Eq, FormulaQuery, Rel, TrueFormula
+from repro.logic.terms import Constant, Variable
+from repro.relational.instance import Instance
+from repro.relational.schema import RelationalSchema
+from repro.transductions import FirstOrderTransduction, TransductionError, transduction_to_transducer
+from repro.workloads.random_instances import chain_instance, random_graph_instance
+from repro.workloads.registrar import tau3_courses_without_db_prereq
+from repro.xmltree.tree import tree
+
+x1, y1 = Variable("x1"), Variable("y1")
+
+
+class TestTableIII:
+    def test_every_fragment_with_tuple_store_is_covered(self):
+        for name in (
+            "PT(CQ, tuple, normal)",
+            "PT(FO, tuple, virtual)",
+            "PT(IFP, tuple, normal)",
+            "PTnr(CQ, tuple, normal)",
+            "PTnr(FO, tuple, virtual)",
+            "PT(FO, relation, normal)",
+            "PT(IFP, relation, virtual)",
+        ):
+            entry = relational_language_of(TransducerClass.parse(name))
+            assert entry.characterisation
+
+    def test_expected_characterisations(self):
+        assert "LinDatalog" in relational_language_of(TransducerClass.parse("PT(CQ, tuple, normal)")).characterisation
+        assert "UCQ" in relational_language_of(TransducerClass.parse("PTnr(CQ, tuple, virtual)")).characterisation
+        assert "PSPACE" in relational_language_of(TransducerClass.parse("PT(FO, relation, normal)")).characterisation
+        assert len(TABLE_III) == 8
+
+
+class TestUcqTranslation:
+    def test_ucq_agrees_with_transducer(self):
+        from repro.workloads.registrar import tau1_prerequisite_hierarchy
+
+        # Use a non-recursive CQ transducer: the DAD RDB-mapping example.
+        from repro.languages.registry import example_dad_rdb_mapping
+        from repro.workloads.registrar import example_registrar_instance
+
+        transducer = example_dad_rdb_mapping()
+        ucq = nonrecursive_transducer_to_ucq(transducer, "course")
+        instance = example_registrar_instance()
+        assert ucq.evaluate(instance) == output_relation(transducer, instance, "course")
+
+    def test_ucq_translation_rejects_recursive(self, tau1):
+        with pytest.raises(ValueError):
+            nonrecursive_transducer_to_ucq(tau1, "course")
+
+    def test_queries_agree_helper(self):
+        from repro.logic import parse_cq
+
+        left = parse_cq("ans(x, y) :- E(x, y)")
+        right = parse_cq("ans(a, b) :- E(a, b)")
+        instances = [random_graph_instance(4, 6, seed=s) for s in range(3)]
+        assert queries_agree(left, right, instances)
+
+
+class TestSeparationWitnesses:
+    def test_path_through_constant(self):
+        transducer = path_through_constant_transducer("a", "b", "c")
+        schema = RelationalSchema.from_attributes({"E": ("src", "dst")})
+        with_path = Instance(schema, {"E": [("a", "b"), ("b", "c")]})
+        without_path = Instance(schema, {"E": [("a", "c"), ("c", "b")]})
+        assert output_relation(transducer, with_path, "ao") == {("a", "c")}
+        assert output_relation(transducer, without_path, "ao") == frozenset()
+
+    def test_simple_path_counter(self):
+        transducer = simple_path_counting_transducer("s", "t")
+        schema = RelationalSchema.from_attributes({"R": ("src", "dst")})
+        two_paths = Instance(
+            schema, {"R": [("s", "u"), ("s", "v"), ("u", "t"), ("v", "t")]}
+        )
+        output = publish(transducer, two_paths)
+        assert output.child_labels() == ("a", "a")
+        one_path = Instance(schema, {"R": [("s", "t")]})
+        assert publish(transducer, one_path).child_labels() == ("a",)
+
+    def test_dtd_choice_language_monotonicity_argument(self):
+        dtd = dtd_choice_language()
+        assert dtd.conforms(tree("a", "b1"))
+        assert dtd.conforms(tree("a", "b2"))
+        assert not dtd.conforms(tree("a", "b1", "b2"))
+
+
+class TestTransductions:
+    @pytest.fixture
+    def copy_graph_transduction(self) -> FirstOrderTransduction:
+        """Label every node reachable from the unique source 'root' node."""
+        from repro.logic.fo import Exists, Or
+
+        z = Variable("z1")
+        occurs = Or((Exists((z,), Rel("E", (x1, z))), Exists((z,), Rel("E", (z, x1)))))
+        return FirstOrderTransduction(
+            width=1,
+            domain_formula=occurs,
+            root_formula=Eq(x1, Constant("root")),
+            edge_formula=Rel("E", (x1, y1)),
+            label_formulas={"n": occurs},
+        )
+
+    @pytest.fixture
+    def tree_shaped_instance(self) -> Instance:
+        schema = RelationalSchema.from_arities({"E": 2})
+        return Instance(
+            schema,
+            {"E": [("root", "a"), ("root", "b"), ("a", "c")]},
+        )
+
+    def test_transduction_apply(self, copy_graph_transduction, tree_shaped_instance):
+        output = copy_graph_transduction.apply(tree_shaped_instance)
+        assert output.label == "r"
+        assert output.size() == 5  # r + root + a + b + c
+
+    def test_transduction_unfolds_dags(self, copy_graph_transduction):
+        schema = RelationalSchema.from_arities({"E": 2})
+        diamond = Instance(
+            schema, {"E": [("root", "l"), ("root", "m"), ("l", "s"), ("m", "s")]}
+        )
+        output = copy_graph_transduction.apply(diamond)
+        # The shared sink 's' is duplicated by the unfolding.
+        assert output.size() == 6
+
+    def test_transduction_rejects_cycles(self, copy_graph_transduction):
+        schema = RelationalSchema.from_arities({"E": 2})
+        cyclic = Instance(schema, {"E": [("root", "a"), ("a", "root")]})
+        with pytest.raises(TransductionError):
+            copy_graph_transduction.apply(cyclic)
+
+    def test_theorem4_translation_matches_transduction(
+        self, copy_graph_transduction, tree_shaped_instance
+    ):
+        transducer = transduction_to_transducer(copy_graph_transduction)
+        assert classify(transducer).store.name == "TUPLE"
+        direct = copy_graph_transduction.apply(tree_shaped_instance)
+        via_transducer = publish(transducer, tree_shaped_instance)
+        assert direct.size() == via_transducer.size()
+        assert sorted(direct.labels()) == sorted(via_transducer.labels())
+
+    def test_missing_root_is_an_error(self, copy_graph_transduction):
+        schema = RelationalSchema.from_arities({"E": 2})
+        no_root = Instance(schema, {"E": [("a", "b")]})
+        with pytest.raises(TransductionError):
+            copy_graph_transduction.apply(no_root)
+
+
+class TestRelationalQueryView:
+    def test_virtual_nodes_do_not_change_the_relation(self, registrar_instance):
+        """Theorem 3(1): R_tau is insensitive to making intermediate tags virtual."""
+        from repro.workloads.registrar import tau1_prerequisite_hierarchy
+        from repro.core.transducer import PublishingTransducer, make_transducer
+
+        base = tau1_prerequisite_hierarchy()
+        virtualised = make_transducer(
+            base.rules,
+            start_state=base.start_state,
+            root_tag=base.root_tag,
+            virtual_tags={"prereq"},
+            register_arities=dict(base.register_arities),
+            name="tau1-virtual-prereq",
+        )
+        assert output_relation(base, registrar_instance, "course") == output_relation(
+            virtualised, registrar_instance, "course"
+        )
+
+    def test_adapter_logic_and_relations(self, tau3):
+        adapter = TransducerRelationalQuery(tau3, "course")
+        assert adapter.logic.name == "FO"
+        assert adapter.relation_names() == {"course", "prereq"}

@@ -1,0 +1,151 @@
+"""Tests for the publishing-language front-ends and Table I."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import classify, publish
+from repro.languages import TABLE_I, TemplateError, characterize, example_views
+from repro.languages.common import compile_template, element
+from repro.languages.dad import DadSqlMappingView
+from repro.languages.forxml import ForXmlView
+from repro.languages.registry import (
+    example_atg,
+    example_forxml,
+    example_treeql,
+    example_xmlgen,
+)
+from repro.languages.sqlxml import SqlXmlView
+from repro.languages.treeql import TreeQLView
+from repro.logic import parse_cq
+from repro.logic.ifp import transitive_closure_query
+from repro.workloads.registrar import tau3_courses_without_db_prereq
+
+
+class TestTableI:
+    def test_every_entry_has_distinct_language_vendor_pair(self):
+        pairs = {(entry.vendor, entry.language) for entry in TABLE_I}
+        assert len(pairs) == len(TABLE_I)
+
+    @pytest.mark.parametrize("entry", TABLE_I, ids=lambda e: f"{e.vendor}-{e.language}")
+    def test_example_compiles_into_declared_class(self, entry):
+        compiled = entry.build_example()
+        assert entry.expected_class.contains(characterize(compiled)), (
+            f"{entry.language} compiled into {characterize(compiled)}, "
+            f"outside {entry.expected_class}"
+        )
+
+    @pytest.mark.parametrize("entry", TABLE_I, ids=lambda e: f"{e.vendor}-{e.language}")
+    def test_example_runs_on_registrar_database(self, entry, registrar_instance):
+        compiled = entry.build_example()
+        output = publish(compiled, registrar_instance, max_nodes=200_000)
+        assert output.size() > 1
+
+    def test_example_views_helper(self):
+        views = example_views()
+        assert len(views) == len(TABLE_I) - 1 or len(views) == len(TABLE_I)
+
+    def test_only_xmlgen_and_atg_are_recursive(self):
+        recursive = {
+            entry.language for entry in TABLE_I if entry.expected_class.recursive
+        }
+        assert recursive == {"DBMS_XMLGEN", "ATG"}
+
+
+class TestLanguageSemantics:
+    def test_forxml_matches_tau3(self, registrar_instance, tau3):
+        """The Figure 2 FOR-XML view produces the same tree as the Figure 1(c) transducer."""
+        compiled = example_forxml()
+        assert publish(compiled, registrar_instance) == publish(
+            tau3_courses_without_db_prereq(), registrar_instance
+        )
+
+    def test_xmlgen_expands_hierarchy(self, registrar_instance):
+        compiled = example_xmlgen()
+        output = publish(compiled, registrar_instance)
+        # The recursive connect-by nests course elements under course elements.
+        nested = [
+            node
+            for node in output.walk()
+            if node.label == "course" and any(c.label == "course" for c in node.children)
+        ]
+        assert nested
+
+    def test_atg_conforms_to_its_dtd(self):
+        from repro.xmltree.dtd import DTD, concat, star
+        from repro.workloads.registrar import generate_registrar_instance
+
+        # An acyclic prerequisite hierarchy: with cycles the stop condition cuts
+        # a repeated course node short, which (by design) escapes the DTD; the
+        # typechecking question is future work in the paper.
+        acyclic = generate_registrar_instance(12, cycle_fraction=0.0, seed=11)
+        compiled = example_atg()
+        output = publish(compiled, acyclic)
+        from repro.xmltree.dtd import sym
+
+        dtd = DTD(
+            "db",
+            {
+                "db": star("course"),
+                "course": concat("cno", "title", "prereq"),
+                "prereq": star("course"),
+                "cno": sym("text"),
+                "title": sym("text"),
+            },
+        )
+        assert dtd.conforms(output)
+
+    def test_treeql_virtual_wrapper_is_spliced_out(self, registrar_instance):
+        compiled = example_treeql()
+        output = publish(compiled, registrar_instance)
+        assert "group" not in output.labels()
+        assert {child.label for child in output.children} == {"course"}
+
+
+class TestFrontEndValidation:
+    def test_forxml_rejects_ifp(self):
+        with pytest.raises(TemplateError):
+            ForXmlView("db", (element("course", transitive_closure_query("prereq")),))
+
+    def test_forxml_rejects_virtual(self):
+        with pytest.raises(TemplateError):
+            ForXmlView("db", (element("course", parse_cq("ans(c) :- course(c, t, d)"), virtual=True),))
+
+    def test_sqlxml_oracle_rejects_ifp(self):
+        with pytest.raises(TemplateError):
+            SqlXmlView(
+                "db",
+                (element("course", transitive_closure_query("prereq")),),
+                allow_recursive_sql=False,
+            )
+
+    def test_sqlxml_ibm_accepts_ifp(self):
+        view = SqlXmlView("db", (element("pair", transitive_closure_query("prereq")),))
+        assert classify(view.compile()).logic.name == "IFP"
+
+    def test_treeql_rejects_fo(self, tau3):
+        from repro.logic.fo import FormulaQuery, Not, Rel
+        from repro.logic.terms import Variable
+
+        x = Variable("x")
+        with pytest.raises(TemplateError):
+            TreeQLView("db", (element("a", FormulaQuery((x,), Not(Rel("P", (x,))))),))
+
+    def test_dad_sql_mapping_requires_matching_tags(self):
+        with pytest.raises(TemplateError):
+            DadSqlMappingView("db", parse_cq("ans(c, t) :- course(c, t, d)"), ("only-one",))
+
+    def test_template_top_level_needs_query(self):
+        with pytest.raises(TemplateError):
+            compile_template("db", (element("a"),), "bad")
+
+    def test_template_conflicting_arities(self):
+        with pytest.raises(TemplateError):
+            compile_template(
+                "db",
+                (
+                    element("a", parse_cq("ans(x) :- R(x, y)")),
+                    element("a", parse_cq("ans(x, y) :- R(x, y)")),
+                ),
+                "bad",
+            )

@@ -1,0 +1,201 @@
+"""Unit tests for conjunctive queries: evaluation, satisfiability, composition, parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic import ConjunctiveQuery, RelationAtom, UnionOfConjunctiveQueries, parse_cq
+from repro.logic.builders import atom, constant_cq, cq, cq_to_formula_query, empty_cq, register_atom
+from repro.logic.cq import Comparison, equality, inequality
+from repro.logic.parser import ParseError
+from repro.logic.terms import Constant, Variable, var
+from repro.relational.instance import Instance
+from repro.relational.schema import RelationalSchema
+
+
+@pytest.fixture
+def course_instance(simple_schema):
+    return Instance(
+        simple_schema,
+        {
+            "course": [("c1", "Intro", "CS"), ("c2", "DB", "CS"), ("m1", "Calc", "Math")],
+            "prereq": [("c2", "c1")],
+            "E": [("a", "b"), ("b", "c"), ("c", "a")],
+        },
+    )
+
+
+class TestEvaluation:
+    def test_simple_join(self, course_instance):
+        query = parse_cq("ans(c, t) :- course(c, t, d), prereq(x, c)")
+        assert query.evaluate(course_instance) == {("c1", "Intro")}
+
+    def test_equality_with_constant(self, course_instance):
+        query = parse_cq("ans(c) :- course(c, t, d), d = 'CS'")
+        assert query.evaluate(course_instance) == {("c1",), ("c2",)}
+
+    def test_inequality(self, course_instance):
+        query = parse_cq("ans(c) :- course(c, t, d), d != 'CS'")
+        assert query.evaluate(course_instance) == {("m1",)}
+
+    def test_repeated_variable_in_atom(self, course_instance):
+        query = parse_cq("ans(x) :- E(x, x)")
+        assert query.evaluate(course_instance) == frozenset()
+
+    def test_head_variable_bound_only_by_equality(self, course_instance):
+        query = parse_cq("ans(x) :- course(c, t, d), x = 'ok'")
+        assert query.evaluate(course_instance) == {("ok",)}
+
+    def test_unknown_relation_yields_empty(self, course_instance):
+        query = ConjunctiveQuery((var("x"),), (RelationAtom("missing", (var("x"),)),))
+        assert query.evaluate(course_instance) == frozenset()
+
+    def test_constant_in_atom_position(self, course_instance):
+        query = cq(["t"], [atom("course", "c2", var("t"), var("d"))])
+        assert query.evaluate(course_instance) == {("DB",)}
+
+    def test_boolean_query(self, course_instance):
+        query = parse_cq("ans() :- prereq(x, y)")
+        assert query.holds(course_instance)
+        empty = parse_cq("ans() :- prereq(x, x)")
+        assert not empty.holds(course_instance)
+
+    def test_cross_product(self, course_instance):
+        query = parse_cq("ans(x, y) :- prereq(x, z), prereq(w, y)")
+        assert query.evaluate(course_instance) == {("c2", "c1")}
+
+    def test_empty_cq_builder(self, course_instance):
+        assert empty_cq(["x"]).evaluate(course_instance) == frozenset()
+
+    def test_constant_cq_builder(self, course_instance):
+        assert constant_cq(["a", 1]).evaluate(course_instance) == {("a", 1)}
+
+    def test_union_query(self, course_instance):
+        union = UnionOfConjunctiveQueries(
+            [parse_cq("ans(c) :- course(c, t, d), d = 'CS'"), parse_cq("ans(c) :- course(c, t, d), d = 'Math'")]
+        )
+        assert union.evaluate(course_instance) == {("c1",), ("c2",), ("m1",)}
+
+    def test_union_requires_same_width(self):
+        with pytest.raises(ValueError):
+            UnionOfConjunctiveQueries([parse_cq("ans(x) :- E(x, y)"), parse_cq("ans(x, y) :- E(x, y)")])
+
+
+class TestSatisfiability:
+    def test_plain_query_satisfiable(self):
+        assert parse_cq("ans(x) :- E(x, y)").is_satisfiable()
+
+    def test_contradictory_constants(self):
+        assert not parse_cq("ans(x) :- x = 'a', x = 'b'").is_satisfiable()
+
+    def test_equality_then_inequality(self):
+        assert not parse_cq("ans(x, y) :- x = y, x != y").is_satisfiable()
+
+    def test_inequality_with_constant_ok(self):
+        assert parse_cq("ans(x) :- E(x, y), x != 'a'").is_satisfiable()
+
+    def test_transitive_equalities(self):
+        assert not parse_cq("ans(x) :- x = y, y = z, z != x").is_satisfiable()
+
+    def test_constant_propagation_through_classes(self):
+        assert not parse_cq("ans(x) :- x = y, y = 'a', x = 'b'").is_satisfiable()
+
+    def test_empty_body_satisfiable(self):
+        assert parse_cq("ans()").is_satisfiable()
+
+
+class TestStructure:
+    def test_variables_and_existential(self):
+        query = parse_cq("ans(x) :- E(x, y), y != 'a'")
+        assert query.variables() == {var("x"), var("y")}
+        assert query.existential_variables() == {var("y")}
+
+    def test_relation_names_and_constants(self):
+        query = parse_cq("ans(x) :- E(x, y), course(y, t, d), d = 'CS'")
+        assert query.relation_names() == {"E", "course"}
+        assert query.constants() == {"CS"}
+
+    def test_head_must_be_variables(self):
+        with pytest.raises(TypeError):
+            ConjunctiveQuery((Constant("a"),), ())
+
+    def test_substitute_head_constant_becomes_equality(self):
+        query = parse_cq("ans(x) :- E(x, y)")
+        substituted = query.substitute({var("x"): Constant("a")})
+        assert any(c for c in substituted.comparisons if not c.negated)
+
+    def test_rename_apart_produces_fresh_variables(self):
+        query = parse_cq("ans(x) :- E(x, y)")
+        renamed = query.rename_apart({var("x"), var("y")})
+        assert renamed.variables().isdisjoint({var("x"), var("y")})
+
+    def test_str_round_trips_through_parser(self):
+        query = parse_cq("ans(x) :- E(x, y), x != 'a'")
+        assert "E(x, y)" in str(query)
+
+    def test_equality_helpers(self):
+        eq = equality(var("x"), Constant(1))
+        neq = inequality(var("x"), var("y"))
+        assert not eq.negated and neq.negated
+
+
+class TestComposition:
+    def test_compose_register_with_inner_query(self, course_instance):
+        outer = parse_cq("ans(c2) :- Reg(c1), prereq(c1, c2)")
+        inner = parse_cq("ans(c) :- course(c, t, d), d = 'CS'")
+        composed = outer.compose("Reg", inner)
+        # Courses that are immediate prerequisites of a CS course.
+        assert composed.evaluate(course_instance) == {("c1",)}
+
+    def test_compose_arity_mismatch(self):
+        outer = parse_cq("ans(x) :- Reg(x, y)")
+        inner = parse_cq("ans(c) :- course(c, t, d)")
+        with pytest.raises(ValueError):
+            outer.compose("Reg", inner)
+
+    def test_compose_missing_relation(self):
+        outer = parse_cq("ans(x) :- E(x, y)")
+        inner = parse_cq("ans(c) :- course(c, t, d)")
+        with pytest.raises(ValueError):
+            outer.compose("Reg", inner)
+
+    def test_compose_preserves_semantics(self, course_instance):
+        outer = parse_cq("ans(t) :- Reg(c), course(c, t, d)")
+        inner = parse_cq("ans(c) :- prereq(x, c)")
+        composed = outer.compose("Reg", inner)
+        # Direct evaluation: titles of courses that are prerequisites of something.
+        expected = {("Intro",)}
+        assert composed.evaluate(course_instance) == expected
+
+    def test_canonical_instance_satisfies_query(self, simple_schema):
+        query = parse_cq("ans(c) :- course(c, t, d), d = 'CS'")
+        frozen, valuation = query.canonical_instance(simple_schema)
+        assert query.evaluate(frozen) != frozenset()
+        assert valuation[var("d")] == "CS"
+
+    def test_cq_to_formula_query_agrees(self, course_instance):
+        query = parse_cq("ans(c) :- course(c, t, d), d = 'CS', c != 'c1'")
+        assert cq_to_formula_query(query).evaluate(course_instance) == query.evaluate(course_instance)
+
+    def test_register_atom_builder(self):
+        assert register_atom(None, var("x")).relation == "Reg"
+        assert register_atom("course", var("x")).relation == "Reg_course"
+
+
+class TestParser:
+    def test_parse_constants_and_numbers(self):
+        query = parse_cq("ans(x) :- R(x, 'lit', 3, 2.5)")
+        constants = query.constants()
+        assert constants == {"lit", 3, 2.5}
+
+    def test_parse_errors(self):
+        with pytest.raises(ParseError):
+            parse_cq("ans(x) :- R(x,")
+        with pytest.raises(ParseError):
+            parse_cq("ans('a') :- R(x)")
+        with pytest.raises(ParseError):
+            parse_cq("ans(x) :- R(x) extra")
+
+    def test_parse_head_only(self):
+        query = parse_cq("ans(x)")
+        assert query.atoms == ()

@@ -1,0 +1,172 @@
+"""Unit tests for first-order and fixpoint queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic import (
+    And,
+    Eq,
+    Exists,
+    FalseFormula,
+    Forall,
+    FormulaQuery,
+    Not,
+    Or,
+    Rel,
+    TrueFormula,
+    parse_formula,
+    parse_formula_query,
+)
+from repro.logic.base import QueryLogic
+from repro.logic.fo import Neq, conjunction, disjunction
+from repro.logic.ifp import (
+    reachability_query,
+    same_generation_query,
+    transitive_closure_query,
+)
+from repro.logic.terms import Constant, Variable
+from repro.relational.instance import Instance
+from repro.relational.schema import RelationalSchema
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+@pytest.fixture
+def graph():
+    schema = RelationalSchema.from_arities({"E": 2, "P": 1})
+    return Instance(
+        schema,
+        {"E": [("a", "b"), ("b", "c"), ("c", "d")], "P": [("a",), ("c",)]},
+    )
+
+
+class TestFormulaEvaluation:
+    def test_atom(self, graph):
+        query = FormulaQuery((x, y), Rel("E", (x, y)))
+        assert query.evaluate(graph) == {("a", "b"), ("b", "c"), ("c", "d")}
+
+    def test_conjunction_join(self, graph):
+        query = FormulaQuery((x,), And((Rel("E", (x, y)), Rel("P", (x,)))))
+        assert query.evaluate(graph) == {("a",), ("c",)}
+
+    def test_negation(self, graph):
+        query = FormulaQuery((x,), And((Rel("P", (x,)), Not(Rel("E", (x, Constant("b")))))))
+        assert query.evaluate(graph) == {("c",)}
+
+    def test_disjunction(self, graph):
+        query = FormulaQuery((x,), Or((Rel("P", (x,)), Rel("E", (Constant("b"), x)))))
+        assert query.evaluate(graph) == {("a",), ("c",)}
+
+    def test_existential(self, graph):
+        query = FormulaQuery((x,), Exists((y,), And((Rel("E", (x, y)), Rel("P", (y,))))))
+        assert query.evaluate(graph) == {("b",)}
+
+    def test_universal(self, graph):
+        # Every outgoing edge of x leads to a node in P.
+        query = FormulaQuery(
+            (x,),
+            And((Rel("E", (x, y)), Forall((z,), Or((Not(Rel("E", (x, z))), Rel("P", (z,))))))),
+        )
+        results = {row[0] for row in query.evaluate(graph)}
+        assert results == {"b"}
+
+    def test_equality_and_inequality(self, graph):
+        query = FormulaQuery((x, y), And((Rel("E", (x, y)), Neq(x, Constant("a")))))
+        assert query.evaluate(graph) == {("b", "c"), ("c", "d")}
+
+    def test_true_false(self, graph):
+        assert FormulaQuery((), TrueFormula()).holds(graph)
+        assert not FormulaQuery((), FalseFormula()).holds(graph)
+
+    def test_boolean_query(self, graph):
+        query = FormulaQuery((), Exists((x,), And((Rel("P", (x,)), Rel("E", (x, Constant("b")))))))
+        assert query.holds(graph)
+
+    def test_parse_formula_query(self, graph):
+        query = parse_formula_query(["v"], "exists w. E(v, w) & ~P(w)")
+        assert query.evaluate(graph) == {("a",), ("c",)}
+
+    def test_logic_detection(self):
+        assert FormulaQuery((x,), Rel("E", (x, x))).logic is QueryLogic.FO
+        assert transitive_closure_query("E").logic is QueryLogic.IFP
+
+    def test_smart_connectives(self):
+        assert isinstance(conjunction([]), TrueFormula)
+        assert isinstance(disjunction([]), FalseFormula)
+        assert conjunction([Rel("E", (x, y))]) == Rel("E", (x, y))
+        assert isinstance(conjunction([FalseFormula(), Rel("E", (x, y))]), FalseFormula)
+
+    def test_free_variables(self):
+        formula = Exists((y,), And((Rel("E", (x, y)), Eq(y, z))))
+        assert formula.free_variables() == {x, z}
+
+    def test_substitute(self, graph):
+        formula = Rel("E", (x, y)).substitute({y: Constant("b")})
+        query = FormulaQuery((x,), formula)
+        assert query.evaluate(graph) == {("a",)}
+
+    def test_transform_atoms(self):
+        formula = And((Rel("E", (x, y)), Rel("P", (x,))))
+        renamed = formula.transform_atoms(lambda a: Rel(a.relation.lower() + "2", a.terms))
+        assert renamed.relation_names() == {"e2", "p2"}
+
+
+class TestFixpointQueries:
+    def test_transitive_closure(self, graph):
+        closure = transitive_closure_query("E").evaluate(graph)
+        assert ("a", "d") in closure
+        assert ("d", "a") not in closure
+        assert len(closure) == 6
+
+    def test_reachability(self, graph):
+        assert reachability_query("E", Constant("a"), Constant("d")).holds(graph)
+        assert not reachability_query("E", Constant("d"), Constant("a")).holds(graph)
+        assert reachability_query("E", Constant("a"), Constant("a")).holds(graph)
+
+    def test_same_generation(self):
+        schema = RelationalSchema.from_arities({"child": 2})
+        instance = Instance(
+            schema,
+            {"child": [("root", "l"), ("root", "r"), ("l", "ll"), ("r", "rr")]},
+        )
+        result = same_generation_query("child").evaluate(instance)
+        assert ("l", "r") in result
+        assert ("ll", "rr") in result
+        assert ("l", "rr") not in result
+
+    def test_fixpoint_on_cycle_terminates(self):
+        schema = RelationalSchema.from_arities({"E": 2})
+        instance = Instance(schema, {"E": [("a", "b"), ("b", "a")]})
+        closure = transitive_closure_query("E").evaluate(instance)
+        assert closure == {("a", "b"), ("b", "a"), ("a", "a"), ("b", "b")}
+
+    def test_fixpoint_arity_mismatch_rejected(self):
+        from repro.logic.ifp import Fixpoint
+
+        with pytest.raises(ValueError):
+            Fixpoint("S", (x, y), Rel("E", (x, y)), (x,))
+
+
+class TestFormulaParser:
+    def test_quantifier_scoping(self):
+        formula = parse_formula("forall a b. R(a, b) | exists c. S(c)")
+        assert formula.free_variables() == frozenset()
+
+    def test_parse_true_false(self):
+        assert isinstance(parse_formula("true"), TrueFormula)
+        assert isinstance(parse_formula("false"), FalseFormula)
+
+    def test_operator_precedence(self):
+        formula = parse_formula("R(x) & S(x) | T(x)")
+        assert isinstance(formula, Or)
+
+    def test_parse_negation_and_parens(self):
+        formula = parse_formula("~(R(x) & S(x))")
+        assert isinstance(formula, Not)
+
+    def test_parse_error(self):
+        from repro.logic.parser import ParseError
+
+        with pytest.raises(ParseError):
+            parse_formula("exists . R(x)")

@@ -1,0 +1,155 @@
+"""Property-based tests (hypothesis) for the core invariants of the paper.
+
+* Proposition 1(1): every transformation terminates and is deterministic.
+* Monotonicity of CQ transducers (used implicitly throughout Section 5/6).
+* The implicit domain order is a total order.
+* CQ satisfiability agrees with evaluability on the canonical instance.
+* Virtual-node elimination never leaves a virtual tag and never changes the
+  induced relational query (Theorem 3(1)).
+* The Theorem 3(2) translation agrees with the transducer on random inputs.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import publish
+from repro.core.relational_query import output_relation
+from repro.datalog import evaluate_program, transducer_to_lindatalog
+from repro.logic.cq import ConjunctiveQuery, RelationAtom, equality, inequality
+from repro.logic.terms import Constant, Variable
+from repro.relational.domain import order_key, sort_tuples
+from repro.relational.instance import Instance
+from repro.relational.schema import RelationalSchema
+from repro.workloads.blowup import GRAPH_SCHEMA, chain_of_diamonds_transducer
+from repro.workloads.registrar import REGISTRAR_SCHEMA, tau1_prerequisite_hierarchy
+
+# -- strategies -------------------------------------------------------------
+
+values = st.one_of(st.integers(-3, 3), st.sampled_from(["a", "b", "c", "x"]))
+
+edges = st.lists(st.tuples(st.sampled_from("abcde"), st.sampled_from("abcde")), max_size=12)
+
+course_rows = st.lists(
+    st.tuples(
+        st.sampled_from(["c1", "c2", "c3", "c4"]),
+        st.sampled_from(["T1", "T2"]),
+        st.sampled_from(["CS", "Math"]),
+    ),
+    max_size=6,
+    unique_by=lambda row: row[0],
+)
+
+prereq_rows = st.lists(
+    st.tuples(st.sampled_from(["c1", "c2", "c3", "c4"]), st.sampled_from(["c1", "c2", "c3", "c4"])),
+    max_size=8,
+)
+
+
+def graph_instance(edge_list) -> Instance:
+    return Instance(GRAPH_SCHEMA, {"R": edge_list})
+
+
+def registrar(courses, prereqs) -> Instance:
+    cnos = {row[0] for row in courses}
+    pruned = [(a, b) for a, b in prereqs if a in cnos and b in cnos]
+    return Instance(REGISTRAR_SCHEMA, {"course": courses, "prereq": pruned})
+
+
+# -- the properties -----------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(values, max_size=8))
+def test_order_key_is_a_total_order(items):
+    ordered = sorted(items, key=order_key)
+    keys = [order_key(v) for v in ordered]
+    assert keys == sorted(keys)
+    assert sorted(items, key=order_key) == sorted(reversed(items), key=order_key)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(values, values), max_size=8))
+def test_tuple_sort_is_deterministic(rows):
+    assert sort_tuples(rows) == sort_tuples(list(reversed(rows)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(edges)
+def test_transformation_terminates_and_is_deterministic(edge_list):
+    transducer = chain_of_diamonds_transducer()
+    instance = graph_instance(edge_list)
+    first = publish(transducer, instance, max_nodes=50_000)
+    second = publish(transducer, instance, max_nodes=50_000)
+    assert first == second
+    assert first.label == "r"
+
+
+@settings(max_examples=20, deadline=None)
+@given(courses=course_rows, prereqs=prereq_rows)
+def test_tau1_terminates_on_arbitrary_registrar_data(courses, prereqs):
+    instance = registrar(courses, prereqs)
+    output = publish(tau1_prerequisite_hierarchy(), instance, max_nodes=50_000)
+    assert output.label == "db"
+    # Proposition 1(1): the output is unique, hence re-running gives the same tree.
+    assert output == publish(tau1_prerequisite_hierarchy(), instance, max_nodes=50_000)
+
+
+@settings(max_examples=20, deadline=None)
+@given(edges, edges)
+def test_cq_transducers_are_monotone_as_relational_queries(first_edges, second_edges):
+    """Adding tuples never removes answers of a CQ transducer's output relation."""
+    transducer = chain_of_diamonds_transducer()
+    small = graph_instance(first_edges)
+    large = graph_instance(first_edges + second_edges)
+    small_relation = output_relation(transducer, small, "a", max_nodes=50_000)
+    large_relation = output_relation(transducer, large, "a", max_nodes=50_000)
+    assert small_relation <= large_relation
+
+
+@settings(max_examples=25, deadline=None)
+@given(edges)
+def test_lindatalog_translation_agrees_on_random_graphs(edge_list):
+    transducer = chain_of_diamonds_transducer()
+    instance = graph_instance(edge_list)
+    program = transducer_to_lindatalog(transducer, "a")
+    assert evaluate_program(program, instance) == output_relation(
+        transducer, instance, "a", max_nodes=50_000
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.sampled_from(["x", "y", "z"]), min_size=1, max_size=3, unique=True),
+    st.lists(st.tuples(st.sampled_from(["x", "y", "z"]), values), max_size=3),
+    st.lists(st.tuples(st.sampled_from(["x", "y", "z"]), values), max_size=2),
+)
+def test_cq_satisfiability_matches_canonical_evaluation(head_names, eqs, neqs):
+    """A satisfiable CQ has a non-empty canonical instance evaluation, and an
+    unsatisfiable one evaluates to the empty set on every instance."""
+    head = tuple(Variable(name) for name in head_names)
+    atom_vars = tuple(Variable(name) for name in ("x", "y", "z"))
+    query = ConjunctiveQuery(
+        head,
+        (RelationAtom("R", atom_vars),),
+        tuple(equality(Variable(v), Constant(c)) for v, c in eqs)
+        + tuple(inequality(Variable(v), Constant(c)) for v, c in neqs),
+    )
+    schema = RelationalSchema.from_arities({"R": 3})
+    if query.is_satisfiable():
+        frozen, _ = query.canonical_instance(schema)
+        assert query.evaluate(frozen)
+    else:
+        frozen, _ = ConjunctiveQuery(head, (RelationAtom("R", atom_vars),), ()).canonical_instance(schema)
+        assert query.evaluate(frozen) == frozenset()
+
+
+@settings(max_examples=20, deadline=None)
+@given(courses=course_rows, prereqs=prereq_rows)
+def test_virtual_elimination_leaves_no_virtual_tags(courses, prereqs):
+    from repro.workloads.registrar import tau2_prerequisite_closure
+
+    instance = registrar(courses, prereqs)
+    transducer = tau2_prerequisite_closure()
+    output = publish(transducer, instance, max_nodes=50_000)
+    assert not (output.labels() & transducer.virtual_tags)

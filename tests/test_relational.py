@@ -1,0 +1,212 @@
+"""Unit tests for the relational substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational import (
+    ArityError,
+    Instance,
+    Relation,
+    RelationSchema,
+    RelationalSchema,
+    SchemaError,
+    UnknownRelationError,
+    order_key,
+    sort_tuples,
+    sort_values,
+)
+from repro.relational.algebra import (
+    BaseRelation,
+    Difference,
+    Product,
+    Project,
+    Select,
+    Union,
+    difference,
+    intersection,
+    natural_join,
+    product,
+    projection,
+    select_eq,
+    selection,
+    union,
+)
+from repro.relational.domain import relation_to_text, value_to_text
+
+
+class TestDomainOrder:
+    def test_order_is_total_on_mixed_values(self):
+        values = ["b", 2, "a", 1, None, 3.5, (1, 2)]
+        ordered = sort_values(values)
+        assert len(ordered) == len(values)
+        keys = [order_key(v) for v in ordered]
+        assert keys == sorted(keys)
+
+    def test_numbers_before_strings(self):
+        assert sort_values(["x", 10]) == [10, "x"]
+
+    def test_tuple_sort_is_lexicographic(self):
+        rows = [("b", 1), ("a", 2), ("a", 1)]
+        assert sort_tuples(rows) == [("a", 1), ("a", 2), ("b", 1)]
+
+    def test_order_key_deterministic(self):
+        assert order_key("abc") == order_key("abc")
+        assert order_key(1) != order_key(2)
+
+    def test_value_to_text(self):
+        assert value_to_text("x") == "x"
+        assert value_to_text(3) == "3"
+        assert value_to_text(True) == "true"
+
+    def test_relation_to_text_singleton(self):
+        assert relation_to_text({("cs101",)}) == "cs101"
+
+    def test_relation_to_text_multiple_rows_sorted(self):
+        text = relation_to_text({("b", 2), ("a", 1)})
+        assert text == "a, 1; b, 2"
+
+    def test_relation_to_text_empty(self):
+        assert relation_to_text(set()) == ""
+
+
+class TestSchema:
+    def test_relation_schema_attributes_must_match_arity(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", 2, ("a",))
+
+    def test_relation_schema_duplicate_attributes(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", 2, ("a", "a"))
+
+    def test_position_of(self):
+        schema = RelationSchema("course", 3, ("cno", "title", "dept"))
+        assert schema.position_of("title") == 1
+        with pytest.raises(SchemaError):
+            schema.position_of("nope")
+
+    def test_relational_schema_lookup(self, simple_schema):
+        assert simple_schema.arity("course") == 3
+        assert "prereq" in simple_schema
+        with pytest.raises(UnknownRelationError):
+            simple_schema["nope"]
+
+    def test_from_arities(self):
+        schema = RelationalSchema.from_arities({"R": 2, "S": 1})
+        assert schema.arity("R") == 2
+        assert set(schema.names()) == {"R", "S"}
+
+    def test_extended_schema(self, simple_schema):
+        extended = simple_schema.extended([RelationSchema("Reg", 2)])
+        assert "Reg" in extended
+        assert "course" in extended
+
+    def test_conflicting_redeclaration_rejected(self):
+        schema = RelationalSchema([RelationSchema("R", 2)])
+        with pytest.raises(SchemaError):
+            schema.add(RelationSchema("R", 3))
+
+
+class TestRelationAndInstance:
+    def test_relation_rejects_wrong_arity(self):
+        with pytest.raises(ArityError):
+            Relation("R", 2, [("a",)])
+
+    def test_relation_set_semantics(self):
+        relation = Relation("R", 1, [("a",), ("a",), ("b",)])
+        assert len(relation) == 2
+
+    def test_instance_unknown_relation(self, simple_schema):
+        with pytest.raises(UnknownRelationError):
+            Instance(simple_schema, {"nope": []})
+
+    def test_instance_active_domain(self, simple_schema):
+        instance = Instance(simple_schema, {"E": [("a", "b"), ("b", "c")]})
+        assert instance.active_domain() == frozenset({"a", "b", "c"})
+
+    def test_instance_extended_with_register(self, simple_schema):
+        instance = Instance(simple_schema, {"E": [("a", "b")]})
+        extended = instance.extended({"Reg": [("a",)]}, [RelationSchema("Reg", 1)])
+        assert extended["Reg"].tuples == frozenset({("a",)})
+        assert extended["E"].tuples == instance["E"].tuples
+        # The original instance is unchanged.
+        assert "Reg" not in instance.schema
+
+    def test_instance_union(self, simple_schema):
+        first = Instance(simple_schema, {"E": [("a", "b")]})
+        second = Instance(simple_schema, {"E": [("b", "c")]})
+        merged = first.union(second)
+        assert merged["E"].tuples == frozenset({("a", "b"), ("b", "c")})
+
+    def test_instance_equality_and_hash(self, simple_schema):
+        first = Instance(simple_schema, {"E": [("a", "b")]})
+        second = Instance(simple_schema, {"E": [("a", "b")]})
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_from_dict_infers_schema(self):
+        instance = Instance.from_dict({"R": [(1, 2)]})
+        assert instance.schema.arity("R") == 2
+
+    def test_from_dict_empty_relation_needs_schema(self):
+        with pytest.raises(SchemaError):
+            Instance.from_dict({"R": []})
+
+    def test_updated_replaces_relation(self, simple_schema):
+        instance = Instance(simple_schema, {"E": [("a", "b")]})
+        updated = instance.updated("E", [("x", "y")])
+        assert updated["E"].tuples == frozenset({("x", "y")})
+        assert instance["E"].tuples == frozenset({("a", "b")})
+
+    def test_total_size(self, simple_schema):
+        instance = Instance(simple_schema, {"E": [("a", "b")], "prereq": [("c1", "c2")]})
+        assert instance.total_size() == 2
+
+
+class TestAlgebra:
+    @pytest.fixture
+    def relation(self):
+        return Relation("R", 2, [("a", 1), ("b", 2), ("a", 3)])
+
+    def test_selection_and_projection(self, relation):
+        selected = select_eq(relation, 0, "a")
+        assert len(selected) == 2
+        projected = projection(selected, [1])
+        assert projected.tuples == frozenset({(1,), (3,)})
+
+    def test_selection_predicate(self, relation):
+        result = selection(relation, lambda row: row[1] > 1)
+        assert len(result) == 2
+
+    def test_product_and_join(self, relation):
+        other = Relation("S", 1, [(1,), (2,)])
+        assert len(product(relation, other)) == 6
+        joined = natural_join(relation, other, [(1, 0)])
+        assert joined.tuples == frozenset({("a", 1, 1), ("b", 2, 2)})
+
+    def test_union_difference_intersection(self, relation):
+        other = Relation("S", 2, [("a", 1), ("z", 9)])
+        assert len(union(relation, other)) == 4
+        assert difference(relation, other).tuples == frozenset({("b", 2), ("a", 3)})
+        assert intersection(relation, other).tuples == frozenset({("a", 1)})
+
+    def test_union_arity_mismatch(self, relation):
+        with pytest.raises(ArityError):
+            union(relation, Relation("S", 1, [(1,)]))
+
+    def test_expression_tree_evaluation(self, simple_schema):
+        instance = Instance(
+            simple_schema, {"course": [("c1", "A", "CS"), ("c2", "B", "Math")]}
+        )
+        expression = Project(Select(BaseRelation("course"), 2, "CS"), (0,))
+        assert expression.evaluate(instance).tuples == frozenset({("c1",)})
+
+    def test_expression_union_difference(self, simple_schema):
+        instance = Instance(simple_schema, {"E": [("a", "b"), ("b", "c")]})
+        expression = Difference(BaseRelation("E"), Union(BaseRelation("E"), BaseRelation("E")))
+        assert expression.evaluate(instance).is_empty()
+
+    def test_expression_walk(self):
+        expression = Product(BaseRelation("R"), BaseRelation("S"))
+        names = [e.name for e in expression.walk() if isinstance(e, BaseRelation)]
+        assert names == ["R", "S"]

@@ -1,0 +1,96 @@
+"""Tests for the workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.blowup import (
+    binary_counter_instance,
+    chain_of_diamonds_instance,
+    expected_minimum_output_size_doubly_exponential,
+    expected_minimum_output_size_exponential,
+)
+from repro.workloads.random_instances import (
+    chain_instance,
+    layered_dag_instance,
+    random_graph_instance,
+    random_unary_binary_instance,
+)
+from repro.workloads.registrar import (
+    cs_course_numbers,
+    example_registrar_instance,
+    generate_registrar_instance,
+)
+
+
+class TestRegistrarGenerator:
+    def test_example_instance_shape(self):
+        instance = example_registrar_instance()
+        assert instance.schema.arity("course") == 3
+        assert len(instance["course"]) == 8
+        assert ("cs240", "cs101") in instance["prereq"]
+
+    def test_generated_instance_is_deterministic(self):
+        first = generate_registrar_instance(20, seed=5)
+        second = generate_registrar_instance(20, seed=5)
+        assert first == second
+
+    def test_generated_instance_size(self):
+        instance = generate_registrar_instance(30, max_prereqs=2, seed=1)
+        assert len(instance["course"]) == 30
+        assert len(instance["prereq"]) <= 2 * 30
+
+    def test_prerequisites_point_backwards_without_cycles(self):
+        instance = generate_registrar_instance(25, cycle_fraction=0.0, seed=2)
+        order = {row[0]: index for index, row in enumerate(sorted(instance["course"]))}
+        assert all(order[a] > order[b] for a, b in instance["prereq"])
+
+    def test_cycle_fraction_introduces_cycles(self):
+        instance = generate_registrar_instance(10, cycle_fraction=1.0, seed=3)
+        edges = instance["prereq"].tuples
+        assert any((b, a) in edges for a, b in edges)
+
+    def test_cs_course_numbers_helper(self):
+        instance = example_registrar_instance()
+        assert "math101" not in cs_course_numbers(instance)
+
+    def test_depth_layering(self):
+        instance = generate_registrar_instance(30, depth=3, seed=4)
+        assert len(instance["course"]) == 30
+
+
+class TestBlowupFamilies:
+    @pytest.mark.parametrize("n", [1, 3, 6])
+    def test_chain_of_diamonds_size_is_linear(self, n):
+        assert chain_of_diamonds_instance(n).total_size() == 4 * n
+
+    @pytest.mark.parametrize("n", [1, 2, 4])
+    def test_counter_instance_size_is_linear(self, n):
+        instance = binary_counter_instance(n)
+        assert len(instance["counter"]) == n
+        assert len(instance["next"]) == n
+        assert len(instance["add"]) == 8
+
+    def test_expected_bounds(self):
+        assert expected_minimum_output_size_exponential(5) == 32
+        assert expected_minimum_output_size_doubly_exponential(2) == 16
+
+
+class TestRandomInstances:
+    def test_random_graph_size(self):
+        instance = random_graph_instance(10, 20, seed=0)
+        assert len(instance["E"]) <= 20
+        assert len(instance.active_domain()) <= 10
+
+    def test_chain_instance(self):
+        instance = chain_instance(4)
+        assert len(instance["E"]) == 4
+
+    def test_layered_dag(self):
+        instance = layered_dag_instance(3, 2, seed=0)
+        assert all(src.startswith("v0") or src.startswith("v1") for src, _ in instance["E"])
+
+    def test_unary_binary_instance(self):
+        instance = random_unary_binary_instance(5, ("P", "Q"), ("E",), seed=1)
+        assert instance.schema.arity("P") == 1
+        assert instance.schema.arity("E") == 2

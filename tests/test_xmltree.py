@@ -1,0 +1,147 @@
+"""Unit tests for the XML substrate: trees, serialisation, DTDs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xmltree import DTD, ExtendedDTD, TreeNode, alt, concat, star, sym, to_xml, tree
+from repro.xmltree.dtd import Epsilon, opt, plus
+from repro.xmltree.serialize import to_compact_xml
+from repro.xmltree.tree import is_valid_tree_domain, text_node
+
+
+class TestTree:
+    def test_tree_constructor_promotes_strings(self):
+        node = tree("db", tree("course", "cno", "title"), "course")
+        assert node.child_labels() == ("course", "course")
+        assert node.children[0].child_labels() == ("cno", "title")
+
+    def test_size_and_depth(self):
+        node = tree("a", tree("b", "c"), "d")
+        assert node.size() == 4
+        assert node.depth() == 3
+
+    def test_labels_and_find_all(self):
+        node = tree("a", tree("b", "c"), tree("b"))
+        assert node.labels() == {"a", "b", "c"}
+        assert len(node.find_all("b")) == 2
+
+    def test_tree_domain_is_valid(self):
+        node = tree("a", tree("b", "c", "d"), "e")
+        domain = node.tree_domain()
+        assert is_valid_tree_domain(domain)
+        assert domain[()] == "a"
+        assert domain[(1, 2)] == "d"
+
+    def test_invalid_tree_domains(self):
+        assert not is_valid_tree_domain([(1,)])
+        assert not is_valid_tree_domain([(), (2,)])
+        assert is_valid_tree_domain([(), (1,), (2,)])
+
+    def test_text_node(self):
+        node = text_node("hello")
+        assert node.is_text() and node.text == "hello"
+
+    def test_map_labels(self):
+        node = tree("a", "b").map_labels({"b": "c"})
+        assert node.child_labels() == ("c",)
+
+    def test_equality_is_structural(self):
+        assert tree("a", "b") == tree("a", "b")
+        assert tree("a", "b") != tree("a", "c")
+
+
+class TestSerialisation:
+    def test_compact_xml(self):
+        node = tree("db", TreeNode("course", (text_node("cs101"),)))
+        assert to_compact_xml(node) == "<db><course>cs101</course></db>"
+
+    def test_pretty_xml_escapes(self):
+        node = TreeNode("a", (text_node("x < y"),))
+        assert "&lt;" in to_xml(node)
+
+    def test_empty_element(self):
+        assert to_compact_xml(tree("a")) == "<a/>"
+
+
+class TestRegex:
+    def test_concat_and_star(self):
+        model = concat("cno", "title", star("course"))
+        assert model.matches(["cno", "title"])
+        assert model.matches(["cno", "title", "course", "course"])
+        assert not model.matches(["title", "cno"])
+
+    def test_alt(self):
+        model = alt("b1", "b2")
+        assert model.matches(["b1"]) and model.matches(["b2"])
+        assert not model.matches(["b1", "b2"]) and not model.matches([])
+
+    def test_opt_and_plus(self):
+        assert opt("a").matches([]) and opt("a").matches(["a"])
+        assert plus("a").matches(["a", "a"]) and not plus("a").matches([])
+
+    def test_epsilon(self):
+        assert Epsilon().matches([]) and not Epsilon().matches(["a"])
+
+    def test_nullable_and_symbols(self):
+        model = concat(star("a"), alt("b", Epsilon()))
+        assert model.nullable()
+        assert model.symbols() == {"a", "b"}
+
+
+class TestDTD:
+    @pytest.fixture
+    def registrar_dtd(self) -> DTD:
+        return DTD(
+            "db",
+            {
+                "db": star("course"),
+                "course": concat("cno", "title", "prereq"),
+                "prereq": star("course"),
+            },
+        )
+
+    def test_conforming_tree(self, registrar_dtd):
+        document = tree("db", tree("course", "cno", "title", tree("prereq")))
+        assert registrar_dtd.conforms(document)
+
+    def test_wrong_root(self, registrar_dtd):
+        assert not registrar_dtd.conforms(tree("course", "cno", "title", "prereq"))
+
+    def test_missing_child(self, registrar_dtd):
+        assert not registrar_dtd.conforms(tree("db", tree("course", "cno", "title")))
+
+    def test_recursive_conformance(self, registrar_dtd):
+        inner = tree("course", "cno", "title", tree("prereq"))
+        document = tree("db", tree("course", "cno", "title", tree("prereq", inner)))
+        assert registrar_dtd.conforms(document)
+
+    def test_alphabet(self, registrar_dtd):
+        assert {"db", "course", "cno", "title", "prereq"} <= registrar_dtd.alphabet()
+
+    def test_normalized_preserves_language(self):
+        dtd = DTD("a", {"a": concat(alt("b", "c"), star("d"))})
+        normalized = dtd.normalized()
+        # The normalised DTD only has rules of the three simple shapes, over a
+        # possibly larger alphabet; its auxiliary tags are marked.
+        assert normalized.auxiliary_tags()
+        for regex in normalized.rules.values():
+            assert type(regex).__name__ in {"Concat", "Alt", "Star", "Epsilon", "Symbol"}
+
+    def test_extended_dtd_even_number_of_leaves(self):
+        # L = trees r(a^n) with n even: not expressible by a DTD, easy for an
+        # extended DTD with two auxiliary root variants... here we use a
+        # simpler classic: leaves relabelled from two auxiliary symbols.
+        dtd = DTD("r", {"r": concat(star(concat("ae", "ao")))})
+        extended = ExtendedDTD(dtd, {"ae": "a", "ao": "a"})
+        assert extended.conforms(tree("r", "a", "a"))
+        assert extended.conforms(tree("r", "a", "a", "a", "a"))
+        assert not extended.conforms(tree("r", "a"))
+        assert not extended.conforms(tree("r", "a", "a", "a"))
+
+    def test_extended_dtd_visible_alphabet(self):
+        dtd = DTD("r", {"r": alt("b1", "b2")})
+        extended = ExtendedDTD(dtd, {"b1": "b", "b2": "b"})
+        assert "b" in extended.visible_alphabet()
+        assert extended.conforms(tree("r", "b"))
+        assert not extended.conforms(tree("r", "b", "b"))
