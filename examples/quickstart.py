@@ -1,8 +1,12 @@
-"""Quickstart: define a publishing transducer and export a relational database as XML.
+"""Quickstart: build a publishing transducer with the fluent DSL and run it
+through the compiled engine.
 
 This reproduces Example 3.1 of the paper: the registrar database (courses and
 their immediate prerequisites) is published as the recursive prerequisite
-hierarchy of Figure 1(a).
+hierarchy of Figure 1(a).  The view is declared with
+:class:`~repro.engine.TransducerBuilder`, compiled once with
+:class:`~repro.engine.Engine`, and evaluated both as a materialised tree and
+as a streamed event sequence.
 
 Run with::
 
@@ -11,23 +15,72 @@ Run with::
 
 from __future__ import annotations
 
-from repro.core import classify, publish
-from repro.workloads.registrar import example_registrar_instance, tau1_prerequisite_hierarchy
-from repro.xmltree.serialize import to_xml
+from repro.core import classify
+from repro.engine import Engine, TransducerBuilder
+from repro.logic.cq import ConjunctiveQuery, RelationAtom, equality
+from repro.logic.terms import Constant, Variable
+from repro.workloads.registrar import REGISTRAR_SCHEMA, example_registrar_instance
+
+
+def build_prerequisite_view():
+    """Example 3.1 written in the builder DSL (class ``PT(CQ, tuple, normal)``)."""
+    cno, title, dept = Variable("cno"), Variable("title"), Variable("dept")
+    c, t, d, cp = Variable("c"), Variable("t"), Variable("d"), Variable("cp")
+
+    cs_courses = ConjunctiveQuery(
+        (cno, title),
+        (RelationAtom("course", (cno, title, dept)),),
+        (equality(dept, Constant("CS")),),
+    )
+    course_cno = ConjunctiveQuery((cno,), (RelationAtom("Reg_course", (cno, title)),))
+    course_title = ConjunctiveQuery((title,), (RelationAtom("Reg_course", (cno, title)),))
+    prereq_courses = ConjunctiveQuery(
+        (c, t),
+        (
+            RelationAtom("Reg_prereq", (cp,)),
+            RelationAtom("prereq", (cp, c)),
+            RelationAtom("course", (c, t, d)),
+        ),
+    )
+    cno_text = ConjunctiveQuery((c,), (RelationAtom("Reg_cno", (c,)),))
+    title_text = ConjunctiveQuery((t,), (RelationAtom("Reg_title", (t,)),))
+
+    builder = TransducerBuilder("prereq-hierarchy", root="db")
+    builder.start().emit("q", "course", cs_courses)
+    (
+        builder.state("q")
+        .on("course")
+        .emit("q", "cno", course_cno)
+        .emit("q", "title", course_title)
+        .emit("q", "prereq", course_cno)
+    )
+    builder.state("q").on("prereq").emit("q", "course", prereq_courses)
+    builder.state("q").on("cno").emit_text(cno_text)
+    builder.state("q").on("title").emit_text(title_text)
+    return builder.build()
 
 
 def main() -> None:
     instance = example_registrar_instance()
-    transducer = tau1_prerequisite_hierarchy()
+    view = build_prerequisite_view()
 
-    print(f"transducer class: {classify(transducer)}")
+    print(f"transducer class: {classify(view)}")
     print(f"source database:  {instance}")
     print()
 
-    tree = publish(transducer, instance)
-    print(to_xml(tree))
+    # Compile once; evaluate as often as you like.
+    plan = Engine().compile(view, REGISTRAR_SCHEMA)
+
+    # Materialised evaluation.
+    tree = plan.publish(instance)
+    print(plan.publish_xml(instance))
     print()
     print(f"output tree: {tree.size()} nodes, depth {tree.depth()}")
+
+    # Streaming evaluation: count events without materialising anything.
+    events = sum(1 for _ in plan.publish_events(instance))
+    print(f"streamed:    {events} events")
+    print(f"cache:       {plan.cache_stats}")
 
 
 if __name__ == "__main__":

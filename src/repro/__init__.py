@@ -8,6 +8,8 @@ The package is organised by subsystem:
 * :mod:`repro.xmltree` -- Sigma-trees, serialisation, DTDs and extended DTDs;
 * :mod:`repro.core` -- publishing transducers ``PT(L, S, O)`` (the paper's
   primary contribution): rules, runtime, classification, relational view;
+* :mod:`repro.engine` -- the compiled, streaming, batch-first publishing API
+  (the primary evaluation surface: builder DSL, plans, event streams);
 * :mod:`repro.analysis` -- the Section 5 decision problems and Table II;
 * :mod:`repro.transductions` -- logical transductions (Theorem 4);
 * :mod:`repro.languages` -- the ten publishing-language front-ends (Table I);
@@ -18,15 +20,27 @@ The most common entry points are re-exported here for convenience.
 """
 
 from repro.core import PublishingTransducer, classify, publish
+from repro.engine import (
+    CacheStats,
+    Engine,
+    PublishingPlan,
+    TransducerBuilder,
+    compile_plan,
+)
 from repro.relational import Instance, RelationalSchema
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CacheStats",
+    "Engine",
     "Instance",
+    "PublishingPlan",
     "PublishingTransducer",
     "RelationalSchema",
+    "TransducerBuilder",
     "classify",
+    "compile_plan",
     "publish",
     "__version__",
 ]

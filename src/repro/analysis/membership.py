@@ -37,8 +37,9 @@ from repro.analysis.complexity import DecisionProblem, UndecidableProblemError, 
 from repro.analysis.composition import compose_rule_query
 from repro.core.classes import classify
 from repro.core.rules import GENERIC_REGISTER_NAME
-from repro.core.runtime import TransducerRuntime, TransformationLimitError
+from repro.core.runtime import TransformationLimitError
 from repro.core.transducer import PublishingTransducer
+from repro.engine.plan import PublishingPlan, compile_plan
 from repro.logic.cq import ConjunctiveQuery, equality
 from repro.logic.terms import Constant
 from repro.relational.domain import DataValue
@@ -98,11 +99,17 @@ def is_member(
         )
 
     schema = _source_schema(transducer)
+    # One compiled plan serves every candidate check of this call: the NP
+    # oracle step re-runs the same transducer over many guessed instances,
+    # which is exactly the engine's compile-once/run-many split.
+    plan = compile_plan(
+        transducer, max_nodes=max(10_000, 50 * tree.size()), cache_instances=2
+    )
 
     # Constructive candidate: freeze composed queries along the tree's paths.
     if assignment is not None:
         candidate = _constructive_candidate(transducer, tree, assignment, schema)
-        if candidate is not None and _produces(transducer, candidate, tree):
+        if candidate is not None and _produces(plan, candidate, tree):
             return MembershipResult(MembershipStatus.MEMBER, witness=candidate)
 
     if not exhaustive:
@@ -112,7 +119,7 @@ def is_member(
         )
 
     found, complete = _exhaustive_search(
-        transducer, tree, schema, max_domain_size, max_tuples, max_candidates
+        transducer, plan, tree, schema, max_domain_size, max_tuples, max_candidates
     )
     if found is not None:
         return MembershipResult(MembershipStatus.MEMBER, witness=found)
@@ -260,13 +267,13 @@ def _text_values(node: TreeNode) -> list[str] | None:
     return values or None
 
 
-def _produces(transducer: PublishingTransducer, instance: Instance, tree: TreeNode) -> bool:
+def _produces(plan: PublishingPlan, instance: Instance, tree: TreeNode) -> bool:
     """Check ``tau(I) = t`` exactly (the NP-oracle step of the proof)."""
     try:
-        produced = TransducerRuntime(transducer, max_nodes=max(10_000, 50 * tree.size())).run(instance)
+        produced = plan.publish(instance)
     except TransformationLimitError:
         return False
-    return _trees_equal_modulo_text(produced.tree, tree)
+    return _trees_equal_modulo_text(produced, tree)
 
 
 def _trees_equal_modulo_text(left: TreeNode, right: TreeNode) -> bool:
@@ -291,6 +298,7 @@ def _trees_equal_modulo_text(left: TreeNode, right: TreeNode) -> bool:
 
 def _exhaustive_search(
     transducer: PublishingTransducer,
+    plan: PublishingPlan,
     tree: TreeNode,
     schema: RelationalSchema,
     max_domain_size: int,
@@ -334,6 +342,6 @@ def _exhaustive_search(
             for name, row in selection:
                 data[name].add(row)
             instance = Instance(schema, data)
-            if _produces(transducer, instance, tree):
+            if _produces(plan, instance, tree):
                 return instance, True
     return None, complete

@@ -75,20 +75,38 @@ class AnnotatedNode:
             node = node.parent
 
     def walk(self) -> Iterator["AnnotatedNode"]:
-        """Pre-order traversal of the annotated subtree."""
-        yield self
-        for child in self.children:
-            yield from child.walk()
+        """Pre-order traversal of the annotated subtree.
+
+        Iterative: the stop condition permits depths around
+        ``|Q| * |Sigma| * 2^|I|``, far beyond Python's recursion limit.
+        """
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
 
     def depth(self) -> int:
         """Depth of the annotated subtree (single node = 1)."""
-        if not self.children:
-            return 1
-        return 1 + max(child.depth() for child in self.children)
+        best = 1
+        stack: list[tuple["AnnotatedNode", int]] = [(self, 1)]
+        while stack:
+            node, level = stack.pop()
+            if level > best:
+                best = level
+            for child in node.children:
+                stack.append((child, level + 1))
+        return best
 
     def size(self) -> int:
         """Number of nodes in the annotated subtree."""
-        return 1 + sum(child.size() for child in self.children)
+        count = 0
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children)
+        return count
 
 
 @dataclass
@@ -249,8 +267,15 @@ def publish(
     instance: Instance,
     max_nodes: int = DEFAULT_MAX_NODES,
 ) -> TreeNode:
-    """Evaluate ``transducer`` on ``instance`` and return the output Σ-tree ``tau(I)``."""
-    return TransducerRuntime(transducer, max_nodes=max_nodes).run(instance).tree
+    """Evaluate ``transducer`` on ``instance`` and return the output Σ-tree ``tau(I)``.
+
+    Thin wrapper over the compiled engine (:mod:`repro.engine`); the plan is
+    compiled per call, so callers evaluating one transducer repeatedly should
+    hold a plan via :func:`repro.engine.compile_plan` instead.
+    """
+    from repro.engine.plan import compile_plan
+
+    return compile_plan(transducer, max_nodes=max_nodes).publish(instance)
 
 
 def publish_full(
@@ -258,5 +283,13 @@ def publish_full(
     instance: Instance,
     max_nodes: int = DEFAULT_MAX_NODES,
 ) -> TransformationResult:
-    """Evaluate ``transducer`` on ``instance`` and return the full result object."""
-    return TransducerRuntime(transducer, max_nodes=max_nodes).run(instance)
+    """Evaluate ``transducer`` on ``instance`` and return the full result object.
+
+    Thin wrapper over the compiled engine (:mod:`repro.engine`); see
+    :func:`publish`.  The literal step-relation interpreter remains available
+    as :class:`TransducerRuntime` and serves as the engine's executable
+    specification in the test suite.
+    """
+    from repro.engine.plan import compile_plan
+
+    return compile_plan(transducer, max_nodes=max_nodes).publish_full(instance)

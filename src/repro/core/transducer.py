@@ -71,6 +71,9 @@ class PublishingTransducer:
     _rule_index: dict[tuple[str, str], TransductionRule] = field(
         default_factory=dict, compare=False, repr=False
     )
+    _empty_rules: dict[tuple[str, str], TransductionRule] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "states", frozenset(self.states))
@@ -90,6 +93,7 @@ class PublishingTransducer:
         for rule_ in self.rules:
             index[(rule_.state, rule_.tag)] = rule_
         object.__setattr__(self, "_rule_index", index)
+        object.__setattr__(self, "_empty_rules", {})
 
     # -- validation ---------------------------------------------------------
 
@@ -139,8 +143,21 @@ class PublishingTransducer:
     # -- lookup ---------------------------------------------------------------
 
     def rule_for(self, state: str, tag: str) -> TransductionRule:
-        """The unique rule for ``(state, tag)``; an empty rule when undeclared."""
-        return self._rule_index.get((state, tag), TransductionRule(state, tag, ()))
+        """The unique rule for ``(state, tag)``; an empty rule when undeclared.
+
+        Undeclared lookups are a hot path of the runtime loop (every text and
+        leaf node takes one), so the empty rules are allocated once per
+        ``(state, tag)`` pair and cached rather than rebuilt on every call.
+        """
+        key = (state, tag)
+        found = self._rule_index.get(key)
+        if found is not None:
+            return found
+        cached = self._empty_rules.get(key)
+        if cached is None:
+            cached = TransductionRule(state, tag, ())
+            self._empty_rules[key] = cached
+        return cached
 
     def has_rule(self, state: str, tag: str) -> bool:
         """True when a rule for ``(state, tag)`` was declared explicitly."""

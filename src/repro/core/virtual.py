@@ -21,9 +21,28 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers onl
 
 
 def strip_annotations(node: "AnnotatedNode") -> TreeNode:
-    """Strip states and registers from an annotated tree, keeping tags and text."""
-    children = tuple(strip_annotations(child) for child in node.children)
-    return TreeNode(node.tag, children, node.text)
+    """Strip states and registers from an annotated tree, keeping tags and text.
+
+    Iterative post-order construction: annotated trees reach depths around
+    ``|Q| * |Sigma| * 2^|I|`` (the stop condition's bound), which blows
+    through Python's recursion limit long before it exhausts memory.
+    """
+    # Each frame is (annotated node, next child index, built children).
+    root_out: list[TreeNode] = []
+    stack: list[tuple["AnnotatedNode", int, list[TreeNode]]] = [(node, 0, [])]
+    while stack:
+        current, index, built = stack[-1]
+        if index < len(current.children):
+            stack[-1] = (current, index + 1, built)
+            stack.append((current.children[index], 0, []))
+            continue
+        stack.pop()
+        finished = TreeNode(current.tag, tuple(built), current.text)
+        if stack:
+            stack[-1][2].append(finished)
+        else:
+            root_out.append(finished)
+    return root_out[0]
 
 
 def eliminate_virtual_nodes(node: TreeNode, virtual_tags: Iterable[str]) -> TreeNode:
@@ -43,11 +62,26 @@ def eliminate_virtual_nodes(node: TreeNode, virtual_tags: Iterable[str]) -> Tree
 
 
 def _eliminate(node: TreeNode, virtual: frozenset[str]) -> TreeNode:
-    new_children: list[TreeNode] = []
-    for child in node.children:
-        processed = _eliminate(child, virtual)
-        if processed.label in virtual:
-            new_children.extend(processed.children)
+    """Iterative bottom-up elimination (recursion-safe on deep trees).
+
+    A processed virtual child contributes its own children in place; a
+    processed normal child contributes itself.
+    """
+    root_out: list[TreeNode] = []
+    stack: list[tuple[TreeNode, int, list[TreeNode]]] = [(node, 0, [])]
+    while stack:
+        current, index, built = stack[-1]
+        if index < len(current.children):
+            stack[-1] = (current, index + 1, built)
+            stack.append((current.children[index], 0, []))
+            continue
+        stack.pop()
+        if stack:
+            if current.label in virtual:
+                stack[-1][2].extend(built)
+            else:
+                stack[-1][2].append(TreeNode(current.label, tuple(built), current.text))
         else:
-            new_children.append(processed)
-    return TreeNode(node.label, tuple(new_children), node.text)
+            # The root is never virtual (enforced by the transducer definition).
+            root_out.append(TreeNode(current.label, tuple(built), current.text))
+    return root_out[0]

@@ -1,0 +1,41 @@
+"""``repro.engine`` -- the compiled, streaming, batch-first publishing API.
+
+This subsystem is the primary public surface for *evaluating* publishing
+transducers.  It separates specification from evaluation, in the spirit of
+streaming tree transducers:
+
+* :class:`~repro.engine.builder.TransducerBuilder` -- a fluent DSL replacing
+  hand-assembly of :class:`~repro.core.transducer.PublishingTransducer`;
+* :class:`~repro.engine.plan.Engine` / :func:`~repro.engine.plan.compile_plan`
+  -- compile a transducer once into a :class:`~repro.engine.plan.PublishingPlan`;
+* :meth:`~repro.engine.plan.PublishingPlan.publish`,
+  :meth:`~repro.engine.plan.PublishingPlan.publish_many`,
+  :meth:`~repro.engine.plan.PublishingPlan.publish_events`,
+  :meth:`~repro.engine.plan.PublishingPlan.publish_xml` -- materialised,
+  batched and streaming evaluation over one compiled plan, with memoised
+  ``(state, tag, register)`` expansions and explicit cache statistics.
+
+The classic :func:`repro.core.runtime.publish` entry points remain available
+and are thin wrappers over this engine.
+"""
+
+from repro.engine.builder import (
+    BuilderError,
+    RuleBuilder,
+    StateScope,
+    TransducerBuilder,
+    transducer,
+)
+from repro.engine.plan import CacheStats, Engine, PublishingPlan, compile_plan
+
+__all__ = [
+    "BuilderError",
+    "CacheStats",
+    "Engine",
+    "PublishingPlan",
+    "RuleBuilder",
+    "StateScope",
+    "TransducerBuilder",
+    "compile_plan",
+    "transducer",
+]

@@ -1,0 +1,238 @@
+"""A fluent builder DSL for publishing transducers.
+
+Hand-assembling a :class:`~repro.core.transducer.PublishingTransducer` means
+spelling out frozen dataclasses (``TransductionRule(state, tag, (RuleItem(...),
+...))``) and wiring the arity assignment ``Theta`` by hand.  The builder keeps
+the paper's Definition 3.1 vocabulary but reads like the rules it produces::
+
+    builder = TransducerBuilder("tau1-prereq-hierarchy", root="db")
+    (builder.state("q0").on("db")
+        .emit("q", "course", phi1))
+    (builder.state("q").on("course")
+        .emit("q", "cno", phi2_cno)
+        .emit("q", "title", phi2_title)
+        .emit("q", "prereq", phi2_cno))
+    (builder.state("q").on("prereq")
+        .emit("q", "course", phi3))
+    builder.state("q").on("cno").emit_text(phi4_cno)
+    builder.state("q").on("title").emit_text(phi4_title)
+    tau = builder.build()
+
+Grouping follows the rule-query convention of Section 3: by default a query
+spawns one child per answer tuple (a *tuple register*); passing ``group=g``
+groups on the first ``g`` head variables, and ``group=0`` produces a single
+child carrying the whole answer relation (a *relation register*).
+
+The builder is the single assembly path of the code base: the template
+compiler of :mod:`repro.languages.common`, the recursive front-ends (ATG,
+DBMS_XMLGEN) and the registrar/blow-up workloads all construct their
+transducers through it.
+"""
+
+from __future__ import annotations
+
+from repro.core.rules import RuleItem, RuleQuery, TransductionRule
+from repro.core.transducer import PublishingTransducer, make_transducer
+from repro.logic.base import Query
+from repro.xmltree.tree import DEFAULT_ROOT_TAG, TEXT_TAG
+
+
+class BuilderError(ValueError):
+    """Raised when the builder is used inconsistently."""
+
+
+def _as_rule_query(query: Query | RuleQuery, group: int | None) -> RuleQuery:
+    """Normalise a raw query (plus grouping mode) into a :class:`RuleQuery`."""
+    if isinstance(query, RuleQuery):
+        if group is not None and group != query.group_arity:
+            raise BuilderError(
+                f"conflicting group arities: RuleQuery groups on {query.group_arity}, "
+                f"emit() was passed group={group}"
+            )
+        return query
+    if group is None:
+        group = query.arity
+    return RuleQuery(query, group)
+
+
+class RuleBuilder:
+    """Builds the right-hand side of one rule ``(state, tag) -> ...``."""
+
+    def __init__(self, builder: "TransducerBuilder", state: str, tag: str) -> None:
+        self._builder = builder
+        self._state = state
+        self._tag = tag
+        self._items: list[RuleItem] = []
+
+    # -- right-hand side ----------------------------------------------------
+
+    def emit(
+        self,
+        state: str,
+        tag: str,
+        query: Query | RuleQuery,
+        group: int | None = None,
+    ) -> "RuleBuilder":
+        """Append one item ``(state, tag, phi(x; y))`` to the right-hand side.
+
+        ``group`` selects the number ``|x|`` of grouping variables; ``None``
+        (the default) groups on the whole head, i.e. a tuple register.
+        """
+        self._items.append(RuleItem(state, tag, _as_rule_query(query, group)))
+        return self
+
+    def emit_text(
+        self,
+        query: Query | RuleQuery,
+        state: str | None = None,
+    ) -> "RuleBuilder":
+        """Append a ``text`` item and auto-declare its (empty) leaf rule.
+
+        The text state defaults to this rule's own state; pass ``state``
+        explicitly when that would collide with the start state (which may
+        not appear on a right-hand side).
+        """
+        text_state = state if state is not None else self._state
+        if text_state == self._builder.start_state:
+            raise BuilderError(
+                "the start state may not appear on a right-hand side; pass an "
+                "explicit state to emit_text()"
+            )
+        self.emit(text_state, TEXT_TAG, query)
+        self._builder.state(text_state).on(TEXT_TAG).leaf()
+        return self
+
+    def leaf(self) -> "RuleBuilder":
+        """Declare this rule with an empty right-hand side (a leaf rule)."""
+        return self
+
+    # -- fluent navigation ---------------------------------------------------
+
+    def on(self, tag: str) -> "RuleBuilder":
+        """Switch to the rule for the same state and another tag."""
+        return self._builder.state(self._state).on(tag)
+
+    def state(self, state: str) -> "StateScope":
+        """Switch to another state (delegates to the owning builder)."""
+        return self._builder.state(state)
+
+    def build(self) -> PublishingTransducer:
+        """Finish the whole transducer (delegates to the owning builder)."""
+        return self._builder.build()
+
+    def _rule(self) -> TransductionRule:
+        return TransductionRule(self._state, self._tag, tuple(self._items))
+
+
+class StateScope:
+    """The rules of one state; ``.on(tag)`` picks the rule for a tag."""
+
+    def __init__(self, builder: "TransducerBuilder", state: str) -> None:
+        self._builder = builder
+        self._state = state
+
+    def on(self, tag: str) -> RuleBuilder:
+        """The (unique) rule for ``(state, tag)``, created on first use."""
+        return self._builder._rule_builder(self._state, tag)
+
+
+class TransducerBuilder:
+    """Fluent assembly of a publishing transducer (Definition 3.1).
+
+    Parameters
+    ----------
+    name:
+        Human-readable name carried into the transducer.
+    root:
+        The distinguished root tag ``r``.
+    start:
+        The start state ``q0``.
+    """
+
+    def __init__(
+        self,
+        name: str = "transducer",
+        root: str = DEFAULT_ROOT_TAG,
+        start: str = "q0",
+    ) -> None:
+        self._name = name
+        self._root = root
+        self._start = start
+        self._rules: dict[tuple[str, str], RuleBuilder] = {}
+        self._virtual: set[str] = set()
+        self._arities: dict[str, int] = {}
+
+    # -- declaration ---------------------------------------------------------
+
+    @property
+    def start_state(self) -> str:
+        """The start state ``q0``."""
+        return self._start
+
+    @property
+    def root_tag(self) -> str:
+        """The root tag ``r``."""
+        return self._root
+
+    def state(self, state: str) -> StateScope:
+        """Scope the following ``.on(tag)`` declarations to ``state``."""
+        return StateScope(self, state)
+
+    @property
+    def declared(self) -> tuple[tuple[str, str], ...]:
+        """The ``(state, tag)`` pairs declared so far, in declaration order."""
+        return tuple(self._rules)
+
+    def start(self) -> RuleBuilder:
+        """The start rule ``(q0, root) -> ...`` (shorthand)."""
+        return self.state(self._start).on(self._root)
+
+    def virtual(self, *tags: str) -> "TransducerBuilder":
+        """Declare tags as virtual (``Sigma_e``): spliced out of the output."""
+        self._virtual.update(tags)
+        return self
+
+    def register_arity(self, tag: str, arity: int) -> "TransducerBuilder":
+        """Pin the register arity ``Theta(tag)`` (usually inferred from queries)."""
+        self._arities[tag] = arity
+        return self
+
+    # -- assembly ------------------------------------------------------------
+
+    def _rule_builder(self, state: str, tag: str) -> RuleBuilder:
+        key = (state, tag)
+        found = self._rules.get(key)
+        if found is None:
+            found = RuleBuilder(self, state, tag)
+            self._rules[key] = found
+        return found
+
+    def build(self) -> PublishingTransducer:
+        """Assemble and validate the transducer.
+
+        States, the alphabet and (unless pinned) the arity assignment are
+        inferred from the declared rules, exactly like
+        :func:`~repro.core.transducer.make_transducer`.
+        """
+        if (self._start, self._root) not in self._rules:
+            raise BuilderError(
+                f"missing start rule: declare state({self._start!r}).on({self._root!r})"
+            )
+        rules = [rb._rule() for rb in self._rules.values()]
+        return make_transducer(
+            rules,
+            start_state=self._start,
+            root_tag=self._root,
+            virtual_tags=frozenset(self._virtual),
+            register_arities=dict(self._arities) or None,
+            name=self._name,
+        )
+
+
+def transducer(
+    name: str = "transducer",
+    root: str = DEFAULT_ROOT_TAG,
+    start: str = "q0",
+) -> TransducerBuilder:
+    """Terse entry point: ``transducer("view", root="db").start().emit(...)``."""
+    return TransducerBuilder(name, root=root, start=start)

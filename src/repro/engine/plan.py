@@ -1,0 +1,524 @@
+"""The compiled, batch-first evaluation engine.
+
+The interpreter of :mod:`repro.core.runtime` follows the step relation of
+Section 3 literally and pays for that fidelity on every call: each ``publish``
+re-validates the transducer, re-extends the source instance with the register
+relations at *every* node (copying the whole schema and relation table), and
+re-evaluates rule queries from scratch even when the same ``(state, tag,
+register)`` configuration repeats thousands of times.
+
+:class:`Engine.compile` performs all per-transducer work once and returns a
+:class:`PublishingPlan`:
+
+* **dispatch** -- the rule for every ``(state, tag)`` pair is resolved to a
+  tuple of compiled items with pre-bound query evaluators;
+* **register schemas** -- the extended schemas making ``Reg`` / ``Reg_<tag>``
+  visible are built once per ``(tag, arity)`` and shared across nodes, and
+  register relations are overlaid on the source without copying it
+  (:meth:`~repro.relational.instance.Instance.overlaid`);
+* **memoised expansions** -- the transformation is *confluent*: the one-step
+  expansion of a node depends only on its ``(state, tag, register)`` triple
+  and the source instance, never on its ancestors (the stop condition is
+  applied per path, outside the memo).  The plan caches expansions per
+  instance, within and across runs, so repeated subtree configurations --
+  ubiquitous in recursive views like the prerequisite hierarchy -- cost a
+  dictionary lookup instead of a query evaluation.
+
+Three evaluation modes share that machinery:
+
+* :meth:`PublishingPlan.publish` / :meth:`~PublishingPlan.publish_many` --
+  materialised Σ-trees (batch-first: one plan, many instances);
+* :meth:`PublishingPlan.publish_full` -- the interpreter-compatible
+  :class:`~repro.core.runtime.TransformationResult` with the annotated tree;
+* :meth:`PublishingPlan.publish_events` -- a lazy SAX-style event stream with
+  virtual-tag elimination done on the fly, so Proposition 1 blow-ups can be
+  serialised without ever materialising the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.core.rules import GENERIC_REGISTER_NAME, RuleQuery, register_relation_name
+from repro.core.runtime import (
+    DEFAULT_MAX_NODES,
+    AnnotatedNode,
+    RegisterContent,
+    TransformationLimitError,
+    TransformationResult,
+)
+from repro.core.transducer import PublishingTransducer
+from repro.core.virtual import eliminate_virtual_nodes, strip_annotations
+from repro.relational.domain import DataValue, relation_to_text, tuple_order_key
+from repro.relational.instance import Instance, Relation
+from repro.relational.schema import RelationSchema, RelationalSchema
+from repro.xmltree.events import CloseEvent, OpenEvent, TextEvent, XmlEvent
+from repro.xmltree.serialize import IncrementalXmlSerializer
+from repro.xmltree.tree import TEXT_TAG, TreeNode
+
+#: A node configuration: the triple the transformation is confluent over.
+Triple = tuple[str, str, RegisterContent]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A snapshot of the plan's expansion-cache counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    instances: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of expansions answered from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _CompiledItem:
+    """One right-hand-side item with its evaluator pre-bound."""
+
+    __slots__ = ("state", "tag", "group_arity", "evaluate")
+
+    def __init__(self, state: str, tag: str, rule_query: RuleQuery) -> None:
+        self.state = state
+        self.tag = tag
+        self.group_arity = rule_query.group_arity
+        self.evaluate = rule_query.query.evaluate
+
+
+class _InstanceState:
+    """Everything the plan caches for one source instance."""
+
+    __slots__ = ("instance", "active_domain", "ext_schemas", "expansions")
+
+    def __init__(self, instance: Instance) -> None:
+        self.instance = instance
+        self.active_domain = instance.active_domain()
+        self.ext_schemas: dict[tuple[str, int], RelationalSchema] = {}
+        self.expansions: dict[Triple, tuple[Triple, ...]] = {}
+
+
+class _Frame:
+    """One node of the depth-first construction (tree and event modes)."""
+
+    __slots__ = ("triple", "expansion", "index", "built", "text", "stopped")
+
+    def __init__(
+        self,
+        triple: Triple,
+        expansion: tuple[Triple, ...],
+        text: str | None,
+        stopped: bool,
+    ) -> None:
+        self.triple = triple
+        self.expansion = expansion
+        self.index = 0
+        self.built: list[TreeNode] = []
+        self.text = text
+        self.stopped = stopped
+
+
+class _Cursor:
+    """The traversal invariant shared by all three evaluation modes.
+
+    One cursor per run owns the stop-condition path, the node-budget
+    accounting and the text extraction, so the tree, event and annotated
+    drivers cannot diverge on those semantics.
+    """
+
+    __slots__ = ("_plan", "_state", "_budget", "_path", "produced")
+
+    def __init__(self, plan: "PublishingPlan", state: "_InstanceState", budget: int) -> None:
+        self._plan = plan
+        self._state = state
+        self._budget = budget
+        self._path: set[Triple] = set()
+        self.produced = 1
+
+    def open(self, triple: Triple) -> _Frame:
+        """Enter a node: stop condition, memoised expansion, budget, path push."""
+        if triple in self._path:
+            return _Frame(triple, (), None, stopped=True)
+        expansion = self._plan._expansion(self._state, triple)
+        self.produced += len(expansion)
+        if self.produced > self._budget:
+            raise TransformationLimitError(
+                f"transformation exceeded the node budget of {self._budget} nodes; "
+                f"raise max_nodes if the blow-up is intended"
+            )
+        text = relation_to_text(triple[2]) if triple[1] == TEXT_TAG else None
+        self._path.add(triple)
+        return _Frame(triple, expansion, text, stopped=False)
+
+    def close(self, frame: _Frame) -> None:
+        """Leave a node: pop it from the stop-condition path."""
+        if not frame.stopped:
+            self._path.remove(frame.triple)
+
+
+class PublishingPlan:
+    """A transducer compiled for repeated evaluation.  Built by :class:`Engine`."""
+
+    def __init__(
+        self,
+        transducer: PublishingTransducer,
+        schema: RelationalSchema | None = None,
+        max_nodes: int = DEFAULT_MAX_NODES,
+        cache_instances: int = 8,
+    ) -> None:
+        if schema is not None:
+            problems = transducer.validate_against_schema(schema)
+            if problems:
+                raise ValueError("; ".join(problems))
+        self._transducer = transducer
+        self._schema = schema
+        self._max_nodes = max_nodes
+        self._cache_instances = max(1, cache_instances)
+        self._virtual = transducer.virtual_tags
+        self._start_state = transducer.start_state
+        self._root_tag = transducer.root_tag
+        self._dispatch_table: dict[tuple[str, str], tuple[_CompiledItem, ...]] = {}
+        for rule_ in transducer.rules:
+            self._dispatch_table[(rule_.state, rule_.tag)] = tuple(
+                _CompiledItem(item.state, item.tag, item.query) for item in rule_.items
+            )
+        # Per-instance caches in LRU order (the batch-first working set).
+        self._states: dict[Instance, _InstanceState] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._instances_seen = 0
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def transducer(self) -> PublishingTransducer:
+        """The compiled transducer."""
+        return self._transducer
+
+    @property
+    def max_nodes(self) -> int:
+        """The default node budget of this plan."""
+        return self._max_nodes
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Counters of the shared expansion cache."""
+        return CacheStats(self._hits, self._misses, self._evictions, self._instances_seen)
+
+    def clear_cache(self) -> None:
+        """Drop all per-instance caches (counters are preserved)."""
+        self._states.clear()
+
+    # -- the public evaluation surface --------------------------------------
+
+    def publish(self, instance: Instance, max_nodes: int | None = None) -> TreeNode:
+        """Evaluate on ``instance`` and return the output Σ-tree ``tau(I)``."""
+        state = self._instance_state(instance)
+        budget = self._max_nodes if max_nodes is None else max_nodes
+        return self._build_tree(state, budget)
+
+    def publish_many(
+        self, instances: Iterable[Instance], max_nodes: int | None = None
+    ) -> list[TreeNode]:
+        """Evaluate on a batch of instances with a shared memo cache.
+
+        Repeated instances (and repeated ``(state, tag, register)``
+        configurations within each instance) are answered from the cache;
+        :attr:`cache_stats` reports how often that happened.
+        """
+        return [self.publish(instance, max_nodes) for instance in instances]
+
+    def publish_full(
+        self, instance: Instance, max_nodes: int | None = None
+    ) -> TransformationResult:
+        """Evaluate and return the interpreter-compatible full result object."""
+        state = self._instance_state(instance)
+        budget = self._max_nodes if max_nodes is None else max_nodes
+        root, steps = self._build_annotated(state, budget)
+        tree = eliminate_virtual_nodes(strip_annotations(root), self._virtual)
+        return TransformationResult(self._transducer, instance, root, tree, steps)
+
+    def publish_events(
+        self, instance: Instance, max_nodes: int | None = None
+    ) -> Iterator[XmlEvent]:
+        """Lazily yield the SAX-style event stream of the output Σ-tree.
+
+        Virtual tags are eliminated on the fly: they contribute no events,
+        only their (recursively streamed) children.  The traversal itself
+        holds one frame per level, so no part of the output tree is ever
+        materialised; note that the expansion memo still grows with the
+        number of *distinct* ``(state, tag, register)`` configurations (call
+        :meth:`clear_cache` between streams to bound it).
+        """
+        state = self._instance_state(instance)
+        budget = self._max_nodes if max_nodes is None else max_nodes
+        return self._stream_events(state, budget)
+
+    def publish_xml(
+        self,
+        instance: Instance,
+        indent: int | None = 2,
+        write=None,
+        max_nodes: int | None = None,
+    ) -> str:
+        """Stream the output directly into XML text.
+
+        With ``write`` (a callable receiving string chunks) the document is
+        pushed incrementally and an empty string is returned; without it the
+        serialised document is returned whole.  Output is byte-identical to
+        serialising the materialised tree.
+        """
+        serializer = IncrementalXmlSerializer(write=write, indent=indent)
+        return serializer.feed_all(self.publish_events(instance, max_nodes)).finish()
+
+    # -- instance cache -------------------------------------------------------
+
+    def _instance_state(self, instance: Instance) -> _InstanceState:
+        state = self._states.get(instance)
+        if state is not None:
+            # Reinsert so eviction is least-recently-used, not first-inserted.
+            del self._states[instance]
+            self._states[instance] = state
+            return state
+        problems = self._transducer.validate_against_schema(instance.schema)
+        if problems:
+            raise ValueError("; ".join(problems))
+        state = _InstanceState(instance)
+        self._states[instance] = state
+        self._instances_seen += 1
+        while len(self._states) > self._cache_instances:
+            oldest = next(iter(self._states))
+            del self._states[oldest]
+            self._evictions += 1
+        return state
+
+    # -- dispatch and expansion ----------------------------------------------
+
+    def _dispatch(self, state: str, tag: str) -> tuple[_CompiledItem, ...]:
+        key = (state, tag)
+        found = self._dispatch_table.get(key)
+        if found is None:
+            # Undeclared (state, tag) pairs behave as empty rules.
+            found = ()
+            self._dispatch_table[key] = found
+        return found
+
+    def _expansion(self, state: _InstanceState, triple: Triple) -> tuple[Triple, ...]:
+        """The memoised one-step expansion of a configuration.
+
+        Confluence (each node's children depend only on its own state, tag
+        and register) makes this a pure function of ``(triple, instance)``;
+        the stop condition is applied by the callers per root-to-node path.
+        """
+        found = state.expansions.get(triple)
+        if found is not None:
+            self._hits += 1
+            return found
+        self._misses += 1
+        q, tag, register = triple
+        items = self._dispatch(q, tag)
+        if not items or tag == TEXT_TAG:
+            result: tuple[Triple, ...] = ()
+        else:
+            extended = self._overlay(state, tag, register)
+            children: list[Triple] = []
+            for item in items:
+                answers = item.evaluate(extended)
+                if not answers:
+                    continue
+                group_arity = item.group_arity
+                if group_arity == 0:
+                    children.append((item.state, item.tag, frozenset(answers)))
+                    continue
+                groups: dict[tuple[DataValue, ...], set[tuple[DataValue, ...]]] = {}
+                for row in answers:
+                    groups.setdefault(row[:group_arity], set()).add(row)
+                for key in sorted(groups, key=tuple_order_key):
+                    children.append((item.state, item.tag, frozenset(groups[key])))
+            result = tuple(children)
+        state.expansions[triple] = result
+        return result
+
+    def _overlay(self, state: _InstanceState, tag: str, register: RegisterContent) -> Instance:
+        """The source extended with the register relations -- without copying it."""
+        if register:
+            arity = len(next(iter(register)))
+        else:
+            arity = self._transducer.register_arity(tag)
+        specific = register_relation_name(tag)
+        key = (tag, arity)
+        schema = state.ext_schemas.get(key)
+        if schema is None:
+            schema = state.instance.schema.extended(
+                [RelationSchema(GENERIC_REGISTER_NAME, arity), RelationSchema(specific, arity)]
+            )
+            state.ext_schemas[key] = schema
+        domain = state.active_domain
+        if register:
+            domain = domain | {value for row in register for value in row}
+        return state.instance.overlaid(
+            {
+                GENERIC_REGISTER_NAME: Relation(GENERIC_REGISTER_NAME, arity, register),
+                specific: Relation(specific, arity, register),
+            },
+            schema,
+            domain,
+        )
+
+    # -- evaluation drivers ---------------------------------------------------
+
+    def _root_triple(self) -> Triple:
+        return (self._start_state, self._root_tag, frozenset())
+
+    def _cursor(self, state: _InstanceState, budget: int) -> "_Cursor":
+        return _Cursor(self, state, budget)
+
+    def _build_tree(self, state: _InstanceState, budget: int) -> TreeNode:
+        """Materialise the output Σ-tree (iterative, virtual splicing inline)."""
+        virtual = self._virtual
+        cursor = self._cursor(state, budget)
+        result: TreeNode | None = None
+        frames = [cursor.open(self._root_triple())]
+        while frames:
+            frame = frames[-1]
+            if frame.index < len(frame.expansion):
+                child = frame.expansion[frame.index]
+                frame.index += 1
+                frames.append(cursor.open(child))
+                continue
+            frames.pop()
+            cursor.close(frame)
+            tag = frame.triple[1]
+            if frames:
+                if tag in virtual:
+                    frames[-1].built.extend(frame.built)
+                else:
+                    frames[-1].built.append(TreeNode(tag, tuple(frame.built), frame.text))
+            else:
+                result = TreeNode(tag, tuple(frame.built), frame.text)
+        assert result is not None
+        return result
+
+    def _stream_events(self, state: _InstanceState, budget: int) -> Iterator[XmlEvent]:
+        """The lazy event stream behind :meth:`publish_events`."""
+        virtual = self._virtual
+        cursor = self._cursor(state, budget)
+        frames: list[_Frame] = []
+
+        def push(triple: Triple) -> Iterator[XmlEvent]:
+            frame = cursor.open(triple)
+            tag = frame.triple[1]
+            if tag == TEXT_TAG:
+                cursor.close(frame)
+                if tag not in virtual:
+                    yield TextEvent(frame.text)
+                return
+            frames.append(frame)
+            if tag not in virtual:
+                yield OpenEvent(tag)
+
+        yield from push(self._root_triple())
+        while frames:
+            frame = frames[-1]
+            if frame.index < len(frame.expansion):
+                child = frame.expansion[frame.index]
+                frame.index += 1
+                yield from push(child)
+                continue
+            frames.pop()
+            cursor.close(frame)
+            tag = frame.triple[1]
+            if tag not in virtual:
+                yield CloseEvent(tag)
+
+    def _build_annotated(
+        self, state: _InstanceState, budget: int
+    ) -> tuple[AnnotatedNode, int]:
+        """The extended tree in ``Tree_{Q x Sigma}`` (interpreter-compatible)."""
+        cursor = self._cursor(state, budget)
+        steps = 0
+        root = AnnotatedNode(
+            state=self._start_state, tag=self._root_tag, register=frozenset()
+        )
+
+        def open_node(node: AnnotatedNode) -> _Frame:
+            nonlocal steps
+            steps += 1
+            node.finalized = True
+            frame = cursor.open((node.state, node.tag, node.register))
+            if frame.stopped:
+                node.stopped_by_condition = True
+            elif node.tag == TEXT_TAG:
+                node.text = frame.text
+            return frame
+
+        # Each stack entry: (annotated node, its traversal frame).
+        stack: list[tuple[AnnotatedNode, _Frame]] = [(root, open_node(root))]
+        while stack:
+            node, frame = stack[-1]
+            if frame.index < len(frame.expansion):
+                child_state, child_tag, child_register = frame.expansion[frame.index]
+                frame.index += 1
+                child = AnnotatedNode(
+                    state=child_state,
+                    tag=child_tag,
+                    register=child_register,
+                    parent=node,
+                )
+                node.children.append(child)
+                stack.append((child, open_node(child)))
+                continue
+            stack.pop()
+            cursor.close(frame)
+        return root, steps
+
+
+class Engine:
+    """Compiles publishing transducers into reusable :class:`PublishingPlan` s.
+
+    The engine is the primary public API of the reproduction: compile once,
+    run many times, stream when the output is large::
+
+        plan = Engine().compile(tau, schema)
+        trees = plan.publish_many(instances)
+        for event in plan.publish_events(big_instance):
+            ...
+    """
+
+    def __init__(
+        self,
+        max_nodes: int = DEFAULT_MAX_NODES,
+        cache_instances: int = 8,
+    ) -> None:
+        self._max_nodes = max_nodes
+        self._cache_instances = cache_instances
+
+    def compile(
+        self,
+        transducer: PublishingTransducer,
+        schema: RelationalSchema | None = None,
+        max_nodes: int | None = None,
+    ) -> PublishingPlan:
+        """Compile ``transducer`` (optionally validated against ``schema``)."""
+        return PublishingPlan(
+            transducer,
+            schema=schema,
+            max_nodes=self._max_nodes if max_nodes is None else max_nodes,
+            cache_instances=self._cache_instances,
+        )
+
+
+def compile_plan(
+    transducer: PublishingTransducer,
+    schema: RelationalSchema | None = None,
+    max_nodes: int = DEFAULT_MAX_NODES,
+    cache_instances: int = 8,
+) -> PublishingPlan:
+    """One-call convenience: ``compile_plan(tau).publish(instance)``."""
+    return PublishingPlan(
+        transducer, schema=schema, max_nodes=max_nodes, cache_instances=cache_instances
+    )

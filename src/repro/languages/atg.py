@@ -16,8 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-from repro.core.rules import RuleItem, RuleQuery, TransductionRule
-from repro.core.transducer import PublishingTransducer, make_transducer
+from repro.core.transducer import PublishingTransducer
+from repro.engine.builder import TransducerBuilder
 from repro.languages.common import TemplateError
 from repro.logic.base import Query, QueryLogic
 from repro.xmltree.dtd import DTD
@@ -78,38 +78,27 @@ class AtgView:
 
     def compile(self) -> PublishingTransducer:
         """Compile into a ``PT(FO, relation, virtual)`` transducer."""
-        rules: list[TransductionRule] = []
+        builder = TransducerBuilder(self.name, root=self.dtd.root, start="q0")
+        builder.virtual(*self.virtual_tags)
+        builder.register_arity(TEXT_TAG, 1)
         productions = {p.tag: p for p in self.productions}
-        register_arities: dict[str, int] = {TEXT_TAG: 1}
 
         for tag in sorted(self.dtd.alphabet() | set(productions) | self.virtual_tags):
             production = productions.get(tag)
+            state = "q0" if tag == self.dtd.root else "q"
             if production is None:
                 if tag != self.dtd.root:
-                    rules.append(TransductionRule("q", tag, ()))
+                    builder.state("q").on(tag).leaf()
                 continue
-            items: list[RuleItem] = []
+            rule_builder = builder.state(state).on(tag)
             for child, query in production.child_queries.items():
-                group = production.group_arity(child)
-                items.append(RuleItem("q", child, RuleQuery(query, group)))
-                register_arities.setdefault(child, query.arity)
+                rule_builder.emit("q", child, query, group=production.group_arity(child))
+                builder.register_arity(child, query.arity)
             if production.text_query is not None:
-                items.append(
-                    RuleItem("q", TEXT_TAG, RuleQuery(production.text_query, production.text_query.arity))
-                )
-            state = "q0" if tag == self.dtd.root else "q"
-            rules.append(TransductionRule(state, tag, tuple(items)))
-        if not any(rule.tag == TEXT_TAG for rule in rules):
-            rules.append(TransductionRule("q", TEXT_TAG, ()))
-
-        return make_transducer(
-            rules,
-            start_state="q0",
-            root_tag=self.dtd.root,
-            virtual_tags=self.virtual_tags,
-            register_arities=register_arities,
-            name=self.name,
-        )
+                rule_builder.emit("q", TEXT_TAG, production.text_query)
+        if not any(tag == TEXT_TAG for _, tag in builder.declared):
+            builder.state("q").on(TEXT_TAG).leaf()
+        return builder.build()
 
 
 def atg(

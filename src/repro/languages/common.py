@@ -15,8 +15,9 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.core.rules import RuleItem, RuleQuery, TransductionRule
-from repro.core.transducer import PublishingTransducer, make_transducer
+from repro.core.rules import RuleQuery
+from repro.core.transducer import PublishingTransducer
+from repro.engine.builder import TransducerBuilder
 from repro.logic.base import Query
 from repro.logic.cq import ConjunctiveQuery, RelationAtom
 from repro.logic.terms import Variable
@@ -118,9 +119,8 @@ def compile_template(
     restriction shared by all the languages modelled here).
     """
     counter = itertools.count()
-    virtual_tags: set[str] = set()
-    rules: list[TransductionRule] = []
     register_arities: dict[str, int] = {}
+    builder = TransducerBuilder(name, root=root_tag, start="q0")
 
     def element_arity(elem: TemplateElement, parent_arity: int) -> int:
         if elem.query is not None:
@@ -136,43 +136,34 @@ def compile_template(
             )
         register_arities[elem.tag] = arity
         if elem.virtual:
-            virtual_tags.add(elem.tag)
-        items: list[RuleItem] = []
+            builder.virtual(elem.tag)
+        rule_builder = builder.state(state).on(elem.tag)
         child_states: list[tuple[TemplateElement, str]] = []
         for child in elem.children:
             child_state = f"s{next(counter)}"
             child_query = child.query if child.query is not None else inherit_query(elem.tag, arity)
             group = child.group_arity if child.group_arity is not None else child_query.arity
-            items.append(RuleItem(child_state, child.tag, RuleQuery(child_query, group)))
+            rule_builder.emit(child_state, child.tag, child_query, group=group)
             child_states.append((child, child_state))
         if elem.text_column is not None:
-            text_state = f"s{next(counter)}"
             query = text_leaf_query(elem.tag, arity, elem.text_column)
-            items.append(RuleItem(text_state, TEXT_TAG, RuleQuery(query, 1)))
-            rules.append(TransductionRule(text_state, TEXT_TAG, ()))
-        rules.append(TransductionRule(state, elem.tag, tuple(items)))
+            rule_builder.emit_text(RuleQuery(query, 1), state=f"s{next(counter)}")
         for child, child_state in child_states:
             compile_element(child, child_state, elem.tag, arity)
 
-    start_items: list[RuleItem] = []
+    start_rule = builder.start()
     top_level: list[tuple[TemplateElement, str]] = []
     for elem in elements:
         if elem.query is None:
             raise TemplateError("top-level template elements need a populating query")
         state = f"s{next(counter)}"
         group = elem.group_arity if elem.group_arity is not None else elem.query.arity
-        start_items.append(RuleItem(state, elem.tag, RuleQuery(elem.query, group)))
+        start_rule.emit(state, elem.tag, elem.query, group=group)
         top_level.append((elem, state))
-    rules.insert(0, TransductionRule("q0", root_tag, tuple(start_items)))
     for elem, state in top_level:
         compile_element(elem, state, root_tag, 0)
 
-    register_arities[TEXT_TAG] = 1
-    return make_transducer(
-        rules,
-        start_state="q0",
-        root_tag=root_tag,
-        virtual_tags=virtual_tags,
-        register_arities=register_arities,
-        name=name,
-    )
+    builder.register_arity(TEXT_TAG, 1)
+    for tag, arity in register_arities.items():
+        builder.register_arity(tag, arity)
+    return builder.build()

@@ -13,14 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.rules import RuleItem, RuleQuery, TransductionRule
-from repro.core.transducer import PublishingTransducer, make_transducer
+from repro.core.transducer import PublishingTransducer
+from repro.engine.builder import TransducerBuilder
 from repro.languages.common import TemplateError, text_leaf_query
 from repro.logic.base import Query, QueryLogic
 from repro.logic.cq import ConjunctiveQuery, RelationAtom, equality
 from repro.logic.terms import Variable
 from repro.relational.schema import RelationalSchema
-from repro.xmltree.tree import TEXT_TAG
 
 
 @dataclass(frozen=True)
@@ -61,42 +60,21 @@ class DbmsXmlgenView:
         arity = self.row_query.arity
         row_vars = tuple(Variable(f"r{i}") for i in range(arity))
 
-        column_items: list[RuleItem] = []
-        rules: list[TransductionRule] = []
+        builder = TransducerBuilder(self.name, root=self.root_tag, start="q0")
+        builder.start().emit("q", self.row_tag, self.row_query)
+        row_rule = builder.state("q").on(self.row_tag)
         for index, tag in enumerate(self.column_tags):
             query = ConjunctiveQuery(
                 (row_vars[index],), (RelationAtom(f"Reg_{self.row_tag}", row_vars),)
             )
-            column_items.append(RuleItem("q", tag, RuleQuery(query, 1)))
-            rules.append(
-                TransductionRule(
-                    "q", tag, (RuleItem("q", TEXT_TAG, RuleQuery(text_leaf_query(tag, 1, 0), 1)),)
-                )
-            )
-
-        row_items = list(column_items)
+            row_rule.emit("q", tag, query)
+            builder.state("q").on(tag).emit_text(text_leaf_query(tag, 1, 0))
         if self.connect_by is not None:
             join = self._connect_by_query(arity, row_vars)
             if join.arity != arity:
                 raise TemplateError("the CONNECT BY query must return rows of the row-query arity")
-            row_items.append(RuleItem("q", self.row_tag, RuleQuery(join, join.arity)))
-
-        rules.insert(
-            0,
-            TransductionRule(
-                "q0",
-                self.root_tag,
-                (RuleItem("q", self.row_tag, RuleQuery(self.row_query, arity)),),
-            ),
-        )
-        rules.insert(1, TransductionRule("q", self.row_tag, tuple(row_items)))
-        rules.append(TransductionRule("q", TEXT_TAG, ()))
-        return make_transducer(
-            rules,
-            start_state="q0",
-            root_tag=self.root_tag,
-            name=self.name,
-        )
+            row_rule.emit("q", self.row_tag, join)
+        return builder.build()
 
     def _connect_by_query(self, arity: int, row_vars: tuple[Variable, ...]) -> Query:
         """The query producing the child rows of the current row.

@@ -116,6 +116,7 @@ class Instance(Mapping[str, Relation]):
             rows = provided.get(name, ())
             data[name] = Relation(name, schema.arity(name), rows)
         self._relations = data
+        self._active_domain: frozenset[DataValue] | None = None
 
     # -- construction -------------------------------------------------------
 
@@ -176,6 +177,34 @@ class Instance(Mapping[str, Relation]):
             data[name] = [tuple(r) for r in rows]
         return Instance(schema, data)
 
+    def overlaid(
+        self,
+        extra: Mapping[str, Relation],
+        schema: RelationalSchema | None = None,
+        active_domain: frozenset[DataValue] | None = None,
+    ) -> "Instance":
+        """Return an extended instance *sharing* this instance's relation objects.
+
+        Unlike :meth:`extended`, which re-checks and re-wraps every relation,
+        this trusted fast path reuses the existing :class:`Relation` objects
+        and only installs the pre-built ``extra`` relations on top.  It is the
+        hot path of the compiled publishing engine, which overlays the two
+        register relations on the source once per expanded node.
+
+        ``schema`` must already describe the overlay (callers cache it);
+        ``active_domain``, when given, seeds the active-domain cache so FO/IFP
+        evaluation does not rescan the source relations.
+        """
+        if schema is None:
+            schema = self._schema.extended(
+                RelationSchema(rel.name, rel.arity) for rel in extra.values()
+            )
+        clone = Instance.__new__(Instance)
+        clone._schema = schema
+        clone._relations = {**self._relations, **extra}
+        clone._active_domain = active_domain
+        return clone
+
     def union(self, other: "Instance") -> "Instance":
         """Relation-wise union of two instances over compatible schemas."""
         schema = self._schema.extended(other.schema[name] for name in other.schema)
@@ -215,11 +244,17 @@ class Instance(Mapping[str, Relation]):
         return self[name].tuples
 
     def active_domain(self) -> frozenset[DataValue]:
-        """The set of all data values occurring anywhere in the instance."""
-        values: set[DataValue] = set()
-        for relation in self._relations.values():
-            values |= relation.active_domain()
-        return frozenset(values)
+        """The set of all data values occurring anywhere in the instance.
+
+        Cached after the first call: instances are immutable, and FO/IFP
+        query evaluation asks for the active domain once per query.
+        """
+        if self._active_domain is None:
+            values: set[DataValue] = set()
+            for relation in self._relations.values():
+                values |= relation.active_domain()
+            self._active_domain = frozenset(values)
+        return self._active_domain
 
     def total_size(self) -> int:
         """Total number of tuples across all relations."""

@@ -14,8 +14,8 @@
 
 from __future__ import annotations
 
-from repro.core.rules import RuleItem, RuleQuery, TransductionRule
-from repro.core.transducer import PublishingTransducer, make_transducer
+from repro.core.transducer import PublishingTransducer
+from repro.engine.builder import TransducerBuilder
 from repro.logic.cq import ConjunctiveQuery, RelationAtom
 from repro.logic.terms import Variable
 from repro.relational.instance import Instance
@@ -42,11 +42,10 @@ def chain_of_diamonds_transducer() -> PublishingTransducer:
         (x,),
         (RelationAtom("Reg_a", (y,)), RelationAtom("R", (y, x))),
     )
-    rules = [
-        TransductionRule("q0", "r", (RuleItem("q", "a", RuleQuery(phi_start, 1)),)),
-        TransductionRule("q", "a", (RuleItem("q", "a", RuleQuery(phi_step, 1)),)),
-    ]
-    return make_transducer(rules, start_state="q0", root_tag="r", name="chain-of-diamonds")
+    builder = TransducerBuilder("chain-of-diamonds", root="r", start="q0")
+    builder.start().emit("q", "a", phi_start)
+    builder.state("q").on("a").emit("q", "a", phi_step)
+    return builder.build()
 
 
 def chain_of_diamonds_instance(n: int) -> Instance:
@@ -89,39 +88,22 @@ def binary_counter_transducer() -> PublishingTransducer:
             RelationAtom("add", (d1, c2, c3, d, c)),
         ),
     )
-    rules = [
-        TransductionRule(
-            "q0",
-            "r",
-            (
-                RuleItem("q", "a", RuleQuery(phi_init, 0)),
-                RuleItem("q", "b", RuleQuery(phi_init, 0)),
-            ),
-        ),
-        TransductionRule(
-            "q",
-            "a",
-            (
-                RuleItem("q", "a", RuleQuery(phi_step, 0)),
-                RuleItem("q", "b", RuleQuery(phi_step, 0)),
-            ),
-        ),
-        TransductionRule(
-            "q",
-            "b",
-            (
-                RuleItem("q", "a", RuleQuery(phi_step, 0)),
-                RuleItem("q", "b", RuleQuery(phi_step, 0)),
-            ),
-        ),
-    ]
-    return make_transducer(
-        rules,
-        start_state="q0",
-        root_tag="r",
-        register_arities={"a": 3, "b": 3},
-        name="binary-counter",
+    builder = TransducerBuilder("binary-counter", root="r", start="q0")
+    builder.register_arity("a", 3).register_arity("b", 3)
+    builder.start().emit("q", "a", phi_init, group=0).emit("q", "b", phi_init, group=0)
+    (
+        builder.state("q")
+        .on("a")
+        .emit("q", "a", phi_step, group=0)
+        .emit("q", "b", phi_step, group=0)
     )
+    (
+        builder.state("q")
+        .on("b")
+        .emit("q", "a", phi_step, group=0)
+        .emit("q", "b", phi_step, group=0)
+    )
+    return builder.build()
 
 
 def binary_counter_instance(n: int) -> Instance:

@@ -24,8 +24,8 @@ from __future__ import annotations
 import random
 from typing import Sequence
 
-from repro.core.rules import RuleItem, RuleQuery, TransductionRule
-from repro.core.transducer import PublishingTransducer, make_transducer
+from repro.core.transducer import PublishingTransducer
+from repro.engine.builder import TransducerBuilder
 from repro.logic.cq import ConjunctiveQuery, RelationAtom, equality
 from repro.logic.fo import And, Eq, Exists, Forall, FormulaQuery, Not, Or, Rel
 from repro.logic.terms import Constant, Variable
@@ -171,26 +171,19 @@ def tau1_prerequisite_hierarchy(department: str = "CS") -> PublishingTransducer:
     phi4_cno = ConjunctiveQuery((c,), (RelationAtom("Reg_cno", (c,)),))
     phi4_title = ConjunctiveQuery((t,), (RelationAtom("Reg_title", (t,)),))
 
-    def tq(query) -> RuleQuery:
-        return RuleQuery(query, query.arity)
-
-    rules = [
-        TransductionRule("q0", "db", (RuleItem("q", "course", tq(phi1)),)),
-        TransductionRule(
-            "q",
-            "course",
-            (
-                RuleItem("q", "cno", tq(phi2_cno)),
-                RuleItem("q", "title", tq(phi2_title)),
-                RuleItem("q", "prereq", tq(phi2_cno)),
-            ),
-        ),
-        TransductionRule("q", "prereq", (RuleItem("q", "course", tq(phi3)),)),
-        TransductionRule("q", "cno", (RuleItem("q", "text", tq(phi4_cno)),)),
-        TransductionRule("q", "title", (RuleItem("q", "text", tq(phi4_title)),)),
-        TransductionRule("q", "text", ()),
-    ]
-    return make_transducer(rules, start_state="q0", root_tag="db", name="tau1-prereq-hierarchy")
+    builder = TransducerBuilder("tau1-prereq-hierarchy", root="db", start="q0")
+    builder.start().emit("q", "course", phi1)
+    (
+        builder.state("q")
+        .on("course")
+        .emit("q", "cno", phi2_cno)
+        .emit("q", "title", phi2_title)
+        .emit("q", "prereq", phi2_cno)
+    )
+    builder.state("q").on("prereq").emit("q", "course", phi3)
+    builder.state("q").on("cno").emit_text(phi4_cno)
+    builder.state("q").on("title").emit_text(phi4_title)
+    return builder.build()
 
 
 # ---------------------------------------------------------------------------
@@ -255,43 +248,26 @@ def tau2_prerequisite_closure(department: str = "CS") -> PublishingTransducer:
     phi_text_cno = ConjunctiveQuery((c,), (RelationAtom("Reg_cno", (c,)),))
     phi_text_title = ConjunctiveQuery((c,), (RelationAtom("Reg_title", (c,)),))
 
-    def tq(query) -> RuleQuery:
-        return RuleQuery(query, query.arity)
-
-    def relq(query) -> RuleQuery:
-        return RuleQuery(query, 0)
-
-    rules = [
-        TransductionRule("q0", "db", (RuleItem("q", "course", tq(phi1)),)),
-        TransductionRule(
-            "q",
-            "course",
-            (
-                RuleItem("q", "cno", tq(phi2_cno)),
-                RuleItem("q", "title", tq(phi2_title)),
-                RuleItem("q", "prereq", tq(phi2_cno)),
-            ),
-        ),
-        TransductionRule("q", "prereq", (RuleItem("q", "l", relq(varphi1)),)),
-        TransductionRule(
-            "q",
-            "l",
-            (
-                RuleItem("q", "l", relq(varphi1_prime)),
-                RuleItem("q", "cno", tq(varphi2)),
-            ),
-        ),
-        TransductionRule("q", "cno", (RuleItem("q", "text", tq(phi_text_cno)),)),
-        TransductionRule("q", "title", (RuleItem("q", "text", tq(phi_text_title)),)),
-        TransductionRule("q", "text", ()),
-    ]
-    return make_transducer(
-        rules,
-        start_state="q0",
-        root_tag="db",
-        virtual_tags={"l"},
-        name="tau2-prereq-closure",
+    builder = TransducerBuilder("tau2-prereq-closure", root="db", start="q0")
+    builder.virtual("l")
+    builder.start().emit("q", "course", phi1)
+    (
+        builder.state("q")
+        .on("course")
+        .emit("q", "cno", phi2_cno)
+        .emit("q", "title", phi2_title)
+        .emit("q", "prereq", phi2_cno)
     )
+    builder.state("q").on("prereq").emit("q", "l", varphi1, group=0)
+    (
+        builder.state("q")
+        .on("l")
+        .emit("q", "l", varphi1_prime, group=0)
+        .emit("q", "cno", varphi2)
+    )
+    builder.state("q").on("cno").emit_text(phi_text_cno)
+    builder.state("q").on("title").emit_text(phi_text_title)
+    return builder.build()
 
 
 # ---------------------------------------------------------------------------
@@ -332,24 +308,17 @@ def tau3_courses_without_db_prereq(banned_title: str = "Databases") -> Publishin
     phi_text_cno = ConjunctiveQuery((c,), (RelationAtom("Reg_cno", (c,)),))
     phi_text_title = ConjunctiveQuery((t,), (RelationAtom("Reg_title", (t,)),))
 
-    def tq(query) -> RuleQuery:
-        return RuleQuery(query, query.arity)
-
-    rules = [
-        TransductionRule("q0", "db", (RuleItem("q", "course", tq(psi)),)),
-        TransductionRule(
-            "q",
-            "course",
-            (
-                RuleItem("q", "cno", tq(phi_cno)),
-                RuleItem("q", "title", tq(phi_title)),
-            ),
-        ),
-        TransductionRule("q", "cno", (RuleItem("q", "text", tq(phi_text_cno)),)),
-        TransductionRule("q", "title", (RuleItem("q", "text", tq(phi_text_title)),)),
-        TransductionRule("q", "text", ()),
-    ]
-    return make_transducer(rules, start_state="q0", root_tag="db", name="tau3-no-db-prereq")
+    builder = TransducerBuilder("tau3-no-db-prereq", root="db", start="q0")
+    builder.start().emit("q", "course", psi)
+    (
+        builder.state("q")
+        .on("course")
+        .emit("q", "cno", phi_cno)
+        .emit("q", "title", phi_title)
+    )
+    builder.state("q").on("cno").emit_text(phi_text_cno)
+    builder.state("q").on("title").emit_text(phi_text_title)
+    return builder.build()
 
 
 def cs_course_numbers(instance, department: str = "CS") -> Sequence[str]:

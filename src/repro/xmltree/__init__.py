@@ -6,26 +6,53 @@ tag and a ``text`` tag for PCDATA leaves.  This package provides:
 
 * :mod:`repro.xmltree.tree` -- Σ-trees with both a navigational (node-object)
   and a formal (tree-domain) view;
-* :mod:`repro.xmltree.serialize` -- rendering to XML text;
+* :mod:`repro.xmltree.events` -- SAX-style event streams over Σ-trees (the
+  streaming output representation of the publishing engine);
+* :mod:`repro.xmltree.serialize` -- rendering to XML text, materialised or
+  incremental (event-driven);
 * :mod:`repro.xmltree.dtd` -- DTDs, extended (specialised) DTDs and
   conformance checking, needed for Theorem 5 and the ATG front-end.
 """
 
 from repro.xmltree.dtd import DTD, ExtendedDTD, Regex, alt, concat, empty, star, sym
-from repro.xmltree.serialize import to_xml
+from repro.xmltree.events import (
+    CloseEvent,
+    OpenEvent,
+    TextEvent,
+    XmlEvent,
+    events_to_tree,
+    tree_to_events,
+)
+from repro.xmltree.serialize import (
+    IncrementalXmlSerializer,
+    compact_xml_from_events,
+    to_compact_xml,
+    to_xml,
+    xml_from_events,
+)
 from repro.xmltree.tree import TEXT_TAG, TreeNode, tree
 
 __all__ = [
+    "CloseEvent",
     "DTD",
     "ExtendedDTD",
+    "IncrementalXmlSerializer",
+    "OpenEvent",
     "Regex",
     "TEXT_TAG",
+    "TextEvent",
     "TreeNode",
+    "XmlEvent",
     "alt",
+    "compact_xml_from_events",
     "concat",
     "empty",
+    "events_to_tree",
     "star",
     "sym",
+    "to_compact_xml",
     "to_xml",
     "tree",
+    "tree_to_events",
+    "xml_from_events",
 ]

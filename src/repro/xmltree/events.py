@@ -1,0 +1,108 @@
+"""SAX-style events over Σ-trees.
+
+The streaming output mode of the publishing engine emits a Σ-tree as a flat
+sequence of events instead of a materialised :class:`~repro.xmltree.tree.TreeNode`
+structure: Proposition 1 shows output trees can be exponentially (tuple
+registers) or doubly exponentially (relation registers) larger than the
+source, so a production consumer should be able to serialise, validate or
+forward the view without ever holding it in memory.
+
+Three event kinds suffice for Σ-trees:
+
+* :class:`OpenEvent` -- an element node starts (its children follow);
+* :class:`TextEvent` -- a PCDATA leaf (the reserved ``text`` tag);
+* :class:`CloseEvent` -- the matching element ends.
+
+:func:`tree_to_events` and :func:`events_to_tree` convert between the two
+representations; both are iterative and therefore safe on trees whose depth
+exceeds Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Union
+
+from repro.xmltree.tree import TEXT_TAG, TreeNode
+
+
+@dataclass(frozen=True)
+class OpenEvent:
+    """An element node with the given tag starts."""
+
+    tag: str
+
+
+@dataclass(frozen=True)
+class TextEvent:
+    """A PCDATA leaf; ``text`` is ``None`` for an empty text node."""
+
+    text: str | None = None
+
+
+@dataclass(frozen=True)
+class CloseEvent:
+    """The innermost open element with the given tag ends."""
+
+    tag: str
+
+
+XmlEvent = Union[OpenEvent, TextEvent, CloseEvent]
+
+
+def tree_to_events(node: TreeNode) -> Iterator[XmlEvent]:
+    """Emit the event stream of a materialised Σ-tree (document order)."""
+    stack: list[TreeNode | CloseEvent] = [node]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, CloseEvent):
+            yield item
+            continue
+        if item.label == TEXT_TAG:
+            yield TextEvent(item.text)
+            continue
+        yield OpenEvent(item.label)
+        stack.append(CloseEvent(item.label))
+        stack.extend(reversed(item.children))
+
+
+def events_to_tree(events: Iterable[XmlEvent]) -> TreeNode:
+    """Rebuild a Σ-tree from an event stream.
+
+    Raises :class:`ValueError` on malformed streams (mismatched or missing
+    close events, multiple roots, events outside the root element).
+    """
+    root: TreeNode | None = None
+    # Each frame is (tag, accumulated children); frames close bottom-up.
+    frames: list[tuple[str, list[TreeNode]]] = []
+
+    def attach(node: TreeNode) -> None:
+        nonlocal root
+        if frames:
+            frames[-1][1].append(node)
+        elif root is None:
+            root = node
+        else:
+            raise ValueError("event stream contains more than one root")
+
+    for event in events:
+        if isinstance(event, OpenEvent):
+            if not frames and root is not None:
+                raise ValueError("event stream contains more than one root")
+            frames.append((event.tag, []))
+        elif isinstance(event, TextEvent):
+            attach(TreeNode(TEXT_TAG, (), event.text))
+        elif isinstance(event, CloseEvent):
+            if not frames:
+                raise ValueError(f"close event for {event.tag!r} without a matching open")
+            tag, children = frames.pop()
+            if tag != event.tag:
+                raise ValueError(f"close event for {event.tag!r} inside open element {tag!r}")
+            attach(TreeNode(tag, tuple(children)))
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown event: {event!r}")
+    if frames:
+        raise ValueError(f"unclosed element {frames[-1][0]!r} at end of event stream")
+    if root is None:
+        raise ValueError("empty event stream")
+    return root

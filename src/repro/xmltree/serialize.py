@@ -1,9 +1,25 @@
-"""Serialisation of Σ-trees to XML text."""
+"""Serialisation of Σ-trees to XML text.
+
+Two families of serialisers live here:
+
+* :func:`to_xml` / :func:`to_compact_xml` -- the original recursive
+  renderers over a materialised :class:`~repro.xmltree.tree.TreeNode`;
+* :class:`IncrementalXmlSerializer` -- an event-driven serialiser consuming
+  the SAX-style streams of :mod:`repro.xmltree.events`, producing output
+  **byte-identical** to the materialised renderers without ever holding the
+  tree.  This is the serialisation backend of the publishing engine's
+  streaming mode: Proposition 1 outputs can be doubly exponential in the
+  source, so a production serialiser must run in memory proportional to the
+  tree *depth*, not its size.
+"""
 
 from __future__ import annotations
 
+from typing import Callable, Iterable
+
 from xml.sax.saxutils import escape
 
+from repro.xmltree.events import CloseEvent, OpenEvent, TextEvent, XmlEvent
 from repro.xmltree.tree import TreeNode
 
 
@@ -38,3 +54,160 @@ def to_compact_xml(node: TreeNode) -> str:
         return f"<{node.label}/>"
     inner = "".join(to_compact_xml(child) for child in node.children)
     return f"<{node.label}>{inner}</{node.label}>"
+
+
+class _Frame:
+    """One open element of the incremental serialiser."""
+
+    __slots__ = ("tag", "level", "pending", "texts")
+
+    def __init__(self, tag: str, level: int) -> None:
+        self.tag = tag
+        self.level = level
+        # While pending, the open tag has not been written yet: we do not know
+        # whether the element is empty (``<tag/>``), text-only (inline) or
+        # mixed (multi-line) until a child arrives or the element closes.
+        self.pending = True
+        self.texts: list[str] = []
+
+
+class IncrementalXmlSerializer:
+    """Serialise an event stream to XML, matching the materialised renderers.
+
+    With the default ``indent`` the output is byte-identical to
+    :func:`to_xml` on the corresponding tree; with ``indent=None`` it matches
+    :func:`to_compact_xml`.  Chunks are pushed to the ``write`` callable as
+    soon as they are determined, so memory use is bounded by the depth of the
+    document (plus any run of text children buffered while an element may
+    still turn out to be text-only).
+
+    Usage::
+
+        serializer = IncrementalXmlSerializer()
+        for event in plan.publish_events(instance):
+            serializer.feed(event)
+        xml = serializer.finish()
+    """
+
+    def __init__(
+        self,
+        write: Callable[[str], object] | None = None,
+        indent: int | None = 2,
+    ) -> None:
+        self._chunks: list[str] | None = [] if write is None else None
+        self._write: Callable[[str], object] = (
+            self._chunks.append if write is None else write  # type: ignore[union-attr]
+        )
+        self._indent = indent
+        self._frames: list[_Frame] = []
+        self._started = False
+        self._done = False
+
+    # -- event interface -----------------------------------------------------
+
+    def feed(self, event: XmlEvent) -> None:
+        """Consume one event."""
+        if self._done:
+            raise ValueError("event after the document root was closed")
+        if isinstance(event, OpenEvent):
+            self._open(event.tag)
+        elif isinstance(event, TextEvent):
+            self._text(escape(event.text or ""))
+        elif isinstance(event, CloseEvent):
+            self._close(event.tag)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown event: {event!r}")
+
+    def feed_all(self, events: Iterable[XmlEvent]) -> "IncrementalXmlSerializer":
+        """Consume a whole event stream; returns ``self`` for chaining."""
+        for event in events:
+            self.feed(event)
+        return self
+
+    def finish(self) -> str:
+        """Check the stream was balanced and return the accumulated text.
+
+        When a ``write`` callable was supplied the chunks have already been
+        pushed and the return value is an empty string.
+        """
+        if self._frames:
+            raise ValueError(f"unclosed element {self._frames[-1].tag!r} at end of stream")
+        if not self._done:
+            raise ValueError("empty event stream")
+        return "".join(self._chunks) if self._chunks is not None else ""
+
+    # -- internals -----------------------------------------------------------
+
+    def _pad(self, level: int) -> str:
+        return " " * ((self._indent or 0) * level)
+
+    def _emit_line(self, level: int, content: str) -> None:
+        if self._indent is None:
+            self._write(content)
+            return
+        if self._started:
+            self._write("\n")
+        self._write(self._pad(level) + content)
+        self._started = True
+
+    def _flush_open(self, frame: _Frame) -> None:
+        """Write a pending element's open tag (it turned out to be mixed)."""
+        self._emit_line(frame.level, f"<{frame.tag}>")
+        for text in frame.texts:
+            self._emit_line(frame.level + 1, text)
+        frame.texts.clear()
+        frame.pending = False
+
+    def _open(self, tag: str) -> None:
+        if not self._frames:
+            if self._started or self._done:
+                raise ValueError("event stream contains more than one root")
+            level = 0
+        else:
+            parent = self._frames[-1]
+            if parent.pending:
+                self._flush_open(parent)
+            level = parent.level + 1
+        self._frames.append(_Frame(tag, level))
+
+    def _text(self, escaped: str) -> None:
+        if not self._frames:
+            raise ValueError("text event outside the document root")
+        frame = self._frames[-1]
+        if self._indent is None:
+            if frame.pending:
+                self._emit_line(frame.level, f"<{frame.tag}>")
+                frame.pending = False
+            self._write(escaped)
+        elif frame.pending:
+            # The element may still be text-only; buffer for inline rendering.
+            frame.texts.append(escaped)
+        else:
+            self._emit_line(frame.level + 1, escaped)
+
+    def _close(self, tag: str) -> None:
+        if not self._frames:
+            raise ValueError(f"close event for {tag!r} without a matching open")
+        frame = self._frames.pop()
+        if frame.tag != tag:
+            raise ValueError(f"close event for {tag!r} inside open element {frame.tag!r}")
+        if frame.pending:
+            if frame.texts:
+                inline = "".join(frame.texts)
+                self._emit_line(frame.level, f"<{tag}>{inline}</{tag}>")
+            else:
+                self._emit_line(frame.level, f"<{tag}/>")
+        else:
+            self._emit_line(frame.level, f"</{tag}>")
+        if not self._frames:
+            self._done = True
+
+
+def xml_from_events(events: Iterable[XmlEvent], indent: int = 2) -> str:
+    """Serialise an event stream to pretty-printed XML (matches :func:`to_xml`)."""
+    return IncrementalXmlSerializer(indent=indent).feed_all(events).finish()
+
+
+def compact_xml_from_events(events: Iterable[XmlEvent]) -> str:
+    """Serialise an event stream to single-line XML (matches :func:`to_compact_xml`)."""
+    return IncrementalXmlSerializer(indent=None).feed_all(events).finish()

@@ -56,27 +56,48 @@ class TreeNode:
         return self.label == TEXT_TAG
 
     def size(self) -> int:
-        """Number of nodes in the subtree rooted at this node."""
-        return 1 + sum(child.size() for child in self.children)
+        """Number of nodes in the subtree rooted at this node.
+
+        Iterative: output trees can be exponentially deep (Proposition 1), far
+        beyond Python's recursion limit.
+        """
+        count = 0
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children)
+        return count
 
     def depth(self) -> int:
         """Length of the longest root-to-leaf path (a single node has depth 1)."""
-        if not self.children:
-            return 1
-        return 1 + max(child.depth() for child in self.children)
+        best = 1
+        stack: list[tuple["TreeNode", int]] = [(self, 1)]
+        while stack:
+            node, level = stack.pop()
+            if level > best:
+                best = level
+            for child in node.children:
+                stack.append((child, level + 1))
+        return best
 
     def labels(self) -> frozenset[str]:
         """The set of tags occurring in the subtree."""
-        found = {self.label}
-        for child in self.children:
-            found |= child.labels()
+        found: set[str] = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            found.add(node.label)
+            stack.extend(node.children)
         return frozenset(found)
 
     def walk(self) -> Iterator["TreeNode"]:
-        """Pre-order traversal of the subtree."""
-        yield self
-        for child in self.children:
-            yield from child.walk()
+        """Pre-order traversal of the subtree (iterative, recursion-safe)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
 
     def find_all(self, label: str) -> list["TreeNode"]:
         """All descendants (including self) with the given tag, in document order."""
