@@ -1,0 +1,183 @@
+"""Naive vs planned query evaluation: the ISSUE-2 acceptance benchmark.
+
+Two comparisons, each also a correctness check (the planned answers must
+equal the naive evaluator's):
+
+* ``registrar multi-join``: a four-atom rule query (two joins through
+  ``prereq`` plus a department selection) on a generated registrar database,
+  evaluated tuple-at-a-time (``ConjunctiveQuery.evaluate_naive``) vs through
+  the compiled :class:`~repro.query.plan.QueryPlan` (indexed scans + hash
+  joins).  The acceptance criterion is a >= 5x speedup.
+* ``datalog transitive closure``: the naive full-rule iteration vs the
+  semi-naive delta-plan evaluator on a layered-DAG blow-up workload.
+
+As with ``bench_engine_compile.py``, the measured ratios are attached to the
+pytest-benchmark JSON via ``extra_info`` (run with ``--benchmark-json=...`` to
+export them).  The module is also runnable directly -- ``python
+benchmarks/bench_query_eval.py [--quick]`` -- printing the same numbers as
+JSON, which is what the CI smoke step does.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from repro.datalog import evaluate_program, evaluate_program_naive
+from repro.datalog.program import DatalogProgram, DatalogRule
+from repro.logic.cq import ConjunctiveQuery, RelationAtom, equality
+from repro.logic.terms import Constant, Variable
+from repro.query import plan_query
+from repro.workloads.random_instances import layered_dag_instance
+from repro.workloads.registrar import generate_registrar_instance
+
+#: The acceptance threshold for the registrar multi-join speedup.
+MIN_SPEEDUP = 5.0
+
+
+def registrar_multi_join_query() -> ConjunctiveQuery:
+    """CS courses with their prerequisites-of-prerequisites (4 atoms, 3 joins)."""
+    c1, t1, d1 = Variable("c1"), Variable("t1"), Variable("d1")
+    c2, c3, t3, d3 = Variable("c2"), Variable("c3"), Variable("t3"), Variable("d3")
+    return ConjunctiveQuery(
+        (c1, t1, c3, t3),
+        (
+            RelationAtom("course", (c1, t1, d1)),
+            RelationAtom("prereq", (c1, c2)),
+            RelationAtom("prereq", (c2, c3)),
+            RelationAtom("course", (c3, t3, d3)),
+        ),
+        (equality(d1, Constant("CS")),),
+    )
+
+
+def transitive_closure_program() -> DatalogProgram:
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    return DatalogProgram(
+        [
+            DatalogRule(RelationAtom("tc", (x, y)), (RelationAtom("E", (x, y)),)),
+            DatalogRule(
+                RelationAtom("tc", (x, y)),
+                (RelationAtom("tc", (x, z)), RelationAtom("E", (z, y))),
+            ),
+            DatalogRule(RelationAtom("ans", (x, y)), (RelationAtom("tc", (x, y)),)),
+        ]
+    )
+
+
+def _time(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _measured_seconds(benchmark, fn):
+    """Mean benchmark time, falling back to one timed run under --benchmark-disable."""
+    if benchmark.stats is not None:
+        return benchmark.stats.stats.mean
+    return _time(fn)[1]
+
+
+def measure_registrar_multi_join(num_courses: int = 150) -> dict:
+    """Raw numbers for the registrar comparison (shared by test and script)."""
+    query = registrar_multi_join_query()
+    instance = generate_registrar_instance(num_courses, max_prereqs=3, seed=5)
+    expected, naive_seconds = _time(lambda: query.evaluate_naive(instance))
+    plan = plan_query(query)
+    assert plan is not None
+    plan.execute(instance)  # warm the plan and the relation hash indexes
+    answers, planned_seconds = _time(lambda: plan.execute(instance))
+    assert answers == expected
+    return {
+        "num_courses": num_courses,
+        "answers": len(answers),
+        "naive_seconds": naive_seconds,
+        "planned_seconds": planned_seconds,
+        "naive_over_planned_ratio": naive_seconds / planned_seconds,
+        "join_order": list(plan.join_order()),
+    }
+
+
+def measure_datalog_transitive_closure(layers: int = 8, width: int = 6) -> dict:
+    """Raw numbers for the Datalog comparison (shared by test and script)."""
+    program = transitive_closure_program()
+    instance = layered_dag_instance(layers, width, seed=2)
+    expected, naive_seconds = _time(lambda: evaluate_program_naive(program, instance))
+    answers, semi_naive_seconds = _time(lambda: evaluate_program(program, instance))
+    assert answers == expected
+    return {
+        "layers": layers,
+        "width": width,
+        "facts": len(answers),
+        "naive_seconds": naive_seconds,
+        "semi_naive_seconds": semi_naive_seconds,
+        "naive_over_semi_naive_ratio": naive_seconds / semi_naive_seconds,
+    }
+
+
+def test_registrar_multi_join_planned_vs_naive(benchmark):
+    """The acceptance criterion: planned evaluation >= 5x over tuple-at-a-time."""
+    query = registrar_multi_join_query()
+    instance = generate_registrar_instance(150, max_prereqs=3, seed=5)
+    expected, naive_seconds = _time(lambda: query.evaluate_naive(instance))
+    plan = plan_query(query)
+    plan.execute(instance)  # warm the plan and the relation hash indexes
+
+    def planned():
+        return plan.execute(instance)
+
+    answers = benchmark(planned)
+    assert answers == expected
+
+    planned_seconds = _measured_seconds(benchmark, planned)
+    ratio = naive_seconds / planned_seconds
+    benchmark.extra_info["naive_seconds"] = naive_seconds
+    benchmark.extra_info["planned_seconds"] = planned_seconds
+    benchmark.extra_info["naive_over_planned_ratio"] = ratio
+    benchmark.extra_info["join_order"] = " >< ".join(plan.join_order())
+    assert ratio >= MIN_SPEEDUP
+
+
+def test_datalog_semi_naive_vs_naive(benchmark):
+    """Semi-naive delta plans vs naive iteration on a layered-DAG closure."""
+    program = transitive_closure_program()
+    instance = layered_dag_instance(7, 5, seed=2)
+    expected, naive_seconds = _time(lambda: evaluate_program_naive(program, instance))
+
+    def semi_naive():
+        return evaluate_program(program, instance)
+
+    answers = benchmark(semi_naive)
+    assert answers == expected
+
+    semi_naive_seconds = _measured_seconds(benchmark, semi_naive)
+    benchmark.extra_info["naive_seconds"] = naive_seconds
+    benchmark.extra_info["semi_naive_seconds"] = semi_naive_seconds
+    benchmark.extra_info["naive_over_semi_naive_ratio"] = naive_seconds / semi_naive_seconds
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    report = {
+        "benchmark": "bench_query_eval",
+        "mode": "quick" if quick else "full",
+        "registrar_multi_join": measure_registrar_multi_join(80 if quick else 150),
+        "datalog_transitive_closure": measure_datalog_transitive_closure(
+            *(6, 4) if quick else (8, 6)
+        ),
+    }
+    print(json.dumps(report, indent=2))
+    ratio = report["registrar_multi_join"]["naive_over_planned_ratio"]
+    if ratio < MIN_SPEEDUP:
+        print(
+            f"FAIL: planned evaluation only {ratio:.1f}x over naive "
+            f"(required: {MIN_SPEEDUP}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -17,6 +17,7 @@ from repro.core import RuleQuery, classify
 from repro.core.rules import RuleItem, TransductionRule
 from repro.core.transducer import make_transducer
 from repro.logic import parse_cq
+from repro.query import plan_query
 from repro.xmltree.tree import tree
 
 
@@ -63,6 +64,14 @@ def main() -> None:
     different = build("ans(x) :- R(x, y), x != 'a'")
     print(f"  renamed copies equivalent?   {are_equivalent(left, right).equivalent}")
     print(f"  extra selection equivalent?  {are_equivalent(left, different).equivalent}")
+
+    print("-- query planning --------------------------------------------------")
+    query = parse_cq("ans(c, t) :- Reg_prereq(cp), prereq(cp, c), course(c, t, d)")
+    plan = plan_query(query)
+    print("  the analyses and the engine share one planned form per rule query:")
+    for line in plan.explain().splitlines():
+        print(f"    {line}")
+    print(f"  plan stats: {plan.operator_counts()} after {plan.executions} execution(s)")
 
 
 if __name__ == "__main__":

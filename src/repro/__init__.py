@@ -4,6 +4,8 @@ The package is organised by subsystem:
 
 * :mod:`repro.relational` -- relational substrate (schemas, instances, algebra);
 * :mod:`repro.logic` -- the query logics CQ, FO and IFP;
+* :mod:`repro.query` -- the set-at-a-time query planner every layer
+  evaluates relational queries through;
 * :mod:`repro.datalog` -- Datalog / LinDatalog / LinDatalog(FO);
 * :mod:`repro.xmltree` -- Sigma-trees, serialisation, DTDs and extended DTDs;
 * :mod:`repro.core` -- publishing transducers ``PT(L, S, O)`` (the paper's
@@ -27,9 +29,10 @@ from repro.engine import (
     TransducerBuilder,
     compile_plan,
 )
+from repro.query import QueryPlan, plan_query
 from repro.relational import Instance, RelationalSchema
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CacheStats",
@@ -37,10 +40,12 @@ __all__ = [
     "Instance",
     "PublishingPlan",
     "PublishingTransducer",
+    "QueryPlan",
     "RelationalSchema",
     "TransducerBuilder",
     "classify",
     "compile_plan",
+    "plan_query",
     "publish",
     "__version__",
 ]

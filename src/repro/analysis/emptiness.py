@@ -20,11 +20,13 @@ from dataclasses import dataclass
 
 from repro.analysis.complexity import DecisionProblem, UndecidableProblemError, complexity_of
 from repro.analysis.composition import compose_path, compose_rule_query
+from repro.analysis.membership import source_schema
 from repro.core.classes import OutputKind, classify
 from repro.core.dependency import DependencyGraph, Edge
 from repro.core.transducer import PublishingTransducer
 from repro.logic.base import QueryLogic
 from repro.logic.cq import ConjunctiveQuery
+from repro.relational.instance import Instance
 
 
 @dataclass(frozen=True)
@@ -34,6 +36,7 @@ class EmptinessResult:
     empty: bool
     witness_path: tuple[Edge, ...] | None = None
     witness_query: ConjunctiveQuery | None = None
+    witness_instance: Instance | None = None
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.empty
@@ -69,7 +72,12 @@ def _emptiness_normal(transducer: PublishingTransducer) -> EmptinessResult:
         # explicit contradiction before the satisfiability check.
         grounded = compose_rule_query(query, transducer.root_tag, None)
         if grounded.is_satisfiable():
-            return EmptinessResult(empty=False, witness_path=(edge,), witness_query=grounded)
+            return EmptinessResult(
+                empty=False,
+                witness_path=(edge,),
+                witness_query=grounded,
+                witness_instance=_witness_instance(transducer, grounded),
+            )
     return EmptinessResult(empty=True)
 
 
@@ -86,5 +94,29 @@ def _emptiness_virtual(
     for path in sorted(paths, key=len):
         composed = compose_path(transducer, path)
         if composed.is_satisfiable():
-            return EmptinessResult(empty=False, witness_path=path, witness_query=composed)
+            return EmptinessResult(
+                empty=False,
+                witness_path=path,
+                witness_query=composed,
+                witness_instance=_witness_instance(transducer, composed),
+            )
     return EmptinessResult(empty=True)
+
+
+def _witness_instance(
+    transducer: PublishingTransducer, query: ConjunctiveQuery
+) -> Instance | None:
+    """A concrete source instance on which the witness query fires.
+
+    The satisfiable composed query is frozen into its canonical database over
+    the transducer's reconstructed source schema, then re-checked through the
+    shared query planner; ``None`` when the construction does not verify
+    (the non-emptiness verdict itself never depends on this).
+    """
+    schema = source_schema(transducer)
+    try:
+        frozen, _ = query.canonical_instance(schema)
+    except Exception:  # out-of-schema atoms: the witness is only best-effort
+        return None
+    # evaluate() is plan-first (the plan is cached on the query object).
+    return frozen if query.evaluate(frozen) else None

@@ -98,7 +98,7 @@ def is_member(
             note="no consistent assignment of tree nodes to transduction rules",
         )
 
-    schema = _source_schema(transducer)
+    schema = source_schema(transducer)
     # One compiled plan serves every candidate check of this call: the NP
     # oracle step re-runs the same transducer over many guessed instances,
     # which is exactly the engine's compile-once/run-many split.
@@ -177,8 +177,12 @@ def _assign_states(
 # ---------------------------------------------------------------------------
 
 
-def _source_schema(transducer: PublishingTransducer) -> RelationalSchema:
-    """Reconstruct the source schema (names and arities) from the rule queries."""
+def source_schema(transducer: PublishingTransducer) -> RelationalSchema:
+    """Reconstruct the source schema (names and arities) from the rule queries.
+
+    Shared with the emptiness analysis, which freezes composed queries over
+    this schema to produce concrete witness instances.
+    """
     arities: dict[str, int] = {}
     for rule_query in transducer.all_rule_queries():
         query = rule_query.query
@@ -332,6 +336,7 @@ def _exhaustive_search(
         for combo in itertools.product(domain, repeat=arity):
             all_possible.append((name, combo))
 
+    prefilter = _start_query_prefilter(transducer, tree)
     candidates_checked = 0
     for size in range(0, tuple_budget + 1):
         for selection in itertools.combinations(all_possible, size):
@@ -342,6 +347,33 @@ def _exhaustive_search(
             for name, row in selection:
                 data[name].add(row)
             instance = Instance(schema, data)
+            if prefilter is not None and not any(run(instance) for run in prefilter):
+                # The root would stay childless on this candidate; skip the
+                # (much more expensive) publish-and-compare oracle step.
+                continue
             if _produces(plan, instance, tree):
                 return instance, True
     return None, complete
+
+
+def _start_query_prefilter(transducer: PublishingTransducer, tree: TreeNode):
+    """Planned start-rule queries used to discard hopeless candidates early.
+
+    The root's children are produced exclusively by the start rule's queries,
+    and the root register is empty, so a query reading ``Reg`` cannot fire --
+    direct evaluation on the bare candidate agrees with the engine's empty
+    register overlay for the CQ queries of the decidable membership
+    fragments.  Returns ``None`` (no prefiltering) when the target tree is a
+    bare root or a start query is not a CQ.
+    """
+    if not tree.children:
+        return None
+    start_rule = transducer.rule_for(transducer.start_state, transducer.root_tag)
+    runs = []
+    for item in start_rule.items:
+        query = item.query.query
+        if not isinstance(query, ConjunctiveQuery):
+            return None
+        # evaluate() is plan-first (the plan is cached on the query object).
+        runs.append(query.evaluate)
+    return runs or None

@@ -13,7 +13,12 @@ deterministic sub-programs and CQ unfoldings used by the equivalence procedure
 (Claim 5 of Theorem 2), and the two translations of Theorem 3(2).
 """
 
-from repro.datalog.evaluation import evaluate_program
+from repro.datalog.evaluation import (
+    evaluate_all_predicates,
+    evaluate_all_predicates_naive,
+    evaluate_program,
+    evaluate_program_naive,
+)
 from repro.datalog.linear import (
     deterministic_subprograms,
     is_deterministic,
@@ -32,7 +37,10 @@ __all__ = [
     "DatalogRule",
     "FormulaCondition",
     "deterministic_subprograms",
+    "evaluate_all_predicates",
+    "evaluate_all_predicates_naive",
     "evaluate_program",
+    "evaluate_program_naive",
     "is_deterministic",
     "is_linear",
     "is_nonrecursive",

@@ -1,9 +1,21 @@
 """Semi-naive bottom-up evaluation of Datalog programs.
 
 The evaluator supports the three program classes used in the reproduction --
-plain Datalog, LinDatalog and LinDatalog(FO) -- uniformly: rules whose body
-consists only of relation atoms and comparisons are evaluated with the CQ
-join machinery, rules with FO conditions fall back to the formula evaluator.
+plain Datalog, LinDatalog and LinDatalog(FO) -- uniformly.  Every rule body is
+compiled once into a :class:`~repro.query.plan.QueryPlan` (via
+:mod:`repro.query.planner`); recursion is then evaluated *semi-naively*: after
+the first full round, a rule with IDB atoms only re-fires through per-atom
+delta plans whose distinguished occurrence reads the facts derived in the
+previous round.  The IDB state and the deltas are fed into the compiled plans
+through the plan ``overrides`` channel, so no extended instance (and no
+relation re-hashing) is built per round on the fast path.
+
+Rules the planner cannot compile -- bodies whose comparisons or FO conditions
+make the query genuinely domain-dependent -- fall back to the naive evaluator
+per round, which also remains available wholesale as
+:func:`evaluate_program_naive` / :func:`evaluate_all_predicates_naive`: the
+executable specification and the differential-test oracle.
+
 Evaluation is inflationary and terminates because the Herbrand base over the
 active domain is finite.
 """
@@ -14,15 +26,29 @@ from typing import Mapping
 
 from repro.datalog.program import DatalogProgram, DatalogRule
 from repro.logic.builders import cq_to_formula
-from repro.logic.cq import ConjunctiveQuery
-from repro.logic.fo import And, FormulaEvaluator, conjunction
+from repro.logic.cq import ConjunctiveQuery, RelationAtom
+from repro.logic.fo import FormulaEvaluator, FormulaQuery, conjunction
 from repro.logic.terms import Constant, Variable
+from repro.query.planner import plan_query
 from repro.relational.domain import DataValue
 from repro.relational.instance import Instance
 from repro.relational.schema import RelationSchema
 
 #: A mapping from IDB predicate names to their current sets of facts.
 IdbState = dict[str, set[tuple[DataValue, ...]]]
+
+#: Base name of the relation a delta plan reads its distinguished occurrence
+#: from; underscores are appended until it collides with no program predicate.
+DELTA_NAME = "__delta__"
+
+
+def _fresh_delta_name(program: DatalogProgram) -> str:
+    """A delta-relation name no EDB or IDB predicate of the program uses."""
+    taken = set(program.idb_predicates()) | set(program.edb_predicates())
+    name = DELTA_NAME
+    while name in taken:
+        name += "_"
+    return name
 
 
 def evaluate_program(
@@ -40,7 +66,208 @@ def evaluate_all_predicates(
     instance: Instance,
     max_iterations: int | None = None,
 ) -> dict[str, frozenset[tuple[DataValue, ...]]]:
-    """Evaluate ``program`` and return the facts of every IDB predicate."""
+    """Evaluate ``program`` semi-naively and return every IDB predicate's facts."""
+    idb = program.idb_predicates()
+    delta_name = _fresh_delta_name(program)
+    compiled = [_CompiledRule(rule, idb, delta_name) for rule in program.rules]
+    state: IdbState = {predicate: set() for predicate in idb}
+    iterations = 0
+
+    def round_allowed() -> bool:
+        nonlocal iterations
+        iterations += 1
+        return max_iterations is None or iterations <= max_iterations
+
+    # Round 1: every rule, full bodies, empty IDB.
+    delta: dict[str, set[tuple[DataValue, ...]]] = {predicate: set() for predicate in idb}
+    if round_allowed():
+        extended = _extended_if_needed(instance, program, state, compiled, full_round=True)
+        for rule in compiled:
+            for fact in rule.fire_full(instance, state, extended):
+                if fact not in state[rule.head_predicate]:
+                    delta[rule.head_predicate].add(fact)
+        for predicate, facts in delta.items():
+            state[predicate] |= facts
+
+    # Recursive rounds: delta plans only, until a round derives nothing new.
+    while any(delta.values()) and round_allowed():
+        new_delta: dict[str, set[tuple[DataValue, ...]]] = {p: set() for p in idb}
+        extended = _extended_if_needed(instance, program, state, compiled, full_round=False)
+        for rule in compiled:
+            if not rule.mentions_idb:
+                continue  # EDB-only rules cannot derive anything new
+            for fact in rule.fire_delta(instance, state, delta, extended):
+                if fact not in state[rule.head_predicate]:
+                    new_delta[rule.head_predicate].add(fact)
+        for predicate, facts in new_delta.items():
+            state[predicate] |= facts
+        delta = new_delta
+    return {predicate: frozenset(facts) for predicate, facts in state.items()}
+
+
+class _CompiledRule:
+    """One rule compiled to a full plan plus per-IDB-occurrence delta plans."""
+
+    __slots__ = (
+        "rule",
+        "head_predicate",
+        "head_variables",
+        "delta_name",
+        "mentions_idb",
+        "full_plan",
+        "delta_plans",
+        "needs_fallback",
+    )
+
+    def __init__(self, rule: DatalogRule, idb: frozenset[str], delta_name: str) -> None:
+        self.rule = rule
+        self.delta_name = delta_name
+        self.head_predicate = rule.head.relation
+        head_variables: list[Variable] = []
+        for term in rule.head.terms:
+            if isinstance(term, Variable) and term not in head_variables:
+                head_variables.append(term)
+        self.head_variables = tuple(head_variables)
+
+        atoms = rule.body_atoms()
+        condition_idb = any(
+            set(condition.formula.relation_names()) & idb for condition in rule.conditions()
+        )
+        idb_positions = [i for i, atom in enumerate(atoms) if atom.relation in idb]
+        self.mentions_idb = bool(idb_positions) or condition_idb
+
+        self.full_plan = plan_query(self._body_query(atoms))
+        self.delta_plans: tuple[tuple[str, object], ...] = ()
+        self.needs_fallback = self.full_plan is None
+        if condition_idb:
+            # FO conditions reading IDB predicates cannot be delta-restricted.
+            self.needs_fallback = True
+        if not self.needs_fallback and idb_positions:
+            delta_plans = []
+            for position in idb_positions:
+                variant = list(atoms)
+                variant[position] = RelationAtom(delta_name, atoms[position].terms)
+                plan = plan_query(self._body_query(tuple(variant)))
+                if plan is None:
+                    self.needs_fallback = True
+                    break
+                delta_plans.append((atoms[position].relation, plan))
+            else:
+                self.delta_plans = tuple(delta_plans)
+
+    def _body_query(self, atoms: tuple[RelationAtom, ...]):
+        """The rule body as a CQ, or as a safe FO query when it has conditions.
+
+        The query head is :attr:`head_variables`, so plan rows zip positionally
+        against the head terms in :meth:`_head_facts`.
+        """
+        rule = self.rule
+        cq = ConjunctiveQuery(self.head_variables, atoms, rule.comparisons())
+        if not rule.conditions():
+            return cq
+        all_variables = tuple(sorted(cq.variables(), key=lambda v: v.name))
+        conjuncts = [cq_to_formula(cq.with_head(all_variables))]
+        for condition in rule.conditions():
+            conjuncts.append(condition.formula)
+        return FormulaQuery(self.head_variables, conjunction(conjuncts))
+
+    # -- firing ---------------------------------------------------------------
+
+    def fire_full(
+        self,
+        instance: Instance,
+        state: IdbState,
+        extended: Instance | None,
+    ) -> set[tuple[DataValue, ...]]:
+        """All head facts derivable from the full current state."""
+        if self.full_plan is not None:
+            rows = self.full_plan.execute(instance, state)
+        else:
+            assert extended is not None
+            rows = _apply_rule_body_naive(self.rule, self.head_variables, extended)
+        return self._head_facts(rows)
+
+    def fire_delta(
+        self,
+        instance: Instance,
+        state: IdbState,
+        delta: Mapping[str, set[tuple[DataValue, ...]]],
+        extended: Instance | None,
+    ) -> set[tuple[DataValue, ...]]:
+        """Head facts derivable using at least one last-round fact.
+
+        One plan execution per IDB occurrence, with that occurrence reading
+        the delta and every other occurrence the full state (the standard
+        semi-naive over-approximation, sound for these monotone rules).
+        """
+        if self.needs_fallback:
+            assert extended is not None
+            return self._head_facts(
+                _apply_rule_body_naive(self.rule, self.head_variables, extended)
+            )
+        facts: set[tuple[DataValue, ...]] = set()
+        overrides: dict[str, object] = dict(state)
+        for predicate, plan in self.delta_plans:
+            changed = delta.get(predicate)
+            if not changed:
+                continue
+            overrides[self.delta_name] = changed
+            facts |= self._head_facts(plan.execute(instance, overrides))
+        return facts
+
+    def _head_facts(self, rows) -> set[tuple[DataValue, ...]]:
+        head_variables = self.head_variables
+        head_terms = self.rule.head.terms
+        facts: set[tuple[DataValue, ...]] = set()
+        for row in rows:
+            binding = dict(zip(head_variables, row))
+            facts.add(
+                tuple(
+                    term.value if isinstance(term, Constant) else binding[term]
+                    for term in head_terms
+                )
+            )
+        return facts
+
+
+def _extended_if_needed(
+    instance: Instance,
+    program: DatalogProgram,
+    state: IdbState,
+    compiled: list[_CompiledRule],
+    full_round: bool,
+) -> Instance | None:
+    """The IDB-extended instance, built only when some rule needs the fallback."""
+    for rule in compiled:
+        if full_round:
+            if rule.full_plan is None:
+                return _instance_with_idb(instance, program, state)
+        elif rule.mentions_idb and rule.needs_fallback:
+            return _instance_with_idb(instance, program, state)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The naive evaluator: executable specification and differential-test oracle.
+# ---------------------------------------------------------------------------
+
+
+def evaluate_program_naive(
+    program: DatalogProgram,
+    instance: Instance,
+    max_iterations: int | None = None,
+) -> frozenset[tuple[DataValue, ...]]:
+    """Naive-iteration reference semantics of :func:`evaluate_program`."""
+    state = evaluate_all_predicates_naive(program, instance, max_iterations=max_iterations)
+    return frozenset(state.get(program.output_predicate, set()))
+
+
+def evaluate_all_predicates_naive(
+    program: DatalogProgram,
+    instance: Instance,
+    max_iterations: int | None = None,
+) -> dict[str, frozenset[tuple[DataValue, ...]]]:
+    """Naive bottom-up iteration: every rule, full bodies, until fixpoint."""
     idb = program.idb_predicates()
     state: IdbState = {predicate: set() for predicate in idb}
     iterations = 0
@@ -72,16 +299,12 @@ def _instance_with_idb(
 
 
 def _apply_rule(rule: DatalogRule, instance: Instance) -> set[tuple[DataValue, ...]]:
-    """Evaluate one rule body and build its head facts."""
+    """Evaluate one rule body naively and build its head facts."""
     head_variables: list[Variable] = []
     for term in rule.head.terms:
         if isinstance(term, Variable) and term not in head_variables:
             head_variables.append(term)
-    if rule.conditions():
-        answers = _evaluate_body_fo(rule, tuple(head_variables), instance)
-    else:
-        query = ConjunctiveQuery(tuple(head_variables), rule.body_atoms(), rule.comparisons())
-        answers = query.evaluate(instance)
+    answers = _apply_rule_body_naive(rule, tuple(head_variables), instance)
     facts: set[tuple[DataValue, ...]] = set()
     for row in answers:
         binding = dict(zip(head_variables, row))
@@ -91,6 +314,16 @@ def _apply_rule(rule: DatalogRule, instance: Instance) -> set[tuple[DataValue, .
         )
         facts.add(fact)
     return facts
+
+
+def _apply_rule_body_naive(
+    rule: DatalogRule, head_variables: tuple[Variable, ...], instance: Instance
+) -> frozenset[tuple[DataValue, ...]]:
+    """Evaluate a rule body on an IDB-extended instance with the naive evaluators."""
+    if rule.conditions():
+        return _evaluate_body_fo(rule, head_variables, instance)
+    query = ConjunctiveQuery(head_variables, rule.body_atoms(), rule.comparisons())
+    return query.evaluate_naive(instance)
 
 
 def _evaluate_body_fo(

@@ -50,6 +50,7 @@ from repro.core.runtime import (
 )
 from repro.core.transducer import PublishingTransducer
 from repro.core.virtual import eliminate_virtual_nodes, strip_annotations
+from repro.query.planner import plan_query
 from repro.relational.domain import DataValue, relation_to_text, tuple_order_key
 from repro.relational.instance import Instance, Relation
 from repro.relational.schema import RelationSchema, RelationalSchema
@@ -78,15 +79,24 @@ class CacheStats:
 
 
 class _CompiledItem:
-    """One right-hand-side item with its evaluator pre-bound."""
+    """One right-hand-side item with its evaluator pre-bound.
 
-    __slots__ = ("state", "tag", "group_arity", "evaluate")
+    The rule query is planned once at compile time through the shared
+    :mod:`repro.query` planner; range-restricted queries bind directly to
+    :meth:`QueryPlan.execute`, unsafe ones to the query's own (active-domain)
+    evaluator.
+    """
+
+    __slots__ = ("state", "tag", "group_arity", "plan", "evaluate")
 
     def __init__(self, state: str, tag: str, rule_query: RuleQuery) -> None:
         self.state = state
         self.tag = tag
         self.group_arity = rule_query.group_arity
-        self.evaluate = rule_query.query.evaluate
+        self.plan = plan_query(rule_query.query)
+        self.evaluate = (
+            self.plan.execute if self.plan is not None else rule_query.query.evaluate
+        )
 
 
 class _InstanceState:

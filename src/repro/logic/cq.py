@@ -209,12 +209,29 @@ class ConjunctiveQuery(Query):
     # -- evaluation ------------------------------------------------------------
 
     def evaluate(self, instance: Instance) -> frozenset[tuple[DataValue, ...]]:
-        """Evaluate the query by incremental joins over the body atoms.
+        """Evaluate the query via the set-at-a-time planner when possible.
+
+        Range-restricted queries are compiled once (the plan is cached on the
+        query) into scans, hash joins and selections by
+        :mod:`repro.query.planner` and evaluated at join-size cost; genuinely
+        unsafe queries fall back to :meth:`evaluate_naive`, whose
+        active-domain semantics remains the executable specification.
+        """
+        from repro.query.planner import plan_query
+
+        plan = plan_query(self)
+        if plan is not None:
+            return plan.execute(instance)
+        return self.evaluate_naive(instance)
+
+    def evaluate_naive(self, instance: Instance) -> frozenset[tuple[DataValue, ...]]:
+        """Evaluate the query by tuple-at-a-time joins over the body atoms.
 
         Active-domain semantics: a variable not bound by any relation atom is
         bound through the equality constraints when possible, and otherwise
         ranges over the active domain of the instance extended with the
-        query's constants.
+        query's constants.  This is the reference evaluator the planner is
+        differentially tested against.
         """
         valuations: list[dict[Variable, DataValue]] = [{}]
         pending = list(self._comparisons)
@@ -570,9 +587,21 @@ class UnionOfConjunctiveQueries(Query):
         return QueryLogic.CQ
 
     def evaluate(self, instance: Instance) -> frozenset[tuple[DataValue, ...]]:
+        from repro.query.planner import plan_query
+
+        plan = plan_query(self)
+        if plan is not None:
+            return plan.execute(instance)
         answers: set[tuple[DataValue, ...]] = set()
         for disjunct in self._disjuncts:
             answers |= disjunct.evaluate(instance)
+        return frozenset(answers)
+
+    def evaluate_naive(self, instance: Instance) -> frozenset[tuple[DataValue, ...]]:
+        """Union of the disjuncts' naive evaluations (the planner's oracle)."""
+        answers: set[tuple[DataValue, ...]] = set()
+        for disjunct in self._disjuncts:
+            answers |= disjunct.evaluate_naive(instance)
         return frozenset(answers)
 
     def relation_names(self) -> frozenset[str]:

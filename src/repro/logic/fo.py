@@ -657,6 +657,22 @@ class FormulaQuery(Query):
         return self._formula.constants()
 
     def evaluate(self, instance: Instance) -> frozenset[tuple[DataValue, ...]]:
+        """Evaluate via the set-at-a-time planner when the formula is safe.
+
+        Range-restricted (safe) formulas are compiled once into scans, hash
+        joins and anti-joins by :mod:`repro.query.planner`; formulas outside
+        the safe fragment (top-level negation, ``forall``, fixpoints, domain-
+        dependent equalities) fall back to :meth:`evaluate_naive`.
+        """
+        from repro.query.planner import plan_query
+
+        plan = plan_query(self)
+        if plan is not None:
+            return plan.execute(instance)
+        return self.evaluate_naive(instance)
+
+    def evaluate_naive(self, instance: Instance) -> frozenset[tuple[DataValue, ...]]:
+        """The bottom-up active-domain evaluator (the planner's oracle)."""
         domain = set(instance.active_domain()) | set(self.constants())
         evaluator = FormulaEvaluator(instance, domain)
         table = evaluator.evaluate(self._formula)

@@ -1,0 +1,60 @@
+"""repro.query -- the set-at-a-time query planner shared across layers.
+
+One :class:`QueryPlan` API serves every consumer of relational queries:
+
+* the engine's per-rule evaluators (:mod:`repro.engine.plan`) pre-plan each
+  rule query at compile time;
+* :meth:`ConjunctiveQuery.evaluate` and :meth:`FormulaQuery.evaluate` plan
+  range-restricted queries transparently and fall back to the naive
+  active-domain evaluators only for genuinely unsafe formulas;
+* the semi-naive Datalog evaluator (:mod:`repro.datalog.evaluation`) feeds
+  per-round deltas into plans through the ``overrides`` channel;
+* the static analyses reuse plans when re-evaluating rule queries in loops.
+
+Entry points: :func:`plan_query` (plan or ``None`` for unsafe queries) and
+:meth:`QueryPlan.execute` / :meth:`QueryPlan.explain`.
+"""
+
+from repro.query.plan import (
+    AntiJoinNode,
+    EmptyNode,
+    ExtendNode,
+    JoinNode,
+    PlanNode,
+    ProjectNode,
+    QueryPlan,
+    RenameNode,
+    RowsNode,
+    ScanNode,
+    SelectNode,
+    UnionNode,
+    UnitNode,
+)
+from repro.query.planner import (
+    plan_cq,
+    plan_formula,
+    plan_formula_query,
+    plan_query,
+    plan_ucq,
+)
+
+__all__ = [
+    "AntiJoinNode",
+    "EmptyNode",
+    "ExtendNode",
+    "JoinNode",
+    "PlanNode",
+    "ProjectNode",
+    "QueryPlan",
+    "RenameNode",
+    "RowsNode",
+    "ScanNode",
+    "SelectNode",
+    "UnionNode",
+    "UnitNode",
+    "plan_cq",
+    "plan_formula",
+    "plan_formula_query",
+    "plan_query",
+    "plan_ucq",
+]

@@ -19,7 +19,7 @@ from repro.relational.tuples import check_arity
 class Relation:
     """A finite relation: a set of equal-width tuples over the domain."""
 
-    __slots__ = ("_name", "_arity", "_tuples")
+    __slots__ = ("_name", "_arity", "_tuples", "_indexes")
 
     def __init__(
         self,
@@ -31,6 +31,19 @@ class Relation:
         self._arity = arity
         rows = frozenset(check_arity(name, arity, row) for row in tuples)
         self._tuples = rows
+        self._indexes: dict[tuple[int, ...], dict] | None = None
+
+    @classmethod
+    def _from_frozenset(
+        cls, name: str, arity: int, rows: frozenset[tuple[DataValue, ...]]
+    ) -> "Relation":
+        """Trusted constructor for rows already checked by another Relation."""
+        relation = cls.__new__(cls)
+        relation._name = name
+        relation._arity = arity
+        relation._tuples = rows
+        relation._indexes = None
+        return relation
 
     # -- basic accessors ---------------------------------------------------
 
@@ -88,14 +101,48 @@ class Relation:
         return Relation(self._name, self._arity, set(self._tuples) | {tuple(t) for t in tuples})
 
     def union(self, other: "Relation") -> "Relation":
-        """Set union (requires matching arity)."""
+        """Set union (requires matching arity).
+
+        Fast paths: when one side is empty or a subset of the other, the
+        existing relation object (with its tuple set and lazy indexes) is
+        reused instead of re-hashing the full tuple set.
+        """
         if other.arity != self._arity:
             raise ArityError(self._name, self._arity, other.arity)
-        return Relation(self._name, self._arity, self._tuples | other.tuples)
+        if not other._tuples or other._tuples <= self._tuples:
+            return self
+        if not self._tuples and other._name == self._name:
+            return other
+        if not self._tuples:
+            return Relation._from_frozenset(self._name, self._arity, other._tuples)
+        return Relation._from_frozenset(
+            self._name, self._arity, self._tuples | other._tuples
+        )
 
     def active_domain(self) -> frozenset[DataValue]:
         """The set of data values appearing in the relation."""
         return frozenset(value for row in self._tuples for value in row)
+
+    def hash_index(
+        self, positions: tuple[int, ...]
+    ) -> dict[tuple[DataValue, ...], list[tuple[DataValue, ...]]]:
+        """A hash index on the given column positions, built lazily and cached.
+
+        Maps each key (the projection of a row onto ``positions``) to the list
+        of full rows carrying it.  Relations are immutable, so the index is
+        built at most once per column combination and shared by every instance
+        holding this relation object -- including the engine's register
+        overlays, which reuse the source relations by identity.
+        """
+        if self._indexes is None:
+            self._indexes = {}
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            for row in self._tuples:
+                index.setdefault(tuple(row[p] for p in positions), []).append(row)
+            self._indexes[positions] = index
+        return index
 
 
 class Instance(Mapping[str, Relation]):
@@ -145,12 +192,16 @@ class Instance(Mapping[str, Relation]):
         return cls(schema, relations)
 
     def updated(self, name: str, tuples: Iterable[Sequence[DataValue]]) -> "Instance":
-        """Return a copy in which relation ``name`` is replaced by ``tuples``."""
+        """Return a copy in which relation ``name`` is replaced by ``tuples``.
+
+        Untouched :class:`Relation` objects are reused by identity, so their
+        cached hash indexes stay warm across the copy.
+        """
         if name not in self._schema:
             raise UnknownRelationError(name, self._schema.names())
-        data = {rel: relation.tuples for rel, relation in self._relations.items()}
-        data[name] = frozenset(tuple(t) for t in tuples)
-        return Instance(self._schema, data)
+        relations = dict(self._relations)
+        relations[name] = Relation(name, self._schema.arity(name), tuples)
+        return self._rebuilt(self._schema, relations)
 
     def extended(
         self,
@@ -162,6 +213,8 @@ class Instance(Mapping[str, Relation]):
         This is how the publishing-transducer runtime makes the parent
         register visible to rule queries: the register is added under the
         reserved names ``Reg`` / ``Reg_<tag>`` without touching the source.
+        Existing :class:`Relation` objects are shared with this instance by
+        identity; only the extra relations are wrapped and checked.
         """
         if extra_schema is None:
             extra_schema = []
@@ -170,12 +223,24 @@ class Instance(Mapping[str, Relation]):
                 arity = len(rows[0]) if rows else 0
                 extra_schema.append(RelationSchema(name, arity))
         schema = self._schema.extended(extra_schema)
-        data: dict[str, Iterable[Sequence[DataValue]]] = {
-            name: relation.tuples for name, relation in self._relations.items()
-        }
+        relations = dict(self._relations)
         for name, rows in extra.items():
-            data[name] = [tuple(r) for r in rows]
-        return Instance(schema, data)
+            relations[name] = Relation(name, schema.arity(name), rows)
+        for name in schema:
+            if name not in relations:
+                relations[name] = Relation(name, schema.arity(name))
+        return self._rebuilt(schema, relations)
+
+    @classmethod
+    def _rebuilt(
+        cls, schema: RelationalSchema, relations: dict[str, "Relation"]
+    ) -> "Instance":
+        """Trusted constructor reusing already-validated relation objects."""
+        clone = cls.__new__(cls)
+        clone._schema = schema
+        clone._relations = relations
+        clone._active_domain = None
+        return clone
 
     def overlaid(
         self,

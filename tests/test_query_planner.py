@@ -1,0 +1,499 @@
+"""Differential and property tests for the repro.query planner.
+
+The planner must agree with the naive active-domain evaluators -- which stay
+in the tree as the executable specification -- on every range-restricted
+query, and fall back to them (with identical results) on unsafe ones.  The
+random generators below exercise joins, repeated variables, constants in
+atoms, (in)equalities, negation and empty relations against both oracles.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datalog import (
+    evaluate_all_predicates,
+    evaluate_all_predicates_naive,
+    evaluate_program,
+    evaluate_program_naive,
+)
+from repro.datalog.program import DatalogProgram, DatalogRule
+from repro.logic.cq import (
+    ConjunctiveQuery,
+    RelationAtom,
+    UnionOfConjunctiveQueries,
+    equality,
+    inequality,
+)
+from repro.logic.fo import And, Eq, Exists, FormulaQuery, Not, Or, Rel
+from repro.logic.terms import Constant, Variable
+from repro.query import AntiJoinNode, JoinNode, ScanNode, plan_query
+from repro.relational.instance import Instance, Relation
+from repro.relational.schema import RelationalSchema
+from repro.workloads.random_instances import (
+    random_graph_instance,
+    random_unary_binary_instance,
+)
+from repro.workloads.registrar import example_registrar_instance
+
+V = [Variable(f"v{i}") for i in range(6)]
+CONSTS = ["d0", "d1", "d2", "n1", "n2"]
+
+
+def random_instances():
+    """A mixed bag of small instances, including empty relations."""
+    instances = [
+        random_unary_binary_instance(5, seed=seed, density=0.4) for seed in range(4)
+    ]
+    instances += [random_graph_instance(6, 10, seed=seed) for seed in range(2)]
+    # Empty relations, declared via an explicit schema.
+    schema = RelationalSchema.from_arities({"P": 1, "E": 2})
+    instances.append(Instance(schema, {}))
+    instances.append(Instance(schema, {"P": [("d0",)]}))
+    return instances
+
+
+def random_safe_cq(rng: random.Random) -> ConjunctiveQuery:
+    """A random CQ whose head and comparison variables are atom-bound."""
+    atoms = []
+    for _ in range(rng.randint(1, 3)):
+        if rng.random() < 0.5:
+            terms = [
+                rng.choice(V[:4]) if rng.random() < 0.8 else Constant(rng.choice(CONSTS))
+                for _ in range(2)
+            ]
+            atoms.append(RelationAtom("E", tuple(terms)))
+        else:
+            term = rng.choice(V[:4]) if rng.random() < 0.8 else Constant(rng.choice(CONSTS))
+            atoms.append(RelationAtom("P", (term,)))
+    bound = sorted({v for atom in atoms for v in atom.variables()}, key=lambda v: v.name)
+    if not bound:
+        bound = [V[0]]
+        atoms.append(RelationAtom("P", (V[0],)))
+    head = tuple(rng.choice(bound) for _ in range(rng.randint(1, 2)))
+    comparisons = []
+    for _ in range(rng.randint(0, 2)):
+        left = rng.choice(bound)
+        right = rng.choice(bound) if rng.random() < 0.5 else Constant(rng.choice(CONSTS))
+        maker = equality if rng.random() < 0.6 else inequality
+        comparisons.append(maker(left, right))
+    return ConjunctiveQuery(head, tuple(atoms), tuple(comparisons))
+
+
+class TestCqDifferential:
+    def test_random_safe_cqs_match_naive(self):
+        rng = random.Random(7)
+        instances = random_instances()
+        planned = 0
+        for _ in range(120):
+            query = random_safe_cq(rng)
+            plan = plan_query(query)
+            assert plan is not None, f"safe CQ not planned: {query}"
+            planned += 1
+            for instance in instances:
+                assert plan.execute(instance) == query.evaluate_naive(instance), (
+                    f"{query} diverges on {instance}"
+                )
+        assert planned == 120
+
+    def test_unsafe_cq_falls_back_to_naive(self):
+        x, y = V[0], V[1]
+        # y ranges over the active domain: genuinely unsafe.
+        query = ConjunctiveQuery((x, y), (RelationAtom("P", (x,)),), (inequality(x, y),))
+        assert plan_query(query) is None
+        for instance in random_instances():
+            assert query.evaluate(instance) == query.evaluate_naive(instance)
+
+    def test_repeated_variables_in_atom(self):
+        x = V[0]
+        query = ConjunctiveQuery((x,), (RelationAtom("E", (x, x)),))
+        plan = plan_query(query)
+        assert plan is not None
+        instance = random_graph_instance(5, 12, seed=3)
+        loops = frozenset((a,) for a, b in instance["E"] if a == b)
+        assert plan.execute(instance) == query.evaluate_naive(instance) == loops
+
+    def test_constants_in_atoms_use_index_scan(self):
+        x = V[0]
+        instance = random_graph_instance(6, 12, seed=1)
+        some_node = next(iter(instance["E"]))[0]
+        query = ConjunctiveQuery((x,), (RelationAtom("E", (Constant(some_node), x)),))
+        plan = plan_query(query)
+        assert plan is not None
+        assert "IndexScan" in plan.explain()
+        assert plan.execute(instance) == query.evaluate_naive(instance)
+
+    def test_equality_forced_constants_are_pushed_down(self):
+        x, y = V[0], V[1]
+        query = ConjunctiveQuery(
+            (x, y),
+            (RelationAtom("E", (x, y)),),
+            (equality(x, Constant("n1")),),
+        )
+        plan = plan_query(query)
+        assert "IndexScan" in plan.explain()
+        for instance in random_instances():
+            assert plan.execute(instance) == query.evaluate_naive(instance)
+
+    def test_empty_and_unknown_relations(self):
+        x, y = V[0], V[1]
+        schema = RelationalSchema.from_arities({"P": 1, "E": 2})
+        empty = Instance(schema, {})
+        join = ConjunctiveQuery((x,), (RelationAtom("P", (x,)), RelationAtom("E", (x, y))))
+        assert join.evaluate(empty) == join.evaluate_naive(empty) == frozenset()
+        unknown = ConjunctiveQuery((x,), (RelationAtom("Missing", (x,)),))
+        assert unknown.evaluate(empty) == unknown.evaluate_naive(empty) == frozenset()
+
+    def test_contradictory_equalities_give_empty_plan(self):
+        x = V[0]
+        query = ConjunctiveQuery(
+            (x,),
+            (RelationAtom("P", (x,)),),
+            (equality(x, Constant("a")), equality(x, Constant("b"))),
+        )
+        plan = plan_query(query)
+        assert plan is not None
+        for instance in random_instances():
+            assert plan.execute(instance) == query.evaluate_naive(instance) == frozenset()
+
+    def test_ucq_union_plan(self):
+        x, y = V[0], V[1]
+        q1 = ConjunctiveQuery((x,), (RelationAtom("E", (x, y)),))
+        q2 = ConjunctiveQuery((y,), (RelationAtom("E", (x, y)),))
+        union = UnionOfConjunctiveQueries((q1, q2))
+        plan = plan_query(union)
+        assert plan is not None
+        for instance in random_instances():
+            assert plan.execute(instance) == union.evaluate_naive(instance)
+
+
+class TestFoDifferential:
+    def _formulas(self):
+        x, y, z = V[0], V[1], V[2]
+        return [
+            FormulaQuery((x,), Rel("P", (x,))),
+            FormulaQuery((x,), Exists((y,), And((Rel("E", (x, y)), Rel("P", (y,)))))),
+            FormulaQuery((x,), Or((Rel("P", (x,)), Exists((y,), Rel("E", (x, y)))))),
+            # Safe negation: an anti-join, never a domain complement.
+            FormulaQuery((x,), And((Rel("P", (x,)), Not(Exists((y,), Rel("E", (x, y))))))),
+            FormulaQuery(
+                (x, y),
+                And((Rel("E", (x, y)), Not(Rel("E", (y, x))))),
+            ),
+            FormulaQuery(
+                (x,),
+                Exists((y,), And((Rel("E", (x, y)), Eq(y, Constant("n2"))))),
+            ),
+            FormulaQuery(
+                (x, y),
+                And((Rel("E", (x, y)), Not(Eq(x, y)))),
+            ),
+            # Equality propagation: z is copied from x, not cylindrified.
+            FormulaQuery(
+                (x, z),
+                And((Rel("P", (x,)), Eq(z, x))),
+            ),
+        ]
+
+    def test_safe_formulas_match_naive(self):
+        instances = random_instances()
+        for query in self._formulas():
+            plan = plan_query(query)
+            assert plan is not None, f"safe formula not planned: {query}"
+            for instance in instances:
+                assert plan.execute(instance) == query.evaluate_naive(instance), str(query)
+
+    def test_random_formulas_match_naive(self):
+        from repro.logic.fo import FalseFormula, TrueFormula
+
+        rng = random.Random(42)
+        rels = [("P", 1), ("E", 2)]
+
+        def rterm():
+            return rng.choice(V[:4]) if rng.random() < 0.75 else Constant(rng.choice(CONSTS))
+
+        def rand_formula(depth):
+            roll = rng.random()
+            if depth <= 0 or roll < 0.35:
+                name, arity = rng.choice(rels)
+                return Rel(name, tuple(rterm() for _ in range(arity)))
+            if roll < 0.45:
+                return Eq(rterm(), rterm())
+            if roll < 0.6:
+                return And(tuple(rand_formula(depth - 1) for _ in range(rng.randint(2, 3))))
+            if roll < 0.72:
+                return Or(tuple(rand_formula(depth - 1) for _ in range(2)))
+            if roll < 0.84:
+                return Exists((rng.choice(V[:4]),), rand_formula(depth - 1))
+            if roll < 0.94:
+                return Not(rand_formula(depth - 1))
+            return rng.choice([TrueFormula(), FalseFormula()])
+
+        instances = random_instances()
+        planned = 0
+        for _ in range(150):
+            formula = rand_formula(3)
+            free = sorted(formula.free_variables(), key=lambda v: v.name)
+            query = FormulaQuery(tuple(free[:2]), formula)
+            plan = plan_query(query)
+            if plan is None:
+                continue  # outside the safe fragment: covered by fallback tests
+            planned += 1
+            for instance in instances:
+                assert plan.execute(instance) == query.evaluate_naive(instance), str(query)
+        # The generator must actually exercise the planner, not skip everything.
+        assert planned >= 50
+
+    def test_negation_plans_as_anti_join(self):
+        x, y = V[0], V[1]
+        query = FormulaQuery(
+            (x,), And((Rel("P", (x,)), Not(Exists((y,), Rel("E", (x, y))))))
+        )
+        plan = plan_query(query)
+        assert any(isinstance(node, AntiJoinNode) for node in plan.walk())
+
+    def test_empty_disjunction_plans_as_empty(self):
+        x, y = V[0], V[1]
+        instance = random_unary_binary_instance(4, seed=1)
+        for query in (
+            FormulaQuery((), Or(())),
+            FormulaQuery((x,), And((Rel("E", (x, y)), Or(())))),
+            FormulaQuery((), Exists((x,), Or(()))),
+        ):
+            assert query.evaluate(instance) == query.evaluate_naive(instance) == frozenset()
+
+    def test_unsafe_formulas_fall_back(self):
+        x, y = V[0], V[1]
+        unsafe = [
+            FormulaQuery((x,), Not(Rel("P", (x,)))),  # top-level negation
+            FormulaQuery((x, y), Eq(x, y)),  # domain diagonal
+            FormulaQuery((x,), Or((Rel("P", (x,)), Eq(y, Constant("d0"))))),
+        ]
+        for query in unsafe:
+            assert plan_query(query) is None
+            instance = random_unary_binary_instance(4, seed=9)
+            assert query.evaluate(instance) == query.evaluate_naive(instance)
+
+    def test_registrar_rule_queries_match_naive(self):
+        from repro.workloads.registrar import (
+            tau1_prerequisite_hierarchy,
+            tau2_prerequisite_closure,
+            tau3_courses_without_db_prereq,
+        )
+
+        instance = example_registrar_instance()
+        for tau in (
+            tau1_prerequisite_hierarchy(),
+            tau2_prerequisite_closure(),
+            tau3_courses_without_db_prereq(),
+        ):
+            extended = instance.extended(
+                {"Reg": [("cs450", "Databases")], "Reg_course": [("cs450", "Databases")]}
+            )
+            for rule in tau.rules:
+                for item in rule.items:
+                    query = item.query.query
+                    assert query.evaluate(extended) == query.evaluate_naive(extended), (
+                        f"{tau.name}: {query}"
+                    )
+
+
+class TestExplain:
+    def test_explain_shows_join_order_and_operators(self):
+        cp, c, t, d = Variable("cp"), Variable("c"), Variable("t"), Variable("d")
+        query = ConjunctiveQuery(
+            (c, t),
+            (
+                RelationAtom("Reg_prereq", (cp,)),
+                RelationAtom("prereq", (cp, c)),
+                RelationAtom("course", (c, t, d)),
+            ),
+        )
+        plan = plan_query(query)
+        text = plan.explain()
+        assert "join order:" in text
+        assert "HashJoin" in text
+        assert plan.join_order() == ("Reg_prereq", "prereq", "course")
+        counts = plan.operator_counts()
+        assert counts["Scan"] == 3
+        assert counts["Join"] == 2
+
+    def test_executions_counter(self):
+        x = V[0]
+        query = ConjunctiveQuery((x,), (RelationAtom("P", (x,)),))
+        plan = plan_query(query)
+        before = plan.executions
+        query.evaluate(random_unary_binary_instance(3, seed=0))
+        # evaluate() reuses the cached plan object.
+        assert plan_query(query) is plan
+        assert plan.executions == before + 1
+
+
+class TestDatalogSemiNaive:
+    def _transitive_closure(self) -> DatalogProgram:
+        x, y, z = V[0], V[1], V[2]
+        return DatalogProgram(
+            [
+                DatalogRule(RelationAtom("tc", (x, y)), (RelationAtom("E", (x, y)),)),
+                DatalogRule(
+                    RelationAtom("tc", (x, y)),
+                    (RelationAtom("tc", (x, z)), RelationAtom("E", (z, y))),
+                ),
+                DatalogRule(RelationAtom("ans", (x, y)), (RelationAtom("tc", (x, y)),)),
+            ]
+        )
+
+    def test_transitive_closure_matches_naive(self):
+        program = self._transitive_closure()
+        for seed in range(4):
+            instance = random_graph_instance(7, 14, seed=seed)
+            assert evaluate_program(program, instance) == evaluate_program_naive(
+                program, instance
+            )
+
+    def test_all_predicates_match_naive_with_nonlinear_rules(self):
+        x, y, z = V[0], V[1], V[2]
+        # Non-linear recursion: two IDB atoms in one body (two delta plans).
+        program = DatalogProgram(
+            [
+                DatalogRule(RelationAtom("p", (x, y)), (RelationAtom("E", (x, y)),)),
+                DatalogRule(
+                    RelationAtom("p", (x, y)),
+                    (RelationAtom("p", (x, z)), RelationAtom("p", (z, y))),
+                ),
+                DatalogRule(RelationAtom("ans", (x, y)), (RelationAtom("p", (x, y)),)),
+            ]
+        )
+        for seed in range(3):
+            instance = random_graph_instance(6, 10, seed=seed)
+            assert evaluate_all_predicates(program, instance) == (
+                evaluate_all_predicates_naive(program, instance)
+            )
+
+    def test_constants_and_inequalities_in_rules(self):
+        x, y = V[0], V[1]
+        program = DatalogProgram(
+            [
+                DatalogRule(
+                    RelationAtom("r", (x, y)),
+                    (RelationAtom("E", (x, y)), inequality(x, y)),
+                ),
+                DatalogRule(
+                    RelationAtom("ans", (y,)),
+                    (RelationAtom("r", (Constant("n0"), y)),),
+                ),
+            ]
+        )
+        for seed in range(3):
+            instance = random_graph_instance(5, 10, seed=seed)
+            assert evaluate_program(program, instance) == evaluate_program_naive(
+                program, instance
+            )
+
+    def test_edb_relation_named_like_the_delta_channel(self):
+        # An EDB predicate literally called __delta__ must not be shadowed by
+        # the semi-naive delta feed; the evaluator picks a fresh channel name.
+        x, y, z = V[0], V[1], V[2]
+        program = DatalogProgram(
+            [
+                DatalogRule(RelationAtom("p", (x, y)), (RelationAtom("E", (x, y)),)),
+                DatalogRule(
+                    RelationAtom("p", (x, y)),
+                    (RelationAtom("p", (x, z)), RelationAtom("__delta__", (z, y))),
+                ),
+            ],
+            output_predicate="p",
+        )
+        instance = Instance(
+            RelationalSchema.from_arities({"E": 2, "__delta__": 2}),
+            {"E": [("a", "b")], "__delta__": [("b", "c"), ("c", "d")]},
+        )
+        assert evaluate_all_predicates(program, instance) == (
+            evaluate_all_predicates_naive(program, instance)
+        )
+
+    def test_max_iterations_truncates_like_naive(self):
+        program = self._transitive_closure()
+        from repro.workloads.random_instances import chain_instance
+
+        instance = chain_instance(6)
+        for budget in (0, 1, 2, 3):
+            assert evaluate_program(program, instance, max_iterations=budget) == (
+                evaluate_program_naive(program, instance, max_iterations=budget)
+            )
+
+
+class TestRelationFastPaths:
+    def test_union_reuses_objects(self):
+        left = Relation("R", 2, [("a", "b"), ("c", "d")])
+        empty = Relation("R", 2)
+        subset = Relation("R", 2, [("a", "b")])
+        assert left.union(empty) is left
+        assert left.union(subset) is left
+        assert empty.union(left) is left
+        merged = left.union(Relation("R", 2, [("x", "y")]))
+        assert merged.tuples == left.tuples | {("x", "y")}
+
+    def test_hash_index_is_cached_and_correct(self):
+        relation = Relation("E", 2, [("a", "b"), ("a", "c"), ("b", "c")])
+        index = relation.hash_index((0,))
+        assert sorted(index[("a",)]) == [("a", "b"), ("a", "c")]
+        assert relation.hash_index((0,)) is index
+
+    def test_instance_updated_and_extended_share_relations(self):
+        instance = example_registrar_instance()
+        updated = instance.updated("prereq", [("cs240", "cs101")])
+        assert updated["course"] is instance["course"]
+        assert updated["prereq"].tuples == frozenset({("cs240", "cs101")})
+        extended = instance.extended({"Reg": [("cs450",)]})
+        assert extended["course"] is instance["course"]
+        assert extended["prereq"] is instance["prereq"]
+        assert extended["Reg"].tuples == frozenset({("cs450",)})
+
+
+class TestAnalysisIntegration:
+    def test_emptiness_witness_instance_verifies(self):
+        from repro.analysis import is_empty
+        from repro.core.rules import RuleItem, RuleQuery, TransductionRule
+        from repro.core.transducer import make_transducer
+        from repro.logic import parse_cq
+
+        query = parse_cq("ans(x) :- R(x, y)")
+        tau = make_transducer(
+            [
+                TransductionRule(
+                    "q0", "r", (RuleItem("q", "a", RuleQuery(query, query.arity)),)
+                ),
+                TransductionRule("q", "a", ()),
+            ],
+            start_state="q0",
+            root_tag="r",
+        )
+        result = is_empty(tau)
+        assert not result.empty
+        assert result.witness_instance is not None
+        assert result.witness_query.evaluate(result.witness_instance)
+
+    def test_membership_exhaustive_still_finds_witness(self):
+        from repro.analysis import is_member
+        from repro.core.rules import RuleItem, RuleQuery, TransductionRule
+        from repro.core.transducer import make_transducer
+        from repro.logic import parse_cq
+        from repro.xmltree.tree import tree
+
+        query = parse_cq("ans(x) :- R(x)")
+        tau = make_transducer(
+            [
+                TransductionRule(
+                    "q0", "r", (RuleItem("q", "a", RuleQuery(query, query.arity)),)
+                ),
+                TransductionRule("q", "a", ()),
+            ],
+            start_state="q0",
+            root_tag="r",
+        )
+        verdict = is_member(tau, tree("r", "a"), exhaustive=True)
+        assert verdict.is_member
+        assert verdict.witness is not None
