@@ -1,0 +1,196 @@
+"""Incremental vs full republish: the ISSUE-3 acceptance benchmark.
+
+After a single-tuple update to a registrar database, the delta-driven
+:meth:`~repro.engine.plan.PublishingPlan.republish` must be at least 5x
+faster than a from-scratch publish of the updated instance (the full
+republish, evaluated on a cold plan -- what a non-incremental system does on
+every source change) while producing a byte-identical document.
+
+Two updates are measured, each also a correctness check against the
+full-publish oracle:
+
+* ``registrar prereq insert``: one new ``prereq`` edge under the recursive
+  ``tau1`` hierarchy view -- only the ``(q, prereq)`` rule reads the changed
+  relation, so almost every memoised expansion and most built subtrees are
+  retained;
+* ``blowup edge delete``: removing one first-diamond edge of a
+  chain-of-diamonds instance under the Proposition 1(3) unfolding
+  transducer, where the output is exponentially larger than the source (an
+  informational metric -- both sides already benefit from the engine's
+  structural sharing, so the margin is smaller than on the registrar).
+
+As with the other benchmarks, ratios are attached to the pytest-benchmark
+JSON via ``extra_info``; the module is also runnable directly -- ``python
+benchmarks/bench_incremental.py [--quick]`` -- printing the numbers as JSON,
+which is what the CI smoke step does.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from repro.engine import compile_plan
+from repro.relational.delta import Delta
+from repro.workloads.blowup import (
+    chain_of_diamonds_instance,
+    chain_of_diamonds_transducer,
+)
+from repro.workloads.registrar import generate_registrar_instance, tau1_prerequisite_hierarchy
+from repro.xmltree.serialize import to_xml
+
+#: The acceptance threshold for the single-tuple registrar update.
+MIN_SPEEDUP = 5.0
+
+
+def _time(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _measured_seconds(benchmark, fn):
+    """Mean benchmark time, falling back to one timed run under --benchmark-disable."""
+    if benchmark.stats is not None:
+        return benchmark.stats.stats.mean
+    return _time(fn)[1]
+
+
+def measure_registrar_single_insert(num_courses: int = 300) -> dict:
+    """Raw numbers for the registrar comparison (shared by test and script)."""
+    tau = tau1_prerequisite_hierarchy()
+    base = generate_registrar_instance(num_courses, max_prereqs=2, depth=6, seed=11)
+    delta = Delta.insert("prereq", ("cs0007", "cs0003"))
+    assert delta.normalized(base).change_count() == 1
+
+    warm = compile_plan(tau, max_nodes=10**7)
+    prev_tree = warm.publish(base)
+    result, incremental_seconds = _time(
+        lambda: warm.republish(base, delta, prev_tree=prev_tree)
+    )
+    cold = compile_plan(tau, max_nodes=10**7)
+    full_tree, full_seconds = _time(lambda: cold.publish(result.instance))
+
+    assert result.tree == full_tree
+    assert to_xml(result.tree) == to_xml(full_tree)
+    assert result.edits.apply(prev_tree) == result.tree
+    stats = warm.cache_stats
+    return {
+        "num_courses": num_courses,
+        "output_nodes": full_tree.size(),
+        "edits": len(result.edits),
+        "expansions_invalidated": result.invalidated,
+        "expansions_retained": result.retained,
+        "cache_hit_rate": stats.hit_rate,
+        "full_seconds": full_seconds,
+        "incremental_seconds": incremental_seconds,
+        "full_over_incremental_ratio": full_seconds / incremental_seconds,
+    }
+
+
+def measure_blowup_edge_delete(diamonds: int = 12) -> dict:
+    """Raw numbers for the blow-up comparison (shared by test and script)."""
+    tau = chain_of_diamonds_transducer()
+    base = chain_of_diamonds_instance(diamonds)
+    # Cutting one edge of the *first* diamond halves the unfolding below the
+    # root; everything under the surviving sibling is structurally shared.
+    delta = Delta.delete("R", ("a0", "b0_1"))
+
+    warm = compile_plan(tau, max_nodes=10**7)
+    prev_tree = warm.publish(base)
+    result, incremental_seconds = _time(
+        lambda: warm.republish(base, delta, prev_tree=prev_tree)
+    )
+    cold = compile_plan(tau, max_nodes=10**7)
+    full_tree, full_seconds = _time(lambda: cold.publish(result.instance))
+
+    assert result.tree == full_tree
+    assert result.edits.apply(prev_tree) == result.tree
+    return {
+        "diamonds": diamonds,
+        "output_nodes": full_tree.size(),
+        "edits": len(result.edits),
+        "full_seconds": full_seconds,
+        "incremental_seconds": incremental_seconds,
+        "full_over_incremental_ratio": full_seconds / incremental_seconds,
+    }
+
+
+def test_incremental_republish_vs_full(benchmark):
+    """The acceptance criterion: incremental republish >= 5x over full."""
+    tau = tau1_prerequisite_hierarchy()
+    base = generate_registrar_instance(300, max_prereqs=2, depth=6, seed=11)
+    delta = Delta.insert("prereq", ("cs0007", "cs0003"))
+    warm = compile_plan(tau, max_nodes=10**7)
+    prev_tree = warm.publish(base)
+    updated = base.apply_delta(delta)
+    full_tree, full_seconds = _time(
+        lambda: compile_plan(tau, max_nodes=10**7).publish(updated)
+    )
+
+    def incremental():
+        return warm.republish(base, delta, prev_tree=prev_tree)
+
+    result = benchmark(incremental)
+    assert result.tree == full_tree
+    assert to_xml(result.tree) == to_xml(full_tree)
+
+    incremental_seconds = _measured_seconds(benchmark, incremental)
+    ratio = full_seconds / incremental_seconds
+    benchmark.extra_info["full_seconds"] = full_seconds
+    benchmark.extra_info["incremental_seconds"] = incremental_seconds
+    benchmark.extra_info["full_over_incremental_ratio"] = ratio
+    benchmark.extra_info["invalidated"] = result.invalidated
+    benchmark.extra_info["retained"] = result.retained
+    assert ratio >= MIN_SPEEDUP
+
+
+def test_blowup_edge_delete_vs_full(benchmark):
+    """Incremental maintenance of an exponentially blown-up output."""
+    tau = chain_of_diamonds_transducer()
+    base = chain_of_diamonds_instance(10)
+    delta = Delta.delete("R", ("a0", "b0_1"))
+    warm = compile_plan(tau, max_nodes=10**7)
+    prev_tree = warm.publish(base)
+    updated = base.apply_delta(delta)
+    full_tree, full_seconds = _time(
+        lambda: compile_plan(tau, max_nodes=10**7).publish(updated)
+    )
+
+    def incremental():
+        return warm.republish(base, delta, prev_tree=prev_tree)
+
+    result = benchmark(incremental)
+    assert result.tree == full_tree
+
+    incremental_seconds = _measured_seconds(benchmark, incremental)
+    benchmark.extra_info["full_seconds"] = full_seconds
+    benchmark.extra_info["incremental_seconds"] = incremental_seconds
+    benchmark.extra_info["full_over_incremental_ratio"] = full_seconds / incremental_seconds
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    report = {
+        "benchmark": "bench_incremental",
+        "mode": "quick" if quick else "full",
+        "registrar_single_insert": measure_registrar_single_insert(
+            150 if quick else 300
+        ),
+        "blowup_edge_delete": measure_blowup_edge_delete(9 if quick else 12),
+    }
+    print(json.dumps(report, indent=2))
+    ratio = report["registrar_single_insert"]["full_over_incremental_ratio"]
+    if ratio < MIN_SPEEDUP:
+        print(
+            f"FAIL: incremental republish only {ratio:.1f}x over full "
+            f"(required: {MIN_SPEEDUP}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

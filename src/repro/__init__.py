@@ -12,6 +12,9 @@ The package is organised by subsystem:
   primary contribution): rules, runtime, classification, relational view;
 * :mod:`repro.engine` -- the compiled, streaming, batch-first publishing API
   (the primary evaluation surface: builder DSL, plans, event streams);
+* :mod:`repro.incremental` -- delta-driven incremental view maintenance
+  across all four layers (deltas, answer maintenance, republish, edit
+  scripts);
 * :mod:`repro.analysis` -- the Section 5 decision problems and Table II;
 * :mod:`repro.transductions` -- logical transductions (Theorem 4);
 * :mod:`repro.languages` -- the ten publishing-language front-ends (Table I);
@@ -26,25 +29,33 @@ from repro.engine import (
     CacheStats,
     Engine,
     PublishingPlan,
+    RepublishResult,
     TransducerBuilder,
     compile_plan,
 )
+from repro.incremental import IncrementalPublisher
 from repro.query import QueryPlan, plan_query
-from repro.relational import Instance, RelationalSchema
+from repro.relational import Delta, Instance, RelationalSchema
+from repro.xmltree import EditScript, diff_trees
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CacheStats",
+    "Delta",
+    "EditScript",
     "Engine",
+    "IncrementalPublisher",
     "Instance",
     "PublishingPlan",
     "PublishingTransducer",
     "QueryPlan",
     "RelationalSchema",
+    "RepublishResult",
     "TransducerBuilder",
     "classify",
     "compile_plan",
+    "diff_trees",
     "plan_query",
     "publish",
     "__version__",

@@ -10,10 +10,14 @@ streaming tree transducers:
   -- compile a transducer once into a :class:`~repro.engine.plan.PublishingPlan`;
 * :meth:`~repro.engine.plan.PublishingPlan.publish`,
   :meth:`~repro.engine.plan.PublishingPlan.publish_many`,
+  :meth:`~repro.engine.plan.PublishingPlan.publish_iter`,
   :meth:`~repro.engine.plan.PublishingPlan.publish_events`,
   :meth:`~repro.engine.plan.PublishingPlan.publish_xml` -- materialised,
   batched and streaming evaluation over one compiled plan, with memoised
-  ``(state, tag, register)`` expansions and explicit cache statistics.
+  ``(state, tag, register)`` expansions and explicit cache statistics;
+* :meth:`~repro.engine.plan.PublishingPlan.republish` -- delta-driven
+  incremental maintenance of a published view (see :mod:`repro.incremental`
+  for the end-to-end pipeline).
 
 The classic :func:`repro.core.runtime.publish` entry points remain available
 and are thin wrappers over this engine.
@@ -26,13 +30,20 @@ from repro.engine.builder import (
     TransducerBuilder,
     transducer,
 )
-from repro.engine.plan import CacheStats, Engine, PublishingPlan, compile_plan
+from repro.engine.plan import (
+    CacheStats,
+    Engine,
+    PublishingPlan,
+    RepublishResult,
+    compile_plan,
+)
 
 __all__ = [
     "BuilderError",
     "CacheStats",
     "Engine",
     "PublishingPlan",
+    "RepublishResult",
     "RuleBuilder",
     "StateScope",
     "TransducerBuilder",

@@ -26,13 +26,28 @@ register)`` configuration repeats thousands of times.
 
 Three evaluation modes share that machinery:
 
-* :meth:`PublishingPlan.publish` / :meth:`~PublishingPlan.publish_many` --
-  materialised Σ-trees (batch-first: one plan, many instances);
+* :meth:`PublishingPlan.publish` / :meth:`~PublishingPlan.publish_many` /
+  :meth:`~PublishingPlan.publish_iter` -- materialised Σ-trees (batch-first:
+  one plan, many instances, optionally as a lazy stream);
 * :meth:`PublishingPlan.publish_full` -- the interpreter-compatible
   :class:`~repro.core.runtime.TransformationResult` with the annotated tree;
 * :meth:`PublishingPlan.publish_events` -- a lazy SAX-style event stream with
   virtual-tag elimination done on the fly, so Proposition 1 blow-ups can be
   serialised without ever materialising the tree.
+
+On top of them sits **incremental view maintenance**
+(:meth:`PublishingPlan.republish`): given a source
+:class:`~repro.relational.delta.Delta`, the per-instance caches migrate to
+the updated instance instead of being discarded.  Memoised expansions are
+invalidated *per rule*: only ``(state, tag, register)`` entries whose rule
+queries read a changed relation are dropped (``cache_stats`` counts them as
+``invalidated`` vs ``retained``), and whole previously-built subtrees are
+reused by object identity when every configuration inside them provably
+re-expands the same way -- which also makes the
+:func:`~repro.xmltree.diff.diff_trees` edit script between the old and new
+documents cheap to compute.  Incremental output is always equal -- tree- and
+byte-wise -- to a from-scratch publish; the full republish stays as the
+executable specification and differential oracle.
 """
 
 from __future__ import annotations
@@ -51,9 +66,11 @@ from repro.core.runtime import (
 from repro.core.transducer import PublishingTransducer
 from repro.core.virtual import eliminate_virtual_nodes, strip_annotations
 from repro.query.planner import plan_query
+from repro.relational.delta import Delta
 from repro.relational.domain import DataValue, relation_to_text, tuple_order_key
 from repro.relational.instance import Instance, Relation
 from repro.relational.schema import RelationSchema, RelationalSchema
+from repro.xmltree.diff import EditScript, diff_trees
 from repro.xmltree.events import CloseEvent, OpenEvent, TextEvent, XmlEvent
 from repro.xmltree.serialize import IncrementalXmlSerializer
 from repro.xmltree.tree import TEXT_TAG, TreeNode
@@ -61,21 +78,112 @@ from repro.xmltree.tree import TEXT_TAG, TreeNode
 #: A node configuration: the triple the transformation is confluent over.
 Triple = tuple[str, str, RegisterContent]
 
+#: Largest configuration-set size a cached subtree may carry.  Bigger
+#: subtrees are rebuilt from the (still memoised) expansions instead, which
+#: bounds the bookkeeping cost of structural sharing on blow-up outputs.
+_SUBTREE_TRIPLE_LIMIT = 4096
+
+def _shadowed_names(tag: str) -> frozenset[str]:
+    """The relation names the register overlay shadows for ``tag``-nodes."""
+    return frozenset({GENERIC_REGISTER_NAME, register_relation_name(tag)})
+
+
+class _PairDelta:
+    """How one rule's expansions respond to the current migration's delta.
+
+    ``mode`` is one of ``"clean"`` (no rule query reads a changed relation:
+    every register re-expands identically), ``"witness"`` (``dirty`` holds
+    the register tuples that can participate in a changed derivation --
+    computed once per rule by running the delta variants over the union of
+    all invalidated registers -- so a register disjoint from it is provably
+    unaffected; ``dirty_all`` marks register-independent changes),
+    ``"variants"`` (witnesses unavailable: check each register with the
+    per-occurrence delta plans) or ``"recompute"`` (unplanned or
+    non-monotone rule queries: no cheap check exists).
+    """
+
+    __slots__ = ("mode", "checks", "dirty", "dirty_all")
+
+    def __init__(self, mode, checks=None, dirty=None, dirty_all=False) -> None:
+        self.mode = mode
+        self.checks = checks
+        self.dirty = dirty
+        self.dirty_all = dirty_all
+
+
+_PAIR_CLEAN = _PairDelta("clean")
+_PAIR_RECOMPUTE = _PairDelta("recompute")
+
 
 @dataclass(frozen=True)
 class CacheStats:
-    """A snapshot of the plan's expansion-cache counters."""
+    """A snapshot of the plan's expansion-cache counters.
+
+    Attributes
+    ----------
+    hits:
+        Expansions answered from the memo (including every expansion inside
+        a structurally reused subtree).
+    misses:
+        Expansions that had to evaluate their rule queries.
+    evictions:
+        Whole per-instance caches dropped by the LRU policy.
+    instances:
+        Distinct per-instance caches created (including migrated versions).
+    invalidated:
+        Memoised expansions dropped by :meth:`PublishingPlan.republish`
+        because their rule queries read a changed relation.
+    retained:
+        Memoised expansions carried over across :meth:`republish` untouched.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     instances: int = 0
+    invalidated: int = 0
+    retained: int = 0
 
     @property
     def hit_rate(self) -> float:
         """Fraction of expansions answered from the cache (0.0 when unused)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, int | float]:
+        """The counters as a plain dict (the pre-dataclass key set plus the
+        incremental-maintenance counters and ``hit_rate``)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "instances": self.instances,
+            "invalidated": self.invalidated,
+            "retained": self.retained,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass(frozen=True)
+class RepublishResult:
+    """The outcome of one incremental republish step.
+
+    ``tree`` equals (and serialises byte-identically to) a from-scratch
+    publish of ``instance``; unchanged subtrees are shared by object
+    identity with the previous tree.  ``edits`` is the
+    :class:`~repro.xmltree.diff.EditScript` from the previous tree to
+    ``tree``, so consumers can ship the diff instead of the document.
+    ``invalidated`` / ``retained`` count the memoised expansions dropped
+    vs carried over by this step.  A result can be passed back to
+    :meth:`PublishingPlan.republish` as ``prev`` to chain updates.
+    """
+
+    instance: Instance
+    tree: TreeNode
+    edits: EditScript
+    delta: Delta
+    invalidated: int = 0
+    retained: int = 0
 
 
 class _CompiledItem:
@@ -87,7 +195,7 @@ class _CompiledItem:
     evaluator.
     """
 
-    __slots__ = ("state", "tag", "group_arity", "plan", "evaluate")
+    __slots__ = ("state", "tag", "group_arity", "plan", "evaluate", "relations")
 
     def __init__(self, state: str, tag: str, rule_query: RuleQuery) -> None:
         self.state = state
@@ -97,24 +205,101 @@ class _CompiledItem:
         self.evaluate = (
             self.plan.execute if self.plan is not None else rule_query.query.evaluate
         )
+        self.relations = frozenset(rule_query.query.relation_names())
+
+
+class _SubtreeEntry:
+    """A cached, context-free contribution of one configuration's subtree.
+
+    ``nodes`` is what the subtree adds to its parent's child list (one
+    element node, or the spliced children for a virtual tag); ``triples`` is
+    every configuration occurring in the subtree, used both for
+    stop-condition safety (the subtree may only be reused on a path disjoint
+    from it) and for invalidation after a source delta; ``weight`` is the
+    node-budget cost the subtree's traversal would have charged; ``saved``
+    is the number of expansions a reuse answers at once.
+    """
+
+    __slots__ = ("nodes", "triples", "weight", "saved")
+
+    def __init__(
+        self,
+        nodes: tuple[TreeNode, ...],
+        triples: frozenset[Triple],
+        weight: int,
+        saved: int,
+    ) -> None:
+        self.nodes = nodes
+        self.triples = triples
+        self.weight = weight
+        self.saved = saved
 
 
 class _InstanceState:
-    """Everything the plan caches for one source instance."""
+    """Everything the plan caches for one source instance.
 
-    __slots__ = ("instance", "active_domain", "ext_schemas", "expansions")
+    ``subtrees`` holds :class:`_SubtreeEntry` values known to be valid for
+    this instance; after a :meth:`PublishingPlan.republish` migration,
+    entries touching an invalidated ``(state, tag)`` pair are parked in
+    ``suspects`` and confirmed lazily against ``prior_expansions`` (the
+    expansions the previous version memoised for the invalidated pairs): a
+    suspect whose configurations all re-expand identically is promoted back,
+    anything else is dropped.  Suspects live for one migration generation
+    only -- the next migration discards whatever was never confirmed.
+    """
+
+    __slots__ = (
+        "instance",
+        "active_domain",
+        "ext_schemas",
+        "expansions",
+        "subtrees",
+        "suspects",
+        "prior_expansions",
+        "invalid_pairs",
+        "prior_instance",
+        "delta",
+        "pair_checks",
+    )
 
     def __init__(self, instance: Instance) -> None:
         self.instance = instance
         self.active_domain = instance.active_domain()
         self.ext_schemas: dict[tuple[str, int], RelationalSchema] = {}
         self.expansions: dict[Triple, tuple[Triple, ...]] = {}
+        self.subtrees: dict[Triple, _SubtreeEntry] = {}
+        self.suspects: dict[Triple, _SubtreeEntry] = {}
+        self.prior_expansions: dict[Triple, tuple[Triple, ...]] = {}
+        self.invalid_pairs: frozenset[tuple[str, str]] = frozenset()
+        self.prior_instance: Instance | None = None
+        self.delta: Delta | None = None
+        # Per-(state, tag) delta-check machinery for this migration's delta:
+        # a list of (DeltaPlan, touched relations) or None for rules whose
+        # queries cannot be checked cheaply (unplanned / non-monotone).
+        self.pair_checks: dict[tuple[str, str], list | None] = {}
 
 
 class _Frame:
-    """One node of the depth-first construction (tree and event modes)."""
+    """One node of the depth-first construction (tree and event modes).
 
-    __slots__ = ("triple", "expansion", "index", "built", "text", "stopped")
+    ``triples`` accumulates the configurations of the subtree while it is
+    still shareable; it flips to ``None`` -- poisoning every ancestor -- when
+    a stop-condition hit makes the subtree path-dependent or the set
+    outgrows :data:`_SUBTREE_TRIPLE_LIMIT`.  ``weight`` and ``opened`` feed
+    the cached entry's budget charge and hit accounting.
+    """
+
+    __slots__ = (
+        "triple",
+        "expansion",
+        "index",
+        "built",
+        "text",
+        "stopped",
+        "triples",
+        "weight",
+        "opened",
+    )
 
     def __init__(
         self,
@@ -129,6 +314,9 @@ class _Frame:
         self.built: list[TreeNode] = []
         self.text = text
         self.stopped = stopped
+        self.triples: set[Triple] | None = None if stopped else {triple}
+        self.weight = len(expansion)
+        self.opened = 1
 
 
 class _Cursor:
@@ -148,17 +336,25 @@ class _Cursor:
         self._path: set[Triple] = set()
         self.produced = 1
 
-    def open(self, triple: Triple) -> _Frame:
-        """Enter a node: stop condition, memoised expansion, budget, path push."""
-        if triple in self._path:
-            return _Frame(triple, (), None, stopped=True)
-        expansion = self._plan._expansion(self._state, triple)
-        self.produced += len(expansion)
+    def charge(self, count: int) -> None:
+        """Account for ``count`` produced nodes against the budget."""
+        self.produced += count
         if self.produced > self._budget:
             raise TransformationLimitError(
                 f"transformation exceeded the node budget of {self._budget} nodes; "
                 f"raise max_nodes if the blow-up is intended"
             )
+
+    def path_disjoint(self, triples: frozenset[Triple]) -> bool:
+        """True when no configuration of ``triples`` lies on the current path."""
+        return self._path.isdisjoint(triples)
+
+    def open(self, triple: Triple) -> _Frame:
+        """Enter a node: stop condition, memoised expansion, budget, path push."""
+        if triple in self._path:
+            return _Frame(triple, (), None, stopped=True)
+        expansion = self._plan._expansion(self._state, triple)
+        self.charge(len(expansion))
         text = relation_to_text(triple[2]) if triple[1] == TEXT_TAG else None
         self._path.add(triple)
         return _Frame(triple, expansion, text, stopped=False)
@@ -191,16 +387,28 @@ class PublishingPlan:
         self._start_state = transducer.start_state
         self._root_tag = transducer.root_tag
         self._dispatch_table: dict[tuple[str, str], tuple[_CompiledItem, ...]] = {}
+        # Source relations read per (state, tag): the invalidation index of
+        # incremental republish.  Only the two names the overlay actually
+        # shadows for this rule's tag are excluded -- a source relation that
+        # happens to be called ``Reg_<other>`` is still a source dependency.
+        self._pair_sources: dict[tuple[str, str], frozenset[str]] = {}
         for rule_ in transducer.rules:
             self._dispatch_table[(rule_.state, rule_.tag)] = tuple(
                 _CompiledItem(item.state, item.tag, item.query) for item in rule_.items
             )
+            shadowed = _shadowed_names(rule_.tag)
+            sources: set[str] = set()
+            for item in rule_.items:
+                sources.update(item.query.query.relation_names() - shadowed)
+            self._pair_sources[(rule_.state, rule_.tag)] = frozenset(sources)
         # Per-instance caches in LRU order (the batch-first working set).
         self._states: dict[Instance, _InstanceState] = {}
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._instances_seen = 0
+        self._invalidated = 0
+        self._retained = 0
 
     # -- introspection -------------------------------------------------------
 
@@ -216,8 +424,16 @@ class PublishingPlan:
 
     @property
     def cache_stats(self) -> CacheStats:
-        """Counters of the shared expansion cache."""
-        return CacheStats(self._hits, self._misses, self._evictions, self._instances_seen)
+        """Counters of the shared expansion cache, as a typed
+        :class:`CacheStats` (use :meth:`CacheStats.as_dict` for a plain dict)."""
+        return CacheStats(
+            self._hits,
+            self._misses,
+            self._evictions,
+            self._instances_seen,
+            self._invalidated,
+            self._retained,
+        )
 
     def clear_cache(self) -> None:
         """Drop all per-instance caches (counters are preserved)."""
@@ -236,11 +452,37 @@ class PublishingPlan:
     ) -> list[TreeNode]:
         """Evaluate on a batch of instances with a shared memo cache.
 
-        Repeated instances (and repeated ``(state, tag, register)``
-        configurations within each instance) are answered from the cache;
-        :attr:`cache_stats` reports how often that happened.
+        ``instances`` may be any (lazy) iterable -- a generator, a database
+        cursor -- and is consumed one instance at a time; only the *output*
+        trees are materialised into the returned list.  For unbounded
+        streams, or to release each tree before the next instance is pulled,
+        use :meth:`publish_iter` instead.
+
+        Shared-cache semantics: all instances of the batch share this plan's
+        per-instance caches, so repeated instances (and repeated ``(state,
+        tag, register)`` configurations within each instance) are answered
+        from the cache -- :attr:`cache_stats` reports how often that
+        happened.  At most ``cache_instances`` per-instance caches are kept,
+        evicted least-recently-used, so a batch of more than
+        ``cache_instances`` *distinct* instances still runs in bounded
+        memory (each eviction shows up in :attr:`CacheStats.evictions`).
         """
-        return [self.publish(instance, max_nodes) for instance in instances]
+        return list(self.publish_iter(instances, max_nodes))
+
+    def publish_iter(
+        self, instances: Iterable[Instance], max_nodes: int | None = None
+    ) -> Iterator[TreeNode]:
+        """Lazily publish a stream of instances (the generator behind
+        :meth:`publish_many`).
+
+        One tree is yielded per input instance, in order, as soon as it is
+        built; the input iterable is only advanced when the consumer asks
+        for the next tree, so neither the inputs nor the outputs of an
+        unbounded stream are ever materialised as a whole.  The shared-cache
+        semantics are those of :meth:`publish_many`.
+        """
+        for instance in instances:
+            yield self.publish(instance, max_nodes)
 
     def publish_full(
         self, instance: Instance, max_nodes: int | None = None
@@ -285,6 +527,275 @@ class PublishingPlan:
         serializer = IncrementalXmlSerializer(write=write, indent=indent)
         return serializer.feed_all(self.publish_events(instance, max_nodes)).finish()
 
+    # -- incremental maintenance ----------------------------------------------
+
+    def republish(
+        self,
+        prev: "Instance | RepublishResult",
+        delta: Delta,
+        *,
+        prev_tree: TreeNode | None = None,
+        max_nodes: int | None = None,
+    ) -> RepublishResult:
+        """Incrementally re-evaluate after a source delta.
+
+        ``prev`` is the previously published instance (or the
+        :class:`RepublishResult` of the previous step, which chains
+        naturally).  The per-instance caches migrate to the updated
+        instance: only memoised ``(state, tag, register)`` expansions whose
+        rule queries read a relation the (normalized) delta actually touches
+        are dropped, everything else -- including previously built subtrees
+        proven unaffected -- is reused.  The result's tree and its
+        serialisation are always identical to ``publish`` on the updated
+        instance from scratch.
+
+        ``prev_tree`` (the previously published tree) is used as the edit
+        script's base; when omitted it is recovered with :meth:`publish`,
+        which is cheap while the previous instance's cache is still live.
+        """
+        if isinstance(prev, RepublishResult):
+            if prev_tree is None:
+                prev_tree = prev.tree
+            prev_instance = prev.instance
+        else:
+            prev_instance = prev
+        budget = self._max_nodes if max_nodes is None else max_nodes
+        delta = delta.normalized(prev_instance)
+        changed = delta.touched_relations()
+        if not changed:
+            if prev_tree is None:
+                prev_tree = self._build_tree(self._instance_state(prev_instance), budget)
+            return RepublishResult(prev_instance, prev_tree, EditScript(), delta)
+        if prev_tree is None:
+            prev_tree = self.publish(prev_instance, max_nodes)
+        new_instance = prev_instance.apply_delta(delta)
+        prev_state = self._states.get(prev_instance)
+        invalidated = retained = 0
+        if prev_state is not None:
+            state, invalidated, retained = self._migrated_state(
+                prev_state, new_instance, delta
+            )
+            self._install_state(new_instance, state)
+            self._invalidated += invalidated
+            self._retained += retained
+        else:
+            # The previous version's cache was evicted: cold start.
+            state = self._instance_state(new_instance)
+        new_tree = self._build_tree(state, budget)
+        return RepublishResult(
+            new_instance,
+            new_tree,
+            diff_trees(prev_tree, new_tree),
+            delta,
+            invalidated,
+            retained,
+        )
+
+    def _migrated_state(
+        self,
+        prev_state: _InstanceState,
+        new_instance: Instance,
+        delta: Delta,
+    ) -> tuple[_InstanceState, int, int]:
+        """Carry a version's caches over to the updated instance.
+
+        Expansions of ``(state, tag)`` pairs whose rule queries read a
+        changed relation move to ``prior_expansions``; they are confirmed
+        lazily -- cheaply through the per-occurrence delta plans when
+        possible (:meth:`_delta_preserves`), by recompute-and-compare
+        otherwise -- so unaffected memo entries and subtrees survive.
+        Everything else is retained outright.  Subtree entries touching an
+        invalidated pair become suspects pending that confirmation.
+        """
+        changed = delta.touched_relations()
+        invalid_pairs = frozenset(
+            pair
+            for pair, sources in self._pair_sources.items()
+            if sources & changed
+        )
+        state = _InstanceState(new_instance)
+        state.prior_instance = prev_state.instance
+        state.delta = delta
+        # The schema is unchanged by a delta, so the overlay schemas carry
+        # over; sharing the dict lets both versions warm it further.
+        state.ext_schemas = prev_state.ext_schemas
+        retained: dict[Triple, tuple[Triple, ...]] = {}
+        prior: dict[Triple, tuple[Triple, ...]] = {}
+        for triple, expansion in prev_state.expansions.items():
+            if (triple[0], triple[1]) in invalid_pairs:
+                prior[triple] = expansion
+            else:
+                retained[triple] = expansion
+        state.expansions = retained
+        state.prior_expansions = prior
+        state.invalid_pairs = invalid_pairs
+        for triple, entry in prev_state.subtrees.items():
+            if any((t[0], t[1]) in invalid_pairs for t in entry.triples):
+                state.suspects[triple] = entry
+            else:
+                state.subtrees[triple] = entry
+        return state, len(prior), len(retained)
+
+    def _subtree_entry(
+        self, state: _InstanceState, cursor: _Cursor, triple: Triple
+    ) -> _SubtreeEntry | None:
+        """A reusable cached subtree for ``triple``, or ``None``.
+
+        Suspects (entries parked by a migration) are confirmed here: every
+        configuration of the subtree belonging to an invalidated pair is
+        re-expanded -- memoised, so the work is shared across entries -- and
+        must match what the previous version memoised.  Reuse additionally
+        requires the current root-to-node path to be disjoint from the
+        subtree's configurations, which keeps the stop condition exact.
+        """
+        entry = state.subtrees.get(triple)
+        if entry is None:
+            entry = state.suspects.pop(triple, None)
+            if entry is None:
+                return None
+            prior = state.prior_expansions
+            invalid_pairs = state.invalid_pairs
+            for t in entry.triples:
+                if (t[0], t[1]) in invalid_pairs:
+                    if self._expansion(state, t) != prior.get(t):
+                        return None
+            state.subtrees[triple] = entry
+        if not cursor.path_disjoint(entry.triples):
+            return None
+        return entry
+
+    def _delta_preserves(self, state: _InstanceState, triple: Triple) -> bool:
+        """Cheap sufficient check that ``triple`` re-expands identically.
+
+        The semi-naive device of :mod:`repro.query.delta`, applied at the
+        rule level: for every rule query reading a changed relation, the
+        per-occurrence delta variants are run with the (tiny) changed tuple
+        sets -- insertions against the updated overlay, deletions against
+        the previous version's overlay.  Monotonicity bounds the query's
+        answer changes by those candidate sets, so when every variant comes
+        back empty the answers -- and hence the grouped expansion -- are
+        provably unchanged without re-evaluating any full rule query.
+        Returns ``False`` (meaning *unknown*, not *changed*) for unplanned
+        or non-monotone rule queries.
+        """
+        delta = state.delta
+        if delta is None or state.prior_instance is None:
+            return False
+        q, tag, register = triple
+        if tag == TEXT_TAG:
+            return True  # the expansion is () on every instance
+        pair = (q, tag)
+        info = state.pair_checks.get(pair)
+        if info is None:
+            info = self._pair_delta_info(state, pair, delta)
+            state.pair_checks[pair] = info
+        mode = info.mode
+        if mode == "clean":
+            return True
+        if mode == "recompute":
+            return False
+        if mode == "witness":
+            return not info.dirty_all and register.isdisjoint(info.dirty)
+        # "variants": run the per-occurrence delta plans against this node's
+        # overlays; empty candidates on every occurrence prove the answers
+        # (and hence the expansion) unchanged.
+        new_overlay = self._overlay(state, tag, register)
+        old_overlay: Instance | None = None
+        for machinery, touched in info.checks:
+            name = machinery.delta_name
+            for relation in touched:
+                inserted = delta.inserted_into(relation)
+                if inserted:
+                    for variant in machinery.variants[relation]:
+                        if variant.execute(new_overlay, {name: inserted}):
+                            return False
+                deleted = delta.deleted_from(relation)
+                if deleted:
+                    if old_overlay is None:
+                        old_overlay = self._overlay(
+                            state, tag, register, base=state.prior_instance
+                        )
+                    for variant in machinery.variants[relation]:
+                        if variant.execute(old_overlay, {name: deleted}):
+                            return False
+        return True
+
+    def _pair_delta_info(
+        self, state: _InstanceState, pair: tuple[str, str], delta: Delta
+    ) -> _PairDelta:
+        """Classify one rule's sensitivity to the migration delta.
+
+        Computed once per republish generation.  When every affected rule
+        query admits register witnesses, the delta variants run *once per
+        rule* -- the register scans overridden by the union of every
+        invalidated register of this rule, insertions against the updated
+        source and deletions against the previous one -- and the projected
+        witness tuples become the ``dirty`` register index, making the
+        per-register check a set-disjointness test.
+        """
+        items = self._dispatch(*pair)
+        if not items:
+            return _PAIR_CLEAN
+        changed = delta.touched_relations()
+        shadowed = _shadowed_names(pair[1])
+        checks: list[tuple] = []
+        for item in items:
+            plan = item.plan
+            if plan is None:
+                # Unplanned (naive-evaluated) query: no cheap check exists,
+                # but it only matters when the delta actually touches it.
+                if (item.relations - shadowed) & changed:
+                    return _PAIR_RECOMPUTE
+                continue
+            machinery = plan._delta_plan()
+            # Scans of the shadowed names read the register, never the
+            # source, so a source delta on them cannot affect this rule.
+            touched = (changed - shadowed) & machinery.relations
+            if not touched:
+                continue
+            if not machinery.monotone:
+                return _PAIR_RECOMPUTE
+            checks.append((machinery, touched))
+        if not checks:
+            return _PAIR_CLEAN
+        witnessed = []
+        for machinery, touched in checks:
+            witnesses = machinery.register_witnesses(shadowed)
+            if witnesses is None:
+                return _PairDelta("variants", checks=tuple(checks))
+            witnessed.append((machinery, touched, witnesses))
+        state_q, tag = pair
+        pool: set[tuple[DataValue, ...]] = set()
+        for triple in state.prior_expansions:
+            if triple[0] == state_q and triple[1] == tag:
+                pool |= triple[2]
+        reg_rows = frozenset(pool)
+        specific = register_relation_name(tag)
+        dirty: set[tuple[DataValue, ...]] = set()
+        dirty_all = False
+        for machinery, touched, witnesses in witnessed:
+            name = machinery.delta_name
+            for relation in touched:
+                for rows, source in (
+                    (delta.inserted_into(relation), state.instance),
+                    (delta.deleted_from(relation), state.prior_instance),
+                ):
+                    if not rows or source is None:
+                        continue
+                    overrides = {
+                        name: rows,
+                        GENERIC_REGISTER_NAME: reg_rows,
+                        specific: reg_rows,
+                    }
+                    for variant, specs in witnesses[relation]:
+                        if not specs:
+                            if variant.execute(source, overrides):
+                                dirty_all = True
+                        else:
+                            for spec in specs:
+                                dirty |= spec.tuples(source, overrides)
+        return _PairDelta("witness", dirty=frozenset(dirty), dirty_all=dirty_all)
+
     # -- instance cache -------------------------------------------------------
 
     def _instance_state(self, instance: Instance) -> _InstanceState:
@@ -298,13 +809,19 @@ class PublishingPlan:
         if problems:
             raise ValueError("; ".join(problems))
         state = _InstanceState(instance)
+        self._install_state(instance, state)
+        return state
+
+    def _install_state(self, instance: Instance, state: _InstanceState) -> None:
+        """Insert a per-instance cache at the most-recently-used end."""
+        if instance in self._states:
+            del self._states[instance]
         self._states[instance] = state
         self._instances_seen += 1
         while len(self._states) > self._cache_instances:
             oldest = next(iter(self._states))
             del self._states[oldest]
             self._evictions += 1
-        return state
 
     # -- dispatch and expansion ----------------------------------------------
 
@@ -328,6 +845,14 @@ class PublishingPlan:
         if found is not None:
             self._hits += 1
             return found
+        prior = state.prior_expansions.get(triple)
+        if prior is not None and self._delta_preserves(state, triple):
+            # Semi-naive adoption: the delta provably leaves this rule's
+            # answers unchanged, so the previous version's expansion is
+            # promoted without evaluating any full rule query.
+            state.expansions[triple] = prior
+            self._hits += 1
+            return prior
         self._misses += 1
         q, tag, register = triple
         items = self._dispatch(q, tag)
@@ -353,8 +878,19 @@ class PublishingPlan:
         state.expansions[triple] = result
         return result
 
-    def _overlay(self, state: _InstanceState, tag: str, register: RegisterContent) -> Instance:
-        """The source extended with the register relations -- without copying it."""
+    def _overlay(
+        self,
+        state: _InstanceState,
+        tag: str,
+        register: RegisterContent,
+        base: Instance | None = None,
+    ) -> Instance:
+        """The source extended with the register relations -- without copying it.
+
+        ``base`` substitutes another source of the same schema (the previous
+        version, when the delta checks of :meth:`_delta_preserves` need the
+        pre-update overlay); the overlay schemas are shared either way.
+        """
         if register:
             arity = len(next(iter(register)))
         else:
@@ -367,10 +903,14 @@ class PublishingPlan:
                 [RelationSchema(GENERIC_REGISTER_NAME, arity), RelationSchema(specific, arity)]
             )
             state.ext_schemas[key] = schema
-        domain = state.active_domain
-        if register:
-            domain = domain | {value for row in register for value in row}
-        return state.instance.overlaid(
+        if base is None:
+            base = state.instance
+            domain = state.active_domain
+            if register:
+                domain = domain | {value for row in register for value in row}
+        else:
+            domain = None  # planned delta variants never scan the domain
+        return base.overlaid(
             {
                 GENERIC_REGISTER_NAME: Relation(GENERIC_REGISTER_NAME, arity, register),
                 specific: Relation(specific, arity, register),
@@ -388,28 +928,85 @@ class PublishingPlan:
         return _Cursor(self, state, budget)
 
     def _build_tree(self, state: _InstanceState, budget: int) -> TreeNode:
-        """Materialise the output Σ-tree (iterative, virtual splicing inline)."""
+        """Materialise the output Σ-tree (iterative, virtual splicing inline).
+
+        Structural sharing: the contribution of every "clean" subtree (no
+        stop-condition interference, configuration set within bounds) is
+        cached per configuration in the instance state, so repeated
+        configurations -- within one document, across repeated publishes and
+        across :meth:`republish` versions -- reuse the previously built
+        :class:`TreeNode` objects instead of re-walking the subtree.  Budget
+        accounting and stop-condition semantics are unchanged: a reused
+        subtree charges exactly the nodes it would have produced.
+        """
         virtual = self._virtual
         cursor = self._cursor(state, budget)
+        limit = _SUBTREE_TRIPLE_LIMIT
+        root_triple = self._root_triple()
+        if self._root_tag not in virtual:
+            entry = self._subtree_entry(state, cursor, root_triple)
+            if entry is not None:
+                cursor.charge(entry.weight)
+                self._hits += entry.saved
+                return entry.nodes[0]
         result: TreeNode | None = None
-        frames = [cursor.open(self._root_triple())]
+        frames = [cursor.open(root_triple)]
         while frames:
             frame = frames[-1]
             if frame.index < len(frame.expansion):
                 child = frame.expansion[frame.index]
                 frame.index += 1
+                entry = self._subtree_entry(state, cursor, child)
+                if entry is not None:
+                    cursor.charge(entry.weight)
+                    self._hits += entry.saved
+                    frame.built.extend(entry.nodes)
+                    frame.weight += entry.weight
+                    frame.opened += entry.saved
+                    if frame.triples is not None:
+                        frame.triples |= entry.triples
+                        if len(frame.triples) > limit:
+                            frame.triples = None
+                    continue
                 frames.append(cursor.open(child))
                 continue
             frames.pop()
             cursor.close(frame)
             tag = frame.triple[1]
-            if frames:
-                if tag in virtual:
-                    frames[-1].built.extend(frame.built)
-                else:
-                    frames[-1].built.append(TreeNode(tag, tuple(frame.built), frame.text))
+            if tag in virtual:
+                nodes: tuple[TreeNode, ...] = tuple(frame.built)
             else:
+                nodes = (TreeNode(tag, tuple(frame.built), frame.text),)
+            if frame.triples is not None and not frame.stopped:
+                state.subtrees[frame.triple] = _SubtreeEntry(
+                    nodes, frozenset(frame.triples), frame.weight, frame.opened
+                )
+            if frames:
+                parent = frames[-1]
+                if tag in virtual:
+                    parent.built.extend(nodes)
+                else:
+                    parent.built.append(nodes[0])
+                parent.weight += frame.weight
+                parent.opened += frame.opened
+                if frame.triples is None:
+                    parent.triples = None
+                elif parent.triples is not None:
+                    # Small-to-large: donate the bigger set upward, so deep
+                    # spines cost O(n log n) bookkeeping, not O(n * depth).
+                    if len(parent.triples) < len(frame.triples):
+                        frame.triples |= parent.triples
+                        parent.triples = frame.triples
+                    else:
+                        parent.triples |= frame.triples
+                    if len(parent.triples) > limit:
+                        parent.triples = None
+            elif tag in virtual:
+                # A virtual root still renders as an element in tree mode;
+                # its cached entry keeps the child-contribution semantics.
                 result = TreeNode(tag, tuple(frame.built), frame.text)
+            else:
+                result = nodes[0]
         assert result is not None
         return result
 

@@ -1,0 +1,124 @@
+"""A stateful wrapper maintaining one published view under a delta stream.
+
+:class:`IncrementalPublisher` owns the current ``(instance, tree)`` version
+of a view and advances it one :class:`~repro.relational.delta.Delta` at a
+time through :meth:`~repro.engine.plan.PublishingPlan.republish`.  It is the
+ergonomic surface of :mod:`repro.incremental`; everything it does can also be
+driven by hand against the plan.
+"""
+
+from __future__ import annotations
+
+from repro.core.transducer import PublishingTransducer
+from repro.engine.plan import PublishingPlan, RepublishResult, compile_plan
+from repro.relational.delta import Delta
+from repro.relational.domain import DataValue
+from repro.relational.instance import Instance
+from repro.xmltree.diff import trees_equal
+from repro.xmltree.events import tree_to_events
+from repro.xmltree.serialize import IncrementalXmlSerializer
+from repro.xmltree.tree import TreeNode
+
+
+class IncrementalPublisher:
+    """Maintain a published XML view under a stream of source deltas.
+
+    The constructor publishes the initial view; every :meth:`apply` (or the
+    :meth:`insert` / :meth:`delete` shorthands) advances the maintained
+    instance and tree and returns the step's
+    :class:`~repro.engine.plan.RepublishResult`, whose ``edits`` field is
+    the document diff to ship downstream::
+
+        publisher = IncrementalPublisher(tau, instance)
+        step = publisher.insert("prereq", ("cs500", "cs240"))
+        send(step.edits)            # or send(publisher.xml()) to resend all
+
+    ``verify()`` re-runs the full-publish oracle on the current instance and
+    checks the maintained tree against it, byte for byte.
+    """
+
+    def __init__(
+        self,
+        transducer: PublishingTransducer | PublishingPlan,
+        instance: Instance,
+        max_nodes: int | None = None,
+    ) -> None:
+        if isinstance(transducer, PublishingPlan):
+            self._plan = transducer
+        else:
+            self._plan = compile_plan(transducer)
+        self._max_nodes = max_nodes
+        self._instance = instance
+        self._tree = self._plan.publish(instance, max_nodes)
+        self._updates = 0
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def plan(self) -> PublishingPlan:
+        """The compiled plan evaluating the view."""
+        return self._plan
+
+    @property
+    def instance(self) -> Instance:
+        """The current source instance."""
+        return self._instance
+
+    @property
+    def tree(self) -> TreeNode:
+        """The current published Σ-tree."""
+        return self._tree
+
+    @property
+    def updates(self) -> int:
+        """How many deltas have been applied."""
+        return self._updates
+
+    def xml(self, indent: int | None = 2) -> str:
+        """The current document as XML (byte-identical to a full publish)."""
+        serializer = IncrementalXmlSerializer(indent=indent)
+        return serializer.feed_all(tree_to_events(self._tree)).finish()
+
+    # -- maintenance ---------------------------------------------------------
+
+    def apply(self, delta: Delta) -> RepublishResult:
+        """Advance the view by one delta and return the step's result."""
+        result = self._plan.republish(
+            self._instance, delta, prev_tree=self._tree, max_nodes=self._max_nodes
+        )
+        self._instance = result.instance
+        self._tree = result.tree
+        self._updates += 1
+        return result
+
+    def insert(self, relation: str, *rows: tuple[DataValue, ...]) -> RepublishResult:
+        """Apply a pure-insertion delta on one relation."""
+        return self.apply(Delta.insert(relation, *rows))
+
+    def delete(self, relation: str, *rows: tuple[DataValue, ...]) -> RepublishResult:
+        """Apply a pure-deletion delta on one relation."""
+        return self.apply(Delta.delete(relation, *rows))
+
+    # -- the differential oracle ----------------------------------------------
+
+    def verify(self) -> TreeNode:
+        """Check the maintained view against a from-scratch publish.
+
+        A fresh plan (cold caches) republishes the current instance; the
+        maintained tree must equal it and serialise to the same bytes.
+        Returns the oracle tree; raises :class:`AssertionError` on any
+        divergence (which would be a maintenance bug, never expected).
+        """
+        oracle_plan = compile_plan(
+            self._plan.transducer, max_nodes=self._plan.max_nodes
+        )
+        oracle = oracle_plan.publish(self._instance, self._max_nodes)
+        if not trees_equal(oracle, self._tree):
+            raise AssertionError("incremental view diverged from the full publish")
+        serializer = IncrementalXmlSerializer(indent=2)
+        oracle_xml = serializer.feed_all(tree_to_events(oracle)).finish()
+        if oracle_xml != self.xml():
+            raise AssertionError(
+                "incremental serialisation diverged from the full publish"
+            )
+        return oracle

@@ -9,12 +9,17 @@ One :class:`QueryPlan` API serves every consumer of relational queries:
   active-domain evaluators only for genuinely unsafe formulas;
 * the semi-naive Datalog evaluator (:mod:`repro.datalog.evaluation`) feeds
   per-round deltas into plans through the ``overrides`` channel;
-* the static analyses reuse plans when re-evaluating rule queries in loops.
+* the static analyses reuse plans when re-evaluating rule queries in loops;
+* incremental view maintenance (:mod:`repro.incremental`) turns instance
+  deltas into exact answer changes via :meth:`QueryPlan.execute_delta`
+  (:mod:`repro.query.delta`).
 
-Entry points: :func:`plan_query` (plan or ``None`` for unsafe queries) and
-:meth:`QueryPlan.execute` / :meth:`QueryPlan.explain`.
+Entry points: :func:`plan_query` (plan or ``None`` for unsafe queries),
+:meth:`QueryPlan.execute` / :meth:`QueryPlan.explain`, and
+:meth:`QueryPlan.execute_delta` for delta-driven maintenance.
 """
 
+from repro.query.delta import DeltaPlan, QueryDelta
 from repro.query.plan import (
     AntiJoinNode,
     EmptyNode,
@@ -40,11 +45,13 @@ from repro.query.planner import (
 
 __all__ = [
     "AntiJoinNode",
+    "DeltaPlan",
     "EmptyNode",
     "ExtendNode",
     "JoinNode",
     "PlanNode",
     "ProjectNode",
+    "QueryDelta",
     "QueryPlan",
     "RenameNode",
     "RowsNode",

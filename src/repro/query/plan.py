@@ -116,7 +116,7 @@ class ScanNode(PlanNode):
     index instead of iterating every tuple.
     """
 
-    __slots__ = ("relation", "terms", "_expected", "_capture", "_repeats", "_emit")
+    __slots__ = ("relation", "terms", "forced", "_expected", "_capture", "_repeats", "_emit")
 
     def __init__(
         self,
@@ -127,6 +127,9 @@ class ScanNode(PlanNode):
         self.relation = relation
         self.terms = tuple(terms)
         forced = dict(forced or {})
+        # Kept so the delta machinery can re-derive this scan over another
+        # relation name (repro.query.delta) without replaying the planner.
+        self.forced = forced
         seen: dict[Variable, int] = {}
         expected: list[tuple[int, DataValue]] = []   # positions pinned to a value
         repeats: list[tuple[int, int]] = []          # (position, earlier position)
@@ -498,7 +501,7 @@ class QueryPlan:
     empties its own sub-table.
     """
 
-    __slots__ = ("root", "head", "requirements", "executions")
+    __slots__ = ("root", "head", "requirements", "executions", "_delta")
 
     def __init__(
         self,
@@ -510,6 +513,7 @@ class QueryPlan:
         self.head = tuple(head)
         self.requirements = tuple(requirements)
         self.executions = 0
+        self._delta = None  # lazily built repro.query.delta.DeltaPlan
 
     def execute(
         self, instance: Instance, overrides: Overrides | None = None
@@ -523,6 +527,58 @@ class QueryPlan:
             if name not in instance.schema or instance.schema.arity(name) != arity:
                 return frozenset()
         return frozenset(map(tuple, self.root.rows(instance, overrides)))
+
+    # -- incremental evaluation ----------------------------------------------
+
+    def _delta_plan(self):
+        """The per-plan delta machinery, built once on first use."""
+        if self._delta is None:
+            from repro.query.delta import DeltaPlan
+
+            self._delta = DeltaPlan(self)
+        return self._delta
+
+    def scan_relations(self) -> frozenset[str]:
+        """The relation names this plan reads (its scanned atoms)."""
+        return self._delta_plan().relations
+
+    def is_monotone(self) -> bool:
+        """True when adding source tuples can only add answers (no anti-join)."""
+        return self._delta_plan().monotone
+
+    def delta_strategy(self) -> str:
+        """How :meth:`execute_delta` maintains this plan's answers."""
+        if self._delta_plan().monotone:
+            return "per-occurrence delta plans (semi-naive)"
+        return "recompute fallback (anti-join / negation)"
+
+    def execute_delta(
+        self,
+        instance: Instance,
+        delta,
+        *,
+        prev_answers: frozenset[tuple[DataValue, ...]] | None = None,
+        new_instance: Instance | None = None,
+    ):
+        """The exact change in this plan's answers under ``delta``.
+
+        Returns a :class:`~repro.query.delta.QueryDelta` whose ``added`` /
+        ``removed`` sets satisfy ``execute(new) == (execute(old) - removed) |
+        added``.  Monotone plans (CQ/UCQ and negation-free FO) reuse the PR 2
+        semi-naive machinery: one derived plan per occurrence of a changed
+        relation, with that occurrence reading only the changed tuples, so
+        insert-only deltas never re-enumerate the unchanged answers.
+        Deletions are over-approximated the same way and then re-derived;
+        non-monotone plans (anti-joins) fall back to recomputation, as
+        flagged by :meth:`delta_strategy` and :meth:`explain`.
+
+        ``prev_answers`` (the plan's answers on ``instance``) and
+        ``new_instance`` (``instance.apply_delta(delta)``) are computed when
+        not supplied; callers maintaining views should pass both.
+        """
+        return self._delta_plan().execute_delta(
+            instance, delta, prev_answers=prev_answers, new_instance=new_instance
+        )
 
     # -- introspection -------------------------------------------------------
 
@@ -554,6 +610,7 @@ class QueryPlan:
         order = self.join_order()
         if len(order) > 1:
             lines.append(f"  join order: {' >< '.join(order)}")
+        lines.append(f"  delta: {self.delta_strategy()}")
 
         def render(node: PlanNode, depth: int) -> None:
             lines.append("  " * (depth + 1) + node.label())

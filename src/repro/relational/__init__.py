@@ -10,10 +10,13 @@ provides exactly that substrate:
 * :mod:`repro.relational.schema` -- relation schemas and relational schemas;
 * :mod:`repro.relational.tuples` -- validated tuples over the domain;
 * :mod:`repro.relational.instance` -- relations and database instances;
+* :mod:`repro.relational.delta` -- first-class instance deltas (the currency
+  of incremental view maintenance);
 * :mod:`repro.relational.algebra` -- a small relational algebra used by the
   IFP simulation, the DAD front-end and several proof constructions.
 """
 
+from repro.relational.delta import Delta
 from repro.relational.domain import DataValue, order_key, sort_tuples, sort_values
 from repro.relational.errors import (
     ArityError,
@@ -28,6 +31,7 @@ from repro.relational.tuples import make_tuple
 __all__ = [
     "ArityError",
     "DataValue",
+    "Delta",
     "Instance",
     "Relation",
     "RelationSchema",

@@ -1,0 +1,171 @@
+"""First-class instance deltas: inserted / deleted tuples per relation.
+
+A :class:`Delta` describes an update to a relational instance as two
+relation-indexed tuple sets.  Applying a delta to an instance ``I`` yields,
+for every relation ``R``::
+
+    R' = (R - deleted[R]) | inserted[R]
+
+Deltas are immutable value objects, like the instances they act on.  They are
+the currency of the incremental-maintenance pipeline: the relational layer
+applies them (:meth:`~repro.relational.instance.Instance.apply_delta`, which
+reuses every untouched :class:`~repro.relational.instance.Relation` object and
+its warm hash indexes by identity), the query layer turns them into changed
+answer sets (:meth:`~repro.query.plan.QueryPlan.execute_delta`), and the
+publishing engine turns them into republished trees and XML edit scripts
+(:meth:`~repro.engine.plan.PublishingPlan.republish`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.relational.domain import DataValue
+
+#: Relation-indexed tuple sets, the payload of a delta.
+ChangeSet = Mapping[str, Iterable[Sequence[DataValue]]]
+
+_EMPTY: frozenset[tuple[DataValue, ...]] = frozenset()
+
+
+def _freeze(changes: ChangeSet | None) -> dict[str, frozenset[tuple[DataValue, ...]]]:
+    frozen: dict[str, frozenset[tuple[DataValue, ...]]] = {}
+    for name, rows in (changes or {}).items():
+        tuples = frozenset(tuple(row) for row in rows)
+        if tuples:
+            frozen[name] = tuples
+    return frozen
+
+
+class Delta:
+    """An immutable set of inserted and deleted tuples, per relation.
+
+    Empty per-relation entries are dropped at construction, so
+    :meth:`touched_relations` only names relations the delta actually
+    mentions.  A delta is *normalized with respect to an instance* when its
+    insertions are all absent from and its deletions all present in the
+    instance; :meth:`normalized` computes that effective form.
+    """
+
+    __slots__ = ("_inserted", "_deleted")
+
+    def __init__(
+        self,
+        inserted: ChangeSet | None = None,
+        deleted: ChangeSet | None = None,
+    ) -> None:
+        self._inserted = _freeze(inserted)
+        self._deleted = _freeze(deleted)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def insert(cls, relation: str, *rows: Sequence[DataValue]) -> "Delta":
+        """A delta inserting the given tuples into one relation."""
+        return cls(inserted={relation: rows})
+
+    @classmethod
+    def delete(cls, relation: str, *rows: Sequence[DataValue]) -> "Delta":
+        """A delta deleting the given tuples from one relation."""
+        return cls(deleted={relation: rows})
+
+    @classmethod
+    def from_instances(cls, old, new) -> "Delta":
+        """The delta turning ``old`` into ``new`` (see :meth:`Instance.diff`)."""
+        return old.diff(new)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def inserted(self) -> Mapping[str, frozenset[tuple[DataValue, ...]]]:
+        """The inserted tuples, per relation (only non-empty entries)."""
+        return self._inserted
+
+    @property
+    def deleted(self) -> Mapping[str, frozenset[tuple[DataValue, ...]]]:
+        """The deleted tuples, per relation (only non-empty entries)."""
+        return self._deleted
+
+    def inserted_into(self, relation: str) -> frozenset[tuple[DataValue, ...]]:
+        """The tuples this delta inserts into ``relation`` (possibly empty)."""
+        return self._inserted.get(relation, _EMPTY)
+
+    def deleted_from(self, relation: str) -> frozenset[tuple[DataValue, ...]]:
+        """The tuples this delta deletes from ``relation`` (possibly empty)."""
+        return self._deleted.get(relation, _EMPTY)
+
+    def touched_relations(self) -> frozenset[str]:
+        """The relations this delta mentions (inserts or deletes)."""
+        return frozenset(self._inserted) | frozenset(self._deleted)
+
+    def is_empty(self) -> bool:
+        """True when the delta changes nothing on any instance."""
+        return not self._inserted and not self._deleted
+
+    def change_count(self) -> int:
+        """Total number of inserted plus deleted tuples."""
+        return sum(len(rows) for rows in self._inserted.values()) + sum(
+            len(rows) for rows in self._deleted.values()
+        )
+
+    # -- algebra -------------------------------------------------------------
+
+    def inverted(self) -> "Delta":
+        """The delta undoing this one on any instance it was normalized for."""
+        return Delta(inserted=self._deleted, deleted=self._inserted)
+
+    def normalized(self, instance) -> "Delta":
+        """The effective changes of this delta on ``instance``.
+
+        Insertions already present and deletions of absent tuples are
+        dropped; a tuple both deleted and inserted ends up present (the
+        deletion is applied first), so it is no change when already there.
+        Relations unknown to the instance raise
+        :class:`~repro.relational.errors.UnknownRelationError`; tuples of
+        the wrong width raise :class:`~repro.relational.errors.ArityError`
+        instead of silently normalising to a no-op (a mistyped deletion
+        could never match anything).
+        """
+        from repro.relational.errors import ArityError
+
+        inserted: dict[str, frozenset] = {}
+        deleted: dict[str, frozenset] = {}
+        for name in self.touched_relations():
+            relation = instance[name]
+            mentioned = self._inserted.get(name, _EMPTY) | self._deleted.get(name, _EMPTY)
+            for row in mentioned:
+                if len(row) != relation.arity:
+                    raise ArityError(name, relation.arity, len(row))
+            current = relation.tuples
+            added = self._inserted.get(name, _EMPTY) - current
+            removed = (self._deleted.get(name, _EMPTY) & current) - self._inserted.get(
+                name, _EMPTY
+            )
+            if added:
+                inserted[name] = added
+            if removed:
+                deleted[name] = removed
+        return Delta(inserted, deleted)
+
+    # -- value semantics -----------------------------------------------------
+
+    def __bool__(self) -> bool:
+        return not self.is_empty()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Delta):
+            return NotImplemented
+        return self._inserted == other._inserted and self._deleted == other._deleted
+
+    def __hash__(self) -> int:
+        return hash(
+            (frozenset(self._inserted.items()), frozenset(self._deleted.items()))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = []
+        for name, rows in sorted(self._inserted.items()):
+            parts.append(f"+{name}:{len(rows)}")
+        for name, rows in sorted(self._deleted.items()):
+            parts.append(f"-{name}:{len(rows)}")
+        return f"Delta({', '.join(parts) or 'empty'})"

@@ -119,6 +119,53 @@ class Relation:
             self._name, self._arity, self._tuples | other._tuples
         )
 
+    def added(self, tuples: Iterable[Sequence[DataValue]]) -> "Relation":
+        """Return a copy with the given tuples added.
+
+        Fast path: when every tuple is already present (including the empty
+        update) this relation object is returned unchanged, keeping its
+        cached hash indexes warm.
+        """
+        extra = (
+            frozenset(check_arity(self._name, self._arity, row) for row in tuples)
+            - self._tuples
+        )
+        if not extra:
+            return self
+        return Relation._from_frozenset(self._name, self._arity, self._tuples | extra)
+
+    def removed(self, tuples: Iterable[Sequence[DataValue]]) -> "Relation":
+        """Return a copy with the given tuples removed.
+
+        Wrong-arity tuples raise :class:`ArityError` (they could never be
+        present, so silently ignoring them would hide caller bugs), matching
+        :meth:`added`.  Fast path: when no tuple is actually present
+        (including the empty update) this relation object is returned
+        unchanged.
+        """
+        victims = (
+            frozenset(check_arity(self._name, self._arity, row) for row in tuples)
+            & self._tuples
+        )
+        if not victims:
+            return self
+        return Relation._from_frozenset(self._name, self._arity, self._tuples - victims)
+
+    def diff(
+        self, other: "Relation"
+    ) -> tuple[frozenset[tuple[DataValue, ...]], frozenset[tuple[DataValue, ...]]]:
+        """The ``(added, removed)`` tuple sets turning ``self`` into ``other``.
+
+        Fast path: identical relation objects (or shared tuple sets, as
+        produced by the identity-reusing instance operations) short-circuit
+        to empty change sets without comparing tuples.
+        """
+        if other.arity != self._arity:
+            raise ArityError(self._name, self._arity, other.arity)
+        if other is self or other._tuples is self._tuples:
+            return (frozenset(), frozenset())
+        return (other._tuples - self._tuples, self._tuples - other._tuples)
+
     def active_domain(self) -> frozenset[DataValue]:
         """The set of data values appearing in the relation."""
         return frozenset(value for row in self._tuples for value in row)
@@ -269,6 +316,60 @@ class Instance(Mapping[str, Relation]):
         clone._relations = {**self._relations, **extra}
         clone._active_domain = active_domain
         return clone
+
+    def apply_delta(self, delta) -> "Instance":
+        """Return the instance this :class:`~repro.relational.delta.Delta` yields.
+
+        For every touched relation the result holds ``(R - deleted) |
+        inserted``; every untouched :class:`Relation` object is reused by
+        identity, so its cached hash indexes stay warm across the version.
+        When the delta changes nothing effectively, ``self`` is returned
+        unchanged -- versioning is free for no-op updates.
+        """
+        relations: dict[str, Relation] | None = None
+        for name in delta.touched_relations():
+            if name not in self._schema:
+                raise UnknownRelationError(name, self._schema.names())
+            current = self._relations[name]
+            replaced = current.removed(delta.deleted_from(name)).added(
+                delta.inserted_into(name)
+            )
+            if replaced is not current:
+                if relations is None:
+                    relations = dict(self._relations)
+                relations[name] = replaced
+        if relations is None:
+            return self
+        return self._rebuilt(self._schema, relations)
+
+    def diff(self, other: "Instance"):
+        """The normalized :class:`~repro.relational.delta.Delta` from ``self`` to ``other``.
+
+        ``self.apply_delta(self.diff(other)) == other`` holds for instances
+        over the same schema; relation objects shared by identity between the
+        two instances are skipped without comparing tuples.
+        """
+        from repro.relational.delta import Delta
+
+        inserted: dict[str, frozenset] = {}
+        deleted: dict[str, frozenset] = {}
+        for name in set(self._relations) | set(other._relations):
+            mine = self._relations.get(name)
+            theirs = other._relations.get(name)
+            if mine is None:
+                if theirs.tuples:
+                    inserted[name] = theirs.tuples
+                continue
+            if theirs is None:
+                if mine.tuples:
+                    deleted[name] = mine.tuples
+                continue
+            added, removed = mine.diff(theirs)
+            if added:
+                inserted[name] = added
+            if removed:
+                deleted[name] = removed
+        return Delta(inserted, deleted)
 
     def union(self, other: "Instance") -> "Instance":
         """Relation-wise union of two instances over compatible schemas."""

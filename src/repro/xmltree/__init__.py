@@ -10,10 +10,20 @@ tag and a ``text`` tag for PCDATA leaves.  This package provides:
   streaming output representation of the publishing engine);
 * :mod:`repro.xmltree.serialize` -- rendering to XML text, materialised or
   incremental (event-driven);
+* :mod:`repro.xmltree.diff` -- edit scripts between Σ-trees, so incremental
+  republication can ship diffs instead of full documents;
 * :mod:`repro.xmltree.dtd` -- DTDs, extended (specialised) DTDs and
   conformance checking, needed for Theorem 5 and the ATG front-end.
 """
 
+from repro.xmltree.diff import (
+    DeleteSubtree,
+    EditScript,
+    InsertSubtree,
+    ReplaceSubtree,
+    diff_trees,
+    trees_equal,
+)
 from repro.xmltree.dtd import DTD, ExtendedDTD, Regex, alt, concat, empty, star, sym
 from repro.xmltree.events import (
     CloseEvent,
@@ -35,10 +45,14 @@ from repro.xmltree.tree import TEXT_TAG, TreeNode, tree
 __all__ = [
     "CloseEvent",
     "DTD",
+    "DeleteSubtree",
+    "EditScript",
     "ExtendedDTD",
     "IncrementalXmlSerializer",
+    "InsertSubtree",
     "OpenEvent",
     "Regex",
+    "ReplaceSubtree",
     "TEXT_TAG",
     "TextEvent",
     "TreeNode",
@@ -46,6 +60,7 @@ __all__ = [
     "alt",
     "compact_xml_from_events",
     "concat",
+    "diff_trees",
     "empty",
     "events_to_tree",
     "star",
@@ -54,5 +69,6 @@ __all__ = [
     "to_xml",
     "tree",
     "tree_to_events",
+    "trees_equal",
     "xml_from_events",
 ]

@@ -1,0 +1,219 @@
+"""Edit scripts between Σ-trees: ship diffs instead of full documents.
+
+Incremental republication (:meth:`~repro.engine.plan.PublishingPlan.republish`)
+rebuilds only the regions of the output tree whose expansions changed and
+reuses the previous :class:`~repro.xmltree.tree.TreeNode` objects everywhere
+else.  That structural sharing is what makes diffing cheap: the comparison in
+:func:`diff_trees` short-circuits on object identity, so its cost is
+proportional to the *changed* region, not the document size.
+
+An :class:`EditScript` is an ordered sequence of subtree edits addressed by
+tree-domain paths (the root is ``()``; the ``i``-th child of ``v`` is
+``v + (i,)`` with ``i`` starting at 1, as in the paper's tree domains):
+
+* :class:`ReplaceSubtree` -- the node at the path is replaced wholesale;
+* :class:`DeleteSubtree` -- the node at the path is removed (younger siblings
+  shift left);
+* :class:`InsertSubtree` -- a new subtree is inserted so that it *becomes*
+  the child at the path (existing children at and after it shift right).
+
+Edits apply sequentially: each path addresses the tree produced by the
+preceding edits, and ``diff_trees(old, new).apply(old) == new`` always holds.
+Every function here is iterative over tree depth only through the edit paths,
+so exponentially deep outputs (Proposition 1) stay within recursion limits as
+long as the *changed* spine does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from xml.sax.saxutils import escape
+
+from repro.xmltree.events import tree_to_events
+from repro.xmltree.serialize import compact_xml_from_events
+from repro.xmltree.tree import TreeNode
+
+#: A tree-domain address: ``()`` is the root, indices are 1-based.
+Path = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class InsertSubtree:
+    """Insert ``node`` so it becomes the child at ``path``."""
+
+    path: Path
+    node: TreeNode
+
+
+@dataclass(frozen=True)
+class DeleteSubtree:
+    """Remove the subtree rooted at ``path``."""
+
+    path: Path
+
+
+@dataclass(frozen=True)
+class ReplaceSubtree:
+    """Replace the subtree rooted at ``path`` by ``node``."""
+
+    path: Path
+    node: TreeNode
+
+
+Edit = Union[InsertSubtree, DeleteSubtree, ReplaceSubtree]
+
+
+@dataclass(frozen=True)
+class EditScript:
+    """An ordered sequence of subtree edits between two Σ-trees."""
+
+    edits: tuple[Edit, ...] = ()
+
+    def is_empty(self) -> bool:
+        """True when the script changes nothing."""
+        return not self.edits
+
+    def __len__(self) -> int:
+        return len(self.edits)
+
+    def __iter__(self) -> Iterator[Edit]:
+        return iter(self.edits)
+
+    def __bool__(self) -> bool:
+        return bool(self.edits)
+
+    def apply(self, tree: TreeNode) -> TreeNode:
+        """Apply the edits in order and return the resulting tree."""
+        for edit in self.edits:
+            tree = _apply_edit(tree, edit)
+        return tree
+
+    def describe(self) -> str:
+        """One line per edit, with inserted / replacement subtrees as compact XML."""
+        lines = []
+        for edit in self.edits:
+            location = "/" + "/".join(str(index) for index in edit.path)
+            if isinstance(edit, DeleteSubtree):
+                lines.append(f"delete {location}")
+            elif isinstance(edit, InsertSubtree):
+                lines.append(f"insert {location} {_compact(edit.node)}")
+            else:
+                lines.append(f"replace {location} {_compact(edit.node)}")
+        return "\n".join(lines)
+
+
+def _compact(node: TreeNode) -> str:
+    if node.is_text():
+        return escape(node.text or "")
+    return compact_xml_from_events(tree_to_events(node))
+
+
+def trees_equal(a: TreeNode, b: TreeNode) -> bool:
+    """Structural equality, iterative and identity-accelerated.
+
+    Equivalent to ``a == b`` but safe on trees deeper than the recursion
+    limit (the dataclass-generated ``TreeNode.__eq__`` recurses per level);
+    subtrees shared by object identity -- the normal case after an
+    incremental republish -- are skipped without walking them.
+    """
+    stack = [(a, b)]
+    while stack:
+        x, y = stack.pop()
+        if x is y:
+            continue
+        if (
+            x.label != y.label
+            or x.text != y.text
+            or len(x.children) != len(y.children)
+        ):
+            return False
+        stack.extend(zip(x.children, y.children))
+    return True
+
+
+def _same(a: TreeNode, b: TreeNode) -> bool:
+    # Identity first: republished trees share unchanged subtree objects, so
+    # the (iterative) equality walk rarely descends far.
+    return a is b or trees_equal(a, b)
+
+
+def diff_trees(old: TreeNode, new: TreeNode) -> EditScript:
+    """An edit script turning ``old`` into ``new``.
+
+    Children are aligned positionally (longest equal prefix and suffix, the
+    middle paired in order), which matches how publishing transducers change
+    their output: sibling order is derived from the data order, so a
+    single-tuple source change inserts, deletes or rewrites a run of
+    adjacent children.  The script is not guaranteed minimal for arbitrary
+    reorderings, but ``apply`` always reproduces ``new`` exactly.
+    """
+    edits: list[Edit] = []
+    stack: list[tuple[Path, TreeNode, TreeNode]] = [((), old, new)]
+    while stack:
+        path, o, n = stack.pop()
+        if o is n:
+            continue
+        if o.label != n.label or o.text != n.text:
+            edits.append(ReplaceSubtree(path, n))
+            continue
+        oc, nc = o.children, n.children
+        len_old, len_new = len(oc), len(nc)
+        limit = min(len_old, len_new)
+        start = 0
+        while start < limit and _same(oc[start], nc[start]):
+            start += 1
+        tail = 0
+        while tail < limit - start and _same(oc[len_old - 1 - tail], nc[len_new - 1 - tail]):
+            tail += 1
+        mid_old = len_old - start - tail
+        mid_new = len_new - start - tail
+        paired = min(mid_old, mid_new)
+        for offset in range(paired):
+            stack.append((path + (start + offset + 1,), oc[start + offset], nc[start + offset]))
+        # Unpaired old children: repeated deletion at the same (shifting) slot.
+        for _ in range(mid_old - paired):
+            edits.append(DeleteSubtree(path + (start + paired + 1,)))
+        # Unpaired new children: inserted left to right after the pairs.
+        for offset in range(mid_new - paired):
+            edits.append(
+                InsertSubtree(path + (start + paired + offset + 1,), nc[start + paired + offset])
+            )
+    return EditScript(tuple(edits))
+
+
+def _apply_edit(root: TreeNode, edit: Edit) -> TreeNode:
+    path = edit.path
+    if not path:
+        if isinstance(edit, ReplaceSubtree):
+            return edit.node
+        raise ValueError(f"cannot {type(edit).__name__} at the root path ()")
+    spine: list[TreeNode] = [root]
+    node = root
+    for index in path[:-1]:
+        if not 1 <= index <= len(node.children):
+            raise ValueError(f"edit path {path} does not address a node of the tree")
+        node = node.children[index - 1]
+        spine.append(node)
+    parent = spine[-1]
+    slot = path[-1]
+    children = list(parent.children)
+    if isinstance(edit, InsertSubtree):
+        if not 1 <= slot <= len(children) + 1:
+            raise ValueError(f"insert path {path} is out of range")
+        children.insert(slot - 1, edit.node)
+    elif isinstance(edit, DeleteSubtree):
+        if not 1 <= slot <= len(children):
+            raise ValueError(f"delete path {path} does not address a child")
+        del children[slot - 1]
+    else:
+        if not 1 <= slot <= len(children):
+            raise ValueError(f"replace path {path} does not address a child")
+        children[slot - 1] = edit.node
+    rebuilt = parent.with_children(children)
+    for ancestor, index in zip(reversed(spine[:-1]), reversed(path[:-1])):
+        siblings = list(ancestor.children)
+        siblings[index - 1] = rebuilt
+        rebuilt = ancestor.with_children(siblings)
+    return rebuilt
