@@ -51,12 +51,46 @@ def _fresh_delta_name(program: DatalogProgram) -> str:
     return name
 
 
+#: Cache attribute for compiled rules, stored on the (immutable) program.
+_COMPILED_ATTR = "_repro_compiled_rules"
+
+
+def _compiled_rules(
+    program: DatalogProgram, idb: frozenset[str]
+) -> tuple[str, "list[_CompiledRule]"]:
+    """Compile the program's rules once and cache them on the program.
+
+    Programs are immutable value objects (frozen dataclasses), so the
+    compiled plans -- and their vectorized kernels -- are planned once and
+    executed on every subsequent evaluation, matching the "plan once,
+    execute many" behaviour of the query layer.
+    """
+    cached = getattr(program, _COMPILED_ATTR, None)
+    if cached is not None:
+        return cached
+    delta_name = _fresh_delta_name(program)
+    compiled = [_CompiledRule(rule, idb, delta_name) for rule in program.rules]
+    cached = (delta_name, compiled)
+    try:
+        object.__setattr__(program, _COMPILED_ATTR, cached)
+    except AttributeError:  # slotted program types: just recompile next time
+        pass
+    return cached
+
+
 def evaluate_program(
     program: DatalogProgram,
     instance: Instance,
     max_iterations: int | None = None,
 ) -> frozenset[tuple[DataValue, ...]]:
     """Evaluate ``program`` on ``instance`` and return the output predicate's facts."""
+    idb = program.idb_predicates()
+    delta_name, compiled = _compiled_rules(program, idb)
+    encoder = instance._encoding
+    if encoder is not None and all(rule.supports_encoded() for rule in compiled):
+        # Integer-space fixpoint; only the output predicate is decoded.
+        state = _encoded_fixpoint(compiled, idb, encoder, instance, max_iterations)
+        return encoder.decode_rows(state.get(program.output_predicate, set()))
     state = evaluate_all_predicates(program, instance, max_iterations=max_iterations)
     return frozenset(state.get(program.output_predicate, set()))
 
@@ -66,10 +100,24 @@ def evaluate_all_predicates(
     instance: Instance,
     max_iterations: int | None = None,
 ) -> dict[str, frozenset[tuple[DataValue, ...]]]:
-    """Evaluate ``program`` semi-naively and return every IDB predicate's facts."""
+    """Evaluate ``program`` semi-naively and return every IDB predicate's facts.
+
+    On an instance carrying a dictionary encoding
+    (:func:`repro.relational.columnar.ensure_encoded`), a program whose
+    every rule compiles to a vectorizable plan runs the whole fixpoint in
+    integer space: IDB states and per-round deltas are sets of encoded
+    tuples fed through the plans' encoded-override channel, and only the
+    final fixpoint is decoded.  Any rule needing the naive fallback drops
+    the entire evaluation back to the row backend for a uniform state
+    representation.
+    """
     idb = program.idb_predicates()
-    delta_name = _fresh_delta_name(program)
-    compiled = [_CompiledRule(rule, idb, delta_name) for rule in program.rules]
+    delta_name, compiled = _compiled_rules(program, idb)
+    encoder = instance._encoding
+    if encoder is not None and all(rule.supports_encoded() for rule in compiled):
+        return _evaluate_all_encoded(
+            compiled, idb, encoder, instance, max_iterations
+        )
     state: IdbState = {predicate: set() for predicate in idb}
     iterations = 0
 
@@ -105,6 +153,61 @@ def evaluate_all_predicates(
     return {predicate: frozenset(facts) for predicate, facts in state.items()}
 
 
+def _evaluate_all_encoded(
+    compiled: "list[_CompiledRule]",
+    idb: frozenset[str],
+    encoder,
+    instance: Instance,
+    max_iterations: int | None,
+) -> dict[str, frozenset[tuple[DataValue, ...]]]:
+    """The encoded fixpoint with every predicate decoded for the caller."""
+    state = _encoded_fixpoint(compiled, idb, encoder, instance, max_iterations)
+    return {
+        predicate: encoder.decode_rows(facts) for predicate, facts in state.items()
+    }
+
+
+def _encoded_fixpoint(
+    compiled: "list[_CompiledRule]",
+    idb: frozenset[str],
+    encoder,
+    instance: Instance,
+    max_iterations: int | None,
+) -> dict[str, set[tuple[int, ...]]]:
+    """The semi-naive fixpoint entirely over encoded (integer) tuples."""
+    state: dict[str, set[tuple[int, ...]]] = {predicate: set() for predicate in idb}
+    iterations = 0
+
+    def round_allowed() -> bool:
+        nonlocal iterations
+        iterations += 1
+        return max_iterations is None or iterations <= max_iterations
+
+    delta: dict[str, set[tuple[int, ...]]] = {predicate: set() for predicate in idb}
+    if round_allowed():
+        for rule in compiled:
+            delta[rule.head_predicate] |= (
+                rule.fire_full_encoded(encoder, instance, state)
+                - state[rule.head_predicate]
+            )
+        for predicate, facts in delta.items():
+            state[predicate] |= facts
+
+    while any(delta.values()) and round_allowed():
+        new_delta: dict[str, set[tuple[int, ...]]] = {p: set() for p in idb}
+        for rule in compiled:
+            if not rule.mentions_idb:
+                continue
+            new_delta[rule.head_predicate] |= (
+                rule.fire_delta_encoded(encoder, instance, state, delta)
+                - state[rule.head_predicate]
+            )
+        for predicate, facts in new_delta.items():
+            state[predicate] |= facts
+        delta = new_delta
+    return state
+
+
 class _CompiledRule:
     """One rule compiled to a full plan plus per-IDB-occurrence delta plans."""
 
@@ -117,6 +220,7 @@ class _CompiledRule:
         "full_plan",
         "delta_plans",
         "needs_fallback",
+        "_head_spec",
     )
 
     def __init__(self, rule: DatalogRule, idb: frozenset[str], delta_name: str) -> None:
@@ -154,6 +258,29 @@ class _CompiledRule:
                 delta_plans.append((atoms[position].relation, plan))
             else:
                 self.delta_plans = tuple(delta_plans)
+
+        # Head projection: None when the head terms are exactly the plan's
+        # head variables (facts are plan rows as-is, the common case), else
+        # one ("var", row position) / ("const", value) entry per head term.
+        head_terms = rule.head.terms
+        if head_terms == self.head_variables:
+            self._head_spec = None
+        else:
+            position = {v: i for i, v in enumerate(self.head_variables)}
+            self._head_spec = tuple(
+                ("const", term.value)
+                if isinstance(term, Constant)
+                else ("var", position[term])
+                for term in head_terms
+            )
+
+    def supports_encoded(self) -> bool:
+        """True when every plan of this rule runs on the columnar kernel."""
+        if self.needs_fallback or self.full_plan is None:
+            return False
+        if self.full_plan.vector_kernel() is None:
+            return False
+        return all(plan.vector_kernel() is not None for _, plan in self.delta_plans)
 
     def _body_query(self, atoms: tuple[RelationAtom, ...]):
         """The rule body as a CQ, or as a safe FO query when it has conditions.
@@ -228,6 +355,40 @@ class _CompiledRule:
                 )
             )
         return facts
+
+    # -- encoded firing (integer-space fixpoint) -------------------------------
+
+    def fire_full_encoded(self, encoder, instance, state):
+        """All head facts (encoded) derivable from the full encoded state."""
+        rows = self.full_plan.execute_encoded(instance, state)
+        return self._head_facts_encoded(encoder, rows)
+
+    def fire_delta_encoded(self, encoder, instance, state, delta):
+        """Encoded head facts using at least one last-round (encoded) fact."""
+        facts: set[tuple[int, ...]] = set()
+        overrides = dict(state)
+        for predicate, plan in self.delta_plans:
+            changed = delta.get(predicate)
+            if not changed:
+                continue
+            overrides[self.delta_name] = changed
+            facts |= self._head_facts_encoded(
+                encoder, plan.execute_encoded(instance, overrides)
+            )
+        return facts
+
+    def _head_facts_encoded(self, encoder, rows):
+        spec = self._head_spec
+        if spec is None:
+            return rows
+        intern = encoder.intern
+        return {
+            tuple(
+                intern(payload) if kind == "const" else row[payload]
+                for kind, payload in spec
+            )
+            for row in rows
+        }
 
 
 def _extended_if_needed(

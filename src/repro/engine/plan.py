@@ -35,6 +35,15 @@ Three evaluation modes share that machinery:
   virtual-tag elimination done on the fly, so Proposition 1 blow-ups can be
   serialised without ever materialising the tree.
 
+On instances carrying a dictionary encoding
+(:func:`repro.relational.columnar.ensure_encoded`) the whole pipeline runs
+in **integer space**: register contents and memo keys are frozensets of
+encoded tuples, planned rule queries execute on the vectorized columnar
+kernel with the registers fed through the encoded-override channel (no
+overlay instance, no per-node schema extension), and values are decoded only
+where text is emitted or sibling order consults the implicit order on ``D``.
+Output is byte-identical with the encoding on or off.
+
 On top of them sits **incremental view maintenance**
 (:meth:`PublishingPlan.republish`): given a source
 :class:`~repro.relational.delta.Delta`, the per-instance caches migrate to
@@ -250,6 +259,7 @@ class _InstanceState:
 
     __slots__ = (
         "instance",
+        "encoder",
         "active_domain",
         "ext_schemas",
         "expansions",
@@ -264,6 +274,14 @@ class _InstanceState:
 
     def __init__(self, instance: Instance) -> None:
         self.instance = instance
+        # When the instance carries a dictionary encoding, the whole
+        # pipeline for it runs in integer space: register contents and memo
+        # keys are frozensets of encoded tuples, planned rule queries run on
+        # the columnar kernel, and values are decoded only where text is
+        # emitted.  Ids are stable across apply_delta migrations (the
+        # encoder is append-only and shared along the version lineage), so
+        # encoded memo entries survive republish.
+        self.encoder = instance._encoding
         self.active_domain = instance.active_domain()
         self.ext_schemas: dict[tuple[str, int], RelationalSchema] = {}
         self.expansions: dict[Triple, tuple[Triple, ...]] = {}
@@ -355,7 +373,14 @@ class _Cursor:
             return _Frame(triple, (), None, stopped=True)
         expansion = self._plan._expansion(self._state, triple)
         self.charge(len(expansion))
-        text = relation_to_text(triple[2]) if triple[1] == TEXT_TAG else None
+        if triple[1] == TEXT_TAG:
+            register = triple[2]
+            encoder = self._state.encoder
+            if encoder is not None:
+                register = encoder.decode_rows(register)
+            text = relation_to_text(register)
+        else:
+            text = None
         self._path.add(triple)
         return _Frame(triple, expansion, text, stopped=False)
 
@@ -570,6 +595,12 @@ class PublishingPlan:
             prev_tree = self.publish(prev_instance, max_nodes)
         new_instance = prev_instance.apply_delta(delta)
         prev_state = self._states.get(prev_instance)
+        if prev_state is not None and prev_state.encoder is not new_instance._encoding:
+            # The representation changed mid-lineage (ensure_encoded was
+            # called after the previous publish): the memoised triples are
+            # in the other mode's register representation, so migrating
+            # them would corrupt the output.  Cold-start instead.
+            prev_state = None
         invalidated = retained = 0
         if prev_state is not None:
             state, invalidated, retained = self._migrated_state(
@@ -699,6 +730,8 @@ class PublishingPlan:
         # "variants": run the per-occurrence delta plans against this node's
         # overlays; empty candidates on every occurrence prove the answers
         # (and hence the expansion) unchanged.
+        if state.encoder is not None:
+            return self._variants_clean_encoded(state, tag, register, info, delta)
         new_overlay = self._overlay(state, tag, register)
         old_overlay: Instance | None = None
         for machinery, touched in info.checks:
@@ -717,6 +750,40 @@ class PublishingPlan:
                         )
                     for variant in machinery.variants[relation]:
                         if variant.execute(old_overlay, {name: deleted}):
+                            return False
+        return True
+
+    def _variants_clean_encoded(
+        self, state: _InstanceState, tag: str, register, info, delta: Delta
+    ) -> bool:
+        """The "variants" check of :meth:`_delta_preserves` in integer space.
+
+        The register stays encoded and is fed to the delta variants through
+        the encoded-override channel (shadowing both register names), with
+        the tiny delta change sets interned on the fly; insertions run
+        against the updated instance, deletions against the previous one.
+        """
+        encoder = state.encoder
+        prior = state.prior_instance
+        if prior is None or prior._encoding is not encoder:
+            return False
+        specific = register_relation_name(tag)
+        reg_overrides = {GENERIC_REGISTER_NAME: register, specific: register}
+        for machinery, touched in info.checks:
+            name = machinery.delta_name
+            for relation in touched:
+                for rows, source in (
+                    (delta.inserted_into(relation), state.instance),
+                    (delta.deleted_from(relation), prior),
+                ):
+                    if not rows:
+                        continue
+                    encoded = encoder.encode_rows(rows)
+                    overrides = {**reg_overrides, name: encoded}
+                    for variant in machinery.variants[relation]:
+                        if variant.vector_kernel() is None:
+                            return False
+                        if variant.execute_encoded(source, overrides):
                             return False
         return True
 
@@ -773,6 +840,14 @@ class PublishingPlan:
         specific = register_relation_name(tag)
         dirty: set[tuple[DataValue, ...]] = set()
         dirty_all = False
+        encoder = state.encoder
+        if encoder is not None and (
+            state.prior_instance is None
+            or state.prior_instance._encoding is not encoder
+        ):
+            # Mixed-encoding lineage (should not happen via republish):
+            # no cheap per-register check is trustworthy.
+            return _PAIR_RECOMPUTE
         for machinery, touched, witnesses in witnessed:
             name = machinery.delta_name
             for relation in touched:
@@ -781,6 +856,28 @@ class PublishingPlan:
                     (delta.deleted_from(relation), state.prior_instance),
                 ):
                     if not rows or source is None:
+                        continue
+                    if encoder is not None:
+                        # Encoded pipeline: the register pool is already in
+                        # integer space; intern the delta rows and keep the
+                        # dirty index encoded so the per-register check is
+                        # an integer set-disjointness test.
+                        overrides = {
+                            name: encoder.encode_rows(rows),
+                            GENERIC_REGISTER_NAME: reg_rows,
+                            specific: reg_rows,
+                        }
+                        for variant, specs in witnesses[relation]:
+                            if variant.vector_kernel() is None:
+                                return _PAIR_RECOMPUTE
+                            if not specs:
+                                if variant.execute_encoded(source, overrides):
+                                    dirty_all = True
+                            else:
+                                for spec in specs:
+                                    dirty |= spec.tuples_encoded(
+                                        encoder, source, overrides
+                                    )
                         continue
                     overrides = {
                         name: rows,
@@ -858,6 +955,8 @@ class PublishingPlan:
         items = self._dispatch(q, tag)
         if not items or tag == TEXT_TAG:
             result: tuple[Triple, ...] = ()
+        elif state.encoder is not None:
+            result = self._expand_encoded(state, tag, register, items)
         else:
             extended = self._overlay(state, tag, register)
             children: list[Triple] = []
@@ -877,6 +976,54 @@ class PublishingPlan:
             result = tuple(children)
         state.expansions[triple] = result
         return result
+
+    def _expand_encoded(
+        self,
+        state: _InstanceState,
+        tag: str,
+        register: RegisterContent,
+        items: tuple[_CompiledItem, ...],
+    ) -> tuple[Triple, ...]:
+        """One-step expansion with registers and answers in integer space.
+
+        Planned rule queries run on the columnar kernel with the (already
+        encoded) register supplied through the encoded-override channel --
+        no overlay instance, no extended schema, no relation re-wrapping.
+        Unplannable queries fall back to the row pipeline: the register is
+        decoded, the classic overlay built, and the naive answers
+        re-encoded, so both kinds of item agree on the integer register
+        representation.  Sibling order is decoded per *group key* only
+        (the implicit order on ``D`` is an order on values, not on ids).
+        """
+        encoder = state.encoder
+        specific = register_relation_name(tag)
+        overrides = {GENERIC_REGISTER_NAME: register, specific: register}
+        extended: Instance | None = None
+        children: list[Triple] = []
+        for item in items:
+            plan = item.plan
+            if plan is not None and plan.vector_kernel() is not None:
+                answers = plan.execute_encoded(state.instance, overrides)
+            else:
+                if extended is None:
+                    decoded = encoder.decode_rows(register)
+                    extended = self._overlay(state, tag, decoded)
+                answers = encoder.encode_rows(item.evaluate(extended))
+            if not answers:
+                continue
+            group_arity = item.group_arity
+            if group_arity == 0:
+                children.append((item.state, item.tag, frozenset(answers)))
+                continue
+            groups: dict[tuple[int, ...], set[tuple[int, ...]]] = {}
+            for row in answers:
+                groups.setdefault(row[:group_arity], set()).add(row)
+            decode_row = encoder.decode_row
+            for key in sorted(
+                groups, key=lambda group: tuple_order_key(decode_row(group))
+            ):
+                children.append((item.state, item.tag, frozenset(groups[key])))
+        return tuple(children)
 
     def _overlay(
         self,
@@ -910,10 +1057,15 @@ class PublishingPlan:
                 domain = domain | {value for row in register for value in row}
         else:
             domain = None  # planned delta variants never scan the domain
+        # Registers are already-validated query answers: build both overlay
+        # relations through the trusted constructor, sharing one frozenset.
+        rows = register if isinstance(register, frozenset) else frozenset(register)
         return base.overlaid(
             {
-                GENERIC_REGISTER_NAME: Relation(GENERIC_REGISTER_NAME, arity, register),
-                specific: Relation(specific, arity, register),
+                GENERIC_REGISTER_NAME: Relation._from_frozenset(
+                    GENERIC_REGISTER_NAME, arity, rows
+                ),
+                specific: Relation._from_frozenset(specific, arity, rows),
             },
             schema,
             domain,
@@ -1047,37 +1199,47 @@ class PublishingPlan:
     ) -> tuple[AnnotatedNode, int]:
         """The extended tree in ``Tree_{Q x Sigma}`` (interpreter-compatible)."""
         cursor = self._cursor(state, budget)
+        encoder = state.encoder
         steps = 0
         root = AnnotatedNode(
             state=self._start_state, tag=self._root_tag, register=frozenset()
         )
 
-        def open_node(node: AnnotatedNode) -> _Frame:
+        def open_node(node: AnnotatedNode, triple: Triple) -> _Frame:
             nonlocal steps
             steps += 1
             node.finalized = True
-            frame = cursor.open((node.state, node.tag, node.register))
+            frame = cursor.open(triple)
             if frame.stopped:
                 node.stopped_by_condition = True
             elif node.tag == TEXT_TAG:
                 node.text = frame.text
             return frame
 
-        # Each stack entry: (annotated node, its traversal frame).
-        stack: list[tuple[AnnotatedNode, _Frame]] = [(root, open_node(root))]
+        # Each stack entry: (annotated node, its traversal frame).  In
+        # encoded mode the traversal runs on encoded triples while the
+        # interpreter-compatible annotated nodes carry decoded registers.
+        stack: list[tuple[AnnotatedNode, _Frame]] = [
+            (root, open_node(root, self._root_triple()))
+        ]
         while stack:
             node, frame = stack[-1]
             if frame.index < len(frame.expansion):
-                child_state, child_tag, child_register = frame.expansion[frame.index]
+                child_triple = frame.expansion[frame.index]
+                child_state, child_tag, child_register = child_triple
                 frame.index += 1
                 child = AnnotatedNode(
                     state=child_state,
                     tag=child_tag,
-                    register=child_register,
+                    register=(
+                        child_register
+                        if encoder is None
+                        else encoder.decode_rows(child_register)
+                    ),
                     parent=node,
                 )
                 node.children.append(child)
-                stack.append((child, open_node(child)))
+                stack.append((child, open_node(child, child_triple)))
                 continue
             stack.pop()
             cursor.close(frame)

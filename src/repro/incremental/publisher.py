@@ -33,6 +33,11 @@ class IncrementalPublisher:
         step = publisher.insert("prereq", ("cs500", "cs240"))
         send(step.edits)            # or send(publisher.xml()) to resend all
 
+    With ``encoded=True`` the source instance is dictionary-encoded up
+    front (:func:`repro.relational.columnar.ensure_encoded`), so every
+    publish and republish runs on the columnar kernel with registers and
+    memo keys in integer space; output is byte-identical either way.
+
     ``verify()`` re-runs the full-publish oracle on the current instance and
     checks the maintained tree against it, byte for byte.
     """
@@ -42,11 +47,19 @@ class IncrementalPublisher:
         transducer: PublishingTransducer | PublishingPlan,
         instance: Instance,
         max_nodes: int | None = None,
+        encoded: bool = False,
     ) -> None:
         if isinstance(transducer, PublishingPlan):
             self._plan = transducer
         else:
             self._plan = compile_plan(transducer)
+        if encoded:
+            # Run the whole maintained view on the columnar pipeline: the
+            # encoding is built once here and migrates through every
+            # apply_delta version, so republish steps intern only the delta.
+            from repro.relational.columnar import ensure_encoded
+
+            ensure_encoded(instance)
         self._max_nodes = max_nodes
         self._instance = instance
         self._tree = self._plan.publish(instance, max_nodes)

@@ -17,6 +17,14 @@ One :class:`QueryPlan` API serves every consumer of relational queries:
 Entry points: :func:`plan_query` (plan or ``None`` for unsafe queries),
 :meth:`QueryPlan.execute` / :meth:`QueryPlan.explain`, and
 :meth:`QueryPlan.execute_delta` for delta-driven maintenance.
+
+Two execution backends serve one plan language: the row backend (each
+operator's ``rows`` method) and the columnar kernel of
+:mod:`repro.query.vectorized`, which engages whenever the instance carries a
+dictionary encoding (:func:`repro.relational.columnar.ensure_encoded`);
+:meth:`QueryPlan.execute_encoded` keeps answers in integer space for
+callers -- the publishing engine, the Datalog fixpoint -- that decode only
+at the output boundary.
 """
 
 from repro.query.delta import DeltaPlan, QueryDelta
@@ -42,6 +50,7 @@ from repro.query.planner import (
     plan_query,
     plan_ucq,
 )
+from repro.query.vectorized import VectorKernel, vectorize
 
 __all__ = [
     "AntiJoinNode",
@@ -59,9 +68,11 @@ __all__ = [
     "SelectNode",
     "UnionNode",
     "UnitNode",
+    "VectorKernel",
     "plan_cq",
     "plan_formula",
     "plan_formula_query",
     "plan_query",
     "plan_ucq",
+    "vectorize",
 ]

@@ -146,6 +146,24 @@ class RegisterWitness:
             for row in self.plan.execute(instance, overrides)
         }
 
+    def tuples_encoded(self, encoder, instance: Instance, overrides) -> set:
+        """Encoded-space :meth:`tuples`: integer rows in, integer tuples out.
+
+        ``overrides`` maps relation names to sets of *encoded* rows (the
+        engine's register pools and delta change sets); pinned constants
+        from the watched scan are interned so the rebuilt tuples compare
+        directly against encoded register contents.
+        """
+        spec = self._spec
+        intern = encoder.intern
+        return {
+            tuple(
+                row[payload] if is_variable else intern(payload)
+                for is_variable, payload in spec
+            )
+            for row in self.plan.execute_encoded(instance, overrides)
+        }
+
 
 def _witness_specs(
     variant: QueryPlan, watch: frozenset[str]

@@ -38,6 +38,9 @@ Overrides = Mapping[str, Iterable[tuple[DataValue, ...]]]
 
 _NO_OVERRIDES: dict[str, frozenset] = {}
 
+#: Sentinel: the plan was probed for vectorization and is not supported.
+_VECTOR_UNSUPPORTED = object()
+
 
 class PlanNode:
     """Base class of plan operators."""
@@ -499,9 +502,27 @@ class QueryPlan:
     empty (the naive CQ evaluator's behaviour for unknown relations and arity
     mismatches).  FO-derived plans leave it empty: there a bad atom only
     empties its own sub-table.
+
+    Two execution backends share the one plan tree: the original
+    **row** backend (each operator's ``rows`` method, tuple-at-a-time over
+    raw domain values) and the **columnar** backend of
+    :mod:`repro.query.vectorized` (dictionary-encoded integer columns,
+    vectorized operators).  :meth:`execute` picks the columnar kernel
+    whenever the instance carries an encoding
+    (:func:`repro.relational.columnar.ensure_encoded`); ``last_backend``
+    records which kernel the most recent execution used, and
+    :meth:`explain` reports it.
     """
 
-    __slots__ = ("root", "head", "requirements", "executions", "_delta")
+    __slots__ = (
+        "root",
+        "head",
+        "requirements",
+        "executions",
+        "last_backend",
+        "_delta",
+        "_vector",
+    )
 
     def __init__(
         self,
@@ -513,20 +534,88 @@ class QueryPlan:
         self.head = tuple(head)
         self.requirements = tuple(requirements)
         self.executions = 0
+        self.last_backend: str | None = None
         self._delta = None  # lazily built repro.query.delta.DeltaPlan
+        self._vector = None  # lazily built repro.query.vectorized.VectorKernel
 
-    def execute(
-        self, instance: Instance, overrides: Overrides | None = None
-    ) -> frozenset[tuple[DataValue, ...]]:
-        """Run the plan and return the answer set over the head variables."""
-        self.executions += 1
-        overrides = overrides or _NO_OVERRIDES
+    def _check_requirements(self, instance: Instance, overrides) -> bool:
         for name, arity in self.requirements:
             if name in overrides:
                 continue
             if name not in instance.schema or instance.schema.arity(name) != arity:
-                return frozenset()
+                return False
+        return True
+
+    def vector_kernel(self):
+        """The compiled columnar kernel, or ``None`` when unsupported.
+
+        Built once per plan (like the delta machinery); the kernel itself is
+        stateless, so one compiled kernel serves every encoded instance.
+        """
+        if self._vector is None:
+            from repro.query.vectorized import vectorize
+
+            self._vector = vectorize(self) or _VECTOR_UNSUPPORTED
+        return None if self._vector is _VECTOR_UNSUPPORTED else self._vector
+
+    def execute(
+        self, instance: Instance, overrides: Overrides | None = None
+    ) -> frozenset[tuple[DataValue, ...]]:
+        """Run the plan and return the answer set over the head variables.
+
+        On an encoded instance the columnar kernel runs (raw ``overrides``
+        rows -- deltas, Datalog IDB states -- are interned on the fly) and
+        the encoded answers are decoded at this boundary; callers that want
+        to stay in integer space use :meth:`execute_encoded` instead.
+        """
+        self.executions += 1
+        overrides = overrides or _NO_OVERRIDES
+        encoder = instance._encoding
+        kernel = self.vector_kernel() if encoder is not None else None
+        self.last_backend = "columnar" if kernel is not None else "row"
+        if not self._check_requirements(instance, overrides):
+            return frozenset()
+        if kernel is not None:
+            if overrides:
+                # Intern only the overrides the plan actually scans: a
+                # caller may pass a whole state dict (the Datalog loop's
+                # IDB states) of which this plan reads one relation.
+                scanned = self.scan_relations()
+                encoded_overrides = {
+                    name: encoder.encode_rows(rows)
+                    for name, rows in overrides.items()
+                    if name in scanned
+                }
+            else:
+                encoded_overrides = None
+            rows = kernel.execute_raw(encoder, instance, encoded_overrides)
+            return encoder.decode_rows(rows)
         return frozenset(map(tuple, self.root.rows(instance, overrides)))
+
+    def execute_encoded(
+        self, instance: Instance, overrides=None
+    ) -> frozenset[tuple[int, ...]]:
+        """Run the columnar kernel and return the *encoded* answer set.
+
+        ``overrides`` maps relation names to sets of already-encoded tuples
+        (the engine's register contents, the Datalog loop's IDB states).
+        The instance must carry an encoding and the plan must vectorize;
+        callers check :meth:`vector_kernel` first or catch ``ValueError``.
+        Decoding is deferred to the caller -- typically to the point where
+        XML text is actually emitted.
+        """
+        encoder = instance._encoding
+        if encoder is None:
+            raise ValueError("execute_encoded requires an encoded instance")
+        kernel = self.vector_kernel()
+        if kernel is None:
+            raise ValueError("plan does not support the columnar backend")
+        self.executions += 1
+        self.last_backend = "columnar"
+        overrides = overrides or _NO_OVERRIDES
+        if not self._check_requirements(instance, overrides):
+            return frozenset()
+        return kernel.execute(encoder, instance, overrides)
 
     # -- incremental evaluation ----------------------------------------------
 
@@ -611,6 +700,8 @@ class QueryPlan:
         if len(order) > 1:
             lines.append(f"  join order: {' >< '.join(order)}")
         lines.append(f"  delta: {self.delta_strategy()}")
+        backend = self.last_backend or "none yet (row or columnar, per instance)"
+        lines.append(f"  backend: {backend}")
 
         def render(node: PlanNode, depth: int) -> None:
             lines.append("  " * (depth + 1) + node.label())

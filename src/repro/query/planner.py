@@ -17,6 +17,13 @@ differential tests).
 Plans are cached on the query object itself (queries are immutable), so the
 engine's memoized expansions, the Datalog fixpoint rounds and the analysis
 loops all plan once and execute many times.
+
+The planner is backend-agnostic: the plan trees it produces are executed
+either by the row backend (each node's ``rows`` method) or, on instances
+carrying a dictionary encoding, by the vectorized columnar kernel of
+:mod:`repro.query.vectorized`, which compiles the same tree once per plan
+(:meth:`QueryPlan.vector_kernel`).  Nothing here changes per backend -- the
+backend seam lives entirely in :meth:`QueryPlan.execute`.
 """
 
 from __future__ import annotations

@@ -1,0 +1,782 @@
+"""The vectorized (columnar) execution kernel behind :class:`QueryPlan`.
+
+This module compiles a :class:`~repro.query.plan.QueryPlan` operator tree --
+the *unchanged* plan language of :mod:`repro.query.planner` -- into a tree of
+closures operating on **batches**: per-variable columns of dense integer ids
+produced by a :class:`~repro.relational.columnar.DictionaryEncoder`.  The
+row backend walks Python tuples of heterogeneous values one row at a time;
+the kernel instead
+
+* reads base relations through their cached
+  :class:`~repro.relational.columnar.ColumnarRelation` columns (zero-copy
+  for unpinned scans) and probes their integer hash indexes,
+* joins by probing ``dict[int, list[row_id]]`` indexes (plain int hashing
+  instead of tuple-of-object hashing) and gathers output columns with one
+  list comprehension per column,
+* deduplicates and unions over sets of int tuples,
+* and decodes back to domain values only at the plan boundary -- or not at
+  all, when the caller (the publishing engine, the semi-naive Datalog loop)
+  stays in integer space end-to-end via
+  :meth:`~repro.query.plan.QueryPlan.execute_encoded`.
+
+A batch is a pair ``(columns, n)``: ``columns`` is a tuple of equal-length
+lists of ints, positionally aligned with the node's ``variables``; ``n`` is
+the row count, which matters when there are no columns (the nullary
+relations ``Unit`` / ``Empty``).  Batches are never mutated after creation,
+so operators may share column lists freely (``Extend`` aliases its source
+column, unpinned scans alias the base relation's columns).
+
+Overrides (the semi-naive delta channel) are sets of *encoded* tuples; the
+kernel falls back to a row-wise loop over them -- still in integer space --
+because override sources are small by design (per-round deltas, register
+contents).
+
+Every operator of :mod:`repro.query.plan` is supported; :func:`vectorize`
+returns ``None`` only for plan-node types this module does not know about,
+in which case :meth:`QueryPlan.execute` stays on the row backend.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping
+
+from repro.query.plan import (
+    AntiJoinNode,
+    EmptyNode,
+    ExtendNode,
+    JoinNode,
+    PlanNode,
+    ProjectNode,
+    QueryPlan,
+    RenameNode,
+    RowsNode,
+    ScanNode,
+    SelectNode,
+    UnionNode,
+    UnitNode,
+)
+from repro.relational.columnar import DictionaryEncoder
+from repro.relational.instance import Instance
+
+#: Encoded overrides: relation name -> iterable of int tuples.
+EncodedOverrides = Mapping[str, Iterable[tuple[int, ...]]]
+
+#: A batch: (columns aligned with the node's variables, row count).
+Batch = tuple[tuple[list[int], ...], int]
+
+_EMPTY_OVERRIDES: dict[str, frozenset] = {}
+
+
+class _Ctx:
+    """One kernel execution: the encoder, the instance, the encoded overrides."""
+
+    __slots__ = ("encoder", "instance", "overrides")
+
+    def __init__(
+        self,
+        encoder: DictionaryEncoder,
+        instance: Instance,
+        overrides: EncodedOverrides,
+    ) -> None:
+        self.encoder = encoder
+        self.instance = instance
+        self.overrides = overrides
+
+
+def _empty(width: int) -> Batch:
+    return (tuple([] for _ in range(width)), 0)
+
+
+def _rows_of(batch: Batch) -> set[tuple[int, ...]]:
+    """The batch as a set of int tuples (zero-column batches yield ``()``)."""
+    columns, n = batch
+    if not columns:
+        return {()} if n else set()
+    if len(columns) == 1:
+        return {(value,) for value in columns[0]}
+    return set(zip(*columns))
+
+
+def _unzip(rows: set[tuple[int, ...]], width: int) -> Batch:
+    """A set of int tuples as a batch (column order is arbitrary but aligned)."""
+    if not rows:
+        return _empty(width)
+    if width == 0:
+        return ((), 1)
+    return (tuple(map(list, zip(*rows))), len(rows))
+
+
+# ---------------------------------------------------------------------------
+# Per-operator compilation.  Each _compile_* returns fn(ctx) -> Batch.
+# ---------------------------------------------------------------------------
+
+
+def _compile_scan(node: ScanNode) -> Callable[[_Ctx], Batch]:
+    relation_name = node.relation
+    width = len(node.terms)
+    expected = node._expected          # ((position, raw value), ...)
+    repeats = node._repeats            # ((position, earlier position), ...)
+    emit = node._emit                  # (("const", raw) | ("row", position), ...)
+    out_width = len(emit)
+    pin_positions = tuple(position for position, _ in expected)
+    row_emits = tuple(
+        (k, payload) for k, (kind, payload) in enumerate(emit) if kind == "row"
+    )
+    const_emits = tuple(
+        (k, payload) for k, (kind, payload) in enumerate(emit) if kind == "const"
+    )
+
+    def scan_override(ctx: _Ctx, rows) -> Batch:
+        """Scan an (already encoded) override source: a delta, a register.
+
+        The common case -- equal-width rows, no pins, no repeats -- is a
+        single C-level ``zip`` transpose; mixed widths or residual filters
+        fall back to a row-wise loop (still over integers).
+        """
+        encoder = ctx.encoder
+        if not rows:
+            return _empty(out_width)
+
+        def emit_transposed(kept_rows) -> Batch:
+            """Transpose equal-width rows and lay out the emit columns."""
+            by_position = dict(enumerate(zip(*kept_rows) if width else ()))
+            n = len(kept_rows)
+            columns = [None] * out_width  # type: ignore[list-item]
+            for k, position in row_emits:
+                columns[k] = by_position[position]
+            for k, value in const_emits:
+                columns[k] = [encoder.intern(value)] * n
+            return (tuple(columns), n)
+
+        widths = set(map(len, rows))
+        if widths == {width} or (not widths and not width):
+            if not expected and not repeats:
+                return emit_transposed(rows)
+            if not isinstance(rows, (list, tuple)):
+                rows = list(rows)
+            keep = None
+            for position, value in expected:
+                value_id = encoder.intern(value)
+                column = [row[position] for row in rows]
+                if keep is None:
+                    keep = [i for i, v in enumerate(column) if v == value_id]
+                else:
+                    keep = [i for i in keep if column[i] == value_id]
+                if not keep:
+                    return _empty(out_width)
+            for position, earlier in repeats:
+                if keep is None:
+                    keep = [
+                        i
+                        for i, row in enumerate(rows)
+                        if row[position] == row[earlier]
+                    ]
+                else:
+                    keep = [i for i in keep if rows[i][position] == rows[i][earlier]]
+                if not keep:
+                    return _empty(out_width)
+            if keep is not None and len(keep) < len(rows):
+                rows = [rows[i] for i in keep]
+            return emit_transposed(rows)
+        # Mixed-width rows (only possible through hand-built overrides):
+        # filter row-wise, like the row backend's scan does.
+        intern = encoder.intern
+        pins = tuple((position, intern(value)) for position, value in expected)
+        columns = tuple([] for _ in range(out_width))
+        appenders = tuple(
+            (columns[k].append, position) for k, position in row_emits
+        )
+        n = 0
+        for row in rows:
+            if len(row) != width:
+                continue
+            ok = True
+            for position, value_id in pins:
+                if row[position] != value_id:
+                    ok = False
+                    break
+            if ok:
+                for position, earlier in repeats:
+                    if row[position] != row[earlier]:
+                        ok = False
+                        break
+            if not ok:
+                continue
+            for append, position in appenders:
+                append(row[position])
+            n += 1
+        for k, value in const_emits:
+            columns[k].extend([intern(value)] * n)
+        return (columns, n)
+
+    def run(ctx: _Ctx) -> Batch:
+        overrides = ctx.overrides
+        if overrides and relation_name in overrides:
+            return scan_override(ctx, overrides[relation_name])
+        instance = ctx.instance
+        if relation_name not in instance.schema:
+            return _empty(out_width)
+        relation = instance[relation_name]
+        if relation.arity != width:
+            return _empty(out_width)
+        encoder = ctx.encoder
+        columnar = encoder.columns_for(relation)
+        base = columnar.columns
+        if expected:
+            key: object
+            if len(pin_positions) == 1:
+                key = encoder.intern(expected[0][1])
+            else:
+                key = tuple(encoder.intern(value) for _, value in expected)
+            row_ids = columnar.index(pin_positions).get(key)
+            if not row_ids:
+                return _empty(out_width)
+            if repeats:
+                row_ids = [
+                    i
+                    for i in row_ids
+                    if all(base[p][i] == base[e][i] for p, e in repeats)
+                ]
+                if not row_ids:
+                    return _empty(out_width)
+            n = len(row_ids)
+            columns = [None] * out_width  # type: ignore[list-item]
+            for k, position in row_emits:
+                columns[k] = list(map(base[position].__getitem__, row_ids))
+            for k, value in const_emits:
+                columns[k] = [encoder.intern(value)] * n
+            return (tuple(columns), n)
+        if repeats:
+            if len(repeats) == 1:
+                position, earlier = repeats[0]
+                left, right = base[position], base[earlier]
+                row_ids = [i for i, v in enumerate(left) if v == right[i]]
+            else:
+                row_ids = [
+                    i
+                    for i in range(columnar.num_rows)
+                    if all(base[p][i] == base[e][i] for p, e in repeats)
+                ]
+            if not row_ids:
+                return _empty(out_width)
+            n = len(row_ids)
+            columns = [None] * out_width  # type: ignore[list-item]
+            for k, position in row_emits:
+                columns[k] = list(map(base[position].__getitem__, row_ids))
+            for k, value in const_emits:
+                columns[k] = [encoder.intern(value)] * n
+            return (tuple(columns), n)
+        # Unpinned, repeat-free scan: the base columns are shared zero-copy.
+        n = columnar.num_rows
+        columns = [None] * out_width  # type: ignore[list-item]
+        for k, position in row_emits:
+            columns[k] = base[position]
+        for k, value in const_emits:
+            columns[k] = [encoder.intern(value)] * n
+        return (tuple(columns), n)
+
+    return run
+
+
+def _probe_spec(node: JoinNode):
+    """Static probe plan for a join whose right child scans a base relation.
+
+    Mirrors :meth:`ScanNode.index_probe` on the columnar side: the join
+    probes the columnar relation's *cached* integer index on the pinned
+    positions plus the key variables' positions, so no per-execution hash
+    table is built.  Returns ``None`` when the right child is not a plain
+    scan or a key variable is pinned to a constant (rare; the generic
+    hash-join path handles it).
+    """
+    right = node.right
+    if not isinstance(right, ScanNode) or not node.shared:
+        return None
+    capture = dict(right._capture)
+    if any(variable not in capture for variable in node.shared):
+        return None
+    key_positions = tuple(capture[variable] for variable in node.shared)
+    pin_positions = tuple(position for position, _ in right._expected)
+    emit_by_variable = dict(zip(right.variables, right._emit))
+    extra_specs = tuple(
+        emit_by_variable[right.variables[e]] for e in node._right_extra
+    )
+    return (
+        right.relation,
+        len(right.terms),
+        right._expected,
+        pin_positions + key_positions,
+        right._repeats,
+        extra_specs,
+    )
+
+
+def _compile_join(node: JoinNode) -> Callable[[_Ctx], Batch]:
+    left_fn = _compile_batch(node.left)
+    right_fn = _compile_batch(node.right)
+    left_width = len(node.left.variables)
+    out_width = len(node.variables)
+    left_key = node._left_key
+    right_key = node._right_key
+    extra = node._right_extra
+    probe_spec = _probe_spec(node)
+
+    if not node.shared:
+
+        def cross(ctx: _Ctx) -> Batch:
+            left_columns, left_n = left_fn(ctx)
+            if not left_n:
+                return _empty(out_width)
+            right_columns, right_n = right_fn(ctx)
+            if not right_n:
+                return _empty(out_width)
+            columns = [
+                [value for value in column for _ in range(right_n)]
+                for column in left_columns
+            ]
+            for e in extra:
+                columns.append(right_columns[e] * left_n)
+            return (tuple(columns), left_n * right_n)
+
+        return cross
+
+    single = len(left_key) == 1
+
+    def probe_base(ctx: _Ctx, left_columns, left_n) -> Batch | None:
+        """Probe the right base relation's cached columnar index directly.
+
+        Returns ``None`` when the right relation is overridden or missing,
+        in which case the caller falls back to the generic hash join.
+        """
+        relation_name, width, expected, positions, repeats, extra_specs = probe_spec
+        if ctx.overrides and relation_name in ctx.overrides:
+            return None
+        instance = ctx.instance
+        if relation_name not in instance.schema:
+            return _empty(out_width)
+        relation = instance[relation_name]
+        if relation.arity != width:
+            return _empty(out_width)
+        encoder = ctx.encoder
+        columnar = encoder.columns_for(relation)
+        base = columnar.columns
+        prefix = tuple(encoder.intern(value) for _, value in expected)
+        bare_key = not prefix and single and len(positions) == 1
+        if bare_key:
+            probe_keys = left_columns[left_key[0]]
+        elif single:
+            key_column = left_columns[left_key[0]]
+            probe_keys = [prefix + (value,) for value in key_column]
+        else:
+            key_tuples = zip(*(left_columns[k] for k in left_key))
+            probe_keys = (
+                [prefix + key for key in key_tuples] if prefix else list(key_tuples)
+            )
+        left_ids: list[int] = []
+        right_ids: list[int] | None = None
+        if not repeats:
+            unique = columnar.unique_index(positions)
+            if unique is not None:
+                # Key probe: one row per hit, resolved with C-level bulk
+                # lookups instead of a per-key Python loop.
+                hits = list(map(unique.get, probe_keys))
+                left_ids = [i for i, j in enumerate(hits) if j is not None]
+                if not left_ids:
+                    return _empty(out_width)
+                right_ids = (
+                    hits if len(left_ids) == len(hits) else [j for j in hits if j is not None]
+                )
+        if right_ids is None:
+            index = columnar.index(positions)
+            get = index.get
+            right_ids = []
+            append_left = left_ids.append
+            extend_left = left_ids.extend
+            append_right = right_ids.append
+            extend_right = right_ids.extend
+            if repeats:
+                for i, bucket in enumerate(map(get, probe_keys)):
+                    if bucket is None:
+                        continue
+                    for j in bucket:
+                        if all(base[p][j] == base[e][j] for p, e in repeats):
+                            append_left(i)
+                            append_right(j)
+            else:
+                for i, bucket in enumerate(map(get, probe_keys)):
+                    if bucket is None:
+                        continue
+                    m = len(bucket)
+                    if m == 1:
+                        append_left(i)
+                        append_right(bucket[0])
+                    else:
+                        extend_left([i] * m)
+                        extend_right(bucket)
+        if not left_ids:
+            return _empty(out_width)
+        columns = [
+            list(map(column.__getitem__, left_ids)) for column in left_columns
+        ]
+        n = len(left_ids)
+        for kind, payload in extra_specs:
+            if kind == "row":
+                columns.append(list(map(base[payload].__getitem__, right_ids)))
+            else:
+                columns.append([encoder.intern(payload)] * n)
+        return (tuple(columns), n)
+
+    def run(ctx: _Ctx) -> Batch:
+        left_columns, left_n = left_fn(ctx)
+        if not left_n:
+            return _empty(out_width)
+        if probe_spec is not None:
+            probed = probe_base(ctx, left_columns, left_n)
+            if probed is not None:
+                return probed
+        right_columns, right_n = right_fn(ctx)
+        if not right_n:
+            return _empty(out_width)
+        # Build the (per-execution) index over the smaller probe target: the
+        # right batch.  Base-relation lookups already came through the
+        # columnar relation's cached indexes inside the scan.
+        index: dict = {}
+        if single:
+            right_key_column = right_columns[right_key[0]]
+            for j, key in enumerate(right_key_column):
+                bucket = index.get(key)
+                if bucket is None:
+                    index[key] = [j]
+                else:
+                    bucket.append(j)
+            probe_keys = left_columns[left_key[0]]
+        else:
+            right_key_columns = [right_columns[k] for k in right_key]
+            for j, key in enumerate(zip(*right_key_columns)):
+                bucket = index.get(key)
+                if bucket is None:
+                    index[key] = [j]
+                else:
+                    bucket.append(j)
+            probe_keys = list(zip(*(left_columns[k] for k in left_key)))
+        left_ids: list[int] = []
+        right_ids: list[int] = []
+        extend_left = left_ids.extend
+        append_left = left_ids.append
+        extend_right = right_ids.extend
+        append_right = right_ids.append
+        get = index.get
+        for i, key in enumerate(probe_keys):
+            bucket = get(key)
+            if bucket is None:
+                continue
+            m = len(bucket)
+            if m == 1:
+                append_left(i)
+                append_right(bucket[0])
+            else:
+                extend_left([i] * m)
+                extend_right(bucket)
+        if not left_ids:
+            return _empty(out_width)
+        columns = [
+            list(map(column.__getitem__, left_ids)) for column in left_columns
+        ]
+        for e in extra:
+            columns.append(list(map(right_columns[e].__getitem__, right_ids)))
+        return (tuple(columns), len(left_ids))
+
+    return run
+
+
+def _compile_anti_join(node: AntiJoinNode) -> Callable[[_Ctx], Batch]:
+    left_fn = _compile_batch(node.left)
+    right_fn = _compile_rows(node.right)
+    out_width = len(node.variables)
+    key = node._left_key
+    single = len(key) == 1
+
+    def run(ctx: _Ctx) -> Batch:
+        left_columns, left_n = left_fn(ctx)
+        if not left_n:
+            return _empty(out_width)
+        banned = right_fn(ctx)
+        if not banned:
+            return (left_columns, left_n)
+        if not key:
+            # Zero-width negation: a non-empty right bans every left row.
+            return _empty(out_width)
+        if single:
+            banned_values = {row[0] for row in banned}
+            key_column = left_columns[key[0]]
+            keep = [i for i, k in enumerate(key_column) if k not in banned_values]
+        else:
+            key_columns = [left_columns[k] for k in key]
+            keep = [
+                i for i, k in enumerate(zip(*key_columns)) if k not in banned
+            ]
+        if not keep:
+            return _empty(out_width)
+        if len(keep) == left_n:
+            return (left_columns, left_n)
+        return (
+            tuple(list(map(column.__getitem__, keep)) for column in left_columns),
+            len(keep),
+        )
+
+    return run
+
+
+def _compile_select(node: SelectNode) -> Callable[[_Ctx], Batch]:
+    child_fn = _compile_batch(node.child)
+    out_width = len(node.variables)
+    positions = {v: i for i, v in enumerate(node.child.variables)}
+    from repro.logic.terms import Constant
+
+    checks = []
+    for comparison in node.comparisons:
+        left = comparison.left
+        right = comparison.right
+        left_spec = (
+            ("const", left.value)
+            if isinstance(left, Constant)
+            else ("col", positions[left])
+        )
+        right_spec = (
+            ("const", right.value)
+            if isinstance(right, Constant)
+            else ("col", positions[right])
+        )
+        checks.append((left_spec, right_spec, comparison.negated))
+
+    def run(ctx: _Ctx) -> Batch:
+        columns, n = child_fn(ctx)
+        if not n:
+            return (columns, n)
+        intern = ctx.encoder.intern
+        keep: list[int] | None = None  # None = all rows survive so far
+        for left_spec, right_spec, negated in checks:
+            left_kind, left_payload = left_spec
+            right_kind, right_payload = right_spec
+            if left_kind == "const" and right_kind == "const":
+                holds = (left_payload == right_payload) != negated
+                if not holds:
+                    return _empty(out_width)
+                continue
+            if left_kind == "const" or right_kind == "const":
+                if left_kind == "const":
+                    value_id = intern(left_payload)
+                    column = columns[right_payload]
+                else:
+                    value_id = intern(right_payload)
+                    column = columns[left_payload]
+                if negated:
+                    if keep is None:
+                        keep = [i for i, v in enumerate(column) if v != value_id]
+                    else:
+                        keep = [i for i in keep if column[i] != value_id]
+                else:
+                    if keep is None:
+                        keep = [i for i, v in enumerate(column) if v == value_id]
+                    else:
+                        keep = [i for i in keep if column[i] == value_id]
+            else:
+                left_column = columns[left_payload]
+                right_column = columns[right_payload]
+                if negated:
+                    if keep is None:
+                        keep = [
+                            i
+                            for i, v in enumerate(left_column)
+                            if v != right_column[i]
+                        ]
+                    else:
+                        keep = [i for i in keep if left_column[i] != right_column[i]]
+                else:
+                    if keep is None:
+                        keep = [
+                            i
+                            for i, v in enumerate(left_column)
+                            if v == right_column[i]
+                        ]
+                    else:
+                        keep = [i for i in keep if left_column[i] == right_column[i]]
+            if not keep:
+                return _empty(out_width)
+        if keep is None or len(keep) == n:
+            return (columns, n)
+        return (
+            tuple(list(map(column.__getitem__, keep)) for column in columns),
+            len(keep),
+        )
+
+    return run
+
+
+def _compile_extend(node: ExtendNode) -> Callable[[_Ctx], Batch]:
+    child_fn = _compile_batch(node.child)
+    if node.source is None:
+        constant = node.constant
+
+        def run_const(ctx: _Ctx) -> Batch:
+            columns, n = child_fn(ctx)
+            return (columns + ([ctx.encoder.intern(constant)] * n,), n)
+
+        return run_const
+    source_index = node._source_index
+
+    def run_copy(ctx: _Ctx) -> Batch:
+        columns, n = child_fn(ctx)
+        return (columns + (columns[source_index],), n)
+
+    return run_copy
+
+
+def _compile_project(node: ProjectNode) -> Callable[[_Ctx], Batch]:
+    rows_fn = _compile_project_rows(node)
+    width = len(node.variables)
+
+    def run(ctx: _Ctx) -> Batch:
+        return _unzip(rows_fn(ctx), width)
+
+    return run
+
+
+def _compile_union(node: UnionNode) -> Callable[[_Ctx], Batch]:
+    rows_fn = _compile_union_rows(node)
+    width = len(node.variables)
+
+    def run(ctx: _Ctx) -> Batch:
+        return _unzip(rows_fn(ctx), width)
+
+    return run
+
+
+def _compile_batch(node: PlanNode) -> Callable[[_Ctx], Batch]:
+    """Compile one plan node to a batch-producing closure."""
+    if isinstance(node, ScanNode):
+        return _compile_scan(node)
+    if isinstance(node, JoinNode):
+        return _compile_join(node)
+    if isinstance(node, AntiJoinNode):
+        return _compile_anti_join(node)
+    if isinstance(node, SelectNode):
+        return _compile_select(node)
+    if isinstance(node, ExtendNode):
+        return _compile_extend(node)
+    if isinstance(node, ProjectNode):
+        return _compile_project(node)
+    if isinstance(node, UnionNode):
+        return _compile_union(node)
+    if isinstance(node, RenameNode):
+        return _compile_batch(node.child)
+    if isinstance(node, RowsNode):
+        raw_rows = node._rows
+        width = len(node.variables)
+
+        def run_rows(ctx: _Ctx) -> Batch:
+            intern_row = ctx.encoder.intern_row
+            encoded = [intern_row(row) for row in raw_rows]
+            return _unzip(set(encoded), width)
+
+        return run_rows
+    if isinstance(node, UnitNode):
+        return lambda ctx: ((), 1)
+    if isinstance(node, EmptyNode):
+        width = len(node.variables)
+        return lambda ctx: _empty(width)
+    raise _UnsupportedNode(type(node).__name__)
+
+
+# -- rows-mode compilation (dedup boundaries and the plan root) --------------
+
+
+def _compile_project_rows(node: ProjectNode) -> Callable[[_Ctx], set]:
+    child_fn = _compile_batch(node.child)
+    positions = node._positions
+
+    def run(ctx: _Ctx) -> set[tuple[int, ...]]:
+        columns, n = child_fn(ctx)
+        if not n:
+            return set()
+        if not positions:
+            return {()}
+        if len(positions) == 1:
+            column = columns[positions[0]]
+            return {(value,) for value in column}
+        return set(zip(*(columns[p] for p in positions)))
+
+    return run
+
+
+def _compile_union_rows(node: UnionNode) -> Callable[[_Ctx], set]:
+    part_fns = tuple(_compile_rows(part) for part in node.parts)
+
+    def run(ctx: _Ctx) -> set[tuple[int, ...]]:
+        out: set[tuple[int, ...]] = set()
+        for part_fn in part_fns:
+            out |= part_fn(ctx)
+        return out
+
+    return run
+
+
+def _compile_rows(node: PlanNode) -> Callable[[_Ctx], set]:
+    """Compile one plan node to a closure producing a deduplicated row set."""
+    if isinstance(node, ProjectNode):
+        return _compile_project_rows(node)
+    if isinstance(node, UnionNode):
+        return _compile_union_rows(node)
+    if isinstance(node, RenameNode):
+        return _compile_rows(node.child)
+    batch_fn = _compile_batch(node)
+
+    def run(ctx: _Ctx) -> set[tuple[int, ...]]:
+        return _rows_of(batch_fn(ctx))
+
+    return run
+
+
+class _UnsupportedNode(Exception):
+    """An operator type the kernel does not know (future plan extensions)."""
+
+
+class VectorKernel:
+    """A plan compiled for columnar execution over encoded instances."""
+
+    __slots__ = ("plan", "_run")
+
+    def __init__(self, plan: QueryPlan) -> None:
+        self.plan = plan
+        self._run = _compile_rows(plan.root)
+
+    def execute(
+        self,
+        encoder: DictionaryEncoder,
+        instance: Instance,
+        overrides: EncodedOverrides | None = None,
+    ) -> frozenset[tuple[int, ...]]:
+        """Run the kernel and return the *encoded* answer set."""
+        ctx = _Ctx(encoder, instance, overrides or _EMPTY_OVERRIDES)
+        return frozenset(self._run(ctx))
+
+    def execute_raw(
+        self,
+        encoder: DictionaryEncoder,
+        instance: Instance,
+        overrides: EncodedOverrides | None = None,
+    ) -> set:
+        """Like :meth:`execute` but returns the kernel's mutable row set.
+
+        Used by the decode boundary of :meth:`QueryPlan.execute`, which
+        consumes the set immediately and so can skip the frozenset copy.
+        """
+        ctx = _Ctx(encoder, instance, overrides or _EMPTY_OVERRIDES)
+        return self._run(ctx)
+
+
+def vectorize(plan: QueryPlan) -> VectorKernel | None:
+    """Compile ``plan`` for the columnar backend, or ``None`` if unsupported."""
+    try:
+        return VectorKernel(plan)
+    except _UnsupportedNode:
+        return None

@@ -13,9 +13,18 @@ provides exactly that substrate:
 * :mod:`repro.relational.delta` -- first-class instance deltas (the currency
   of incremental view maintenance);
 * :mod:`repro.relational.algebra` -- a small relational algebra used by the
-  IFP simulation, the DAD front-end and several proof constructions.
+  IFP simulation, the DAD front-end and several proof constructions;
+* :mod:`repro.relational.columnar` -- dictionary encoding and columnar
+  relation storage, the data representation beneath the vectorized query
+  kernel (:mod:`repro.query.vectorized`).
 """
 
+from repro.relational.columnar import (
+    ColumnarRelation,
+    DictionaryEncoder,
+    encoding_of,
+    ensure_encoded,
+)
 from repro.relational.delta import Delta
 from repro.relational.domain import DataValue, order_key, sort_tuples, sort_values
 from repro.relational.errors import (
@@ -30,8 +39,10 @@ from repro.relational.tuples import make_tuple
 
 __all__ = [
     "ArityError",
+    "ColumnarRelation",
     "DataValue",
     "Delta",
+    "DictionaryEncoder",
     "Instance",
     "Relation",
     "RelationSchema",
@@ -39,6 +50,8 @@ __all__ = [
     "RelationalSchema",
     "SchemaError",
     "UnknownRelationError",
+    "encoding_of",
+    "ensure_encoded",
     "make_tuple",
     "order_key",
     "sort_tuples",

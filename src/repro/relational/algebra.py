@@ -25,8 +25,14 @@ from repro.relational.instance import Instance, Relation
 RESULT_NAME = "_result"
 
 
-def _result(arity: int, rows: Iterable[Sequence[DataValue]]) -> Relation:
-    return Relation(RESULT_NAME, arity, rows)
+def _result(arity: int, rows: Iterable[tuple[DataValue, ...]]) -> Relation:
+    """Wrap already-normalised tuples of known width as an anonymous relation.
+
+    Every producer in this module builds plain tuples of exactly ``arity``
+    values, so the trusted constructor is used and ``check_arity`` runs only
+    on user-facing input (the instances the expressions are evaluated over).
+    """
+    return Relation.from_trusted_rows(RESULT_NAME, arity, rows)
 
 
 def selection(relation: Relation, predicate: Callable[[tuple[DataValue, ...]], bool]) -> Relation:
@@ -54,7 +60,7 @@ def projection(relation: Relation, columns: Sequence[int]) -> Relation:
 
 def rename(relation: Relation, name: str) -> Relation:
     """Rename the relation (columns are positional, so only the name changes)."""
-    return Relation(name, relation.arity, relation.tuples)
+    return Relation._from_frozenset(name, relation.arity, relation.tuples)
 
 
 def product(left: Relation, right: Relation) -> Relation:

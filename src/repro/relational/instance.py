@@ -19,7 +19,12 @@ from repro.relational.tuples import check_arity
 class Relation:
     """A finite relation: a set of equal-width tuples over the domain."""
 
-    __slots__ = ("_name", "_arity", "_tuples", "_indexes")
+    __slots__ = ("_name", "_arity", "_tuples", "_indexes", "_index_counters", "_columnar")
+
+    #: Cap on distinct key-column index sets cached per relation.  The cache
+    #: used to be unbounded, which let long-lived relations probed with many
+    #: column combinations (e.g. by generated queries) grow without limit.
+    max_hash_indexes = 8
 
     def __init__(
         self,
@@ -32,6 +37,8 @@ class Relation:
         rows = frozenset(check_arity(name, arity, row) for row in tuples)
         self._tuples = rows
         self._indexes: dict[tuple[int, ...], dict] | None = None
+        self._index_counters: list[int] | None = None  # [built, evicted]
+        self._columnar = None
 
     @classmethod
     def _from_frozenset(
@@ -43,7 +50,24 @@ class Relation:
         relation._arity = arity
         relation._tuples = rows
         relation._indexes = None
+        relation._index_counters = None
+        relation._columnar = None
         return relation
+
+    @classmethod
+    def from_trusted_rows(
+        cls, name: str, arity: int, rows: Iterable[tuple[DataValue, ...]]
+    ) -> "Relation":
+        """Trusted constructor for already-normalised tuples of known width.
+
+        Internal producers -- the relational algebra, plan operators, the
+        engine's register overlays -- always build equal-width plain tuples,
+        so re-running :func:`~repro.relational.tuples.check_arity` on every
+        intermediate result only burns time on the hot path.  ``rows`` must
+        be tuples of exactly ``arity`` values; user-facing input goes through
+        the checked :class:`Relation` constructor instead.
+        """
+        return cls._from_frozenset(name, arity, frozenset(rows))
 
     # -- basic accessors ---------------------------------------------------
 
@@ -179,17 +203,55 @@ class Relation:
         of full rows carrying it.  Relations are immutable, so the index is
         built at most once per column combination and shared by every instance
         holding this relation object -- including the engine's register
-        overlays, which reuse the source relations by identity.
+        overlays, which reuse the source relations by identity.  At most
+        :attr:`max_hash_indexes` distinct position sets are cached, evicted
+        least-recently-used, so relations probed with many column
+        combinations stay bounded in memory (see :meth:`index_stats`).
         """
         if self._indexes is None:
             self._indexes = {}
-        index = self._indexes.get(positions)
-        if index is None:
-            index = {}
-            for row in self._tuples:
-                index.setdefault(tuple(row[p] for p in positions), []).append(row)
-            self._indexes[positions] = index
+            self._index_counters = [0, 0]
+        indexes = self._indexes
+        index = indexes.get(positions)
+        if index is not None:
+            # Reinsert so eviction is least-recently-used, not first-built.
+            del indexes[positions]
+            indexes[positions] = index
+            return index
+        index = {}
+        for row in self._tuples:
+            index.setdefault(tuple(row[p] for p in positions), []).append(row)
+        counters = self._index_counters
+        counters[0] += 1
+        indexes[positions] = index
+        cap = self.max_hash_indexes
+        while len(indexes) > cap:
+            del indexes[next(iter(indexes))]
+            counters[1] += 1
         return index
+
+    def clear_indexes(self) -> None:
+        """Drop every cached hash index (and any cached columnar form)."""
+        self._indexes = None
+        self._index_counters = None
+        self._columnar = None
+
+    def index_stats(self) -> dict[str, int]:
+        """Counters of the hash-index cache (for benchmarks and tuning)."""
+        counters = self._index_counters
+        if counters is None:
+            return {
+                "cached": 0,
+                "built": 0,
+                "evicted": 0,
+                "capacity": self.max_hash_indexes,
+            }
+        return {
+            "cached": len(self._indexes),
+            "built": counters[0],
+            "evicted": counters[1],
+            "capacity": self.max_hash_indexes,
+        }
 
 
 class Instance(Mapping[str, Relation]):
@@ -211,6 +273,10 @@ class Instance(Mapping[str, Relation]):
             data[name] = Relation(name, schema.arity(name), rows)
         self._relations = data
         self._active_domain: frozenset[DataValue] | None = None
+        # Dictionary encoding (repro.relational.columnar), attached by
+        # ensure_encoded() and propagated through the versioning operations
+        # so a whole instance lineage shares one append-only encoder.
+        self._encoding = None
 
     # -- construction -------------------------------------------------------
 
@@ -248,7 +314,7 @@ class Instance(Mapping[str, Relation]):
             raise UnknownRelationError(name, self._schema.names())
         relations = dict(self._relations)
         relations[name] = Relation(name, self._schema.arity(name), tuples)
-        return self._rebuilt(self._schema, relations)
+        return self._rebuilt(self._schema, relations, self._encoding)
 
     def extended(
         self,
@@ -276,17 +342,27 @@ class Instance(Mapping[str, Relation]):
         for name in schema:
             if name not in relations:
                 relations[name] = Relation(name, schema.arity(name))
-        return self._rebuilt(schema, relations)
+        return self._rebuilt(schema, relations, self._encoding)
 
     @classmethod
     def _rebuilt(
-        cls, schema: RelationalSchema, relations: dict[str, "Relation"]
+        cls,
+        schema: RelationalSchema,
+        relations: dict[str, "Relation"],
+        encoding=None,
     ) -> "Instance":
-        """Trusted constructor reusing already-validated relation objects."""
+        """Trusted constructor reusing already-validated relation objects.
+
+        ``encoding`` carries the source version's dictionary encoder forward:
+        untouched relations keep their cached columnar form (it lives on the
+        relation object), replaced relations are re-encoded lazily on first
+        columnar execution, and no value is ever re-interned.
+        """
         clone = cls.__new__(cls)
         clone._schema = schema
         clone._relations = relations
         clone._active_domain = None
+        clone._encoding = encoding
         return clone
 
     def overlaid(
@@ -315,6 +391,11 @@ class Instance(Mapping[str, Relation]):
         clone._schema = schema
         clone._relations = {**self._relations, **extra}
         clone._active_domain = active_domain
+        # Overlays deliberately do not inherit the dictionary encoding: the
+        # engine's encoded pipeline feeds registers through the plans'
+        # encoded-override channel instead, and the overlay path is reserved
+        # for naive (active-domain) evaluation over raw values.
+        clone._encoding = None
         return clone
 
     def apply_delta(self, delta) -> "Instance":
@@ -340,7 +421,7 @@ class Instance(Mapping[str, Relation]):
                 relations[name] = replaced
         if relations is None:
             return self
-        return self._rebuilt(self._schema, relations)
+        return self._rebuilt(self._schema, relations, self._encoding)
 
     def diff(self, other: "Instance"):
         """The normalized :class:`~repro.relational.delta.Delta` from ``self`` to ``other``.

@@ -48,18 +48,26 @@ def chain_of_diamonds_transducer() -> PublishingTransducer:
     return builder.build()
 
 
-def chain_of_diamonds_instance(n: int) -> Instance:
+def chain_of_diamonds_instance(n: int, encoded: bool = False) -> Instance:
     """The instance ``I_n``: a chain of ``n`` diamonds (``4n`` edges, ``O(n)`` size).
 
     Unfolding the chain from its source doubles the number of paths at every
-    diamond, so the transducer's output has at least ``2^n`` leaves.
+    diamond, so the transducer's output has at least ``2^n`` leaves.  With
+    ``encoded=True`` the instance carries a dictionary encoding, so the
+    exponential unfolding keeps its registers and memo keys in integer
+    space.
     """
     edges: list[tuple[str, str]] = []
     for index in range(n):
         a, a_next = f"a{index}", f"a{index + 1}"
         b1, b2 = f"b{index}_1", f"b{index}_2"
         edges.extend([(a, b1), (a, b2), (b1, a_next), (b2, a_next)])
-    return Instance(GRAPH_SCHEMA, {"R": edges})
+    instance = Instance(GRAPH_SCHEMA, {"R": edges})
+    if encoded:
+        from repro.relational.columnar import ensure_encoded
+
+        ensure_encoded(instance)
+    return instance
 
 
 def binary_counter_transducer() -> PublishingTransducer:
@@ -106,7 +114,7 @@ def binary_counter_transducer() -> PublishingTransducer:
     return builder.build()
 
 
-def binary_counter_instance(n: int) -> Instance:
+def binary_counter_instance(n: int, encoded: bool = False) -> Instance:
     """The instance ``J_n``: an ``n``-bit counter, a full adder and a successor ring."""
     counter = [(0, 0, 1)] + [(k, 0, 0) for k in range(1, n)]
     add = [
@@ -120,7 +128,12 @@ def binary_counter_instance(n: int) -> Instance:
         (1, 1, 1, 1, 1),
     ]
     nxt = [(k, k + 1) for k in range(n - 1)] + [(n - 1, 0)]
-    return Instance(COUNTER_SCHEMA, {"counter": counter, "add": add, "next": nxt})
+    instance = Instance(COUNTER_SCHEMA, {"counter": counter, "add": add, "next": nxt})
+    if encoded:
+        from repro.relational.columnar import ensure_encoded
+
+        ensure_encoded(instance)
+    return instance
 
 
 def expected_minimum_output_size_exponential(n: int) -> int:

@@ -30,8 +30,19 @@ def random_graph_instance(
     return Instance(schema, {relation: sorted(edges)})
 
 
-def layered_dag_instance(layers: int, width: int, seed: int = 0, relation: str = "E") -> Instance:
-    """A layered DAG: every node has an edge to each node of the next layer."""
+def layered_dag_instance(
+    layers: int,
+    width: int,
+    seed: int = 0,
+    relation: str = "E",
+    encoded: bool = False,
+) -> Instance:
+    """A layered DAG: every node has an edge to each node of the next layer.
+
+    With ``encoded=True`` the instance carries a dictionary encoding from
+    construction, so recursive queries (e.g. the transitive-closure
+    benchmarks) run their whole fixpoint on the columnar kernel.
+    """
     rng = random.Random(seed)
     edges: list[tuple[str, str]] = []
     for layer in range(layers - 1):
@@ -40,7 +51,12 @@ def layered_dag_instance(layers: int, width: int, seed: int = 0, relation: str =
                 if rng.random() < 0.8:
                     edges.append((f"v{layer}_{i}", f"v{layer + 1}_{j}"))
     schema = RelationalSchema.from_attributes({relation: ("src", "dst")})
-    return Instance(schema, {relation: edges})
+    instance = Instance(schema, {relation: edges})
+    if encoded:
+        from repro.relational.columnar import ensure_encoded
+
+        ensure_encoded(instance)
+    return instance
 
 
 def chain_instance(length: int, relation: str = "E") -> Instance:

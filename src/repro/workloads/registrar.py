@@ -88,6 +88,7 @@ def generate_registrar_instance(
     depth: int | None = None,
     cycle_fraction: float = 0.0,
     seed: int = 0,
+    encoded: bool = False,
 ):
     """Generate a synthetic registrar database.
 
@@ -110,6 +111,11 @@ def generate_registrar_instance(
         cycles that exercise the stop condition.
     seed:
         Random seed (generation is deterministic given the seed).
+    encoded:
+        Attach a dictionary encoding at construction time
+        (:func:`repro.relational.columnar.ensure_encoded`), so queries and
+        publishes over the instance run on the columnar kernel from the
+        first execution.
     """
     from repro.relational.instance import Instance
 
@@ -140,7 +146,14 @@ def generate_registrar_instance(
         if rng.random() < cycle_fraction and index + 1 < num_courses:
             prereqs.add((cno, names[index + 1]))
             prereqs.add((names[index + 1], cno))
-    return Instance(REGISTRAR_SCHEMA, {"course": courses, "prereq": sorted(prereqs)})
+    instance = Instance(
+        REGISTRAR_SCHEMA, {"course": courses, "prereq": sorted(prereqs)}
+    )
+    if encoded:
+        from repro.relational.columnar import ensure_encoded
+
+        ensure_encoded(instance)
+    return instance
 
 
 # ---------------------------------------------------------------------------
