@@ -36,6 +36,7 @@ from repro.logic.cq import ConjunctiveQuery, RelationAtom, equality
 from repro.logic.terms import Constant, Variable
 from repro.query import plan_query
 from repro.relational.columnar import ensure_encoded
+from repro.serve import publish_document
 from repro.relational.instance import Instance
 from repro.workloads.blowup import (
     chain_of_diamonds_instance,
@@ -172,20 +173,20 @@ def measure_publish_byte_identity(num_courses: int = 60, diamonds: int = 8) -> d
         encoded = _encoded_twin(instance)
         row_plan = compile_plan(transducer, max_nodes=max_nodes or 200_000)
         columnar_plan = compile_plan(transducer, max_nodes=max_nodes or 200_000)
-        row_xml = row_plan.publish_xml(instance)
-        columnar_xml = columnar_plan.publish_xml(encoded)
+        row_xml = publish_document(row_plan, instance)
+        columnar_xml = publish_document(columnar_plan, encoded)
         assert row_xml == columnar_xml, f"{name}: published XML must be byte-identical"
         row_seconds = _best(
-            lambda: compile_plan(
-                transducer, max_nodes=max_nodes or 200_000
-            ).publish_xml(instance),
+            lambda: publish_document(
+                compile_plan(transducer, max_nodes=max_nodes or 200_000), instance
+            ),
             3,
             batches=3,
         )
         columnar_seconds = _best(
-            lambda: compile_plan(
-                transducer, max_nodes=max_nodes or 200_000
-            ).publish_xml(encoded),
+            lambda: publish_document(
+                compile_plan(transducer, max_nodes=max_nodes or 200_000), encoded
+            ),
             3,
             batches=3,
         )

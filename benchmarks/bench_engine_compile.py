@@ -7,7 +7,7 @@ The ISSUE-1 acceptance benchmark.  Three comparisons on one machine:
   ``publish``);
 * ``interpreted``: the same batch through the literal Section 3 interpreter
   (:class:`TransducerRuntime`), which re-extends the instance at every node;
-* ``batched``: one compiled plan, ``plan.publish_many`` over the batch with
+* ``batched``: one compiled plan, streamed over the batch (``repro.serve.publish_stream``) with
   the shared memo cache.
 
 Every timed run asserts the batched trees equal the cold trees, so the
@@ -24,6 +24,7 @@ import pytest
 
 from repro.core.runtime import TransducerRuntime
 from repro.engine import Engine, compile_plan
+from repro.serve import publish_stream
 from repro.workloads.blowup import (
     chain_of_diamonds_instance,
     chain_of_diamonds_transducer,
@@ -68,7 +69,7 @@ def _measured_seconds(benchmark, fn):
 
 
 def test_registrar_batch_compiled_vs_cold(benchmark):
-    """``plan.publish_many`` on 50 registrar instances vs 50 cold publishes."""
+    """One shared-cache plan streamed over 50 registrar instances vs 50 cold publishes."""
     transducer = tau1_prerequisite_hierarchy()
     instances = [
         generate_registrar_instance(40, max_prereqs=2, depth=4, seed=seed)
@@ -85,7 +86,7 @@ def test_registrar_batch_compiled_vs_cold(benchmark):
     )
 
     def batched():
-        return plan.publish_many(instances)
+        return list(publish_stream(plan, instances))
 
     trees = benchmark(batched)
     assert trees == expected

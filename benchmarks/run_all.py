@@ -4,8 +4,8 @@ Two kinds of benchmark module live in this directory:
 
 * **script-capable** modules exposing a ``main(argv)`` entry point that
   prints a JSON report (``bench_query_eval``, ``bench_incremental``,
-  ``bench_columnar``) -- these are run as subprocesses and their JSON is
-  captured verbatim;
+  ``bench_columnar``, ``bench_serve``) -- these are run as subprocesses and
+  their JSON is captured verbatim;
 * **pytest-only** modules (the table/figure reproductions) -- these are run
   through pytest with ``--benchmark-disable`` (the timings are secondary;
   the reproduction assertions are the point) and their pass/fail status and

@@ -1,12 +1,14 @@
-"""Quickstart: build a publishing transducer with the fluent DSL and run it
-through the compiled engine.
+"""Quickstart: build a publishing transducer with the fluent DSL and serve it
+through a :class:`~repro.serve.ViewServer`.
 
 This reproduces Example 3.1 of the paper: the registrar database (courses and
 their immediate prerequisites) is published as the recursive prerequisite
 hierarchy of Figure 1(a).  The view is declared with
-:class:`~repro.engine.TransducerBuilder`, compiled once with
-:class:`~repro.engine.Engine`, and evaluated both as a materialised tree and
-as a streamed event sequence.
+:class:`~repro.engine.TransducerBuilder`, registered on a server (which
+compiles it once against the source schema), and evaluated as a materialised
+tree, a serialised document and a streamed event sequence through the single
+``publish`` call.  See ``examples/serve_registrar.py`` for the full serving
+feature set (versions, snapshots, subscriptions, parameters).
 
 Run with::
 
@@ -16,9 +18,10 @@ Run with::
 from __future__ import annotations
 
 from repro.core import classify
-from repro.engine import Engine, TransducerBuilder
+from repro.engine import TransducerBuilder
 from repro.logic.cq import ConjunctiveQuery, RelationAtom, equality
 from repro.logic.terms import Constant, Variable
+from repro.serve import ViewServer
 from repro.workloads.registrar import REGISTRAR_SCHEMA, example_registrar_instance
 
 
@@ -68,19 +71,19 @@ def main() -> None:
     print(f"source database:  {instance}")
     print()
 
-    # Compile once; evaluate as often as you like.
-    plan = Engine().compile(view, REGISTRAR_SCHEMA)
+    # Register once (compiled and schema-validated eagerly); serve repeatedly.
+    server = ViewServer()
+    server.register_view("hierarchy", view, schema=REGISTRAR_SCHEMA)
+    server.attach(instance)
 
-    # Materialised evaluation.
-    tree = plan.publish(instance)
-    print(plan.publish_xml(instance))
+    # Materialised, serialised and streamed -- one call, three output forms.
+    tree = server.publish("hierarchy")
+    print(server.publish("hierarchy", output="bytes"))
     print()
     print(f"output tree: {tree.size()} nodes, depth {tree.depth()}")
-
-    # Streaming evaluation: count events without materialising anything.
-    events = sum(1 for _ in plan.publish_events(instance))
+    events = sum(1 for _ in server.publish("hierarchy", output="events"))
     print(f"streamed:    {events} events")
-    print(f"cache:       {plan.cache_stats}")
+    print(server.stats().describe())
 
 
 if __name__ == "__main__":

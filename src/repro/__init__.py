@@ -15,6 +15,9 @@ The package is organised by subsystem:
 * :mod:`repro.incremental` -- delta-driven incremental view maintenance
   across all four layers (deltas, answer maintenance, republish, edit
   scripts);
+* :mod:`repro.serve` -- the unified serving layer: a :class:`ViewServer`
+  holding named views (from any front-end) over versioned sources, with
+  snapshots, parameter bindings, subscriptions and aggregated stats;
 * :mod:`repro.analysis` -- the Section 5 decision problems and Table II;
 * :mod:`repro.transductions` -- logical transductions (Theorem 4);
 * :mod:`repro.languages` -- the ten publishing-language front-ends (Table I);
@@ -36,9 +39,16 @@ from repro.engine import (
 from repro.incremental import IncrementalPublisher
 from repro.query import QueryPlan, plan_query
 from repro.relational import Delta, Instance, RelationalSchema
+from repro.serve import (
+    ServerStats,
+    SourceHandle,
+    SourceVersion,
+    Subscription,
+    ViewServer,
+)
 from repro.xmltree import EditScript, diff_trees
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CacheStats",
@@ -52,7 +62,12 @@ __all__ = [
     "QueryPlan",
     "RelationalSchema",
     "RepublishResult",
+    "ServerStats",
+    "SourceHandle",
+    "SourceVersion",
+    "Subscription",
     "TransducerBuilder",
+    "ViewServer",
     "classify",
     "compile_plan",
     "diff_trees",

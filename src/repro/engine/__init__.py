@@ -9,18 +9,20 @@ streaming tree transducers:
 * :class:`~repro.engine.plan.Engine` / :func:`~repro.engine.plan.compile_plan`
   -- compile a transducer once into a :class:`~repro.engine.plan.PublishingPlan`;
 * :meth:`~repro.engine.plan.PublishingPlan.publish`,
-  :meth:`~repro.engine.plan.PublishingPlan.publish_many`,
-  :meth:`~repro.engine.plan.PublishingPlan.publish_iter`,
   :meth:`~repro.engine.plan.PublishingPlan.publish_events`,
-  :meth:`~repro.engine.plan.PublishingPlan.publish_xml` -- materialised,
-  batched and streaming evaluation over one compiled plan, with memoised
-  ``(state, tag, register)`` expansions and explicit cache statistics;
-* :meth:`~repro.engine.plan.PublishingPlan.republish` -- delta-driven
-  incremental maintenance of a published view (see :mod:`repro.incremental`
-  for the end-to-end pipeline).
+  :meth:`~repro.engine.plan.PublishingPlan.publish_full`,
+  :meth:`~repro.engine.plan.PublishingPlan.republish` -- the core drivers:
+  materialised, streaming, interpreter-compatible and delta-incremental
+  evaluation over one compiled plan, with memoised ``(state, tag,
+  register)`` expansions and explicit cache statistics.
 
-The classic :func:`repro.core.runtime.publish` entry points remain available
-and are thin wrappers over this engine.
+The engine is the *kernel* of the stack; the recommended serving surface on
+top of it is :class:`repro.serve.ViewServer`, which routes output format,
+execution backend and maintenance strategy in a single ``publish`` call.
+The batch / serialisation conveniences (``publish_many`` / ``publish_iter``
+/ ``publish_xml``) are deprecated shims delegating to :mod:`repro.serve`,
+and the classic :func:`repro.core.runtime.publish` entry points remain thin
+wrappers over this engine.
 """
 
 from repro.engine.builder import (

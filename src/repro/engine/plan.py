@@ -26,14 +26,19 @@ register)`` configuration repeats thousands of times.
 
 Three evaluation modes share that machinery:
 
-* :meth:`PublishingPlan.publish` / :meth:`~PublishingPlan.publish_many` /
-  :meth:`~PublishingPlan.publish_iter` -- materialised Σ-trees (batch-first:
-  one plan, many instances, optionally as a lazy stream);
+* :meth:`PublishingPlan.publish` -- the materialised Σ-tree of one instance
+  (batches of instances share the plan's LRU-bounded per-instance caches);
 * :meth:`PublishingPlan.publish_full` -- the interpreter-compatible
   :class:`~repro.core.runtime.TransformationResult` with the annotated tree;
 * :meth:`PublishingPlan.publish_events` -- a lazy SAX-style event stream with
   virtual-tag elimination done on the fly, so Proposition 1 blow-ups can be
   serialised without ever materialising the tree.
+
+These (plus :meth:`~PublishingPlan.republish` below) are the core drivers
+the serving layer (:class:`repro.serve.ViewServer`) routes onto; the batch
+and serialisation conveniences (:meth:`~PublishingPlan.publish_many`,
+:meth:`~PublishingPlan.publish_iter`, :meth:`~PublishingPlan.publish_xml`)
+are deprecated shims delegating to :mod:`repro.serve.oneshot`.
 
 On instances carrying a dictionary encoding
 (:func:`repro.relational.columnar.ensure_encoded`) the whole pipeline runs
@@ -61,6 +66,7 @@ executable specification and differential oracle.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -81,7 +87,6 @@ from repro.relational.instance import Instance, Relation
 from repro.relational.schema import RelationSchema, RelationalSchema
 from repro.xmltree.diff import EditScript, diff_trees
 from repro.xmltree.events import CloseEvent, OpenEvent, TextEvent, XmlEvent
-from repro.xmltree.serialize import IncrementalXmlSerializer
 from repro.xmltree.tree import TEXT_TAG, TreeNode
 
 #: A node configuration: the triple the transformation is confluent over.
@@ -91,6 +96,16 @@ Triple = tuple[str, str, RegisterContent]
 #: subtrees are rebuilt from the (still memoised) expansions instead, which
 #: bounds the bookkeeping cost of structural sharing on blow-up outputs.
 _SUBTREE_TRIPLE_LIMIT = 4096
+
+def _warn_deprecated(method: str, replacement: str) -> None:
+    """One :class:`DeprecationWarning` per callsite (the ``default`` filter
+    keys on the caller's file and line) pointing at the serving layer."""
+    warnings.warn(
+        f"PublishingPlan.{method}() is deprecated; use {replacement}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
 
 def _shadowed_names(tag: str) -> frozenset[str]:
     """The relation names the register overlay shadows for ``tag``-nodes."""
@@ -464,6 +479,23 @@ class PublishingPlan:
         """Drop all per-instance caches (counters are preserved)."""
         self._states.clear()
 
+    def rule_plans(self):
+        """Yield ``(state, tag, item_index, QueryPlan | None)`` per rule item.
+
+        One entry per right-hand-side item of every declared rule, in
+        declaration order; the query plan is ``None`` for items whose rule
+        query could not be planned (unsafe queries evaluated naively).  This
+        is the introspection hook behind the serving layer's
+        :class:`~repro.serve.stats.ExplainReport`, which aggregates each
+        plan's join order, backend and delta strategy into one report.
+        The table is snapshotted first: dispatch lazily inserts entries for
+        undeclared pairs, so a publish interleaved with this iteration must
+        not blow it up.
+        """
+        for (state, tag), items in list(self._dispatch_table.items()):
+            for index, item in enumerate(items):
+                yield state, tag, index, item.plan
+
     # -- the public evaluation surface --------------------------------------
 
     def publish(self, instance: Instance, max_nodes: int | None = None) -> TreeNode:
@@ -475,39 +507,36 @@ class PublishingPlan:
     def publish_many(
         self, instances: Iterable[Instance], max_nodes: int | None = None
     ) -> list[TreeNode]:
-        """Evaluate on a batch of instances with a shared memo cache.
+        """Deprecated batch convenience; use the serving layer instead.
 
-        ``instances`` may be any (lazy) iterable -- a generator, a database
-        cursor -- and is consumed one instance at a time; only the *output*
-        trees are materialised into the returned list.  For unbounded
-        streams, or to release each tree before the next instance is pulled,
-        use :meth:`publish_iter` instead.
-
-        Shared-cache semantics: all instances of the batch share this plan's
-        per-instance caches, so repeated instances (and repeated ``(state,
-        tag, register)`` configurations within each instance) are answered
-        from the cache -- :attr:`cache_stats` reports how often that
-        happened.  At most ``cache_instances`` per-instance caches are kept,
-        evicted least-recently-used, so a batch of more than
-        ``cache_instances`` *distinct* instances still runs in bounded
-        memory (each eviction shows up in :attr:`CacheStats.evictions`).
+        Delegates to :func:`repro.serve.publish_stream` (all instances of
+        the batch share this plan's LRU-bounded per-instance caches, as
+        before) and emits one :class:`DeprecationWarning` per callsite.  The
+        supported surface is :meth:`repro.serve.server.ViewServer.publish`
+        -- one call per source -- with :meth:`publish` remaining the core
+        single-instance driver.
         """
-        return list(self.publish_iter(instances, max_nodes))
+        from repro.serve.oneshot import publish_stream
+
+        _warn_deprecated(
+            "publish_many",
+            "ViewServer.publish (one call per source) or repro.serve.publish_stream",
+        )
+        return list(publish_stream(self, instances, max_nodes))
 
     def publish_iter(
         self, instances: Iterable[Instance], max_nodes: int | None = None
     ) -> Iterator[TreeNode]:
-        """Lazily publish a stream of instances (the generator behind
-        :meth:`publish_many`).
+        """Deprecated lazy-batch convenience; use the serving layer instead.
 
-        One tree is yielded per input instance, in order, as soon as it is
-        built; the input iterable is only advanced when the consumer asks
-        for the next tree, so neither the inputs nor the outputs of an
-        unbounded stream are ever materialised as a whole.  The shared-cache
-        semantics are those of :meth:`publish_many`.
+        Delegates to :func:`repro.serve.publish_stream` -- one tree yielded
+        per input instance, the input iterable advanced only on demand --
+        and emits one :class:`DeprecationWarning` per callsite.
         """
-        for instance in instances:
-            yield self.publish(instance, max_nodes)
+        from repro.serve.oneshot import publish_stream
+
+        _warn_deprecated("publish_iter", "repro.serve.publish_stream")
+        return publish_stream(self, instances, max_nodes)
 
     def publish_full(
         self, instance: Instance, max_nodes: int | None = None
@@ -542,15 +571,21 @@ class PublishingPlan:
         write=None,
         max_nodes: int | None = None,
     ) -> str:
-        """Stream the output directly into XML text.
+        """Deprecated serialisation convenience; use the serving layer instead.
 
-        With ``write`` (a callable receiving string chunks) the document is
-        pushed incrementally and an empty string is returned; without it the
-        serialised document is returned whole.  Output is byte-identical to
-        serialising the materialised tree.
+        Delegates to :func:`repro.serve.publish_document` (streaming into an
+        :class:`~repro.xmltree.serialize.IncrementalXmlSerializer`, with
+        ``write`` receiving chunks incrementally when given) and emits one
+        :class:`DeprecationWarning` per callsite.  The supported surface is
+        ``ViewServer.publish(view, output="bytes")``, which produces
+        byte-identical documents.
         """
-        serializer = IncrementalXmlSerializer(write=write, indent=indent)
-        return serializer.feed_all(self.publish_events(instance, max_nodes)).finish()
+        from repro.serve.oneshot import publish_document
+
+        _warn_deprecated("publish_xml", 'ViewServer.publish(view, output="bytes")')
+        return publish_document(
+            self, instance, indent=indent, write=write, max_nodes=max_nodes
+        )
 
     # -- incremental maintenance ----------------------------------------------
 
@@ -1249,13 +1284,17 @@ class PublishingPlan:
 class Engine:
     """Compiles publishing transducers into reusable :class:`PublishingPlan` s.
 
-    The engine is the primary public API of the reproduction: compile once,
+    The engine is the evaluation kernel of the reproduction: compile once,
     run many times, stream when the output is large::
 
         plan = Engine().compile(tau, schema)
-        trees = plan.publish_many(instances)
+        tree = plan.publish(instance)
         for event in plan.publish_events(big_instance):
             ...
+
+    The recommended serving surface on top of it is
+    :class:`repro.serve.ViewServer`, which compiles views through this class
+    and routes output form, backend and maintenance in one call.
     """
 
     def __init__(

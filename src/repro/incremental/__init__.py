@@ -22,16 +22,23 @@ subsystem makes all four layers update-aware and ties them together:
   :func:`~repro.xmltree.diff.diff_trees`: ship insert / delete /
   replace-subtree events instead of full documents.
 
-:class:`IncrementalPublisher` wraps the pipeline behind a two-method API
-(hold a view, apply deltas); the full republish remains the executable
-specification and the differential oracle -- incremental output is always
-equal, tree- and byte-wise, to publishing the updated instance from scratch.
+The serving surface over this pipeline is :class:`repro.serve.ViewServer`:
+attach a source, subscribe to a view, and every
+:meth:`~repro.serve.server.SourceHandle.commit` delivers one edit script.
+:class:`IncrementalPublisher` (the original two-method facade) is kept as a
+deprecated shim over exactly that arrangement.  The full republish remains
+the executable specification and the differential oracle -- incremental
+output is always equal, tree- and byte-wise, to publishing the updated
+instance from scratch.
 
-    >>> from repro.incremental import Delta, IncrementalPublisher
-    >>> publisher = IncrementalPublisher(tau, instance)       # doctest: +SKIP
-    >>> step = publisher.apply(Delta.insert("prereq", ("cs500", "cs240")))
+    >>> from repro.serve import ViewServer
+    >>> server = ViewServer()                                 # doctest: +SKIP
+    >>> server.register_view("view", tau)                     # doctest: +SKIP
+    >>> handle = server.attach(instance)                      # doctest: +SKIP
+    >>> subscription = server.subscribe("view")               # doctest: +SKIP
+    >>> handle.commit(Delta.insert("prereq", ("cs500", "cs240")))
     ...                                                       # doctest: +SKIP
-    >>> print(step.edits.describe())                          # doctest: +SKIP
+    >>> print(subscription.pop().edits.describe())            # doctest: +SKIP
 """
 
 from repro.engine.plan import RepublishResult

@@ -1,13 +1,21 @@
-"""A stateful wrapper maintaining one published view under a delta stream.
+"""The deprecated single-view facade, now a shim over :mod:`repro.serve`.
 
-:class:`IncrementalPublisher` owns the current ``(instance, tree)`` version
-of a view and advances it one :class:`~repro.relational.delta.Delta` at a
-time through :meth:`~repro.engine.plan.PublishingPlan.republish`.  It is the
-ergonomic surface of :mod:`repro.incremental`; everything it does can also be
-driven by hand against the plan.
+:class:`IncrementalPublisher` predates the serving layer: it owned one
+``(instance, tree)`` version of one view and advanced it one
+:class:`~repro.relational.delta.Delta` at a time.  That is exactly a
+:class:`~repro.serve.server.ViewServer` with one registered view, one
+attached source and one subscription, so the class now delegates wholesale
+-- construction registers/attaches/subscribes, :meth:`apply` commits the
+delta and returns the subscription's delivered
+:class:`~repro.engine.plan.RepublishResult` -- and emits a single
+:class:`DeprecationWarning` per callsite.  Behaviour (including the
+``encoded=True`` in-place encoding and the :meth:`verify` differential
+oracle) is unchanged.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.core.transducer import PublishingTransducer
 from repro.engine.plan import PublishingPlan, RepublishResult, compile_plan
@@ -15,31 +23,31 @@ from repro.relational.delta import Delta
 from repro.relational.domain import DataValue
 from repro.relational.instance import Instance
 from repro.xmltree.diff import trees_equal
-from repro.xmltree.events import tree_to_events
-from repro.xmltree.serialize import IncrementalXmlSerializer
 from repro.xmltree.tree import TreeNode
 
 
 class IncrementalPublisher:
-    """Maintain a published XML view under a stream of source deltas.
+    """Deprecated: maintain one published XML view under a delta stream.
 
-    The constructor publishes the initial view; every :meth:`apply` (or the
-    :meth:`insert` / :meth:`delete` shorthands) advances the maintained
-    instance and tree and returns the step's
+    Use :class:`repro.serve.ViewServer` instead -- it serves many named
+    views over many versioned sources with the same incremental machinery::
+
+        server = ViewServer()
+        server.register_view("view", tau)
+        handle = server.attach(instance)
+        subscription = server.subscribe("view")
+        handle.commit(Delta.insert("prereq", ("cs500", "cs240")))
+        send(subscription.pop().edits)
+
+    This shim keeps the original two-method surface (hold a view, apply
+    deltas) on top of exactly that arrangement: every :meth:`apply` (or the
+    :meth:`insert` / :meth:`delete` shorthands) commits one delta to the
+    private handle and returns the step's
     :class:`~repro.engine.plan.RepublishResult`, whose ``edits`` field is
-    the document diff to ship downstream::
-
-        publisher = IncrementalPublisher(tau, instance)
-        step = publisher.insert("prereq", ("cs500", "cs240"))
-        send(step.edits)            # or send(publisher.xml()) to resend all
-
-    With ``encoded=True`` the source instance is dictionary-encoded up
-    front (:func:`repro.relational.columnar.ensure_encoded`), so every
-    publish and republish runs on the columnar kernel with registers and
-    memo keys in integer space; output is byte-identical either way.
-
-    ``verify()`` re-runs the full-publish oracle on the current instance and
-    checks the maintained tree against it, byte for byte.
+    the document diff to ship downstream.  With ``encoded=True`` the source
+    instance is dictionary-encoded in place, as before.  ``verify()``
+    re-runs the full-publish oracle and checks the maintained tree against
+    it, byte for byte.
     """
 
     def __init__(
@@ -49,20 +57,21 @@ class IncrementalPublisher:
         max_nodes: int | None = None,
         encoded: bool = False,
     ) -> None:
-        if isinstance(transducer, PublishingPlan):
-            self._plan = transducer
-        else:
-            self._plan = compile_plan(transducer)
-        if encoded:
-            # Run the whole maintained view on the columnar pipeline: the
-            # encoding is built once here and migrates through every
-            # apply_delta version, so republish steps intern only the delta.
-            from repro.relational.columnar import ensure_encoded
+        warnings.warn(
+            "IncrementalPublisher is deprecated; use repro.serve.ViewServer "
+            "(register_view + attach + subscribe)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.serve import ViewServer
 
-            ensure_encoded(instance)
+        self._server = ViewServer()
+        self._view = self._server.register_view("view", transducer)
+        self._handle = self._server.attach(instance, encoded=encoded)
+        self._subscription = self._server.subscribe(
+            self._view, self._handle, max_nodes=max_nodes
+        )
         self._max_nodes = max_nodes
-        self._instance = instance
-        self._tree = self._plan.publish(instance, max_nodes)
         self._updates = 0
 
     # -- accessors -----------------------------------------------------------
@@ -70,17 +79,17 @@ class IncrementalPublisher:
     @property
     def plan(self) -> PublishingPlan:
         """The compiled plan evaluating the view."""
-        return self._plan
+        return self._view.plan_for(None)
 
     @property
     def instance(self) -> Instance:
         """The current source instance."""
-        return self._instance
+        return self._subscription.instance
 
     @property
     def tree(self) -> TreeNode:
         """The current published Σ-tree."""
-        return self._tree
+        return self._subscription.tree
 
     @property
     def updates(self) -> int:
@@ -89,18 +98,20 @@ class IncrementalPublisher:
 
     def xml(self, indent: int | None = 2) -> str:
         """The current document as XML (byte-identical to a full publish)."""
-        serializer = IncrementalXmlSerializer(indent=indent)
-        return serializer.feed_all(tree_to_events(self._tree)).finish()
+        from repro.serve.oneshot import serialize_tree
+
+        return serialize_tree(self.tree, indent=indent)
 
     # -- maintenance ---------------------------------------------------------
 
     def apply(self, delta: Delta) -> RepublishResult:
         """Advance the view by one delta and return the step's result."""
-        result = self._plan.republish(
-            self._instance, delta, prev_tree=self._tree, max_nodes=self._max_nodes
-        )
-        self._instance = result.instance
-        self._tree = result.tree
+        self._handle.commit(delta)
+        result = self._subscription.pop().result
+        # The original class kept only the current (instance, tree); prune
+        # the private handle's history so a long-running update stream runs
+        # in constant memory, exactly as before.
+        self._handle.prune(keep_last=1)
         self._updates += 1
         return result
 
@@ -122,15 +133,14 @@ class IncrementalPublisher:
         Returns the oracle tree; raises :class:`AssertionError` on any
         divergence (which would be a maintenance bug, never expected).
         """
-        oracle_plan = compile_plan(
-            self._plan.transducer, max_nodes=self._plan.max_nodes
-        )
-        oracle = oracle_plan.publish(self._instance, self._max_nodes)
-        if not trees_equal(oracle, self._tree):
+        from repro.serve.oneshot import serialize_tree
+
+        plan = self.plan
+        oracle_plan = compile_plan(plan.transducer, max_nodes=plan.max_nodes)
+        oracle = oracle_plan.publish(self.instance, self._max_nodes)
+        if not trees_equal(oracle, self.tree):
             raise AssertionError("incremental view diverged from the full publish")
-        serializer = IncrementalXmlSerializer(indent=2)
-        oracle_xml = serializer.feed_all(tree_to_events(oracle)).finish()
-        if oracle_xml != self.xml():
+        if serialize_tree(oracle) != self.xml():
             raise AssertionError(
                 "incremental serialisation diverged from the full publish"
             )

@@ -273,6 +273,72 @@ TABLE_I: tuple[LanguageEntry, ...] = (
 )
 
 
+#: Language names of the front-end view classes, for the serving layer's
+#: bookkeeping (``ViewServer.register_view`` detects the language of a
+#: source automatically through :func:`frontend_language`).
+FRONTEND_LANGUAGES: dict[type, str] = {
+    ForXmlView: "FOR XML",
+    AnnotatedXsdView: "annotated XSD",
+    SqlXmlView: "SQL/XML",
+    DadSqlMappingView: "DAD (SQL mapping)",
+    DadRdbMappingView: "DAD (RDB mapping)",
+    DbmsXmlgenView: "DBMS_XMLGEN",
+    XperantoView: "XPERANTO",
+    TreeQLView: "TreeQL",
+    AtgView: "ATG",
+}
+
+
+def frontend_language(source) -> str | None:
+    """The Table I language name of a view source, when recognisable.
+
+    Recognises the language front-end classes, raw transducers and the
+    builder DSL; returns ``None`` for anything else (the serving layer then
+    records the language as unknown unless told explicitly).
+    """
+    from repro.engine.builder import TransducerBuilder
+
+    for cls, language in FRONTEND_LANGUAGES.items():
+        if isinstance(source, cls):
+            return language
+    if isinstance(source, PublishingTransducer):
+        return "transducer"
+    if isinstance(source, TransducerBuilder):
+        return "builder DSL"
+    return None
+
+
+def compile_frontend(source) -> PublishingTransducer:
+    """Normalise any view front-end into a :class:`PublishingTransducer`.
+
+    Accepts a transducer (returned as-is), a
+    :class:`~repro.engine.builder.TransducerBuilder` (built), or any object
+    exposing a ``compile()`` method returning a transducer -- which covers
+    every language front-end of this package.  This is the single
+    entry-point normalisation used by ``ViewServer.register_view``.
+    """
+    from repro.engine.builder import TransducerBuilder
+
+    if isinstance(source, PublishingTransducer):
+        return source
+    if isinstance(source, TransducerBuilder):
+        return source.build()
+    compile_method = getattr(source, "compile", None)
+    if callable(compile_method):
+        compiled = compile_method()
+        if not isinstance(compiled, PublishingTransducer):
+            raise TypeError(
+                f"{type(source).__name__}.compile() returned "
+                f"{type(compiled).__name__}, not a PublishingTransducer"
+            )
+        return compiled
+    raise TypeError(
+        f"cannot compile a view from {type(source).__name__}: expected a "
+        f"PublishingTransducer, a TransducerBuilder, or a front-end with a "
+        f"compile() method"
+    )
+
+
 def characterize(transducer: PublishingTransducer) -> TransducerClass:
     """The smallest fragment containing a compiled view (alias of :func:`classify`)."""
     return classify(transducer)

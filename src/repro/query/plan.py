@@ -685,6 +685,23 @@ class QueryPlan:
             node.relation for node in self.walk() if isinstance(node, ScanNode)
         )
 
+    def stats(self) -> dict[str, object]:
+        """A one-call observability snapshot of this plan.
+
+        The per-plan half of the serving layer's aggregated
+        :class:`~repro.serve.stats.ExplainReport`: execution count, the
+        backend of the most recent execution, the join order, whether the
+        columnar kernel supports the plan, and the incremental-maintenance
+        strategy -- previously collected from four separate accessors.
+        """
+        return {
+            "executions": self.executions,
+            "last_backend": self.last_backend,
+            "join_order": list(self.join_order()),
+            "vectorized": self.vector_kernel() is not None,
+            "delta_strategy": self.delta_strategy(),
+        }
+
     def operator_counts(self) -> dict[str, int]:
         """How many operators of each kind the plan contains."""
         counts: dict[str, int] = {}

@@ -357,3 +357,36 @@ def ensure_encoded(
         encoder.columns_for(relation)
     instance._encoding = encoder
     return encoder
+
+
+def encoded_twin(
+    instance: "Instance", encoder: DictionaryEncoder | None = None
+) -> "Instance":
+    """A value-equal twin of ``instance`` on the columnar backend.
+
+    Unlike :func:`ensure_encoded` -- which attaches the encoding to the
+    instance *in place* -- this leaves ``instance`` untouched on the row
+    backend and returns a rebuilt instance sharing every
+    :class:`~repro.relational.instance.Relation` object by identity (so the
+    columnar forms cached on the relations are shared too).  Already-encoded
+    instances are returned as-is.  This is how the serving layer pins a
+    request to ``backend="columnar"`` on a source whose canonical lineage is
+    row-oriented, without forking the data or flipping the source's mode.
+    """
+    if instance._encoding is not None:
+        if encoder is not None and encoder is not instance._encoding:
+            raise ValueError("instance is already encoded with a different encoder")
+        return instance
+    twin = type(instance)._rebuilt(instance.schema, dict(instance), None)
+    ensure_encoded(twin, encoder)
+    return twin
+
+
+def cached_columnar(relation: "Relation") -> ColumnarRelation | None:
+    """The columnar form cached on ``relation``, or ``None`` if never built.
+
+    Purely observational (used by the serving layer's aggregated stats): it
+    never triggers an encode, unlike :meth:`DictionaryEncoder.columns_for`.
+    """
+    cached = relation._columnar
+    return cached[1] if cached is not None else None

@@ -398,6 +398,30 @@ class Instance(Mapping[str, Relation]):
         clone._encoding = None
         return clone
 
+    @property
+    def is_encoded(self) -> bool:
+        """Whether this instance carries a dictionary encoding.
+
+        Attached by :func:`repro.relational.columnar.ensure_encoded`; query
+        plans and the publishing engine run on the columnar backend exactly
+        when this is true.
+        """
+        return self._encoding is not None
+
+    def without_encoding(self) -> "Instance":
+        """A value-equal twin of this instance on the row backend.
+
+        Every :class:`Relation` object is shared by identity (so warm hash
+        indexes -- and any columnar forms cached on the relations -- stay
+        warm); only the encoding attachment is dropped.  Returns ``self``
+        when no encoding is attached.  This is how the serving layer pins a
+        request to ``backend="row"`` on a source whose canonical lineage is
+        encoded, without forking the data.
+        """
+        if self._encoding is None:
+            return self
+        return self._rebuilt(self._schema, dict(self._relations), None)
+
     def apply_delta(self, delta) -> "Instance":
         """Return the instance this :class:`~repro.relational.delta.Delta` yields.
 

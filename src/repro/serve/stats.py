@@ -1,0 +1,290 @@
+"""Unified observability for the serving layer.
+
+Before the server existed, understanding a running view meant touring three
+objects: ``PublishingPlan.cache_stats`` (expansion memo and republish
+invalidation counters), per-relation ``index_stats()`` (hash-index cache
+behaviour, row and columnar), and per-rule ``QueryPlan`` introspection
+(``last_backend``, ``delta_strategy()``, join order).  This module folds that
+tour into two value objects:
+
+* :func:`collect_stats` -> :class:`ServerStats` -- one aggregate across every
+  registered view, attached source and subscription of a
+  :class:`~repro.serve.server.ViewServer`;
+* :func:`explain_view` -> :class:`ExplainReport` -- the per-rule story of one
+  view binding, including the republish strategy line.
+
+Both are plain frozen dataclasses with ``as_dict()`` (for JSON benchmarks)
+and ``describe()`` (for humans).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from repro.relational.domain import DataValue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.server import RegisteredView, ViewServer
+
+
+def _sum_index_stats(stats_dicts) -> dict[str, int]:
+    total = {"cached": 0, "built": 0, "evicted": 0, "capacity": 0}
+    for stats in stats_dicts:
+        for key in total:
+            total[key] += stats.get(key, 0)
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Server-wide aggregation.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ViewStats:
+    """Counters of one registered view, aggregated over its bindings."""
+
+    name: str
+    language: str | None
+    params: tuple[str, ...]
+    bindings: int
+    publishes: int
+    last_backend: str | None
+    cache: dict
+
+
+@dataclass(frozen=True)
+class SourceStats:
+    """Counters of one attached source handle."""
+
+    name: str
+    version: int
+    commits: int
+    encoded: bool
+    subscriptions: int
+    total_tuples: int
+    row_indexes: dict
+    columnar_indexes: dict
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """The one-call aggregate over a whole :class:`ViewServer`."""
+
+    views: tuple[ViewStats, ...]
+    sources: tuple[SourceStats, ...]
+    subscriptions: int
+    deliveries: int
+    maintained_views: int
+
+    def as_dict(self) -> dict:
+        """The whole aggregate as plain dicts (JSON-friendly)."""
+        return asdict(self)
+
+    def describe(self) -> str:
+        """A compact human-readable rendering, one line per view and source."""
+        lines = [
+            f"ViewServer: {len(self.views)} view(s), {len(self.sources)} "
+            f"source(s), {self.subscriptions} subscription(s) "
+            f"({self.deliveries} deliveries), "
+            f"{self.maintained_views} maintained chain(s)"
+        ]
+        for view in self.views:
+            cache = view.cache
+            lines.append(
+                f"  view {view.name!r} [{view.language or 'unknown'}]: "
+                f"{view.bindings} binding(s), {view.publishes} publish(es), "
+                f"backend={view.last_backend or 'none yet'}, "
+                f"memo hit rate {cache.get('hit_rate', 0.0):.1%} "
+                f"({cache.get('invalidated', 0)} invalidated / "
+                f"{cache.get('retained', 0)} retained across republishes)"
+            )
+        for source in self.sources:
+            lines.append(
+                f"  source {source.name!r}: version {source.version} "
+                f"({source.commits} commit(s)), {source.total_tuples} tuple(s), "
+                f"{'columnar' if source.encoded else 'row'} lineage, "
+                f"{source.subscriptions} subscription(s), "
+                f"indexes row {source.row_indexes['built']} built / "
+                f"{source.row_indexes['evicted']} evicted, "
+                f"columnar {source.columnar_indexes['built']} built"
+            )
+        return "\n".join(lines)
+
+
+def collect_stats(server: "ViewServer") -> ServerStats:
+    """Aggregate every observability counter of ``server`` into one value."""
+    from repro.relational.columnar import cached_columnar
+
+    views = []
+    for view in server.views:
+        cache = {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "instances": 0,
+            "invalidated": 0,
+            "retained": 0,
+        }
+        for plan in view.plans:
+            for key, value in plan.cache_stats.as_dict().items():
+                if key != "hit_rate":
+                    cache[key] += value
+        total = cache["hits"] + cache["misses"]
+        cache["hit_rate"] = cache["hits"] / total if total else 0.0
+        views.append(
+            ViewStats(
+                name=view.name,
+                language=view.language,
+                params=view.params,
+                bindings=len(view.plans),
+                publishes=view.publishes,
+                last_backend=view.last_backend,
+                cache=cache,
+            )
+        )
+    sources = []
+    for handle in server.handles:
+        instance = handle.instance
+        relations = list(instance.values())
+        columnar_forms = [
+            form
+            for form in (cached_columnar(rel) for rel in relations)
+            if form is not None  # empty relations still carry index counters
+        ]
+        sources.append(
+            SourceStats(
+                name=handle.name,
+                version=handle.version,
+                commits=handle.commits,
+                encoded=instance.is_encoded,
+                subscriptions=len(handle._subscriptions),
+                total_tuples=instance.total_size(),
+                row_indexes=_sum_index_stats(r.index_stats() for r in relations),
+                columnar_indexes=_sum_index_stats(
+                    form.index_stats() for form in columnar_forms
+                ),
+            )
+        )
+    return ServerStats(
+        views=tuple(views),
+        sources=tuple(sources),
+        subscriptions=len(server.subscriptions),
+        deliveries=server._deliveries,
+        maintained_views=len(server._maintained),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Per-view explain.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RuleExplain:
+    """One compiled rule item: where it scans, how it executes and maintains."""
+
+    state: str
+    tag: str
+    item: int
+    join_order: tuple[str, ...]
+    delta_strategy: str
+    last_backend: str | None
+    executions: int
+    vectorized: bool
+
+
+@dataclass(frozen=True)
+class ExplainReport:
+    """The per-rule execution and maintenance story of one view binding."""
+
+    view: str
+    language: str | None
+    binding: tuple[tuple[str, DataValue], ...]
+    rules: tuple[RuleExplain, ...]
+    cache: dict
+    maintenance: str
+
+    def as_dict(self) -> dict:
+        """The report as plain dicts (JSON-friendly)."""
+        return asdict(self)
+
+    def describe(self) -> str:
+        """The report as an ``explain()``-style text block."""
+        binding = (
+            ", ".join(f"{name}={value!r}" for name, value in self.binding) or "none"
+        )
+        lines = [
+            f"view {self.view!r} [{self.language or 'unknown'}] binding: {binding}",
+            f"  {self.maintenance}",
+            f"  expansion cache: {self.cache.get('hits', 0)} hits / "
+            f"{self.cache.get('misses', 0)} misses "
+            f"(hit rate {self.cache.get('hit_rate', 0.0):.1%})",
+        ]
+        for rule in self.rules:
+            order = " >< ".join(rule.join_order) or "(no scans)"
+            backend = rule.last_backend or "none yet"
+            lines.append(
+                f"  ({rule.state}, {rule.tag})[{rule.item}]: {order}; "
+                f"backend={backend} ({rule.executions} execution(s), "
+                f"{'vectorizable' if rule.vectorized else 'row-only'}); "
+                f"delta: {rule.delta_strategy}"
+            )
+        return "\n".join(lines)
+
+
+def explain_view(
+    view: "RegisteredView", params: Mapping[str, DataValue] | None = None
+) -> ExplainReport:
+    """Build the :class:`ExplainReport` for one binding of ``view``."""
+    plan = view.plan_for(params)
+    rules = []
+    semi_naive = recompute = unplanned = 0
+    for state, tag, item, query_plan in plan.rule_plans():
+        if query_plan is None:
+            unplanned += 1
+            rules.append(
+                RuleExplain(
+                    state=state,
+                    tag=tag,
+                    item=item,
+                    join_order=(),
+                    delta_strategy="naive evaluator (unplanned query)",
+                    last_backend=None,
+                    executions=0,
+                    vectorized=False,
+                )
+            )
+            continue
+        stats = query_plan.stats()
+        if stats["delta_strategy"].startswith("per-occurrence"):
+            semi_naive += 1
+        else:
+            recompute += 1
+        rules.append(
+            RuleExplain(
+                state=state,
+                tag=tag,
+                item=item,
+                join_order=tuple(stats["join_order"]),
+                delta_strategy=stats["delta_strategy"],
+                last_backend=stats["last_backend"],
+                executions=stats["executions"],
+                vectorized=stats["vectorized"],
+            )
+        )
+    cache = plan.cache_stats.as_dict()
+    maintenance = (
+        f"republish: {cache.get('invalidated', 0)} invalidated / "
+        f"{cache.get('retained', 0)} retained; rules: {semi_naive} semi-naive, "
+        f"{recompute} recompute-fallback, {unplanned} unplanned"
+    )
+    return ExplainReport(
+        view=view.name,
+        language=view.language,
+        binding=view.binding_key(params),
+        rules=tuple(rules),
+        cache=cache,
+        maintenance=maintenance,
+    )

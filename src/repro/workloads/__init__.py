@@ -20,6 +20,7 @@ from repro.workloads.registrar import (
     REGISTRAR_SCHEMA,
     example_registrar_instance,
     generate_registrar_instance,
+    registrar_view_suite,
     tau1_prerequisite_hierarchy,
     tau2_prerequisite_closure,
     tau3_courses_without_db_prereq,
@@ -33,6 +34,7 @@ __all__ = [
     "chain_of_diamonds_transducer",
     "example_registrar_instance",
     "generate_registrar_instance",
+    "registrar_view_suite",
     "tau1_prerequisite_hierarchy",
     "tau2_prerequisite_closure",
     "tau3_courses_without_db_prereq",

@@ -334,6 +334,22 @@ def tau3_courses_without_db_prereq(banned_title: str = "Databases") -> Publishin
     return builder.build()
 
 
+def registrar_view_suite() -> dict[str, tuple]:
+    """The Figure 1 views as parameterized serving-layer registrations.
+
+    Maps a view name to ``(factory, params)`` suitable for
+    ``ViewServer.register_view(name, factory, params=params)``: each factory
+    takes its parameter as a keyword argument and bakes the binding into the
+    view's queries as a constant, which the shared planner pushes into its
+    indexed scans.  Used by the serving example and benchmark.
+    """
+    return {
+        "hierarchy": (tau1_prerequisite_hierarchy, ("department",)),
+        "closure": (tau2_prerequisite_closure, ("department",)),
+        "no_db_prereq": (tau3_courses_without_db_prereq, ("banned_title",)),
+    }
+
+
 def cs_course_numbers(instance, department: str = "CS") -> Sequence[str]:
     """Course numbers of the given department, sorted (helper for assertions)."""
     return sorted(row[0] for row in instance["course"] if row[2] == department)

@@ -160,6 +160,17 @@ def diff_trees(old: TreeNode, new: TreeNode) -> EditScript:
             continue
         oc, nc = o.children, n.children
         len_old, len_new = len(oc), len(nc)
+        if len_old == len_new:
+            # Equal child counts: pair positionally and recurse.  The
+            # prefix/suffix scan below would pair them identically anyway,
+            # but discovers each deep difference through a full equality
+            # walk *per ancestor level* -- cubic on a changed spine (every
+            # level re-walks the subtree to find the same bottom mismatch).
+            # Recursion finds it once, and unchanged subtrees short-circuit
+            # by object identity (the normal case after a republish).
+            for offset in range(len_old):
+                stack.append((path + (offset + 1,), oc[offset], nc[offset]))
+            continue
         limit = min(len_old, len_new)
         start = 0
         while start < limit and _same(oc[start], nc[start]):
