@@ -1,0 +1,144 @@
+"""The network tier: WebSocket fan-out at a thousand subscribers.
+
+The acceptance claim of ``repro.serve.net``: one commit costs one
+incremental republish plus one wire encoding **total**, and then one socket
+write per subscriber -- so the per-subscriber delivery cost must stay flat
+as the subscriber count grows.  The benchmark holds >= 1000 concurrent
+WebSocket subscriptions against a live :class:`NetServerThread`, drives a
+stream of commits over HTTP, verifies every subscriber receives exactly one
+edit-script message per commit, and compares the per-subscriber cost at a
+small and a large fleet.
+
+Runnable directly -- ``python benchmarks/bench_net.py [--quick]`` -- printing
+the numbers as JSON; ``run_all.py`` discovers it like the other
+script-capable modules.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import resource
+import sys
+import time
+
+from repro.relational.delta import Delta
+from repro.serve.net import NetClient, NetServerThread
+from repro.serve.net.client import AsyncSubscriber
+from repro.workloads.registrar import generate_registrar_instance
+
+#: The large fleet must not cost more than this factor per subscriber over
+#: the small fleet.  "Flat" with generous headroom for scheduler noise: a
+#: per-subscriber encode (the thing this tier exists to avoid) would show up
+#: as a factor tracking the 10x fleet ratio, far above this bound.
+MAX_COST_GROWTH = 3.0
+
+
+def _raise_fd_limit(wanted: int) -> None:
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    if soft < wanted:
+        resource.setrlimit(resource.RLIMIT_NOFILE, (min(wanted, hard), hard))
+
+
+def _commit_deltas(count: int, tag: str) -> list[Delta]:
+    return [
+        Delta.insert("course", (f"BENCH-{tag}-{step}", f"Title {step}", "CS"))
+        for step in range(count)
+    ]
+
+
+async def _run_fleet(
+    host: str, port: int, subscribers: int, deltas: list[Delta]
+) -> dict:
+    """Open the fleet, drive the commits, time delivery, verify counts."""
+    path = "/v1/ns/bench/views/tau1/subscribe?source=db"
+    fleet = []
+    opened_in = time.perf_counter()
+    # open in batches so the connect burst does not serialize behind recv
+    batch = 64
+    for start in range(0, subscribers, batch):
+        fleet.extend(
+            await asyncio.gather(
+                *(
+                    AsyncSubscriber.open(host, port, path)
+                    for _ in range(min(batch, subscribers - start))
+                )
+            )
+        )
+    # every subscriber gets the init document before the commits begin
+    inits = await asyncio.gather(*(sub.recv() for sub in fleet))
+    assert all(message["type"] == "init" for message in inits)
+    base_version = inits[0]["version"]
+    opened_in = time.perf_counter() - opened_in
+
+    client = NetClient(host, port, namespace="bench")
+    loop = asyncio.get_running_loop()
+
+    commit_seconds = 0.0
+    for index, delta in enumerate(deltas, start=1):
+        start = time.perf_counter()
+        out = await loop.run_in_executor(None, client.commit, "db", delta)
+        received = await asyncio.gather(*(sub.recv() for sub in fleet))
+        commit_seconds += time.perf_counter() - start
+        assert out["delivered"] == subscribers, (out, subscribers)
+        for message in received:
+            assert message["type"] == "edits"
+            assert message["version"] == base_version + index
+
+    for sub in fleet:
+        sub.close()
+    per_commit = commit_seconds / len(deltas)
+    return {
+        "subscribers": subscribers,
+        "commits": len(deltas),
+        "open_seconds": opened_in,
+        "per_commit_seconds": per_commit,
+        "per_subscriber_microseconds": per_commit / subscribers * 1e6,
+    }
+
+
+def measure_fan_out(small: int, large: int, commits: int) -> dict:
+    """Delivery cost at two fleet sizes against one live server."""
+    _raise_fd_limit(large * 2 + 256)
+    instance = generate_registrar_instance(40, seed=13)
+    report: dict = {"fleets": []}
+    with NetServerThread("127.0.0.1", 0) as srv:
+        host, port = srv.address
+        client = NetClient(host, port, namespace="bench")
+        client.register_view("tau1")
+        client.attach(instance, name="db")
+        for count in (small, large):
+            deltas = _commit_deltas(commits, tag=str(count))
+            fleet = asyncio.run(_run_fleet(host, port, count, deltas))
+            report["fleets"].append(fleet)
+            # between fleets: keep versions bounded so the second run is not
+            # paying for the first run's history
+            client.prune("db", keep_last=1)
+    small_cost = report["fleets"][0]["per_subscriber_microseconds"]
+    large_cost = report["fleets"][1]["per_subscriber_microseconds"]
+    report["cost_growth"] = large_cost / small_cost if small_cost else float("inf")
+    return report
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    small, large = (50, 250) if quick else (100, 1000)
+    report = {
+        "benchmark": "bench_net",
+        "mode": "quick" if quick else "full",
+        **measure_fan_out(small, large, commits=4 if quick else 8),
+    }
+    print(json.dumps(report, indent=2))
+    if report["cost_growth"] > MAX_COST_GROWTH:
+        print(
+            f"FAIL: per-subscriber delivery cost grew {report['cost_growth']:.2f}x "
+            f"from {small} to {large} subscribers "
+            f"(allowed: {MAX_COST_GROWTH:.1f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -147,6 +147,38 @@ class Delta:
                 deleted[name] = removed
         return Delta(inserted, deleted)
 
+    # -- wire codec ----------------------------------------------------------
+
+    def to_wire(self) -> dict:
+        """The canonical wire payload (see :mod:`repro.relational.wire`)."""
+        from repro.relational.wire import delta_to_wire
+
+        return delta_to_wire(self)
+
+    def to_json(self) -> str:
+        """The canonical JSON text of :meth:`to_wire`.
+
+        Deterministic: equal deltas always encode to identical bytes, which
+        is what the write-ahead log checksums and the network tier streams.
+        """
+        from repro.relational.wire import canonical_json
+
+        return canonical_json(self.to_wire())
+
+    @classmethod
+    def from_wire(cls, payload) -> "Delta":
+        """Decode a wire payload (parsed mapping) back into a delta."""
+        from repro.relational.wire import delta_from_wire
+
+        return delta_from_wire(payload)
+
+    @classmethod
+    def from_json(cls, text) -> "Delta":
+        """Decode canonical JSON text (or an already-parsed payload)."""
+        from repro.relational.wire import delta_from_wire
+
+        return delta_from_wire(text)
+
     # -- value semantics -----------------------------------------------------
 
     def __bool__(self) -> bool:

@@ -1,0 +1,207 @@
+"""The canonical wire codec for relational values, deltas and instances.
+
+One versioned JSON format shared by the durability layer (the write-ahead
+delta log of :mod:`repro.serve.net.wal`) and the network protocol
+(:mod:`repro.serve.net.app`), so a delta logged to disk and a delta pushed to
+a WebSocket subscriber are literally the same bytes.  Three design rules:
+
+* **Canonical.**  :func:`canonical_json` fixes key order and separators, and
+  every tuple set is sorted by the implicit total order on ``D``
+  (:func:`~repro.relational.domain.sort_tuples`), so encoding the same value
+  twice -- or on two servers -- yields identical bytes.  The write-ahead log
+  checksums those bytes; ETags hash them.
+* **Versioned.**  Every envelope carries ``"format": WIRE_FORMAT``; decoders
+  reject formats they do not understand instead of guessing.
+* **Typed.**  JSON cannot distinguish tuples from lists nor carry bytes, so
+  non-primitive domain values are wrapped in one-key tag objects
+  (``{"t": [...]}`` for tuples, ``{"b": "<base64>"}`` for bytes).  Plain
+  strings, ints, floats, bools and ``None`` pass through untouched.  Data
+  values outside the JSON-expressible fragment of ``D`` raise
+  :class:`WireError` at encode time, never a silent lossy round trip.
+
+The codecs are exposed on the value classes as ``to_wire`` / ``to_json`` /
+``from_wire`` / ``from_json`` (:class:`~repro.relational.delta.Delta`,
+:class:`~repro.xmltree.diff.EditScript`); the free functions here are the
+shared implementation plus the instance codec used by WAL snapshots.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.relational.domain import DataValue, sort_tuples
+from repro.relational.errors import RelationalError
+from repro.relational.instance import Instance
+from repro.relational.schema import RelationSchema, RelationalSchema
+
+#: The wire-format version stamped into (and required of) every envelope.
+WIRE_FORMAT = 1
+
+
+class WireError(ValueError):
+    """Raised when a value cannot be wire-encoded or a payload is malformed."""
+
+
+def canonical_json(payload: Any) -> str:
+    """The canonical JSON text of a wire payload (sorted keys, no spaces).
+
+    The same payload always renders to the same bytes, which is what the
+    write-ahead log checksums and the network tier hashes into ETags.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _parsed(payload: Any, kind: str) -> Mapping[str, Any]:
+    """Accept a JSON string or an already-parsed mapping; check the envelope."""
+    if isinstance(payload, (str, bytes)):
+        try:
+            payload = json.loads(payload)
+        except json.JSONDecodeError as error:
+            raise WireError(f"malformed {kind} JSON: {error}") from None
+    if not isinstance(payload, Mapping):
+        raise WireError(f"a wire {kind} must be a JSON object, not {type(payload).__name__}")
+    version = payload.get("format")
+    if version != WIRE_FORMAT:
+        raise WireError(
+            f"unsupported {kind} wire format {version!r}; this build reads format {WIRE_FORMAT}"
+        )
+    if payload.get("kind") != kind:
+        raise WireError(f"expected a {kind!r} payload, got {payload.get('kind')!r}")
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Data values.
+# ---------------------------------------------------------------------------
+
+
+def encode_value(value: DataValue) -> Any:
+    """Encode one domain value into its JSON-expressible wire form."""
+    if value is None or isinstance(value, (str, int, float)):
+        # bool is a subclass of int and round-trips natively through JSON.
+        return value
+    if isinstance(value, bytes):
+        return {"b": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, tuple):
+        return {"t": [encode_value(item) for item in value]}
+    raise WireError(
+        f"data value {value!r} of type {type(value).__name__} has no wire encoding"
+    )
+
+
+def decode_value(encoded: Any) -> DataValue:
+    """Decode one wire-encoded domain value."""
+    if encoded is None or isinstance(encoded, (str, int, float)):
+        return encoded
+    if isinstance(encoded, Mapping) and len(encoded) == 1:
+        if "b" in encoded:
+            try:
+                return base64.b64decode(encoded["b"])
+            except (TypeError, ValueError) as error:
+                raise WireError(f"malformed bytes value: {error}") from None
+        if "t" in encoded:
+            items = encoded["t"]
+            if not isinstance(items, list):
+                raise WireError(f"malformed tuple value: {encoded!r}")
+            return tuple(decode_value(item) for item in items)
+    raise WireError(f"unrecognised wire value {encoded!r}")
+
+
+def encode_rows(rows: Iterable[Sequence[DataValue]]) -> list[list[Any]]:
+    """Encode a tuple set, sorted by the implicit order for canonical bytes."""
+    return [[encode_value(value) for value in row] for row in sort_tuples(rows)]
+
+
+def decode_rows(rows: Any, context: str) -> list[tuple[DataValue, ...]]:
+    """Decode a wire tuple set back into plain tuples."""
+    if not isinstance(rows, list):
+        raise WireError(f"{context}: expected a list of rows, got {type(rows).__name__}")
+    decoded = []
+    for row in rows:
+        if not isinstance(row, list):
+            raise WireError(f"{context}: expected a row list, got {type(row).__name__}")
+        decoded.append(tuple(decode_value(value) for value in row))
+    return decoded
+
+
+# ---------------------------------------------------------------------------
+# Deltas.
+# ---------------------------------------------------------------------------
+
+
+def delta_to_wire(delta) -> dict[str, Any]:
+    """The wire payload of a :class:`~repro.relational.delta.Delta`."""
+    return {
+        "format": WIRE_FORMAT,
+        "kind": "delta",
+        "insert": {
+            name: encode_rows(rows) for name, rows in sorted(delta.inserted.items())
+        },
+        "delete": {
+            name: encode_rows(rows) for name, rows in sorted(delta.deleted.items())
+        },
+    }
+
+
+def delta_from_wire(payload) -> "Any":
+    """Decode a delta wire payload (a JSON string or parsed mapping)."""
+    from repro.relational.delta import Delta
+
+    payload = _parsed(payload, "delta")
+    changes: dict[str, dict[str, list[tuple[DataValue, ...]]]] = {}
+    for side in ("insert", "delete"):
+        entries = payload.get(side, {})
+        if not isinstance(entries, Mapping):
+            raise WireError(f"delta {side!r} must be an object, not {type(entries).__name__}")
+        changes[side] = {
+            name: decode_rows(rows, f"delta {side} {name!r}")
+            for name, rows in entries.items()
+        }
+    return Delta(inserted=changes["insert"], deleted=changes["delete"])
+
+
+# ---------------------------------------------------------------------------
+# Instances (used by write-ahead-log snapshots and the attach route).
+# ---------------------------------------------------------------------------
+
+
+def instance_to_wire(instance: Instance) -> dict[str, Any]:
+    """The wire payload of an instance: schema arities plus sorted tuple sets.
+
+    The encoding is representation-agnostic: a dictionary-encoded (columnar)
+    instance snapshots its raw values -- whether to re-encode on load is the
+    loader's choice (the WAL records it separately), and the published XML is
+    byte-identical either way.
+    """
+    return {
+        "format": WIRE_FORMAT,
+        "kind": "instance",
+        "relations": {
+            name: {
+                "arity": instance[name].arity,
+                "rows": encode_rows(instance[name].tuples),
+            }
+            for name in sorted(instance)
+        },
+    }
+
+
+def instance_from_wire(payload) -> Instance:
+    """Decode an instance wire payload into a plain (row-backend) instance."""
+    payload = _parsed(payload, "instance")
+    relations = payload.get("relations", {})
+    if not isinstance(relations, Mapping):
+        raise WireError("instance 'relations' must be an object")
+    schema = RelationalSchema()
+    data: dict[str, list[tuple[DataValue, ...]]] = {}
+    for name, entry in relations.items():
+        if not isinstance(entry, Mapping) or not isinstance(entry.get("arity"), int):
+            raise WireError(f"malformed relation entry for {name!r}")
+        schema.add(RelationSchema(name, entry["arity"]))
+        data[name] = decode_rows(entry.get("rows", []), f"relation {name!r}")
+    try:
+        return Instance(schema, data)
+    except (RelationalError, TypeError, ValueError) as error:
+        raise WireError(f"inconsistent instance payload: {error}") from None

@@ -40,6 +40,7 @@ from repro.serve.server import (
     BACKENDS,
     MAINTENANCE,
     OUTPUTS,
+    PruneResult,
     RegisteredView,
     ServeError,
     SourceHandle,
@@ -61,6 +62,7 @@ __all__ = [
     "MAINTENANCE",
     "OUTPUTS",
     "ExplainReport",
+    "PruneResult",
     "RegisteredView",
     "RuleExplain",
     "ServeError",

@@ -1,0 +1,42 @@
+"""repro.serve.net -- the network tier and its durable write-ahead log.
+
+Three layers, all standard-library only:
+
+- :mod:`repro.serve.net.protocol` -- minimal HTTP/1.1 + WebSocket framing.
+- :mod:`repro.serve.net.wal` -- append-only delta log with snapshot
+  compaction and exact crash recovery beneath ``SourceHandle``.
+- :mod:`repro.serve.net.app` -- :class:`NetServer`, the asyncio server
+  exposing multi-tenant ViewServer namespaces over HTTP, with streaming
+  WebSocket subscriptions that push one wire-encoded EditScript per commit.
+
+:mod:`repro.serve.net.client` has the matching blocking client.
+"""
+
+from repro.serve.net.app import NetServer, NetServerThread, default_catalog
+from repro.serve.net.client import AsyncSubscriber, NetClient, NetClientError, edits_of
+from repro.serve.net.protocol import ProtocolError
+from repro.serve.net.wal import (
+    DeltaLog,
+    DurableSource,
+    RecoveredState,
+    WalError,
+    attach_durable,
+    recover_source,
+)
+
+__all__ = [
+    "AsyncSubscriber",
+    "DeltaLog",
+    "DurableSource",
+    "NetClient",
+    "NetClientError",
+    "NetServer",
+    "NetServerThread",
+    "ProtocolError",
+    "RecoveredState",
+    "WalError",
+    "attach_durable",
+    "default_catalog",
+    "edits_of",
+    "recover_source",
+]

@@ -1,0 +1,398 @@
+"""Clients for the network tier: a blocking REST client and WS subscribers.
+
+:class:`NetClient` wraps ``http.client`` for the request/response routes;
+:meth:`NetClient.subscribe` opens a blocking WebSocket subscription that
+yields one decoded message per server push.  For load generation there is
+also :func:`open_subscriber`, an asyncio variant the fan-out benchmark uses
+to hold a thousand concurrent sockets on one event loop.
+
+Everything speaks the canonical wire formats of
+:mod:`repro.relational.wire`: deltas are sent with ``Delta.to_wire()``, edit
+scripts come back as ``EditScript.from_wire`` payloads, so a client can
+replay the server's document locally, edit by edit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import http.client
+import json
+import os
+import socket
+from typing import Any, Iterator, Mapping
+
+from repro.relational.delta import Delta
+from repro.relational.instance import Instance
+from repro.relational.wire import canonical_json, instance_to_wire
+from repro.serve.net import protocol
+from repro.serve.net.protocol import OP_CLOSE, OP_PING, OP_PONG, OP_TEXT, ProtocolError
+from repro.xmltree.diff import EditScript
+
+
+class NetClientError(RuntimeError):
+    """Raised when the server answers a request with an error status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class NetClient:
+    """A blocking client for one server, pinned to one namespace."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        namespace: str = "default",
+        timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.namespace = namespace
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Any = None,
+        headers: Mapping[str, str] | None = None,
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One HTTP exchange; returns ``(status, headers, body)``."""
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = None
+            sent = dict(headers or {})
+            if body is not None:
+                payload = canonical_json(body).encode("utf-8")
+                sent.setdefault("Content-Type", "application/json")
+            connection.request(method, path, body=payload, headers=sent)
+            response = connection.getresponse()
+            data = response.read()
+            return (
+                response.status,
+                {name.lower(): value for name, value in response.getheaders()},
+                data,
+            )
+        finally:
+            connection.close()
+
+    def _json(
+        self,
+        method: str,
+        path: str,
+        body: Any = None,
+        headers: Mapping[str, str] | None = None,
+    ) -> Any:
+        status, _, data = self.request(method, path, body, headers)
+        parsed = json.loads(data) if data else None
+        if status >= 400:
+            message = parsed.get("error", "") if isinstance(parsed, dict) else data.decode()
+            raise NetClientError(status, message)
+        return parsed
+
+    def _ns(self, suffix: str) -> str:
+        return f"/v1/ns/{self.namespace}/{suffix}"
+
+    # -- the API -------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def register_view(self, name: str, view: str | None = None, params: tuple = ()) -> dict:
+        """Register catalog entry ``view`` (default: ``name``) as a view."""
+        body = {"name": name, "view": view or name, "params": list(params)}
+        return self._json("POST", self._ns("views"), body)
+
+    def views(self) -> list:
+        return self._json("GET", self._ns("views"))
+
+    def attach(
+        self,
+        instance: Instance,
+        *,
+        name: str | None = None,
+        encoded: bool = False,
+        durable: bool | None = None,
+    ) -> dict:
+        body: dict[str, Any] = {"instance": instance_to_wire(instance), "encoded": encoded}
+        if name is not None:
+            body["name"] = name
+        if durable is not None:
+            body["durable"] = durable
+        return self._json("POST", self._ns("sources"), body)
+
+    def sources(self) -> list:
+        return self._json("GET", self._ns("sources"))
+
+    def source(self, name: str) -> dict:
+        return self._json("GET", self._ns(f"sources/{name}"))
+
+    def commit(self, source: str, delta: Delta) -> dict:
+        return self._json("POST", self._ns(f"sources/{source}/commit"), delta.to_wire())
+
+    def prune(self, source: str, keep_last: int = 1) -> dict:
+        return self._json("POST", self._ns(f"sources/{source}/prune"), {"keep_last": keep_last})
+
+    def stats(self) -> dict:
+        return self._json("GET", self._ns("stats"))
+
+    def explain(self, view: str, params: Mapping[str, Any] | None = None) -> dict:
+        return self._json("GET", self._ns(f"views/{view}/explain") + _query(params=params))
+
+    def publish(
+        self,
+        view: str,
+        *,
+        source: str | None = None,
+        version: int | None = None,
+        params: Mapping[str, Any] | None = None,
+        output: str = "bytes",
+        backend: str = "auto",
+        indent: int | None = 2,
+        etag: str | None = None,
+    ) -> "PublishResult":
+        """Fetch a document; pass the previous ``etag`` to get cheap 304s."""
+        query = _query(
+            source=source,
+            version=version,
+            params=params,
+            output=output,
+            backend=backend,
+            indent="none" if indent is None else indent,
+        )
+        headers = {"If-None-Match": etag} if etag else None
+        status, response_headers, data = self.request(
+            "GET", self._ns(f"views/{view}/publish") + query, headers=headers
+        )
+        if status not in (200, 304):
+            parsed = json.loads(data) if data else {}
+            raise NetClientError(status, parsed.get("error", ""))
+        return PublishResult(
+            status=status,
+            document=data.decode("utf-8") if status == 200 else None,
+            etag=response_headers.get("etag"),
+            version=int(response_headers.get("x-source-version", -1)),
+        )
+
+    def subscribe(
+        self,
+        view: str,
+        *,
+        source: str | None = None,
+        params: Mapping[str, Any] | None = None,
+    ) -> "WsSubscription":
+        """Open a blocking WebSocket subscription (a context manager)."""
+        path = self._ns(f"views/{view}/subscribe") + _query(source=source, params=params)
+        return WsSubscription(self.host, self.port, path, timeout=self.timeout)
+
+
+class PublishResult:
+    """One publish exchange: status 200 with a document, or a 304."""
+
+    __slots__ = ("status", "document", "etag", "version")
+
+    def __init__(self, status: int, document: str | None, etag: str | None, version: int) -> None:
+        self.status = status
+        self.document = document
+        self.etag = etag
+        self.version = version
+
+    @property
+    def not_modified(self) -> bool:
+        return self.status == 304
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PublishResult(status={self.status}, version={self.version})"
+
+
+def _query(**axes: Any) -> str:
+    from urllib.parse import quote
+
+    parts = []
+    for name, value in axes.items():
+        if value is None:
+            continue
+        if name == "params":
+            value = canonical_json(value)
+        parts.append(f"{name}={quote(str(value), safe='')}")
+    return ("?" + "&".join(parts)) if parts else ""
+
+
+# ---------------------------------------------------------------------------
+# Blocking WebSocket subscriber.
+# ---------------------------------------------------------------------------
+
+
+class WsSubscription:
+    """A blocking WebSocket subscription over a plain socket.
+
+    Iterate (or call :meth:`recv`) to receive decoded JSON messages; the
+    first is always the ``init`` document, each subsequent one carries the
+    wire :class:`~repro.xmltree.diff.EditScript` of one commit (decode with
+    :func:`edits_of`).
+    """
+
+    def __init__(self, host: str, port: int, path: str, timeout: float = 30.0) -> None:
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._buffer = b""
+        key = base64.b64encode(os.urandom(16)).decode("ascii")
+        request = (
+            f"GET {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            "Upgrade: websocket\r\n"
+            "Connection: Upgrade\r\n"
+            f"Sec-WebSocket-Key: {key}\r\n"
+            "Sec-WebSocket-Version: 13\r\n\r\n"
+        )
+        self._socket.sendall(request.encode("latin-1"))
+        status_line, headers = self._read_http_head()
+        if " 101 " not in status_line:
+            body = self._read_error_body(headers)
+            self.close()
+            raise NetClientError(
+                int(status_line.split(" ")[1]), body or status_line.strip()
+            )
+        expected = protocol.ws_accept_key(key)
+        if headers.get("sec-websocket-accept") != expected:
+            self.close()
+            raise ProtocolError("server returned a bad Sec-WebSocket-Accept")
+
+    def _read_exactly(self, size: int) -> bytes:
+        while len(self._buffer) < size:
+            chunk = self._socket.recv(65536)
+            if not chunk:
+                raise ConnectionError("subscription socket closed")
+            self._buffer += chunk
+        data, self._buffer = self._buffer[:size], self._buffer[size:]
+        return data
+
+    def _read_http_head(self) -> tuple[str, dict[str, str]]:
+        while b"\r\n\r\n" not in self._buffer:
+            chunk = self._socket.recv(65536)
+            if not chunk:
+                raise ConnectionError("connection closed during handshake")
+            self._buffer += chunk
+        head, self._buffer = self._buffer.split(b"\r\n\r\n", 1)
+        status_line, *header_lines = head.decode("latin-1").split("\r\n")
+        headers = {}
+        for line in header_lines:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return status_line, headers
+
+    def _read_error_body(self, headers: dict[str, str]) -> str:
+        length = int(headers.get("content-length", "0") or 0)
+        if not length:
+            return ""
+        try:
+            payload = json.loads(self._read_exactly(length))
+            return payload.get("error", "") if isinstance(payload, dict) else ""
+        except (ValueError, ConnectionError):
+            return ""
+
+    def recv(self) -> dict:
+        """The next pushed JSON message (blocking; answers pings en route)."""
+        while True:
+            head = self._read_exactly(2)
+            fin, opcode = bool(head[0] & 0x80), head[0] & 0x0F
+            masked, length = bool(head[1] & 0x80), head[1] & 0x7F
+            if length == 126:
+                length = int.from_bytes(self._read_exactly(2), "big")
+            elif length == 127:
+                length = int.from_bytes(self._read_exactly(8), "big")
+            key = self._read_exactly(4) if masked else None
+            payload = self._read_exactly(length) if length else b""
+            if key:
+                payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+            if opcode == OP_CLOSE:
+                raise ConnectionError("server closed the subscription")
+            if opcode == OP_PING:
+                self._socket.sendall(protocol.ws_frame(payload, OP_PONG, mask=True))
+                continue
+            if opcode == OP_PONG or not fin:
+                continue  # unsolicited pong / fragmented control: skip
+            if opcode == OP_TEXT:
+                return json.loads(payload)
+
+    def __iter__(self) -> Iterator[dict]:
+        while True:
+            try:
+                yield self.recv()
+            except ConnectionError:
+                return
+
+    def close(self) -> None:
+        try:
+            self._socket.sendall(protocol.ws_frame(b"", OP_CLOSE, mask=True))
+        except OSError:
+            pass
+        self._socket.close()
+
+    def __enter__(self) -> "WsSubscription":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def edits_of(message: Mapping[str, Any]) -> EditScript:
+    """Decode the edit script carried by one pushed ``edits`` message."""
+    return EditScript.from_wire(message["edits"])
+
+
+# ---------------------------------------------------------------------------
+# Asyncio subscriber (for holding many sockets concurrently).
+# ---------------------------------------------------------------------------
+
+
+class AsyncSubscriber:
+    """One WebSocket subscription on an asyncio loop (benchmark workhorse)."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.received = 0
+
+    @classmethod
+    async def open(cls, host: str, port: int, path: str) -> "AsyncSubscriber":
+        reader, writer = await asyncio.open_connection(host, port)
+        key = base64.b64encode(os.urandom(16)).decode("ascii")
+        writer.write(
+            (
+                f"GET {path} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                "Upgrade: websocket\r\n"
+                "Connection: Upgrade\r\n"
+                f"Sec-WebSocket-Key: {key}\r\n"
+                "Sec-WebSocket-Version: 13\r\n\r\n"
+            ).encode("latin-1")
+        )
+        await writer.drain()
+        head = await reader.readuntil(b"\r\n\r\n")
+        status_line = head.split(b"\r\n", 1)[0]
+        if b" 101 " not in status_line:
+            raise ProtocolError(f"upgrade refused: {status_line!r}")
+        return cls(reader, writer)
+
+    async def recv(self) -> dict:
+        """The next pushed JSON text message (pings answered inline)."""
+        while True:
+            opcode, payload = await protocol.read_ws_message(self.reader)
+            if opcode == OP_CLOSE:
+                raise ConnectionError("server closed the subscription")
+            if opcode == OP_PING:
+                self.writer.write(protocol.ws_frame(payload, OP_PONG, mask=True))
+                await self.writer.drain()
+                continue
+            if opcode == OP_TEXT:
+                self.received += 1
+                return json.loads(payload)
+
+    def close(self) -> None:
+        self.writer.close()

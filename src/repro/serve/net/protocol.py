@@ -1,0 +1,277 @@
+"""A minimal HTTP/1.1 + WebSocket (RFC 6455) layer on asyncio streams.
+
+Only what the network tier needs, built purely on the standard library:
+request parsing with ``Content-Length`` bodies and keep-alive, response
+rendering, the WebSocket upgrade handshake, and frame encode/decode with
+fragmentation, masking and ping/pong/close control frames.
+
+Server-to-client frames are deliberately built by a free function
+(:func:`ws_text_frame`) so the broadcast path can encode a message **once**
+and write the identical bytes to every subscriber -- the per-subscriber cost
+of a fan-out is one socket write, nothing else.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+import os
+import struct
+from typing import Any, Mapping
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: Upper bound on the request head (request line + headers).
+MAX_HEAD_BYTES = 64 * 1024
+
+#: Upper bound on a request body.
+MAX_BODY_BYTES = 256 * 1024 * 1024
+
+#: Upper bound on a single WebSocket message (after reassembly).
+MAX_MESSAGE_BYTES = 256 * 1024 * 1024
+
+#: The stream buffer limit servers should pass to ``asyncio.start_server``.
+STREAM_LIMIT = max(MAX_HEAD_BYTES * 2, 1 << 20)
+
+#: RFC 6455 magic GUID for the accept-key digest.
+WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+#: WebSocket opcodes.
+OP_CONT, OP_TEXT, OP_BINARY, OP_CLOSE, OP_PING, OP_PONG = 0x0, 0x1, 0x2, 0x8, 0x9, 0xA
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    304: "Not Modified",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    426: "Upgrade Required",
+    500: "Internal Server Error",
+}
+
+
+class ProtocolError(Exception):
+    """Raised when a peer violates the HTTP or WebSocket framing rules."""
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    __slots__ = ("method", "target", "path", "query", "headers", "body")
+
+    def __init__(
+        self,
+        method: str,
+        target: str,
+        headers: dict[str, str],
+        body: bytes,
+    ) -> None:
+        self.method = method
+        self.target = target
+        parts = urlsplit(target)
+        self.path = unquote(parts.path)
+        self.query: dict[str, str] = dict(parse_qsl(parts.query, keep_blank_values=True))
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> Any:
+        """The request body parsed as JSON (``None`` for an empty body)."""
+        if not self.body:
+            return None
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as error:
+            raise ProtocolError(f"malformed JSON body: {error}") from None
+
+    @property
+    def wants_upgrade(self) -> bool:
+        """True for a WebSocket upgrade request."""
+        connection = self.headers.get("connection", "").lower()
+        return (
+            self.headers.get("upgrade", "").lower() == "websocket"
+            and "upgrade" in connection
+        )
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the connection should stay open after the response."""
+        return self.headers.get("connection", "").lower() != "close"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Request({self.method} {self.target})"
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Read one request; ``None`` when the peer closed between requests."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolError("connection closed mid-request") from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError("request head exceeds the size limit") from None
+    if len(head) > MAX_HEAD_BYTES:
+        raise ProtocolError("request head exceeds the size limit")
+    try:
+        request_line, *header_lines = head[:-4].decode("latin-1").split("\r\n")
+        method, target, http_version = request_line.split(" ", 2)
+    except ValueError:
+        raise ProtocolError("malformed request line") from None
+    if not http_version.startswith("HTTP/1."):
+        raise ProtocolError(f"unsupported protocol {http_version!r}")
+    headers: dict[str, str] = {}
+    for line in header_lines:
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise ProtocolError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            size = int(length)
+        except ValueError:
+            raise ProtocolError(f"malformed Content-Length {length!r}") from None
+        if size < 0 or size > MAX_BODY_BYTES:
+            raise ProtocolError(f"unacceptable Content-Length {size}")
+        body = await reader.readexactly(size)
+    elif headers.get("transfer-encoding"):
+        raise ProtocolError("chunked request bodies are not supported")
+    return Request(method.upper(), target, headers, body)
+
+
+def render_response(
+    status: int,
+    body: bytes = b"",
+    headers: Mapping[str, str] | None = None,
+    *,
+    content_type: str = "application/json",
+) -> bytes:
+    """Render a complete HTTP/1.1 response."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    fixed = {"content-length", "content-type"}
+    for name, value in (headers or {}).items():
+        if name.lower() not in fixed:
+            lines.append(f"{name}: {value}")
+    if body or status not in (204, 304):
+        lines.append(f"Content-Type: {content_type}")
+    lines.append(f"Content-Length: {len(body)}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+def json_response(status: int, payload: Any, headers: Mapping[str, str] | None = None) -> bytes:
+    """Render a JSON response (canonical key order for cacheable bytes)."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return render_response(status, body, headers)
+
+
+# ---------------------------------------------------------------------------
+# WebSocket framing.
+# ---------------------------------------------------------------------------
+
+
+def ws_accept_key(key: str) -> str:
+    """The Sec-WebSocket-Accept digest for a client's Sec-WebSocket-Key."""
+    digest = hashlib.sha1((key + WS_GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def ws_handshake_response(request: Request) -> bytes:
+    """The 101 response completing a WebSocket upgrade."""
+    key = request.headers.get("sec-websocket-key")
+    if not key:
+        raise ProtocolError("upgrade request lacks Sec-WebSocket-Key")
+    lines = [
+        "HTTP/1.1 101 Switching Protocols",
+        "Upgrade: websocket",
+        "Connection: Upgrade",
+        f"Sec-WebSocket-Accept: {ws_accept_key(key)}",
+    ]
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def ws_frame(payload: bytes, opcode: int = OP_TEXT, *, mask: bool = False) -> bytes:
+    """Encode one complete (FIN) WebSocket frame.
+
+    Servers send unmasked frames; clients must mask (``mask=True`` draws a
+    fresh masking key from ``os.urandom``).
+    """
+    length = len(payload)
+    head = bytearray([0x80 | (opcode & 0x0F)])
+    mask_bit = 0x80 if mask else 0
+    if length < 126:
+        head.append(mask_bit | length)
+    elif length < (1 << 16):
+        head.append(mask_bit | 126)
+        head += struct.pack(">H", length)
+    else:
+        head.append(mask_bit | 127)
+        head += struct.pack(">Q", length)
+    if not mask:
+        return bytes(head) + payload
+    key = os.urandom(4)
+    masked = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return bytes(head) + key + masked
+
+
+def ws_text_frame(text: str | bytes) -> bytes:
+    """A FIN text frame, encoded once for broadcast to many subscribers."""
+    payload = text.encode("utf-8") if isinstance(text, str) else text
+    return ws_frame(payload, OP_TEXT)
+
+
+async def read_ws_frame(reader: asyncio.StreamReader) -> tuple[bool, int, bytes]:
+    """Read one raw frame: ``(fin, opcode, unmasked payload)``."""
+    head = await reader.readexactly(2)
+    fin = bool(head[0] & 0x80)
+    opcode = head[0] & 0x0F
+    masked = bool(head[1] & 0x80)
+    length = head[1] & 0x7F
+    if length == 126:
+        (length,) = struct.unpack(">H", await reader.readexactly(2))
+    elif length == 127:
+        (length,) = struct.unpack(">Q", await reader.readexactly(8))
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds the message limit")
+    key = await reader.readexactly(4) if masked else None
+    payload = await reader.readexactly(length) if length else b""
+    if key:
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return fin, opcode, payload
+
+
+async def read_ws_message(reader: asyncio.StreamReader) -> tuple[int, bytes]:
+    """Read one complete message, reassembling continuation frames.
+
+    Control frames (ping/pong/close) are returned as-is -- they may not be
+    fragmented, and interleaving them inside a fragmented data message is
+    the caller's (event loop's) business to answer.
+    """
+    opcode = None
+    parts: list[bytes] = []
+    total = 0
+    while True:
+        fin, frame_opcode, payload = await read_ws_frame(reader)
+        if frame_opcode in (OP_CLOSE, OP_PING, OP_PONG):
+            if not fin:
+                raise ProtocolError("fragmented control frame")
+            return frame_opcode, payload
+        if frame_opcode != OP_CONT:
+            opcode = frame_opcode
+            parts = []
+            total = 0
+        elif opcode is None:
+            raise ProtocolError("continuation frame without a start frame")
+        parts.append(payload)
+        total += len(payload)
+        if total > MAX_MESSAGE_BYTES:
+            raise ProtocolError("message exceeds the size limit")
+        if fin:
+            return opcode, b"".join(parts)

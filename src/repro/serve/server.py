@@ -96,6 +96,49 @@ def _checked(value: str, allowed: tuple[str, ...], axis: str) -> str:
 # ---------------------------------------------------------------------------
 
 
+class PruneResult(tuple):
+    """The version indices dropped by :meth:`SourceHandle.prune`, oldest first.
+
+    A tuple of the pruned indices, so the write-ahead-log compactor and
+    lagging subscribers can react to exactly the versions that went away.
+    For the callers that only ever wanted the count, it still compares equal
+    to that integer and converts via ``int()`` / :attr:`count`.
+    """
+
+    __slots__ = ()
+
+    @property
+    def indices(self) -> tuple[int, ...]:
+        """The pruned version indices as a plain tuple."""
+        return tuple(self)
+
+    @property
+    def count(self) -> int:
+        """How many versions were pruned (the legacy return value)."""
+        return len(self)
+
+    def __int__(self) -> int:
+        return len(self)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, bool):  # bool before int: True must not mean 1
+            return NotImplemented
+        if isinstance(other, int):
+            return len(self) == other
+        return tuple.__eq__(self, other)
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    # Tuple hashing is kept (equal-to-int is a legacy-compat affordance, not
+    # an identity: prune results are not meant to be dict keys next to ints).
+    __hash__ = tuple.__hash__
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PruneResult(count={len(self)}, indices={tuple(self)!r})"
+
+
 class SourceVersion:
     """One immutable version of an attached source (an MVCC snapshot).
 
@@ -140,16 +183,26 @@ class SourceHandle:
     registration order, before :meth:`commit` returns.
     """
 
-    def __init__(self, server: "ViewServer", name: str, instance: Instance) -> None:
+    def __init__(
+        self,
+        server: "ViewServer",
+        name: str,
+        instance: Instance,
+        base_version: int = 0,
+    ) -> None:
         self._server = server
         self._name = name
         self._versions: list[SourceVersion] = [
-            SourceVersion(self, 0, instance, Delta())
+            SourceVersion(self, base_version, instance, Delta())
         ]
         self._subscriptions: list[Subscription] = []
         self._twin_encoder = None  # shared by the whole columnar-twin lineage
         self._lock = threading.Lock()
         self._commits = 0
+        # Optional durability sink (repro.serve.net.wal): when armed, every
+        # commit's normalized delta is appended -- and flushed -- *before*
+        # the new version becomes visible (write-ahead ordering).
+        self._wal = None
 
     # -- reading -------------------------------------------------------------
 
@@ -201,8 +254,14 @@ class SourceHandle:
         """All retained versions, oldest first."""
         return tuple(self._versions)
 
-    def prune(self, keep_last: int = 1) -> int:
-        """Drop all but the newest ``keep_last`` versions; returns the count.
+    def prune(self, keep_last: int = 1) -> PruneResult:
+        """Drop all but the newest ``keep_last`` versions.
+
+        Returns a :class:`PruneResult` naming exactly the dropped version
+        indices (it still compares equal to the dropped *count*, the legacy
+        return value), so the write-ahead-log compactor knows which log
+        segments became droppable and subscribers know which snapshots they
+        can no longer rewind to.
 
         The version chain otherwise grows by one snapshot per commit (cheap
         -- untouched relations are shared by identity -- but unbounded).
@@ -217,9 +276,10 @@ class SourceHandle:
             keep = max(1, keep_last)
             excess = len(self._versions) - keep
             if excess <= 0:
-                return 0
+                return PruneResult()
+            dropped = PruneResult(version.index for version in self._versions[:excess])
             self._versions = self._versions[excess:]
-            return excess
+            return dropped
 
     # -- writing -------------------------------------------------------------
 
@@ -234,6 +294,11 @@ class SourceHandle:
         with self._lock:
             previous = self._versions[-1]
             delta = delta.normalized(previous.instance)
+            if self._wal is not None:
+                # Write-ahead: the normalized delta must be durable before
+                # the version becomes visible.  A failed append aborts the
+                # commit with the chain untouched.
+                self._wal.append(previous.index + 1, delta)
             instance = previous.instance.apply_delta(delta)
             version = SourceVersion(self, previous.index + 1, instance, delta)
             self._versions.append(version)
@@ -838,6 +903,7 @@ class ViewServer:
         *,
         name: str | None = None,
         encoded: bool = False,
+        base_version: int = 0,
     ) -> SourceHandle:
         """Attach a source instance and return its versioned handle.
 
@@ -846,6 +912,11 @@ class ViewServer:
         version lineage runs on the columnar backend under
         ``backend="auto"``.  The encoding is only applied once the handle is
         actually created -- a failed attach never mutates the instance.
+
+        ``base_version`` numbers the attached snapshot (default ``0``); the
+        recovery path of :mod:`repro.serve.net.wal` uses it so a source
+        restored from a compacted log resumes its pre-crash version
+        numbering instead of restarting at zero.
         """
         with self._lock:
             if name is None:
@@ -860,7 +931,7 @@ class ViewServer:
                 from repro.relational.columnar import ensure_encoded
 
                 ensure_encoded(instance)
-            handle = SourceHandle(self, name, instance)
+            handle = SourceHandle(self, name, instance, base_version)
             self._handles[name] = handle
         return handle
 
@@ -881,6 +952,15 @@ class ViewServer:
         except KeyError:
             raise ServeError(
                 f"unknown view {name!r}; registered: {sorted(self._views) or 'none'}"
+            ) from None
+
+    def source(self, name: str) -> SourceHandle:
+        """The attached source handle called ``name``."""
+        try:
+            return self._handles[name]
+        except KeyError:
+            raise ServeError(
+                f"unknown source {name!r}; attached: {sorted(self._handles) or 'none'}"
             ) from None
 
     # -- the single evaluation call ------------------------------------------

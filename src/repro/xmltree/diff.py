@@ -103,6 +103,70 @@ class EditScript:
                 lines.append(f"replace {location} {_compact(edit.node)}")
         return "\n".join(lines)
 
+    # -- wire codec ----------------------------------------------------------
+
+    def to_wire(self) -> dict:
+        """The canonical wire payload (see :mod:`repro.relational.wire`).
+
+        Subtrees are encoded in the flat preorder form of
+        :func:`tree_to_wire`, so scripts touching exponentially deep outputs
+        (Proposition 1) survive JSON's recursive encoder.
+        """
+        edits = []
+        for edit in self.edits:
+            entry: dict = {"path": list(edit.path)}
+            if isinstance(edit, DeleteSubtree):
+                entry["op"] = "delete"
+            else:
+                entry["op"] = "insert" if isinstance(edit, InsertSubtree) else "replace"
+                entry["node"] = tree_to_wire(edit.node)
+            edits.append(entry)
+        from repro.relational.wire import WIRE_FORMAT
+
+        return {"format": WIRE_FORMAT, "kind": "edits", "edits": edits}
+
+    def to_json(self) -> str:
+        """The canonical JSON text of :meth:`to_wire` (deterministic bytes)."""
+        from repro.relational.wire import canonical_json
+
+        return canonical_json(self.to_wire())
+
+    @classmethod
+    def from_wire(cls, payload) -> "EditScript":
+        """Decode a wire payload (a JSON string or parsed mapping)."""
+        from repro.relational.wire import WireError, _parsed
+
+        payload = _parsed(payload, "edits")
+        entries = payload.get("edits", [])
+        if not isinstance(entries, list):
+            raise WireError("edit script 'edits' must be a list")
+        edits: list[Edit] = []
+        for entry in entries:
+            if not isinstance(entry, dict):
+                raise WireError(f"malformed edit entry {entry!r}")
+            raw_path = entry.get("path")
+            if not isinstance(raw_path, list) or not all(
+                isinstance(step, int) and step >= 1 for step in raw_path
+            ):
+                raise WireError(f"malformed edit path {raw_path!r}")
+            path = tuple(raw_path)
+            op = entry.get("op")
+            if op == "delete":
+                edits.append(DeleteSubtree(path))
+            elif op in ("insert", "replace"):
+                node = tree_from_wire(entry.get("node"))
+                edits.append(
+                    InsertSubtree(path, node) if op == "insert" else ReplaceSubtree(path, node)
+                )
+            else:
+                raise WireError(f"unknown edit op {op!r}")
+        return cls(tuple(edits))
+
+    @classmethod
+    def from_json(cls, text) -> "EditScript":
+        """Decode canonical JSON text (or an already-parsed payload)."""
+        return cls.from_wire(text)
+
 
 def _compact(node: TreeNode) -> str:
     if node.is_text():
@@ -192,6 +256,55 @@ def diff_trees(old: TreeNode, new: TreeNode) -> EditScript:
                 InsertSubtree(path + (start + paired + offset + 1,), nc[start + paired + offset])
             )
     return EditScript(tuple(edits))
+
+
+def tree_to_wire(node: TreeNode) -> list:
+    """Encode a Σ-tree as a flat preorder list ``[[label, children, text], ...]``.
+
+    Flat on purpose: nested JSON objects would hit the (recursive) encoder's
+    depth limit on the exponentially deep outputs the paper's transducers can
+    produce, while a preorder list with explicit child counts round-trips any
+    depth iteratively.  ``text`` is ``None`` for non-PCDATA nodes.
+    """
+    out: list = []
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        out.append([current.label, len(current.children), current.text])
+        stack.extend(reversed(current.children))
+    return out
+
+
+def tree_from_wire(payload) -> TreeNode:
+    """Decode the flat preorder form of :func:`tree_to_wire`."""
+    from repro.relational.wire import WireError
+
+    if not isinstance(payload, list) or not payload:
+        raise WireError(f"a wire tree must be a non-empty list, not {payload!r}")
+    # Each pending frame is [label, text, wanted_children, collected_children];
+    # a node is constructed exactly when its child count is satisfied.
+    pending: list[list] = []
+    for entry in payload:
+        if (
+            not isinstance(entry, list)
+            or len(entry) != 3
+            or not isinstance(entry[0], str)
+            or not isinstance(entry[1], int)
+            or entry[1] < 0
+            or not (entry[2] is None or isinstance(entry[2], str))
+        ):
+            raise WireError(f"malformed wire tree entry {entry!r}")
+        label, wanted, text = entry
+        pending.append([label, text, wanted, []])
+        while pending and pending[-1][2] == len(pending[-1][3]):
+            label, text, _, children = pending.pop()
+            node = TreeNode(label, tuple(children), text)
+            if not pending:
+                if entry is not payload[-1]:
+                    raise WireError("wire tree has trailing entries after the root closed")
+                return node
+            pending[-1][3].append(node)
+    raise WireError("truncated wire tree: child counts exceed the entries given")
 
 
 def _apply_edit(root: TreeNode, edit: Edit) -> TreeNode:

@@ -1,0 +1,252 @@
+"""The asyncio network tier: HTTP round trips, ETags, subscriptions, replay.
+
+Everything runs against a real :class:`NetServerThread` on a loopback port
+-- no mocked transports -- so the tests cover the protocol layer, the
+routing and the ViewServer integration together.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.delta import Delta
+from repro.serve import ViewServer
+from repro.serve.net import NetClient, NetClientError, NetServerThread, edits_of
+from repro.workloads.registrar import example_registrar_instance
+from repro.xmltree.diff import tree_from_wire, trees_equal
+
+
+@pytest.fixture()
+def server():
+    with NetServerThread("127.0.0.1", 0) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    return NetClient(*server.address, namespace="test")
+
+
+def _setup(client):
+    client.register_view("tau1")
+    client.attach(example_registrar_instance(), name="db")
+
+
+def test_health_and_unknown_routes(server):
+    client = NetClient(*server.address)
+    assert client.healthz()["ok"] is True
+    with pytest.raises(NetClientError) as caught:
+        client._json("GET", "/no/such/route")
+    assert caught.value.status == 404
+    status, _, _ = client.request("PUT", "/healthz")
+    assert status == 405
+
+
+def test_register_attach_commit_publish_round_trip(client):
+    _setup(client)
+    assert [view["name"] for view in client.views()] == ["tau1"]
+    assert [source["name"] for source in client.sources()] == ["db"]
+
+    first = client.publish("tau1", source="db")
+    assert first.status == 200
+    assert first.version == 0
+    assert first.document.startswith("<db>")
+
+    out = client.commit("db", Delta.insert("course", ("CS999", "Capstone", "CS")))
+    assert out["version"] == 1
+    second = client.publish("tau1", source="db")
+    assert second.version == 1
+    assert "CS999" in second.document
+
+    # the HTTP bytes equal an in-process oracle over the same story
+    vs = ViewServer()
+    from repro.serve.net.app import default_catalog
+
+    vs.register_view("tau1", default_catalog()["tau1"]())
+    handle = vs.attach(example_registrar_instance(), name="db")
+    handle.commit(Delta.insert("course", ("CS999", "Capstone", "CS")))
+    assert second.document == vs.publish("tau1", source=handle, output="bytes")
+
+
+def test_etag_304_and_invalidation(client):
+    _setup(client)
+    first = client.publish("tau1", source="db")
+    assert first.etag
+
+    cached = client.publish("tau1", source="db", etag=first.etag)
+    assert cached.not_modified
+    assert cached.document is None
+
+    client.commit("db", Delta.insert("course", ("CS888", "More", "CS")))
+    fresh = client.publish("tau1", source="db", etag=first.etag)
+    assert fresh.status == 200
+    assert fresh.etag != first.etag
+
+
+def test_etag_varies_with_output_axes(client):
+    _setup(client)
+    pretty = client.publish("tau1", source="db", indent=2)
+    compact = client.publish("tau1", source="db", output="compact", indent=None)
+    assert pretty.etag != compact.etag
+    assert compact.document == client.publish(
+        "tau1", source="db", output="compact", indent=None, etag=pretty.etag
+    ).document
+
+
+def test_publish_pinned_version_snapshot_isolation(client):
+    _setup(client)
+    v0 = client.publish("tau1", source="db", version=0)
+    client.commit("db", Delta.insert("course", ("CS777", "New", "CS")))
+    pinned = client.publish("tau1", source="db", version=0)
+    assert pinned.document == v0.document
+    assert "CS777" not in pinned.document
+
+
+def test_subscription_replays_to_publish_oracle(client):
+    _setup(client)
+    with client.subscribe("tau1", source="db") as sub:
+        init = sub.recv()
+        assert init["type"] == "init"
+        tree = tree_from_wire(init["document"])
+
+        commits = [
+            Delta.insert("course", ("CS901", "A", "CS")),
+            Delta.insert("prereq", ("CS901", "CS240")),
+            Delta.delete("course", ("CS901", "A", "CS")),
+        ]
+        for index, delta in enumerate(commits, start=1):
+            client.commit("db", delta)
+            message = sub.recv()
+            assert message["type"] == "edits"
+            assert message["version"] == index
+            tree = edits_of(message).apply(tree)
+
+        # the locally-maintained tree equals a fresh server-side document
+        with client.subscribe("tau1", source="db") as check:
+            fresh = tree_from_wire(check.recv()["document"])
+        assert trees_equal(tree, fresh)
+
+
+def test_two_subscribers_get_identical_payloads(client):
+    _setup(client)
+    with client.subscribe("tau1", source="db") as a, client.subscribe(
+        "tau1", source="db"
+    ) as b:
+        a.recv(), b.recv()
+        out = client.commit("db", Delta.insert("course", ("CS902", "B", "CS")))
+        assert out["delivered"] == 2
+        assert a.recv() == b.recv()
+
+
+def test_namespaces_are_isolated(server):
+    east = NetClient(*server.address, namespace="east")
+    west = NetClient(*server.address, namespace="west")
+    _setup(east)
+    west.register_view("tau1")
+    west.attach(example_registrar_instance(), name="db")
+
+    east.commit("db", Delta.insert("course", ("CS903", "EastOnly", "CS")))
+    assert "CS903" in east.publish("tau1", source="db").document
+    assert "CS903" not in west.publish("tau1", source="db").document
+    # and a namespace nobody wrote to does not exist
+    nobody = NetClient(*server.address, namespace="nowhere")
+    with pytest.raises(NetClientError) as caught:
+        nobody.views()
+    assert caught.value.status == 404
+
+
+def test_error_statuses(client):
+    with pytest.raises(NetClientError) as caught:
+        client.publish("ghost", source="db")
+    assert caught.value.status in (400, 404)
+    _setup(client)
+    status, _, _ = client.request(
+        "POST", client._ns("sources/db/commit"), {"format": 0}
+    )
+    assert status == 400
+    with pytest.raises(NetClientError) as caught:
+        client.register_view("not-in-catalog")
+    assert caught.value.status in (400, 404)
+
+
+def test_stats_and_explain(client):
+    _setup(client)
+    client.publish("tau1", source="db")
+    stats = client.stats()
+    assert stats["namespace"] == "test"
+    assert stats["net"]["publishes"] >= 1
+    explain = client.explain("tau1")
+    assert explain["view"] == "tau1"
+
+
+def test_prune_over_http(client):
+    _setup(client)
+    for step in range(3):
+        client.commit("db", Delta.insert("course", (f"CS91{step}", "T", "CS")))
+    result = client.prune("db", keep_last=1)
+    assert result["count"] == 3
+    assert result["indices"] == [0, 1, 2]
+
+
+def test_restart_replays_from_wal(tmp_path):
+    wal_dir = tmp_path / "wal"
+    with NetServerThread("127.0.0.1", 0, wal_dir=wal_dir) as srv:
+        client = NetClient(*srv.address, namespace="prod")
+        client.register_view("tau1")
+        client.attach(example_registrar_instance(), name="db", durable=True)
+        client.commit("db", Delta.insert("course", ("CS904", "Durable", "CS")))
+        client.commit("db", Delta.insert("prereq", ("CS904", "CS240")))
+        before = client.publish("tau1", source="db")
+        assert before.version == 2
+
+    with NetServerThread("127.0.0.1", 0, wal_dir=wal_dir) as srv:
+        client = NetClient(*srv.address, namespace="prod")
+        client.register_view("tau1")  # views are re-registered, sources recovered
+        assert [source["name"] for source in client.sources()] == ["db"]
+        after = client.publish("tau1", source="db")
+        assert after.version == 2
+        assert after.document == before.document
+        # and the recovered source keeps accepting commits
+        out = client.commit("db", Delta.insert("course", ("CS905", "After", "CS")))
+        assert out["version"] == 3
+
+
+def test_subscribe_failure_answers_http_not_dead_socket(client):
+    # opening a subscription runs a full publish; if that raises (here: the
+    # node budget on a blow-up chain), the server must answer with an HTTP
+    # error on the not-yet-upgraded socket and keep serving
+    from repro.relational.instance import Instance
+    from repro.workloads.registrar import REGISTRAR_SCHEMA
+
+    n = 3000
+    blowup = Instance(
+        REGISTRAR_SCHEMA,
+        {
+            "course": [(f"c{i}", f"T{i}", "CS") for i in range(n)],
+            "prereq": [(f"c{i}", f"c{i + 1}") for i in range(n - 1)],
+        },
+    )
+    client.register_view("tau1")
+    client.attach(blowup, name="chain")
+    with pytest.raises(NetClientError) as caught:
+        client.subscribe("tau1", source="chain").__enter__()
+    assert caught.value.status == 500
+    assert "node budget" in str(caught.value)
+    assert client.healthz()["ok"] is True
+
+
+def test_commit_schema_violation_is_a_client_error(client):
+    _setup(client)
+    with pytest.raises(NetClientError) as caught:
+        client.commit("db", Delta.insert("course", ("only-two", "columns")))
+    assert caught.value.status == 400
+    assert client.healthz()["ok"] is True
+
+
+def test_non_durable_attach_without_wal_dir(client):
+    client.register_view("tau1")
+    info = client.attach(example_registrar_instance(), name="db")
+    assert info["durable"] is False
+    with pytest.raises(NetClientError) as caught:
+        client.attach(example_registrar_instance(), name="db2", durable=True)
+    assert caught.value.status == 400

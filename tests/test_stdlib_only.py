@@ -1,0 +1,53 @@
+"""Guard: ``src/repro`` must import nothing outside the standard library.
+
+The whole point of the network tier (and the repo) is that it runs on a
+bare Python install -- no aiohttp, no websockets, no msgpack.  This test
+AST-walks every module under ``src/repro`` and asserts that every top-level
+import root is either a stdlib module or ``repro`` itself, so a stray
+third-party dependency fails CI before it fails a user.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+ALLOWED_ROOTS = set(sys.stdlib_module_names) | {"repro"}
+
+
+def _import_roots(path: Path):
+    """Yield ``(lineno, root_module)`` for every import in one file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node.lineno, alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import: stays inside repro
+                continue
+            if node.module:
+                yield node.lineno, node.module.split(".")[0]
+
+
+def test_src_repro_is_stdlib_only():
+    offenders = []
+    files = sorted(SRC.rglob("*.py"))
+    assert files, f"no sources found under {SRC}"
+    for path in files:
+        for lineno, root in _import_roots(path):
+            if root not in ALLOWED_ROOTS:
+                offenders.append(f"{path.relative_to(SRC.parent)}:{lineno}: {root}")
+    assert not offenders, "non-stdlib imports found:\n" + "\n".join(offenders)
+
+
+def test_net_tier_modules_import_cleanly():
+    # the tier most tempted by third-party helpers actually imports
+    import repro.serve.net  # noqa: F401
+    import repro.serve.net.app  # noqa: F401
+    import repro.serve.net.client  # noqa: F401
+    import repro.serve.net.protocol  # noqa: F401
+    import repro.serve.net.wal  # noqa: F401
+    import repro.relational.wire  # noqa: F401

@@ -1,0 +1,275 @@
+"""The canonical wire codecs shared by the WAL and the network protocol.
+
+The contract: ``to_json``/``from_json`` round-trip Deltas, Instances and
+EditScripts exactly (including tuples, bytes, None and mixed-type values
+that plain JSON cannot carry), the encoding is canonical (equal values ->
+identical bytes, independent of construction order), and malformed payloads
+fail loudly with :class:`~repro.relational.wire.WireError` instead of
+decoding to something almost right.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.relational.delta import Delta
+from repro.relational.instance import Instance
+from repro.relational.schema import RelationalSchema
+from repro.relational.wire import (
+    WIRE_FORMAT,
+    WireError,
+    canonical_json,
+    decode_rows,
+    decode_value,
+    delta_from_wire,
+    delta_to_wire,
+    encode_rows,
+    encode_value,
+    instance_from_wire,
+    instance_to_wire,
+)
+from repro.workloads.registrar import (
+    REGISTRAR_SCHEMA,
+    example_registrar_instance,
+    generate_registrar_instance,
+)
+from repro.xmltree.diff import (
+    EditScript,
+    diff_trees,
+    tree_from_wire,
+    tree_to_wire,
+    trees_equal,
+)
+from repro.xmltree.tree import TreeNode
+
+
+# ---------------------------------------------------------------------------
+# Values.
+# ---------------------------------------------------------------------------
+
+MIXED_VALUES = [
+    "plain",
+    "",
+    "with\nnewline and é",
+    0,
+    -17,
+    2**70,
+    3.5,
+    -0.0,
+    True,
+    False,
+    None,
+    (1, "two", None),
+    ((1, 2), (3, (4, 5))),
+    (),
+    b"",
+    b"\x00\xff raw bytes",
+]
+
+
+@pytest.mark.parametrize("value", MIXED_VALUES, ids=repr)
+def test_value_round_trip(value):
+    encoded = encode_value(value)
+    json.dumps(encoded)  # must be JSON-representable as-is
+    decoded = decode_value(encoded)
+    assert decoded == value
+    assert type(decoded) is type(value)
+
+
+def test_bool_and_int_do_not_collide():
+    # True == 1 in Python; the codec must keep the types apart.
+    assert decode_value(encode_value(True)) is True
+    assert decode_value(encode_value(1)) == 1
+    assert decode_value(encode_value(1)) is not True
+
+
+def test_unencodable_value_rejected():
+    with pytest.raises(WireError):
+        encode_value({"a": "dict"})
+    with pytest.raises(WireError):
+        encode_value(object())
+
+
+def test_undecodable_payload_rejected():
+    for payload in ({"x": 1}, {"t": "not-a-list"}, {"b": 5}, {"b": "not base64!"}):
+        with pytest.raises(WireError):
+            decode_value(payload)
+
+
+def test_rows_are_canonically_sorted():
+    rows = [(2, "b"), (1, "a"), (1, None)]
+    encoded = encode_rows(rows)
+    assert encoded == encode_rows(reversed(rows))
+    assert set(decode_rows(encoded, "test")) == set(tuple(r) for r in rows)
+
+
+# ---------------------------------------------------------------------------
+# Deltas.
+# ---------------------------------------------------------------------------
+
+
+def _random_delta(rng: random.Random, instance: Instance) -> Delta:
+    """A random workload delta: some deletions of live rows, some inserts."""
+    inserted: dict = {}
+    deleted: dict = {}
+    for relation in instance.schema.names():
+        rows = sorted(instance[relation])
+        if rows and rng.random() < 0.8:
+            deleted[relation] = set(rng.sample(rows, k=rng.randrange(1, min(4, len(rows) + 1))))
+        if rng.random() < 0.8:
+            arity = instance.schema.arity(relation)
+            inserted[relation] = {
+                tuple(f"w{rng.randrange(1000)}" for _ in range(arity))
+                for _ in range(rng.randrange(1, 4))
+            }
+    return Delta(inserted=inserted, deleted=deleted)
+
+
+def test_delta_round_trip_over_random_workloads():
+    rng = random.Random(7)
+    for seed in range(20):
+        instance = generate_registrar_instance(12, seed=seed)
+        delta = _random_delta(rng, instance)
+        payload = delta.to_wire()
+        assert payload["format"] == WIRE_FORMAT
+        assert Delta.from_wire(payload) == delta
+        assert Delta.from_json(delta.to_json()) == delta
+
+
+def test_delta_with_mixed_value_types():
+    delta = Delta(
+        inserted={"r": {(1, "a", None), (b"\x00", (2, 3), 4.5)}},
+        deleted={"s": {(True, False)}},
+    )
+    assert Delta.from_json(delta.to_json()) == delta
+
+
+def test_delta_json_is_canonical():
+    a = Delta(inserted={"r": {(1,), (2,)}, "s": {(3,)}})
+    b = Delta(inserted={"s": {(3,)}, "r": {(2,), (1,)}})
+    assert a.to_json() == b.to_json()
+    # and deterministic across processes: no dict-order or hash-order leaks
+    assert a.to_json() == Delta.from_json(a.to_json()).to_json()
+
+
+def test_delta_from_wire_rejects_garbage():
+    with pytest.raises(WireError):
+        Delta.from_json("[]")
+    with pytest.raises(WireError):
+        Delta.from_wire({"format": WIRE_FORMAT, "kind": "edits"})
+    with pytest.raises(WireError):
+        Delta.from_wire({"format": 99, "kind": "delta", "inserted": {}, "deleted": {}})
+
+
+# ---------------------------------------------------------------------------
+# Instances.
+# ---------------------------------------------------------------------------
+
+
+def test_instance_round_trip():
+    instance = example_registrar_instance()
+    payload = instance_to_wire(instance)
+    restored = instance_from_wire(payload)
+    assert restored.schema.names() == instance.schema.names()
+    for relation in instance.schema.names():
+        assert set(restored[relation]) == set(instance[relation])
+
+
+def test_instance_round_trip_is_representation_agnostic():
+    from repro.relational.columnar import ensure_encoded
+
+    plain = generate_registrar_instance(10, seed=3)
+    encoded = generate_registrar_instance(10, seed=3)
+    ensure_encoded(encoded)
+    assert canonical_json(instance_to_wire(plain)) == canonical_json(
+        instance_to_wire(encoded)
+    )
+
+
+def test_instance_wire_rejects_bad_schema():
+    payload = instance_to_wire(example_registrar_instance())
+    payload = json.loads(canonical_json(payload))
+    payload["relations"]["course"]["rows"].append(["only-one-column"])
+    with pytest.raises(WireError):
+        instance_from_wire(payload)
+
+
+# ---------------------------------------------------------------------------
+# Trees and edit scripts.
+# ---------------------------------------------------------------------------
+
+
+def _tau1_tree(instance: Instance, tau1) -> TreeNode:
+    from repro.serve import ViewServer
+
+    vs = ViewServer()
+    vs.register_view("t", tau1)
+    return vs.publish("t", source=instance, output="tree")
+
+
+def test_tree_wire_round_trip(tau1):
+    tree = _tau1_tree(example_registrar_instance(), tau1)
+    payload = tree_to_wire(tree)
+    json.dumps(payload)
+    assert trees_equal(tree_from_wire(payload), tree)
+
+
+def test_tree_wire_survives_exponential_depth():
+    # A path of depth 5000: the recursive json encoder would blow the stack
+    # on a nested encoding; the flat preorder encoding must not.
+    leaf = TreeNode("leaf")
+    node = leaf
+    for depth in range(5000):
+        node = TreeNode(f"n{depth % 7}", children=(node,))
+    payload = tree_to_wire(node)
+    restored = tree_from_wire(payload)
+    assert trees_equal(restored, node)
+
+
+def test_tree_wire_rejects_malformed_payloads():
+    good = tree_to_wire(TreeNode("a", children=(TreeNode("b"),)))
+    with pytest.raises(WireError):
+        tree_from_wire([])
+    with pytest.raises(WireError):
+        tree_from_wire(good + [["trailing", 0, None]])
+    with pytest.raises(WireError):
+        tree_from_wire(good[:-1])  # truncated: a child is missing
+
+
+def test_edit_script_round_trip_and_replay(tau1):
+    old_instance = generate_registrar_instance(14, seed=1)
+    new_instance = generate_registrar_instance(14, seed=2)
+    old_tree = _tau1_tree(old_instance, tau1)
+    new_tree = _tau1_tree(new_instance, tau1)
+    script = diff_trees(old_tree, new_tree)
+    restored = EditScript.from_json(script.to_json())
+    assert len(restored) == len(script)
+    assert trees_equal(restored.apply(old_tree), new_tree)
+
+
+def test_edit_script_round_trip_over_random_commits(tau1):
+    rng = random.Random(11)
+    instance = generate_registrar_instance(12, seed=5)
+    from repro.serve import ViewServer
+
+    vs = ViewServer()
+    vs.register_view("t", tau1)
+    handle = vs.attach(instance, name="db")
+    sub = vs.subscribe("t", handle)
+    tree = sub.tree
+    for _ in range(6):
+        handle.commit(_random_delta(rng, handle.instance))
+        event = sub.pop()
+        wire_script = EditScript.from_json(event.edits.to_json())
+        tree = wire_script.apply(tree)
+        assert trees_equal(tree, vs.publish("t", source=handle, output="tree"))
+
+
+def test_edit_script_wire_rejects_bad_ops():
+    with pytest.raises(WireError):
+        EditScript.from_wire(
+            {"format": WIRE_FORMAT, "kind": "edits", "edits": [{"op": "explode"}]}
+        )
