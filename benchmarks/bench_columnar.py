@@ -190,12 +190,27 @@ def measure_publish_byte_identity(num_courses: int = 60, diamonds: int = 8) -> d
             3,
             batches=3,
         )
+        # The bytes-native driver (repro.engine.emit) on the encoded twin:
+        # identical bytes, measured cold (fresh plan per run, like the rest).
+        bytes_xml = compile_plan(
+            transducer, max_nodes=max_nodes or 200_000
+        ).publish_bytes(encoded)
+        assert bytes_xml == row_xml, f"{name}: bytes path must be byte-identical"
+        bytes_seconds = _best(
+            lambda: compile_plan(
+                transducer, max_nodes=max_nodes or 200_000
+            ).publish_bytes(encoded),
+            3,
+            batches=3,
+        )
         report[name] = {
             "xml_bytes": len(row_xml),
             "byte_identical": True,
             "row_seconds": row_seconds,
             "columnar_seconds": columnar_seconds,
             "row_over_columnar_ratio": row_seconds / columnar_seconds,
+            "bytes_path_seconds": bytes_seconds,
+            "row_over_bytes_path_ratio": row_seconds / bytes_seconds,
         }
     return report
 

@@ -159,6 +159,11 @@ class CacheStats:
         because their rule queries read a changed relation.
     retained:
         Memoised expansions carried over across :meth:`republish` untouched.
+    rendered_hits:
+        Pre-rendered byte spans reused by the bytes-native publish path
+        (:meth:`PublishingPlan.publish_bytes`).
+    rendered_misses:
+        Subtree spans the bytes path had to render from the expansions.
     """
 
     hits: int = 0
@@ -167,6 +172,8 @@ class CacheStats:
     instances: int = 0
     invalidated: int = 0
     retained: int = 0
+    rendered_hits: int = 0
+    rendered_misses: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -184,6 +191,8 @@ class CacheStats:
             "instances": self.instances,
             "invalidated": self.invalidated,
             "retained": self.retained,
+            "rendered_hits": self.rendered_hits,
+            "rendered_misses": self.rendered_misses,
             "hit_rate": self.hit_rate,
         }
 
@@ -270,6 +279,15 @@ class _InstanceState:
     suspect whose configurations all re-expand identically is promoted back,
     anything else is dropped.  Suspects live for one migration generation
     only -- the next migration discards whatever was never confirmed.
+
+    ``renders`` / ``render_suspects`` are the bytes-path analogue (see
+    :mod:`repro.engine.emit`): pre-rendered byte spans keyed by
+    ``(indent, triple, level)``, migrated and lazily confirmed exactly like
+    subtrees.  ``text_fragments`` memoises escaped character data per row
+    register (the encoded pipeline interns fragments on the shared encoder
+    instead, so they survive version migrations for free); it carries over
+    across migrations unconditionally because a text node's rendering is a
+    function of its register alone, never of the source instance.
     """
 
     __slots__ = (
@@ -280,6 +298,9 @@ class _InstanceState:
         "expansions",
         "subtrees",
         "suspects",
+        "renders",
+        "render_suspects",
+        "text_fragments",
         "prior_expansions",
         "invalid_pairs",
         "prior_instance",
@@ -302,6 +323,10 @@ class _InstanceState:
         self.expansions: dict[Triple, tuple[Triple, ...]] = {}
         self.subtrees: dict[Triple, _SubtreeEntry] = {}
         self.suspects: dict[Triple, _SubtreeEntry] = {}
+        # Keyed (indent, triple, level) -> repro.engine.emit._RenderEntry.
+        self.renders: dict[tuple, object] = {}
+        self.render_suspects: dict[tuple, object] = {}
+        self.text_fragments: dict[RegisterContent, str] = {}
         self.prior_expansions: dict[Triple, tuple[Triple, ...]] = {}
         self.invalid_pairs: frozenset[tuple[str, str]] = frozenset()
         self.prior_instance: Instance | None = None
@@ -449,6 +474,12 @@ class PublishingPlan:
         self._instances_seen = 0
         self._invalidated = 0
         self._retained = 0
+        self._render_hits = 0
+        self._render_misses = 0
+        # Byte-template tables of the bytes-native publish path, one per
+        # indent mode (repro.engine.emit._Templates); tag sets are
+        # per-transducer, so per-plan caching is exactly right.
+        self._templates: dict[int | None, object] = {}
 
     # -- introspection -------------------------------------------------------
 
@@ -473,6 +504,8 @@ class PublishingPlan:
             self._instances_seen,
             self._invalidated,
             self._retained,
+            self._render_hits,
+            self._render_misses,
         )
 
     def clear_cache(self) -> None:
@@ -563,6 +596,41 @@ class PublishingPlan:
         state = self._instance_state(instance)
         budget = self._max_nodes if max_nodes is None else max_nodes
         return self._stream_events(state, budget)
+
+    def publish_bytes(
+        self,
+        instance: Instance,
+        indent: int | None = 2,
+        write=None,
+        max_nodes: int | None = None,
+    ) -> str:
+        """Serialise the output document without materialising the tree.
+
+        The bytes-native driver (:mod:`repro.engine.emit`): constant byte
+        skeletons (`<tag>`, indentation, closers) are preassembled per tag
+        and level, character data is answered from interned escaped
+        fragments (per register, on the shared dictionary encoder when the
+        instance is encoded), and the rendered span of every clean subtree
+        is cached per ``(state, tag, register)`` configuration -- migrated
+        across :meth:`republish` exactly like the structural subtree cache,
+        so an incremental publish re-renders only invalidated spans and a
+        cache-hot publish is a buffer handoff.  Output is byte-identical to
+        serialising :meth:`publish` / :meth:`publish_events` with the
+        matching ``indent`` (``indent=None`` matches the compact
+        serialiser); stop-condition and node-budget semantics are those of
+        tree mode.  As with the streaming serialisers, a supplied ``write``
+        receives the document (one chunk here) and the return value is
+        ``""``.
+        """
+        from repro.engine.emit import render_document
+
+        state = self._instance_state(instance)
+        budget = self._max_nodes if max_nodes is None else max_nodes
+        document = render_document(self, state, budget, indent)
+        if write is not None:
+            write(document)
+            return ""
+        return document
 
     def publish_xml(
         self,
@@ -700,7 +768,30 @@ class PublishingPlan:
                 state.suspects[triple] = entry
             else:
                 state.subtrees[triple] = entry
+        for key, rentry in prev_state.renders.items():
+            if any((t[0], t[1]) in invalid_pairs for t in rentry.triples):
+                state.render_suspects[key] = rentry
+            else:
+                state.renders[key] = rentry
+        # Text rendering is a function of the register alone; fragments
+        # survive every delta.  (Encoded lineages intern on the encoder.)
+        state.text_fragments = prev_state.text_fragments
         return state, len(prior), len(retained)
+
+    def _confirm_triples(
+        self, state: _InstanceState, triples: frozenset[Triple]
+    ) -> bool:
+        """Confirm a migrated cache entry: every configuration of the entry
+        belonging to an invalidated ``(state, tag)`` pair must re-expand --
+        memoised, so the work is shared across entries -- exactly as the
+        previous version memoised it."""
+        prior = state.prior_expansions
+        invalid_pairs = state.invalid_pairs
+        for t in triples:
+            if (t[0], t[1]) in invalid_pairs:
+                if self._expansion(state, t) != prior.get(t):
+                    return False
+        return True
 
     def _subtree_entry(
         self, state: _InstanceState, cursor: _Cursor, triple: Triple
@@ -719,12 +810,8 @@ class PublishingPlan:
             entry = state.suspects.pop(triple, None)
             if entry is None:
                 return None
-            prior = state.prior_expansions
-            invalid_pairs = state.invalid_pairs
-            for t in entry.triples:
-                if (t[0], t[1]) in invalid_pairs:
-                    if self._expansion(state, t) != prior.get(t):
-                        return None
+            if not self._confirm_triples(state, entry.triples):
+                return None
             state.subtrees[triple] = entry
         if not cursor.path_disjoint(entry.triples):
             return None
@@ -1006,6 +1093,13 @@ class PublishingPlan:
                 groups: dict[tuple[DataValue, ...], set[tuple[DataValue, ...]]] = {}
                 for row in answers:
                     groups.setdefault(row[:group_arity], set()).add(row)
+                if len(groups) == 1:
+                    # Ubiquitous on recursive views (one child per step):
+                    # nothing to order, skip the sort-key construction.
+                    children.append(
+                        (item.state, item.tag, frozenset(next(iter(groups.values()))))
+                    )
+                    continue
                 for key in sorted(groups, key=tuple_order_key):
                     children.append((item.state, item.tag, frozenset(groups[key])))
             result = tuple(children)
@@ -1053,10 +1147,15 @@ class PublishingPlan:
             groups: dict[tuple[int, ...], set[tuple[int, ...]]] = {}
             for row in answers:
                 groups.setdefault(row[:group_arity], set()).add(row)
-            decode_row = encoder.decode_row
-            for key in sorted(
-                groups, key=lambda group: tuple_order_key(decode_row(group))
-            ):
+            if len(groups) == 1:
+                children.append(
+                    (item.state, item.tag, frozenset(next(iter(groups.values()))))
+                )
+                continue
+            # The implicit order on D is an order on values, not on ids;
+            # the encoder memoises one order key per id so repeated sorts
+            # never rebuild the type-rank tuples.
+            for key in sorted(groups, key=encoder.row_order_key):
                 children.append((item.state, item.tag, frozenset(groups[key])))
         return tuple(children)
 

@@ -35,7 +35,14 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable, Sequence
 
-from repro.relational.domain import DataValue
+from xml.sax.saxutils import escape
+
+from repro.relational.domain import (
+    DataValue,
+    order_key,
+    relation_to_text,
+    value_to_text,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.relational.instance import Instance, Relation
@@ -189,15 +196,28 @@ class DictionaryEncoder:
     version stay valid under the next.
     """
 
-    __slots__ = ("_ids", "values", "_row_cache")
+    __slots__ = (
+        "_ids",
+        "values",
+        "_row_cache",
+        "_fragment_cache",
+        "_value_fragments",
+        "_order_keys",
+    )
 
     #: Cap on the memoised decoded-row cache (cleared wholesale when full).
     max_cached_rows = 1_000_000
+
+    #: Cap on the escaped text-fragment cache (cleared wholesale when full).
+    max_cached_fragments = 1_000_000
 
     def __init__(self) -> None:
         self._ids: dict[DataValue, int] = {}
         self.values: list[DataValue] = []
         self._row_cache: dict[tuple[int, ...], tuple[DataValue, ...]] = {}
+        self._fragment_cache: dict[frozenset[tuple[int, ...]], str] = {}
+        self._value_fragments: dict[int, str] = {}
+        self._order_keys: dict[int, tuple] = {}
 
     # -- encoding ------------------------------------------------------------
 
@@ -273,6 +293,64 @@ class DictionaryEncoder:
             cache.update(fresh)
         return frozenset(out)
 
+    # -- rendered fragments and order keys -----------------------------------
+
+    def escaped_value(self, vid: int) -> str:
+        """The XML-escaped text form of one interned value, memoised per id.
+
+        Ids never change, so the fragment computed once (``escape`` over
+        :func:`~repro.relational.domain.value_to_text`) stays valid for the
+        whole lineage of instance versions sharing this encoder.
+        """
+        fragments = self._value_fragments
+        found = fragments.get(vid)
+        if found is None:
+            found = escape(value_to_text(self.values[vid]))
+            fragments[vid] = found
+        return found
+
+    def escaped_text(self, rows: frozenset[tuple[int, ...]]) -> str:
+        """The XML-escaped character data of an encoded register.
+
+        Matches ``escape(relation_to_text(decoded_register))`` byte for byte:
+        the row separators (``"; "`` / ``", "``) contain nothing the escaper
+        rewrites, so escaping per value and joining is identical to joining
+        and escaping.  Registers repeat heavily across publishes (they are
+        the engine's memo keys), so the result is interned per register.
+        """
+        cache = self._fragment_cache
+        found = cache.get(rows)
+        if found is None:
+            if len(rows) == 1:
+                row = next(iter(rows))
+                if len(row) == 1:
+                    found = self.escaped_value(row[0])
+                else:
+                    found = escape(relation_to_text(self.decode_rows(rows)))
+            else:
+                found = escape(relation_to_text(self.decode_rows(rows)))
+            if len(cache) >= self.max_cached_fragments:
+                cache.clear()
+            cache[rows] = found
+        return found
+
+    def order_key_of(self, vid: int) -> tuple:
+        """The :func:`~repro.relational.domain.order_key` of an interned value.
+
+        Memoised per id so encoded sibling-order sorts never rebuild the
+        type-rank tuples of values they have sorted before.
+        """
+        keys = self._order_keys
+        found = keys.get(vid)
+        if found is None:
+            found = order_key(self.values[vid])
+            keys[vid] = found
+        return found
+
+    def row_order_key(self, row: tuple[int, ...]) -> tuple:
+        """Sort key for one encoded row under the implicit document order."""
+        return tuple(map(self.order_key_of, row))
+
     # -- columnar views ------------------------------------------------------
 
     def columns_for(self, relation: "Relation") -> ColumnarRelation:
@@ -311,8 +389,11 @@ class DictionaryEncoder:
         return len(self.values)
 
     def stats(self) -> dict[str, int]:
-        """Size of the dictionary (distinct interned values)."""
-        return {"distinct_values": len(self.values)}
+        """Size of the dictionary and its derived caches."""
+        return {
+            "distinct_values": len(self.values),
+            "cached_fragments": len(self._fragment_cache),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DictionaryEncoder(distinct_values={len(self.values)})"

@@ -22,6 +22,8 @@ Design notes:
   derived from the source's version number and the request's routing axes;
   ``If-None-Match`` short-circuits to ``304 Not Modified`` *before any
   evaluation* -- an unchanged publish costs a dictionary lookup, not a query.
+  Clients that do not revalidate still hit an ETag-keyed LRU of encoded
+  response bodies, so a cache-warm ``200`` is a buffer handoff too.
 * **Fan-out is one republish + one encode per commit.**  All WebSocket
   subscribers of a (view, source, binding) share one
   :meth:`ViewServer.subscribe` chain, and each pushed
@@ -124,6 +126,9 @@ class NetServer:
     #: queue before the kernel accepts them).
     max_buffered_bytes = 8 * 1024 * 1024
 
+    #: Retained entries in the ETag-keyed response-body cache.
+    max_cached_responses = 128
+
     def __init__(
         self,
         server: ViewServer | None = None,
@@ -139,6 +144,11 @@ class NetServer:
         self._snapshot_every = snapshot_every
         self._fsync = fsync
         self._groups: dict[tuple, _Broadcast] = {}
+        #: Encoded publish bodies keyed by ETag (LRU, newest last).  The ETag
+        #: already pins every axis that can change the bytes -- source version,
+        #: binding, output form, backend, indent -- so a hit skips evaluation
+        #: *and* encoding; stale versions age out as new ETags displace them.
+        self._response_cache: dict[str, bytes] = {}
         self._asyncio_server: asyncio.base_events.Server | None = None
         self._ws_tasks: set[asyncio.Task] = set()
         self._conn_tasks: set[asyncio.Task] = set()
@@ -148,6 +158,7 @@ class NetServer:
             "commits": 0,
             "publishes": 0,
             "not_modified": 0,
+            "response_cache_hits": 0,
             "ws_connections": 0,
             "ws_active": 0,
             "deliveries": 0,
@@ -406,6 +417,11 @@ class NetServer:
         ):
             self.counters["not_modified"] += 1
             return render_response(304, b"", headers)
+        body = self._response_cache.pop(etag, None)
+        if body is not None:
+            self._response_cache[etag] = body  # LRU touch: newest last
+            self.counters["response_cache_hits"] += 1
+            return render_response(200, body, headers, content_type="application/xml")
         document = vs.publish(
             view,
             source=snapshot,
@@ -416,9 +432,11 @@ class NetServer:
             indent=indent,
         )
         self.counters["publishes"] += 1
-        return render_response(
-            200, document.encode("utf-8"), headers, content_type="application/xml"
-        )
+        body = document.encode("utf-8")
+        self._response_cache[etag] = body
+        while len(self._response_cache) > self.max_cached_responses:
+            self._response_cache.pop(next(iter(self._response_cache)))
+        return render_response(200, body, headers, content_type="application/xml")
 
     def _explain(self, vs: ViewServer, view_name: str, request: Request) -> bytes:
         vs.view(view_name)  # reject unknown names before touching explain

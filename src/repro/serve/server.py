@@ -56,11 +56,7 @@ from repro.relational.delta import Delta
 from repro.relational.domain import DataValue
 from repro.relational.instance import Instance
 from repro.relational.schema import RelationalSchema
-from repro.serve.oneshot import (
-    compact_tree,
-    publish_document,
-    serialize_tree,
-)
+from repro.serve.oneshot import compact_tree, serialize_tree
 from repro.xmltree.diff import EditScript, diff_trees
 from repro.xmltree.events import tree_to_events
 from repro.xmltree.tree import TreeNode
@@ -1057,6 +1053,16 @@ class ViewServer:
             # chain -- serve a from-scratch publish of that version.
             instance = handle._instance_for(snapshot, backend)
             return self._render_full(plan, instance, output, indent, write, budget)
+        if output in ("bytes", "xml", "compact"):
+            # Serialised forms of a maintained chain render through the
+            # bytes-native driver rather than re-walking the maintained
+            # tree: the republish that advanced the chain migrated the
+            # rendered-span cache, so only invalidated spans re-render and
+            # an unchanged document is a buffer handoff.  The instance is
+            # the chain's own snapshot object (``_instance_for`` is cached
+            # per version), so the plan's per-instance caches are shared.
+            instance = handle._instance_for(snapshot, backend)
+            return self._render_full(plan, instance, output, indent, write, budget)
         return self._render_tree(tree, output, indent, write)
 
     def subscribe(
@@ -1273,18 +1279,24 @@ class ViewServer:
         write,
         max_nodes: int | None,
     ):
-        """A from-scratch publish, streamed whenever the output form allows."""
+        """A from-scratch publish on the fastest driver for the output form.
+
+        The serialised forms run on the bytes-native driver
+        (:meth:`~repro.engine.plan.PublishingPlan.publish_bytes`): no tree is
+        materialised, character data comes from interned fragments, and
+        rendered subtree spans are cached per configuration -- so repeated
+        and incrementally maintained publishes are mostly buffer reuse.
+        ``output="events"`` remains the bounded-memory streaming path.
+        """
         if output == "tree":
             return plan.publish(instance, max_nodes)
         if output == "events":
             return plan.publish_events(instance, max_nodes)
         if output in ("bytes", "xml"):
-            return publish_document(
-                plan, instance, indent=indent, write=write, max_nodes=max_nodes
+            return plan.publish_bytes(
+                instance, indent=indent, write=write, max_nodes=max_nodes
             )
-        from repro.xmltree.serialize import compact_xml_from_events
-
-        return compact_xml_from_events(plan.publish_events(instance, max_nodes))
+        return plan.publish_bytes(instance, indent=None, max_nodes=max_nodes)
 
     def _render_tree(
         self, tree: TreeNode, output: str, indent: int | None, write

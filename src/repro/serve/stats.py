@@ -98,7 +98,9 @@ class ServerStats:
                 f"backend={view.last_backend or 'none yet'}, "
                 f"memo hit rate {cache.get('hit_rate', 0.0):.1%} "
                 f"({cache.get('invalidated', 0)} invalidated / "
-                f"{cache.get('retained', 0)} retained across republishes)"
+                f"{cache.get('retained', 0)} retained across republishes, "
+                f"rendered spans {cache.get('rendered_hits', 0)} reused / "
+                f"{cache.get('rendered_misses', 0)} rendered)"
             )
         for source in self.sources:
             lines.append(
@@ -126,6 +128,8 @@ def collect_stats(server: "ViewServer") -> ServerStats:
             "instances": 0,
             "invalidated": 0,
             "retained": 0,
+            "rendered_hits": 0,
+            "rendered_misses": 0,
         }
         for plan in view.plans:
             for key, value in plan.cache_stats.as_dict().items():
@@ -221,6 +225,8 @@ class ExplainReport:
             f"  expansion cache: {self.cache.get('hits', 0)} hits / "
             f"{self.cache.get('misses', 0)} misses "
             f"(hit rate {self.cache.get('hit_rate', 0.0):.1%})",
+            f"  render cache: {self.cache.get('rendered_hits', 0)} spans reused / "
+            f"{self.cache.get('rendered_misses', 0)} rendered",
         ]
         for rule in self.rules:
             order = " >< ".join(rule.join_order) or "(no scans)"

@@ -28,32 +28,63 @@ def to_xml(node: TreeNode, indent: int = 2, _level: int = 0) -> str:
 
     Text nodes become character data of their parent element; element nodes
     become tags.  The output is deterministic because sibling order is part of
-    the tree.
+    the tree.  The walk is iterative: Proposition-1 outputs can be deeper
+    than Python's recursion limit (the flat preorder codec of
+    :mod:`repro.xmltree.diff` exists precisely to move such trees around),
+    and serialising one must not blow the interpreter stack.
     """
-    pad = " " * (indent * _level)
-    if node.is_text():
-        return f"{pad}{escape(node.text or '')}"
-    if not node.children:
-        return f"{pad}<{node.label}/>"
-    only_text = all(child.is_text() for child in node.children)
-    if only_text:
-        content = "".join(escape(child.text or "") for child in node.children)
-        return f"{pad}<{node.label}>{content}</{node.label}>"
-    lines = [f"{pad}<{node.label}>"]
-    for child in node.children:
-        lines.append(to_xml(child, indent, _level + 1))
-    lines.append(f"{pad}</{node.label}>")
+    lines: list[str] = []
+    # Each stack item is either a pending (node, level) pair or an
+    # already-rendered closing line (pushed before the node's children so it
+    # lands after them).
+    stack: list[tuple[TreeNode, int] | str] = [(node, _level)]
+    while stack:
+        item = stack.pop()
+        if type(item) is str:
+            lines.append(item)
+            continue
+        current, level = item
+        pad = " " * (indent * level)
+        if current.is_text():
+            lines.append(f"{pad}{escape(current.text or '')}")
+            continue
+        if not current.children:
+            lines.append(f"{pad}<{current.label}/>")
+            continue
+        if all(child.is_text() for child in current.children):
+            content = "".join(escape(child.text or "") for child in current.children)
+            lines.append(f"{pad}<{current.label}>{content}</{current.label}>")
+            continue
+        lines.append(f"{pad}<{current.label}>")
+        stack.append(f"{pad}</{current.label}>")
+        for child in reversed(current.children):
+            stack.append((child, level + 1))
     return "\n".join(lines)
 
 
 def to_compact_xml(node: TreeNode) -> str:
-    """Render a Σ-tree as single-line XML (useful in assertions and logs)."""
-    if node.is_text():
-        return escape(node.text or "")
-    if not node.children:
-        return f"<{node.label}/>"
-    inner = "".join(to_compact_xml(child) for child in node.children)
-    return f"<{node.label}>{inner}</{node.label}>"
+    """Render a Σ-tree as single-line XML (useful in assertions and logs).
+
+    Iterative for the same reason as :func:`to_xml`: tree depth must never
+    bound what can be serialised.
+    """
+    parts: list[str] = []
+    stack: list[TreeNode | str] = [node]
+    while stack:
+        item = stack.pop()
+        if type(item) is str:
+            parts.append(item)
+            continue
+        if item.is_text():
+            parts.append(escape(item.text or ""))
+            continue
+        if not item.children:
+            parts.append(f"<{item.label}/>")
+            continue
+        parts.append(f"<{item.label}>")
+        stack.append(f"</{item.label}>")
+        stack.extend(reversed(item.children))
+    return "".join(parts)
 
 
 class _Frame:

@@ -83,6 +83,27 @@ def test_etag_304_and_invalidation(client):
     assert fresh.etag != first.etag
 
 
+def test_response_body_cache_serves_repeat_publishes(client):
+    # A client that does not revalidate still gets cache-warm 200s: the
+    # encoded body is reused from the ETag-keyed LRU, and a commit (new
+    # ETag) goes back to evaluation.
+    _setup(client)
+    first = client.publish("tau1", source="db")
+    repeat = client.publish("tau1", source="db")
+    assert repeat.status == 200
+    assert repeat.document == first.document
+    stats = client.stats()
+    assert stats["net"]["response_cache_hits"] == 1
+    assert stats["net"]["publishes"] == 1
+
+    client.commit("db", Delta.insert("course", ("CS555", "Fresh", "CS")))
+    fresh = client.publish("tau1", source="db")
+    assert "CS555" in fresh.document
+    stats = client.stats()
+    assert stats["net"]["publishes"] == 2
+    assert stats["net"]["response_cache_hits"] == 1
+
+
 def test_etag_varies_with_output_axes(client):
     _setup(client)
     pretty = client.publish("tau1", source="db", indent=2)
