@@ -4,8 +4,8 @@ Two kinds of benchmark module live in this directory:
 
 * **script-capable** modules exposing a ``main(argv)`` entry point that
   prints a JSON report (``bench_query_eval``, ``bench_incremental``,
-  ``bench_columnar``, ``bench_serve``) -- these are run as subprocesses and
-  their JSON is captured verbatim;
+  ``bench_columnar``, ``bench_serve``, ``bench_parallel``, ...) -- these
+  are run as subprocesses and their JSON is captured verbatim;
 * **pytest-only** modules (the table/figure reproductions) -- these are run
   through pytest with ``--benchmark-disable`` (the timings are secondary;
   the reproduction assertions are the point) and their pass/fail status and
@@ -104,6 +104,21 @@ def _run_pytest(path: Path) -> dict:
     return entry
 
 
+def _cpu_count() -> int:
+    import os
+
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def _worker_pool_sizes(results: dict) -> list[int]:
+    """Worker counts exercised by the parallel benchmark (metadata)."""
+    report = results.get("bench_parallel", {}).get("report", {})
+    return list(report.get("workers_tested", []))
+
+
 def _env() -> dict:
     import os
 
@@ -139,17 +154,26 @@ def main(argv: list[str]) -> int:
         if entry["status"] != "passed":
             failed.append(name)
 
+    if failed:
+        # Do not overwrite the previous good baseline with a partial run:
+        # a failing bench means these numbers are not a trustworthy
+        # trajectory point, and a half-written report is worse than none.
+        print(
+            f"FAIL: {', '.join(failed)} -- {args.output} left untouched",
+            file=sys.stderr,
+        )
+        return 1
+
     merged = {
         "suite": "repro-benchmarks",
         "mode": "quick" if args.quick else "full",
         "python": sys.version.split()[0],
+        "cpu_count": _cpu_count(),
+        "worker_pool_sizes": _worker_pool_sizes(results),
         "results": results,
     }
     args.output.write_text(json.dumps(merged, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {args.output}")
-    if failed:
-        print(f"FAIL: {', '.join(failed)}", file=sys.stderr)
-        return 1
     return 0
 
 

@@ -38,7 +38,14 @@ per-level indentation; virtual tags contribute their children's spans
 spliced at the enclosing element's level.
 
 No ``TreeNode`` is ever constructed: working state is a frame stack over
-the expansion tuples and one flat list of string chunks.
+the expansion tuples and one flat list of string chunks.  The frame-stack
+driver (:func:`_render_span`) renders any subtree from any starting
+configuration, which is also the worker-side unit of ``repro.parallel``:
+:func:`render_subtree` renders one sibling subtree with the ancestor path
+seeded for stop-condition safety, and the parent process splices the
+returned spans — confluence makes every span a pure function of its own
+``(state, tag, register)`` over the snapshot, so the parallel document is
+byte-identical to the serial one by construction.
 """
 
 from __future__ import annotations
@@ -86,6 +93,36 @@ class _RenderEntry:
         self.document: str | None = None
 
 
+class SpanResult:
+    """What rendering one subtree yields: the span plus its close algebra.
+
+    ``span`` is the rendered contribution (indentation prefixes included);
+    ``texts`` carries the raw escaped fragments when the contribution is
+    pure text from a virtual subtree (the enclosing element may then still
+    render inline), ``None`` otherwise.  ``triples`` is the configuration
+    set for stop-condition/cacheability bookkeeping (``None`` when the span
+    is path-dependent or oversized), ``weight`` the node-budget charge and
+    ``opened`` the node count the span accounts for.  Everything here is
+    plain picklable data: this is exactly what a ``repro.parallel`` worker
+    sends back across the process boundary.
+    """
+
+    __slots__ = ("span", "texts", "triples", "weight", "opened")
+
+    def __init__(self, span, texts, triples, weight, opened):
+        self.span = span
+        self.texts = texts
+        self.triples = triples
+        self.weight = weight
+        self.opened = opened
+
+    def __getstate__(self):
+        return (self.span, self.texts, self.triples, self.weight, self.opened)
+
+    def __setstate__(self, state):
+        self.span, self.texts, self.triples, self.weight, self.opened = state
+
+
 class _EmitFrame:
     """One open node of the byte-rendering walk.
 
@@ -115,27 +152,46 @@ class _EmitFrame:
     )
 
 
-def render_document(plan, state, budget: int, indent: int | None) -> str:
-    """Render one instance's output document as a string (no trees built)."""
-    virtual = plan._virtual
-    if plan._root_tag in virtual or plan._root_tag == TEXT_TAG:
-        # Virtual or text roots splice children at the top level, where the
-        # single-root / no-top-level-text document rules live.  They are
-        # rare (no shipped workload uses one); keep the event serialiser as
-        # the exact reference semantics, error messages included.
-        from repro.xmltree.serialize import IncrementalXmlSerializer
+def _confirmed_entry(plan, state, key) -> _RenderEntry | None:
+    """The cached entry for ``key``, confirming a migrated suspect if needed.
 
-        serializer = IncrementalXmlSerializer(indent=indent)
-        return serializer.feed_all(plan._stream_events(state, budget)).finish()
+    Path-disjointness is the caller's concern; this only answers "is there
+    a (still valid) rendered span for this configuration".
+    """
+    entry = state.renders.get(key)
+    if entry is None:
+        entry = state.render_suspects.pop(key, None)
+        if entry is None:
+            return None
+        if not plan._confirm_triples(state, entry.triples):
+            return None
+        state.renders[key] = entry
+    return entry
 
+
+def _render_span(plan, state, cursor, indent, start_triple, start_level, blocked=()):
+    """The frame-stack driver: render ``start_triple``'s subtree into chunks.
+
+    Returns ``(out, info)`` where ``out`` is the chunk list (the subtree's
+    span, indentation prefixes included) and ``info`` the start frame's
+    close algebra as a :class:`SpanResult` (its ``span`` left ``None`` --
+    the chunks are handed back separately so the document driver can join
+    once).  ``blocked`` seeds the root-to-node path with ancestor triples,
+    which is how a parallel worker rendering one sibling subtree observes
+    the same stop condition a serial walk would.
+    """
     from repro.engine.plan import _SUBTREE_TRIPLE_LIMIT
 
+    virtual = plan._virtual
     pretty = indent is not None
     templates = plan._templates.get(indent)
     if templates is None:
         # opens / closes / empties keyed (tag, level); ends keyed tag;
         # pads keyed level.  In compact mode every level is normalised to 0.
-        templates = plan._templates[indent] = ({}, {}, {}, {}, {})
+        # setdefault so two racing publishes agree on one table (the
+        # per-tag entries below are deterministic, so last-wins fills are
+        # fine, but the five dicts themselves must be shared).
+        templates = plan._templates.setdefault(indent, ({}, {}, {}, {}, {}))
     opens, closes, empties, ends, pads = templates
 
     def pad_of(level: int) -> str:
@@ -183,43 +239,20 @@ def render_document(plan, state, budget: int, indent: int | None) -> str:
                 found = fragments[register] = escape(relation_to_text(register))
             return found
 
-    cursor = plan._cursor(state, budget)
     path = cursor._path
+    for ancestor in blocked:
+        path.add(ancestor)
     renders = state.renders
-    render_suspects = state.render_suspects
     limit = _SUBTREE_TRIPLE_LIMIT
-    root_triple = plan._root_triple()
-    root_key = (indent, root_triple, 0)
 
     def lookup(key) -> _RenderEntry | None:
-        entry = renders.get(key)
-        if entry is None:
-            entry = render_suspects.pop(key, None)
-            if entry is None:
-                return None
-            if not plan._confirm_triples(state, entry.triples):
-                return None
-            renders[key] = entry
-        if not path.isdisjoint(entry.triples):
+        entry = _confirmed_entry(plan, state, key)
+        if entry is None or not path.isdisjoint(entry.triples):
             return None
         return entry
 
-    # Cache-hot fast path: the whole document was rendered for this
-    # instance version (or provably re-renders identically after the
-    # migration's delta) -- hand the joined buffer back.
-    root_entry = lookup(root_key)
-    if root_entry is not None:
-        cursor.charge(root_entry.weight)
-        plan._render_hits += 1
-        document = root_entry.document
-        if document is None:
-            document = "".join(root_entry.chunks)
-            if pretty:
-                document = document[1:]
-            root_entry.document = document
-        return document
-
     out: list[str] = []
+    info: SpanResult | None = None
 
     def open_frame(triple, level: int) -> _EmitFrame:
         expansion = plan._expansion(state, triple)
@@ -246,7 +279,7 @@ def render_document(plan, state, budget: int, indent: int | None) -> str:
         frame.opened = 1
         return frame
 
-    frames = [open_frame(root_triple, 0)]
+    frames = [open_frame(start_triple, start_level)]
     while frames:
         frame = frames[-1]
         expansion = frame.expansion
@@ -283,7 +316,8 @@ def render_document(plan, state, budget: int, indent: int | None) -> str:
             entry = lookup((indent, child, frame.child_level))
             if entry is not None:
                 cursor.charge(entry.weight)
-                plan._render_hits += 1
+                with plan._lock:
+                    plan._render_hits += 1
                 out.extend(entry.chunks)
                 frame.weight += entry.weight
                 frame.opened += entry.saved
@@ -300,7 +334,8 @@ def render_document(plan, state, budget: int, indent: int | None) -> str:
             continue
         frames.pop()
         path.remove(frame.triple)
-        plan._render_misses += 1
+        with plan._lock:
+            plan._render_misses += 1
         tag = frame.triple[1]
         start = frame.start
         texts = frame.texts
@@ -351,10 +386,92 @@ def render_document(plan, state, budget: int, indent: int | None) -> str:
                     parent.triples |= triples
                 if len(parent.triples) > limit:
                     parent.triples = None
+        else:
+            info = SpanResult(
+                None,
+                tuple(texts) if frame.virtual and texts is not None else None,
+                frozenset(triples) if triples is not None else None,
+                frame.weight,
+                frame.opened,
+            )
+    for ancestor in blocked:
+        path.discard(ancestor)
+    return out, info
+
+
+def render_document(plan, state, budget: int, indent: int | None) -> str:
+    """Render one instance's output document as a string (no trees built)."""
+    virtual = plan._virtual
+    if plan._root_tag in virtual or plan._root_tag == TEXT_TAG:
+        # Virtual or text roots splice children at the top level, where the
+        # single-root / no-top-level-text document rules live.  They are
+        # rare (no shipped workload uses one); keep the event serialiser as
+        # the exact reference semantics, error messages included.
+        from repro.xmltree.serialize import IncrementalXmlSerializer
+
+        serializer = IncrementalXmlSerializer(indent=indent)
+        return serializer.feed_all(plan._stream_events(state, budget)).finish()
+
+    pretty = indent is not None
+    cursor = plan._cursor(state, budget)
+    root_triple = plan._root_triple()
+    root_key = (indent, root_triple, 0)
+
+    # Cache-hot fast path: the whole document was rendered for this
+    # instance version (or provably re-renders identically after the
+    # migration's delta) -- hand the joined buffer back.  The path is empty
+    # here, so confirmation is the only reuse condition.
+    root_entry = _confirmed_entry(plan, state, root_key)
+    if root_entry is not None:
+        cursor.charge(root_entry.weight)
+        with plan._lock:
+            plan._render_hits += 1
+        document = root_entry.document
+        if document is None:
+            document = "".join(root_entry.chunks)
+            if pretty:
+                document = document[1:]
+            root_entry.document = document
+        return document
+
+    out, _ = _render_span(plan, state, cursor, indent, root_triple, 0)
     document = "".join(out)
     if pretty:
         document = document[1:]
-    root_entry = renders.get(root_key)
+    root_entry = state.renders.get(root_key)
     if root_entry is not None:
         root_entry.document = document
     return document
+
+
+def render_subtree(
+    plan,
+    state,
+    budget: int,
+    indent: int | None,
+    triple,
+    level: int,
+    blocked=(),
+) -> SpanResult:
+    """Render one subtree's span: the worker-side unit of ``repro.parallel``.
+
+    ``blocked`` is the root-to-node path above the subtree (for a direct
+    child of the root: the root's triple), so stop-condition hits inside
+    the subtree behave exactly as in a serial walk.  The span lands in this
+    process's rendered-span cache as a side effect, which is what "merging
+    per-worker memo caches" means: the parent re-installs the returned
+    entries, a worker keeps its own cache warm across tasks.
+    """
+    cursor = plan._cursor(state, budget)
+    blocked = frozenset(blocked)
+    entry = _confirmed_entry(plan, state, (indent, triple, level))
+    if entry is not None and blocked.isdisjoint(entry.triples):
+        cursor.charge(entry.weight)
+        with plan._lock:
+            plan._render_hits += 1
+        return SpanResult(
+            "".join(entry.chunks), entry.texts, entry.triples, entry.weight, entry.saved
+        )
+    out, info = _render_span(plan, state, cursor, indent, triple, level, blocked)
+    info.span = "".join(out)
+    return info

@@ -66,6 +66,7 @@ executable specification and differential oracle.
 
 from __future__ import annotations
 
+import threading
 import warnings
 from dataclasses import dataclass
 from typing import Iterable, Iterator
@@ -467,6 +468,13 @@ class PublishingPlan:
                 sources.update(item.query.query.relation_names() - shadowed)
             self._pair_sources[(rule_.state, rule_.tag)] = frozenset(sources)
         # Per-instance caches in LRU order (the batch-first working set).
+        # The lock guards the LRU structure and the counters below so
+        # concurrent publish() calls (ViewServer with a pool, threaded
+        # callers) neither corrupt the eviction order nor tear counter
+        # updates.  Memo *values* need no lock: expansions are pure
+        # functions of (triple, instance), so racing writers store the
+        # same result and CPython dict operations are atomic.
+        self._lock = threading.RLock()
         self._states: dict[Instance, _InstanceState] = {}
         self._hits = 0
         self._misses = 0
@@ -480,6 +488,38 @@ class PublishingPlan:
         # indent mode (repro.engine.emit._Templates); tag sets are
         # per-transducer, so per-plan caching is exactly right.
         self._templates: dict[int | None, object] = {}
+
+    # -- process-boundary support --------------------------------------------
+
+    def __getstate__(self):
+        """Pickle only the compiled core: no caches, no lock, zero counters.
+
+        This is what ``repro.parallel`` ships to a worker once per plan:
+        the transducer, dispatch table and query plans cross the process
+        boundary; per-instance memo/render caches are rebuilt worker-side
+        (they are keyed by instance objects that do not cross), and the
+        counters start at zero so a worker copy reports only its own work.
+        """
+        state = self.__dict__.copy()
+        state["_lock"] = None
+        state["_states"] = {}
+        state["_templates"] = {}
+        for counter in (
+            "_hits",
+            "_misses",
+            "_evictions",
+            "_instances_seen",
+            "_invalidated",
+            "_retained",
+            "_render_hits",
+            "_render_misses",
+        ):
+            state[counter] = 0
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # -- introspection -------------------------------------------------------
 
@@ -497,20 +537,22 @@ class PublishingPlan:
     def cache_stats(self) -> CacheStats:
         """Counters of the shared expansion cache, as a typed
         :class:`CacheStats` (use :meth:`CacheStats.as_dict` for a plain dict)."""
-        return CacheStats(
-            self._hits,
-            self._misses,
-            self._evictions,
-            self._instances_seen,
-            self._invalidated,
-            self._retained,
-            self._render_hits,
-            self._render_misses,
-        )
+        with self._lock:
+            return CacheStats(
+                self._hits,
+                self._misses,
+                self._evictions,
+                self._instances_seen,
+                self._invalidated,
+                self._retained,
+                self._render_hits,
+                self._render_misses,
+            )
 
     def clear_cache(self) -> None:
         """Drop all per-instance caches (counters are preserved)."""
-        self._states.clear()
+        with self._lock:
+            self._states.clear()
 
     def rule_plans(self):
         """Yield ``(state, tag, item_index, QueryPlan | None)`` per rule item.
@@ -697,7 +739,8 @@ class PublishingPlan:
         if prev_tree is None:
             prev_tree = self.publish(prev_instance, max_nodes)
         new_instance = prev_instance.apply_delta(delta)
-        prev_state = self._states.get(prev_instance)
+        with self._lock:
+            prev_state = self._states.get(prev_instance)
         if prev_state is not None and prev_state.encoder is not new_instance._encoding:
             # The representation changed mid-lineage (ensure_encoded was
             # called after the previous publish): the memoised triples are
@@ -710,8 +753,9 @@ class PublishingPlan:
                 prev_state, new_instance, delta
             )
             self._install_state(new_instance, state)
-            self._invalidated += invalidated
-            self._retained += retained
+            with self._lock:
+                self._invalidated += invalidated
+                self._retained += retained
         else:
             # The previous version's cache was evicted: cold start.
             state = self._instance_state(new_instance)
@@ -1018,29 +1062,40 @@ class PublishingPlan:
     # -- instance cache -------------------------------------------------------
 
     def _instance_state(self, instance: Instance) -> _InstanceState:
-        state = self._states.get(instance)
-        if state is not None:
-            # Reinsert so eviction is least-recently-used, not first-inserted.
-            del self._states[instance]
-            self._states[instance] = state
-            return state
+        with self._lock:
+            state = self._states.get(instance)
+            if state is not None:
+                # Reinsert so eviction is least-recently-used, not
+                # first-inserted.  Held under the lock: a concurrent reader
+                # between the del and the reinsert would miss the state and
+                # build a duplicate, splitting the memo.
+                del self._states[instance]
+                self._states[instance] = state
+                return state
         problems = self._transducer.validate_against_schema(instance.schema)
         if problems:
             raise ValueError("; ".join(problems))
         state = _InstanceState(instance)
-        self._install_state(instance, state)
+        with self._lock:
+            # A racing thread may have installed a state meanwhile; adopt
+            # theirs so both publishes share one memo.
+            existing = self._states.get(instance)
+            if existing is not None:
+                return existing
+            self._install_state(instance, state)
         return state
 
     def _install_state(self, instance: Instance, state: _InstanceState) -> None:
         """Insert a per-instance cache at the most-recently-used end."""
-        if instance in self._states:
-            del self._states[instance]
-        self._states[instance] = state
-        self._instances_seen += 1
-        while len(self._states) > self._cache_instances:
-            oldest = next(iter(self._states))
-            del self._states[oldest]
-            self._evictions += 1
+        with self._lock:
+            if instance in self._states:
+                del self._states[instance]
+            self._states[instance] = state
+            self._instances_seen += 1
+            while len(self._states) > self._cache_instances:
+                oldest = next(iter(self._states))
+                del self._states[oldest]
+                self._evictions += 1
 
     # -- dispatch and expansion ----------------------------------------------
 
@@ -1062,7 +1117,8 @@ class PublishingPlan:
         """
         found = state.expansions.get(triple)
         if found is not None:
-            self._hits += 1
+            with self._lock:
+                self._hits += 1
             return found
         prior = state.prior_expansions.get(triple)
         if prior is not None and self._delta_preserves(state, triple):
@@ -1070,9 +1126,11 @@ class PublishingPlan:
             # answers unchanged, so the previous version's expansion is
             # promoted without evaluating any full rule query.
             state.expansions[triple] = prior
-            self._hits += 1
+            with self._lock:
+                self._hits += 1
             return prior
-        self._misses += 1
+        with self._lock:
+            self._misses += 1
         q, tag, register = triple
         items = self._dispatch(q, tag)
         if not items or tag == TEXT_TAG:
@@ -1233,7 +1291,8 @@ class PublishingPlan:
             entry = self._subtree_entry(state, cursor, root_triple)
             if entry is not None:
                 cursor.charge(entry.weight)
-                self._hits += entry.saved
+                with self._lock:
+                    self._hits += entry.saved
                 return entry.nodes[0]
         result: TreeNode | None = None
         frames = [cursor.open(root_triple)]
@@ -1245,7 +1304,8 @@ class PublishingPlan:
                 entry = self._subtree_entry(state, cursor, child)
                 if entry is not None:
                     cursor.charge(entry.weight)
-                    self._hits += entry.saved
+                    with self._lock:
+                        self._hits += entry.saved
                     frame.built.extend(entry.nodes)
                     frame.weight += entry.weight
                     frame.opened += entry.saved

@@ -1,0 +1,34 @@
+"""Multi-core publishing: a stdlib process pool over the compiled stack.
+
+Three parallel surfaces, one pool (:class:`WorkerPool`):
+
+* :func:`parallel_publish_bytes` fans the sibling subtrees of one publish
+  across workers (confluent expansions over an immutable snapshot are
+  embarrassingly parallel) and splices the spans byte-identically;
+* ``ViewServer(pool=...)`` (:mod:`repro.serve.server`) runs batches of
+  ``publish()`` calls for different views/versions concurrently
+  (:meth:`~repro.serve.server.ViewServer.publish_batch`);
+* ``NetServer(pool=...)`` (:mod:`repro.serve.net.app`) shards per-commit
+  subscriber delivery by ``(view, source, binding)`` group.
+
+Everything degrades to the serial path when the pool is absent, broken, or
+a task is not shippable (:class:`NotShippable`); output bytes never change.
+"""
+
+from repro.parallel.pool import (
+    NotShippable,
+    PoolBroken,
+    WorkerCrashed,
+    WorkerPool,
+    WorkerTaskError,
+)
+from repro.parallel.publish import parallel_publish_bytes
+
+__all__ = [
+    "NotShippable",
+    "PoolBroken",
+    "WorkerCrashed",
+    "WorkerPool",
+    "WorkerTaskError",
+    "parallel_publish_bytes",
+]

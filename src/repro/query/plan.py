@@ -538,6 +538,18 @@ class QueryPlan:
         self._delta = None  # lazily built repro.query.delta.DeltaPlan
         self._vector = None  # lazily built repro.query.vectorized.VectorKernel
 
+    def __getstate__(self):
+        # The delta and vectorized kernels hold closures; both are lazily
+        # rebuilt on demand, so a pickled plan ships only the operator tree.
+        return (self.root, self.head, self.requirements)
+
+    def __setstate__(self, state):
+        self.root, self.head, self.requirements = state
+        self.executions = 0
+        self.last_backend = None
+        self._delta = None
+        self._vector = None
+
     def _check_requirements(self, instance: Instance, overrides) -> bool:
         for name, arity in self.requirements:
             if name in overrides:
@@ -736,10 +748,48 @@ def _var_list(variables: Sequence[Variable]) -> str:
     return ", ".join(v.name for v in variables)
 
 
+class _ConstAccessor:
+    """Accessor returning a fixed constant regardless of the row.
+
+    A class (not a closure) so compiled plans can cross a process boundary:
+    the parallel executor pickles whole plan trees into worker processes.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: DataValue) -> None:
+        self.value = value
+
+    def __call__(self, row):
+        return self.value
+
+    def __getstate__(self):
+        return self.value
+
+    def __setstate__(self, state):
+        self.value = state
+
+
+class _ColumnAccessor:
+    """Accessor reading one bound column of the row (picklable, see above)."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+    def __call__(self, row):
+        return row[self.index]
+
+    def __getstate__(self):
+        return self.index
+
+    def __setstate__(self, state):
+        self.index = state
+
+
 def _accessor(term: Term, positions: Mapping[Variable, int]):
     """A row accessor for one comparison side (constant or bound column)."""
     if isinstance(term, Constant):
-        value = term.value
-        return lambda row: value
-    index = positions[term]
-    return lambda row: row[index]
+        return _ConstAccessor(term.value)
+    return _ColumnAccessor(positions[term])

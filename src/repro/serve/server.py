@@ -338,22 +338,30 @@ class SourceHandle:
             return cached
         # Walk back to the nearest version with a cached twin (or the oldest
         # reachable one), then replay the deltas forward, caching every step.
-        chain: list[SourceVersion] = []
-        cursor = version
-        while getattr(cursor, attr) is None:
-            parent = self._parent_of(cursor)
-            if parent is None:
-                break
-            chain.append(cursor)
-            cursor = parent
-        twin = getattr(cursor, attr)
-        if twin is None:  # the chain root (or a pruned-off snapshot)
-            twin = self._fresh_twin(cursor.instance, backend)
-            setattr(cursor, attr, twin)
-        for step in reversed(chain):
-            twin = twin.apply_delta(step.delta)
-            setattr(step, attr, twin)
-        return twin
+        # Under the handle lock: two concurrent derivations must not each
+        # mint a fresh encoder for the columnar lineage -- twins of one
+        # handle share one append-only dictionary, or encoded registers from
+        # different versions stop being comparable.
+        with self._lock:
+            cached = getattr(version, attr)
+            if cached is not None:
+                return cached
+            chain: list[SourceVersion] = []
+            cursor = version
+            while getattr(cursor, attr) is None:
+                parent = self._parent_of(cursor)
+                if parent is None:
+                    break
+                chain.append(cursor)
+                cursor = parent
+            twin = getattr(cursor, attr)
+            if twin is None:  # the chain root (or a pruned-off snapshot)
+                twin = self._fresh_twin(cursor.instance, backend)
+                setattr(cursor, attr, twin)
+            for step in reversed(chain):
+                twin = twin.apply_delta(step.delta)
+                setattr(step, attr, twin)
+            return twin
 
     def _parent_of(self, version: SourceVersion) -> SourceVersion | None:
         """The retained predecessor of ``version``, or ``None`` if pruned."""
@@ -827,9 +835,16 @@ class ViewServer:
         max_nodes: int = DEFAULT_MAX_NODES,
         cache_instances: int = 8,
         maintained_views: int = 32,
+        pool=None,
     ) -> None:
         self._engine = Engine(max_nodes=max_nodes, cache_instances=cache_instances)
         self._max_nodes = max_nodes
+        # Optional repro.parallel.WorkerPool: publish_batch fans serialised
+        # publishes of different views/versions across it, and stats()
+        # folds the fleet's merged cache counters into the report.  The
+        # pool is owned by the caller (one pool may serve many servers and
+        # the network tier at once); None keeps every path serial.
+        self._pool = pool
         self._max_maintained = max(1, maintained_views)
         self._views: dict[str, RegisteredView] = {}
         self._handles: dict[str, SourceHandle] = {}
@@ -1065,6 +1080,109 @@ class ViewServer:
             return self._render_full(plan, instance, output, indent, write, budget)
         return self._render_tree(tree, output, indent, write)
 
+    @property
+    def pool(self):
+        """The attached :class:`repro.parallel.WorkerPool`, or ``None``."""
+        return self._pool
+
+    def publish_batch(self, requests: "Iterable[Mapping]", *, pool=None) -> list:
+        """Evaluate many :meth:`publish` requests, in parallel when possible.
+
+        ``requests`` is an iterable of keyword-argument mappings for
+        :meth:`publish` (``view`` plus any of ``source``, ``version``,
+        ``params``, ``output``, ``backend``, ``maintenance``, ``indent``,
+        ``max_nodes``).  Results come back in request order and are
+        byte-identical to calling :meth:`publish` serially.
+
+        With a worker pool (``pool=`` here or ``ViewServer(pool=...)``),
+        serialised outputs (``bytes`` / ``xml`` / ``compact``) of different
+        views and versions run concurrently across worker processes: the
+        compiled plan and the version's snapshot ship once per worker
+        (instances are immutable MVCC snapshots, so a worker's copy is a
+        consistent read regardless of concurrent commits), and requests
+        shard by ``(view, binding)`` so repeated publishes of one view hit
+        that worker's warm caches.  Requests the pool cannot take -- tree
+        and event outputs, unpicklable artefacts, a crashed fleet -- run
+        serially in-process; a mid-flight worker death re-runs only the
+        orphaned requests.
+        """
+        pool = pool if pool is not None else self._pool
+        requests = [dict(request) for request in requests]
+        results: list = [None] * len(requests)
+        pending: list[tuple[int, object, object]] = []  # (index, future, retry)
+        for index, request in enumerate(requests):
+            dispatched = False
+            if pool is not None and not pool.broken:
+                dispatched = self._dispatch_publish(pool, request, pending, index)
+            if not dispatched:
+                results[index] = self.publish(**request)
+        for index, future, request in pending:
+            from repro.parallel.pool import PoolBroken, WorkerCrashed, WorkerTaskError
+
+            try:
+                results[index] = future.result()
+            except (PoolBroken, WorkerCrashed, WorkerTaskError):
+                # The worker (or its reply) is gone -- not a publish error,
+                # those propagate as their own types.  Serve serially.
+                results[index] = self.publish(**request)
+        return results
+
+    def _dispatch_publish(self, pool, request: dict, pending: list, index: int) -> bool:
+        """Try to run one publish request on the pool; False -> serial.
+
+        Mirrors :meth:`publish`'s resolution exactly -- view, binding,
+        snapshot, backend twin, budget -- then ships a worker-side
+        ``publish_bytes``.  Serialised outputs only: the streaming/tree
+        forms return live objects that must not cross a process boundary.
+        """
+        output = request.get("output", "tree")
+        if output not in ("bytes", "xml", "compact") or request.get("write") is not None:
+            return False
+        from repro.parallel.pool import NotShippable, PoolBroken, WorkerCrashed
+
+        view = request["view"]
+        registered = view if isinstance(view, RegisteredView) else self.view(view)
+        _checked(request.get("backend", "auto"), BACKENDS, "backend")
+        _checked(request.get("maintenance", "auto"), MAINTENANCE, "maintenance")
+        binding = registered.binding_key(request.get("params"))
+        plan = registered.plan_for_key(binding)
+        handle, snapshot = self._resolve_source(
+            request.get("source"), request.get("version")
+        )
+        backend = request.get("backend", "auto")
+        budget = request.get("max_nodes")
+        if budget is None:
+            budget = registered._max_nodes
+        if handle is None:
+            if request.get("maintenance") == "incremental":
+                return False  # let publish() raise the canonical error
+            instance = self._route_raw(snapshot, backend)
+        else:
+            instance = handle._instance_for(snapshot, backend)
+        indent = None if output == "compact" else request.get("indent", 2)
+        try:
+            plan_token = pool.install(plan)
+            instance_token = pool.install(instance)
+            future = pool.submit(
+                "publish_bytes",
+                plan_token,
+                instance_token,
+                indent=indent,
+                max_nodes=budget,
+                key=(registered.name, binding),
+                tokens=(plan_token, instance_token),
+            )
+        except (NotShippable, PoolBroken, WorkerCrashed):
+            return False
+        registered.publishes += 1
+        registered.last_backend = (
+            ("columnar" if instance.is_encoded else "row")
+            if backend == "auto"
+            else backend
+        )
+        pending.append((index, future, request))
+        return True
+
     def subscribe(
         self,
         view: str | RegisteredView,
@@ -1144,7 +1262,7 @@ class ViewServer:
         from repro.serve.stats import explain_view
 
         registered = view if isinstance(view, RegisteredView) else self.view(view)
-        return explain_view(registered, params)
+        return explain_view(registered, params, pool=self._pool)
 
     @property
     def subscriptions(self) -> tuple[Subscription, ...]:
@@ -1169,12 +1287,17 @@ class ViewServer:
         if not share:
             return self._engine.compile(transducer, schema=schema, max_nodes=max_nodes)
         key = (id(transducer), max_nodes)
-        plan = self._plan_cache.get(key)
+        with self._lock:
+            plan = self._plan_cache.get(key)
         if plan is None:
             # The cached plan holds a strong reference to the transducer, so
             # the id key cannot be recycled while the entry is alive.
+            # Compiled outside the lock (planning is the slow part); a
+            # concurrent compile of the same transducer wastes one plan but
+            # setdefault keeps exactly one as the shared winner.
             plan = self._engine.compile(transducer, schema=schema, max_nodes=max_nodes)
-            self._plan_cache[key] = plan
+            with self._lock:
+                plan = self._plan_cache.setdefault(key, plan)
         elif schema is not None:
             problems = transducer.validate_against_schema(schema)
             if problems:
