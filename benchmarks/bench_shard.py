@@ -1,0 +1,188 @@
+"""Sharded serving cluster vs. a single-process ``NetServer`` under load.
+
+The workload is a **multi-namespace commit/publish storm**: eight tenant
+namespaces (chosen so the crc32 routing table splits them evenly across
+both 2 and 4 shards -- the measured speedup is the cluster's, not the
+hash's), each with a durable ``tau1`` view over the registrar instance.
+One client thread per namespace runs ``commit; publish`` rounds against
+the same HTTP surface:
+
+* **single** -- one ``NetServerThread`` with a WAL directory holds every
+  namespace in one process (the durability cost matches the cluster's);
+* **sharded** -- a :class:`ShardCluster` with 2 and then 4 worker
+  processes behind the router front door.
+
+Every run's final per-namespace document is compared byte-for-byte
+against the single-process run before any timing is trusted.  The
+acceptance bar: **>= 1.6x with 2 shards and monotone scaling to 4** --
+asserted whenever the host actually has that many cores, and recorded
+(with the skip reason) otherwise, so a 1-core CI box checks correctness
+while a multi-core box enforces the perf claim.
+
+Runnable directly -- ``python benchmarks/bench_shard.py [--quick]`` --
+printing the numbers as JSON with ``shard_counts`` / ``cpu_count``
+metadata; ``run_all.py`` and the CI smoke step consume that.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.relational.delta import Delta
+from repro.serve.net import NetClient, NetServerThread, ShardCluster, shard_for
+from repro.workloads.registrar import generate_registrar_instance
+
+#: The acceptance thresholds of the sharding tentpole.
+MIN_SPEEDUP_2_SHARDS = 1.6
+SHARD_COUNTS = (2, 4)
+
+
+def _cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def _balanced_namespaces(per_class: int = 2) -> list[str]:
+    """Tenant names landing ``per_class`` on each of 4 shards.
+
+    ``crc32 % 4`` classes fold evenly onto ``% 2``, so the same set is
+    balanced for both cluster sizes; with a skewed set the measured
+    ceiling would be the routing hash, not the cluster.
+    """
+    by_class: dict[int, list[str]] = {0: [], 1: [], 2: [], 3: []}
+    for index in range(256):
+        name = f"tenant{index:03d}"
+        by_class[shard_for(name, 4)].append(name)
+    return [ns for cls in range(4) for ns in by_class[cls][:per_class]]
+
+
+def _run_storm(
+    address: tuple[str, int],
+    namespaces: list[str],
+    instance,
+    deltas: list[Delta],
+) -> tuple[dict[str, str], float]:
+    """Register/attach/warm every namespace, then time the threaded storm."""
+    clients = []
+    for ns in namespaces:
+        client = NetClient(*address, namespace=ns)
+        client.register_view("tau1")
+        client.attach(instance, name="db", durable=True)
+        client.publish("tau1", source="db")  # warm-up: compile the plan
+        clients.append(client)
+
+    documents: dict[str, str] = {}
+    errors: list[BaseException] = []
+
+    def worker(client: NetClient) -> None:
+        try:
+            for delta in deltas:
+                client.commit("db", delta)
+                served = client.publish("tau1", source="db")
+            documents[client.namespace] = served.document
+        except BaseException as error:  # surfaced after join
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=worker, args=(client,), name=f"storm-{client.namespace}")
+        for client in clients
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    for client in clients:
+        client.close()
+    if errors:
+        raise errors[0]
+    return documents, elapsed
+
+
+def measure_shard_storm(size: int, rounds: int) -> dict:
+    """The same storm against one process, then 2- and 4-shard clusters."""
+    namespaces = _balanced_namespaces()
+    instance = generate_registrar_instance(size, seed=2)
+    deltas = [
+        Delta.insert("course", (f"extra{index:03d}", f"Extra {index}", "PAD"))
+        for index in range(rounds)
+    ]
+
+    with tempfile.TemporaryDirectory(prefix="bench-shard-") as tmp:
+        with NetServerThread("127.0.0.1", 0, wal_dir=Path(tmp) / "wal") as srv:
+            single_documents, single_seconds = _run_storm(
+                srv.address, namespaces, instance, deltas
+            )
+
+    report = {
+        "namespaces": len(namespaces),
+        "rounds": rounds,
+        "instance_size": size,
+        "single_seconds": single_seconds,
+        "byte_identical": True,
+    }
+    for shards in SHARD_COUNTS:
+        with ShardCluster(shards=shards) as cluster:
+            documents, seconds = _run_storm(
+                cluster.address, namespaces, instance, deltas
+            )
+        assert documents == single_documents, (
+            f"sharded output diverged from single-process at {shards} shards"
+        )
+        report[f"shards{shards}_seconds"] = seconds
+        report[f"speedup_{shards}"] = single_seconds / seconds
+    return report
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    cpu_count = _cpu_count()
+    storm = measure_shard_storm(
+        size=16 if quick else 30, rounds=2 if quick else 4
+    )
+    report = {
+        "benchmark": "bench_shard",
+        "mode": "quick" if quick else "full",
+        "cpu_count": cpu_count,
+        "shard_counts": list(SHARD_COUNTS),
+        "storm": storm,
+        "speedup_checks": {
+            f"shards{count}": (
+                "asserted"
+                if cpu_count >= count
+                else f"skipped: host has {cpu_count} core(s); needs >= {count}"
+            )
+            for count in SHARD_COUNTS
+        },
+    }
+    print(json.dumps(report, indent=2))
+
+    failed = False
+    if cpu_count >= 2 and storm["speedup_2"] < MIN_SPEEDUP_2_SHARDS:
+        print(
+            f"FAIL: storm only {storm['speedup_2']:.2f}x with 2 shards "
+            f"(required: {MIN_SPEEDUP_2_SHARDS}x)",
+            file=sys.stderr,
+        )
+        failed = True
+    if cpu_count >= 4 and storm["speedup_4"] < storm["speedup_2"]:
+        print(
+            f"FAIL: scaling is not monotone: {storm['speedup_4']:.2f}x at 4 "
+            f"shards < {storm['speedup_2']:.2f}x at 2",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -119,6 +119,12 @@ def _worker_pool_sizes(results: dict) -> list[int]:
     return list(report.get("workers_tested", []))
 
 
+def _shard_counts(results: dict) -> list[int]:
+    """Cluster sizes exercised by the shard benchmark (metadata)."""
+    report = results.get("bench_shard", {}).get("report", {})
+    return list(report.get("shard_counts", []))
+
+
 def _env() -> dict:
     import os
 
@@ -170,6 +176,7 @@ def main(argv: list[str]) -> int:
         "python": sys.version.split()[0],
         "cpu_count": _cpu_count(),
         "worker_pool_sizes": _worker_pool_sizes(results),
+        "shard_counts": _shard_counts(results),
         "results": results,
     }
     args.output.write_text(json.dumps(merged, indent=2) + "\n", encoding="utf-8")

@@ -50,23 +50,28 @@ from repro.serve.server import (
     ViewServer,
 )
 from repro.serve.stats import (
+    ClusterStats,
     ExplainReport,
     RuleExplain,
     ServerStats,
+    ShardStats,
     SourceStats,
     ViewStats,
+    merge_cluster_stats,
 )
 
 __all__ = [
     "BACKENDS",
     "MAINTENANCE",
     "OUTPUTS",
+    "ClusterStats",
     "ExplainReport",
     "PruneResult",
     "RegisteredView",
     "RuleExplain",
     "ServeError",
     "ServerStats",
+    "ShardStats",
     "SourceHandle",
     "SourceStats",
     "SourceVersion",
@@ -75,6 +80,7 @@ __all__ = [
     "ViewServer",
     "ViewStats",
     "compact_tree",
+    "merge_cluster_stats",
     "publish_document",
     "publish_stream",
     "serialize_events",

@@ -9,12 +9,24 @@ Three layers, all standard-library only:
   exposing multi-tenant ViewServer namespaces over HTTP, with streaming
   WebSocket subscriptions that push one wire-encoded EditScript per commit.
 
-:mod:`repro.serve.net.client` has the matching blocking client.
+:mod:`repro.serve.net.client` has the matching blocking client, and
+:mod:`repro.serve.net.shard` scales the whole tier horizontally: a
+:class:`ShardCluster` of worker processes behind one :class:`ShardRouter`
+front door, with WAL-replay namespace handoff.
 """
 
 from repro.serve.net.app import NetServer, NetServerThread, default_catalog
 from repro.serve.net.client import AsyncSubscriber, NetClient, NetClientError, edits_of
 from repro.serve.net.protocol import ProtocolError
+from repro.serve.net.shard import (
+    DEFAULT_CATALOG_REF,
+    ShardCluster,
+    ShardError,
+    ShardRouter,
+    ShardWorkerServer,
+    resolve_catalog,
+    shard_for,
+)
 from repro.serve.net.wal import (
     DeltaLog,
     DurableSource,
@@ -22,10 +34,12 @@ from repro.serve.net.wal import (
     WalError,
     attach_durable,
     recover_source,
+    rehome_source,
 )
 
 __all__ = [
     "AsyncSubscriber",
+    "DEFAULT_CATALOG_REF",
     "DeltaLog",
     "DurableSource",
     "NetClient",
@@ -34,9 +48,16 @@ __all__ = [
     "NetServerThread",
     "ProtocolError",
     "RecoveredState",
+    "ShardCluster",
+    "ShardError",
+    "ShardRouter",
+    "ShardWorkerServer",
     "WalError",
     "attach_durable",
     "default_catalog",
     "edits_of",
     "recover_source",
+    "rehome_source",
+    "resolve_catalog",
+    "shard_for",
 ]

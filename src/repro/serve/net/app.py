@@ -129,6 +129,12 @@ class NetServer:
     #: queue before the kernel accepts them).
     max_buffered_bytes = 8 * 1024 * 1024
 
+    #: Longest a slow subscriber may stall one fan-out's drain before being
+    #: evicted.  The buffer threshold above catches consumers that back up
+    #: within one burst; this catches the ones that pin the transport's
+    #: high-water mark across commits without ever reading.
+    drain_timeout = 5.0
+
     #: Retained entries in the ETag-keyed response-body cache.
     max_cached_responses = 128
 
@@ -206,9 +212,7 @@ class NetServer:
         if pending:
             await asyncio.gather(*pending, return_exceptions=True)
         for vs in self._namespaces.values():
-            for handle in vs.handles:
-                if handle._wal is not None:
-                    handle._wal.log.close()
+            vs.close()
 
     def namespace(self, name: str, create: bool = False) -> ViewServer:
         """The namespace's ViewServer (created on demand for writes)."""
@@ -217,6 +221,31 @@ class NetServer:
             if not create:
                 raise _HttpError(404, f"unknown namespace {name!r}")
             vs = self._namespaces[name] = ViewServer()
+        return vs
+
+    def drop_namespace(self, name: str) -> ViewServer:
+        """Detach a namespace: drop its subscribers, close its WAL segments.
+
+        The handoff half of shard rebalancing (:mod:`repro.serve.net.shard`):
+        after the drop this server no longer owns the namespace, its log
+        directories are closed for another process to recover, and its
+        WebSocket subscribers are disconnected (they reconnect through the
+        front door, which routes them to the new owner).  Returns the
+        detached :class:`ViewServer`.
+        """
+        vs = self._namespaces.pop(name, None)
+        if vs is None:
+            raise _HttpError(404, f"unknown namespace {name!r}")
+        for key, group in list(self._groups.items()):
+            if group.namespace == name:
+                for writer in list(group.writers):
+                    self._drop_writer(group, writer)
+                group.subscription.close()
+                del self._groups[key]
+        vs.close()
+        # ETags embed the namespace, so entries for other namespaces would
+        # survive -- but a drop is rare and a cold cache is merely slow.
+        self._response_cache.clear()
         return vs
 
     def _recover_all(self) -> None:
@@ -306,7 +335,14 @@ class NetServer:
             )
         if len(parts) >= 3 and parts[0] == "v1" and parts[1] == "ns":
             return await self._dispatch_namespace(request, parts[2], parts[3:])
+        extra = await self._dispatch_extra(request, parts)
+        if extra is not None:
+            return extra
         raise _HttpError(404, f"no route for {request.method} {request.path}")
+
+    async def _dispatch_extra(self, request: Request, parts: list[str]) -> bytes | None:
+        """Subclass hook for additional routes (e.g. shard admin); None = 404."""
+        return None
 
     async def _dispatch_namespace(
         self, request: Request, ns: str, rest: list[str]
@@ -770,7 +806,7 @@ class NetServer:
             events = list(group.subscription.drain())
             if events:
                 pending.append((key, group, events))
-        touched: list[asyncio.StreamWriter] = []
+        touched: dict[asyncio.StreamWriter, _Broadcast] = {}
         for group, frames in await self._encode_groups(pending):
             for frame in frames:
                 for writer in list(group.writers):
@@ -782,12 +818,18 @@ class NetServer:
                         self._drop_writer(group, writer)
                         continue
                     writer.write(frame)
-                    touched.append(writer)
+                    touched[writer] = group
                     delivered += 1
         self.counters["deliveries"] += delivered
-        for writer in touched:
+        for writer, group in touched.items():
             try:
-                await writer.drain()
+                await asyncio.wait_for(writer.drain(), self.drain_timeout)
+            except asyncio.TimeoutError:
+                # the consumer pinned the transport's high-water mark for a
+                # whole drain window without reading anything: evict it
+                # rather than let it stall every future commit
+                self.counters["evicted"] += 1
+                self._drop_writer(group, writer)
             except (ConnectionError, OSError):
                 pass  # the reader task will reap the dead socket
         return delivered
@@ -806,9 +848,17 @@ class NetServerThread:
     down and joins the thread.  Usable as a context manager.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0, **kwargs: Any) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        server_factory: Callable[..., NetServer] | None = None,
+        **kwargs: Any,
+    ) -> None:
         self._host = host
         self._port = port
+        self._factory = server_factory or NetServer
         self._kwargs = kwargs
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
@@ -829,11 +879,17 @@ class NetServerThread:
         loop = asyncio.new_event_loop()
         asyncio.set_event_loop(loop)
         self._loop = loop
-        self.server = NetServer(**self._kwargs)
+        self.server = self._factory(**self._kwargs)
 
         async def _boot() -> None:
+            # _failure must be recorded before _started is set, or start()
+            # can observe the event before the exception reaches _run's
+            # handler and report a failed boot as success
             try:
                 self.address = await self.server.start(self._host, self._port)
+            except BaseException as error:
+                self._failure = error
+                raise
             finally:
                 self._started.set()
 

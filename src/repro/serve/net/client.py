@@ -20,6 +20,7 @@ import http.client
 import json
 import os
 import socket
+import threading
 from typing import Any, Iterator, Mapping
 
 from repro.relational.delta import Delta
@@ -39,7 +40,13 @@ class NetClientError(RuntimeError):
 
 
 class NetClient:
-    """A blocking client for one server, pinned to one namespace."""
+    """A blocking client for one server, pinned to one namespace.
+
+    Requests reuse one keep-alive ``http.client.HTTPConnection``; a stale
+    socket (server restart, idle timeout) is detected on the next exchange
+    and retried once on a fresh connection.  The client is a context manager
+    -- :meth:`close` drops the cached connection.
+    """
 
     def __init__(
         self,
@@ -53,6 +60,8 @@ class NetClient:
         self.port = port
         self.namespace = namespace
         self.timeout = timeout
+        self._connection: http.client.HTTPConnection | None = None
+        self._connection_lock = threading.Lock()
 
     # -- plumbing ------------------------------------------------------------
 
@@ -64,23 +73,56 @@ class NetClient:
         headers: Mapping[str, str] | None = None,
     ) -> tuple[int, dict[str, str], bytes]:
         """One HTTP exchange; returns ``(status, headers, body)``."""
-        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
-        try:
-            payload = None
-            sent = dict(headers or {})
-            if body is not None:
-                payload = canonical_json(body).encode("utf-8")
-                sent.setdefault("Content-Type", "application/json")
-            connection.request(method, path, body=payload, headers=sent)
-            response = connection.getresponse()
-            data = response.read()
-            return (
-                response.status,
-                {name.lower(): value for name, value in response.getheaders()},
-                data,
-            )
-        finally:
-            connection.close()
+        payload = None
+        sent = dict(headers or {})
+        if body is not None:
+            payload = canonical_json(body).encode("utf-8")
+            sent.setdefault("Content-Type", "application/json")
+        with self._connection_lock:
+            for attempt in (1, 2):
+                connection = self._connection
+                fresh = connection is None
+                if fresh:
+                    connection = http.client.HTTPConnection(
+                        self.host, self.port, timeout=self.timeout
+                    )
+                try:
+                    connection.request(method, path, body=payload, headers=sent)
+                    response = connection.getresponse()
+                    data = response.read()
+                except (http.client.HTTPException, ConnectionError, OSError):
+                    # A reused socket can be stale (server restarted, idle
+                    # close); retry once on a fresh connection.  A failure on
+                    # a fresh connection is real and propagates.
+                    connection.close()
+                    self._connection = None
+                    if fresh or attempt == 2:
+                        raise
+                    continue
+                if response.will_close:
+                    connection.close()
+                    self._connection = None
+                else:
+                    self._connection = connection
+                return (
+                    response.status,
+                    {name.lower(): value for name, value in response.getheaders()},
+                    data,
+                )
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def close(self) -> None:
+        """Drop the cached keep-alive connection (requests reopen lazily)."""
+        with self._connection_lock:
+            if self._connection is not None:
+                self._connection.close()
+                self._connection = None
+
+    def __enter__(self) -> "NetClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _json(
         self,
@@ -141,6 +183,15 @@ class NetClient:
 
     def stats(self) -> dict:
         return self._json("GET", self._ns("stats"))
+
+    def cluster_stats(self) -> dict:
+        """Cluster-wide stats (only answered by a shard router front door)."""
+        return self._json("GET", "/v1/cluster/stats")
+
+    def rebalance(self, namespace: str | None = None, shard: int = 0) -> dict:
+        """Migrate a namespace (default: this client's) to ``shard``."""
+        body = {"namespace": namespace or self.namespace, "shard": shard}
+        return self._json("POST", "/v1/cluster/rebalance", body)
 
     def explain(self, view: str, params: Mapping[str, Any] | None = None) -> dict:
         return self._json("GET", self._ns(f"views/{view}/explain") + _query(params=params))

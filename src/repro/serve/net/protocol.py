@@ -145,6 +145,77 @@ async def read_request(reader: asyncio.StreamReader) -> Request | None:
     return Request(method.upper(), target, headers, body)
 
 
+def render_request(
+    method: str,
+    target: str,
+    headers: Mapping[str, str] | None = None,
+    body: bytes = b"",
+    *,
+    strip_connection: bool = True,
+) -> bytes:
+    """Render a complete HTTP/1.1 request (the shard router's proxy side).
+
+    ``Content-Length`` is recomputed from ``body``.  ``strip_connection``
+    drops the hop-by-hop ``Connection`` header so the router manages its own
+    upstream keep-alive regardless of what the client asked for; WebSocket
+    tunnels pass ``strip_connection=False`` to forward the upgrade intact.
+    """
+    lines = [f"{method} {target} HTTP/1.1"]
+    fixed = {"content-length"}
+    if strip_connection:
+        fixed.add("connection")
+    for name, value in (headers or {}).items():
+        if name.lower() not in fixed:
+            lines.append(f"{name}: {value}")
+    if body:
+        lines.append(f"Content-Length: {len(body)}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+async def read_response(
+    reader: asyncio.StreamReader,
+) -> tuple[int, dict[str, str], bytes]:
+    """Read one HTTP/1.1 response: ``(status, lowercased headers, body)``.
+
+    Only what the proxy needs: ``Content-Length`` bodies (our servers always
+    send one) and empty 204/304 bodies.  Chunked responses are rejected.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("upstream closed mid-response") from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError("response head exceeds the size limit") from None
+    try:
+        status_line, *header_lines = head[:-4].decode("latin-1").split("\r\n")
+        version, status_text, _ = status_line.split(" ", 2)
+        status = int(status_text)
+    except ValueError:
+        raise ProtocolError(f"malformed status line {head[:64]!r}") from None
+    if not version.startswith("HTTP/1."):
+        raise ProtocolError(f"unsupported protocol {version!r}")
+    headers: dict[str, str] = {}
+    for line in header_lines:
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise ProtocolError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    if headers.get("transfer-encoding"):
+        raise ProtocolError("chunked response bodies are not supported")
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            size = int(length)
+        except ValueError:
+            raise ProtocolError(f"malformed Content-Length {length!r}") from None
+        if size < 0 or size > MAX_BODY_BYTES:
+            raise ProtocolError(f"unacceptable Content-Length {size}")
+        body = await reader.readexactly(size)
+    return status, headers, body
+
+
 def render_response(
     status: int,
     body: bytes = b"",

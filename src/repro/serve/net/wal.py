@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
@@ -133,13 +134,92 @@ class RecoveredState:
         return self.deltas[-1][0] if self.deltas else self.base_version
 
 
+class _GroupFlusher:
+    """The process-wide group-commit flusher: one daemon thread, lazy-started.
+
+    ``fsync=True`` appends flush their record, enqueue their open segment file
+    here, and block until a flush cycle covers them.  Each cycle drains the
+    whole queue and issues one :func:`os.fsync` per *distinct* file, so
+    concurrent committers -- whether they share a log or merely a cycle --
+    pool their syncs instead of paying one each.  Committers still block
+    until their own record is durable; an fsync failure propagates to every
+    committer it covered.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._queue: list[tuple["DeltaLog", object, dict]] = []
+        self._thread: threading.Thread | None = None
+
+    def wait_durable(self, log: "DeltaLog", file) -> None:
+        """Enqueue ``file`` and block until a cycle has fsynced it."""
+        ticket = {"done": False, "error": None}
+        with self._cond:
+            self._queue.append((log, file, ticket))
+            if self._thread is None or not self._thread.is_alive():
+                self._thread = threading.Thread(
+                    target=self._run, name="wal-group-commit", daemon=True
+                )
+                self._thread.start()
+            self._cond.notify_all()
+            while not ticket["done"]:
+                self._cond.wait()
+        if ticket["error"] is not None:
+            raise ticket["error"]
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue:
+                    self._cond.wait()
+                batch, self._queue = self._queue, []
+            groups: dict[int, tuple[object, list[tuple["DeltaLog", dict]]]] = {}
+            for log, file, ticket in batch:
+                groups.setdefault(id(file), (file, []))[1].append((log, ticket))
+            for file, entries in groups.values():
+                error: BaseException | None = None
+                try:
+                    os.fsync(file.fileno())
+                except (OSError, ValueError) as exc:
+                    error = exc
+                covered: dict[int, tuple["DeltaLog", int]] = {}
+                for log, _ in entries:
+                    count = covered.get(id(log), (log, 0))[1]
+                    covered[id(log)] = (log, count + 1)
+                for log, count in covered.values():
+                    log._fsyncs += 1
+                    if len(entries) > 1:
+                        log._fsync_batched += count
+                with self._cond:
+                    for _, ticket in entries:
+                        ticket["done"] = True
+                        ticket["error"] = error
+                    self._cond.notify_all()
+
+
+_FLUSHER = _GroupFlusher()
+
+
+def _reset_flusher_after_fork() -> None:  # pragma: no cover - exercised by shard workers
+    """Give a forked child a pristine flusher (threads do not survive fork)."""
+    global _FLUSHER
+    _FLUSHER = _GroupFlusher()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reset_flusher_after_fork)
+
+
 class DeltaLog:
     """One source's write-ahead log directory (see the module docstring).
 
     ``fsync=True`` additionally fsyncs every appended record (and snapshot)
     before the commit proceeds -- full crash durability at the price of one
-    disk sync per commit.  The default flushes to the OS, which survives
-    process crashes (the failure mode the tests exercise) but not power loss.
+    disk sync per commit.  Concurrent fsync appends are group-committed: each
+    blocks until its record is durable, but records pending together share
+    one :func:`os.fsync` (see :class:`_GroupFlusher` and :meth:`stats`).  The
+    default flushes to the OS, which survives process crashes (the failure
+    mode the tests exercise) but not power loss.
     """
 
     def __init__(
@@ -156,6 +236,8 @@ class DeltaLog:
         self._segment_count = 0  # records in the current segment
         self._since_checkpoint = 0  # records since the last snapshot
         self._last_version: int | None = None
+        self._fsyncs = 0  # append-path os.fsync calls issued for this log
+        self._fsync_batched = 0  # records made durable by a shared fsync
 
     # -- inspection ----------------------------------------------------------
 
@@ -180,6 +262,17 @@ class DeltaLog:
     def last_version(self) -> int | None:
         """The version of the most recently appended record, if any."""
         return self._last_version
+
+    def stats(self) -> dict[str, int]:
+        """Append-path durability counters.
+
+        ``fsyncs`` counts the :func:`os.fsync` calls issued on this log's
+        behalf; ``fsync_batched`` counts the appended records whose sync was
+        shared with at least one other pending record (so one fsync covering
+        k >= 2 records adds k).  Snapshot fsyncs are not counted -- they are
+        rare and never batched.
+        """
+        return {"fsyncs": self._fsyncs, "fsync_batched": self._fsync_batched}
 
     # -- writing -------------------------------------------------------------
 
@@ -209,7 +302,7 @@ class DeltaLog:
         self._file.write(_record_line(version, delta))
         self._file.flush()
         if self.fsync:
-            os.fsync(self._file.fileno())
+            _FLUSHER.wait_durable(self, self._file)
         self._segment_count += 1
         self._since_checkpoint += 1
         self._last_version = version
@@ -414,6 +507,32 @@ def attach_durable(
     log.begin(handle.version, handle.instance, handle.instance.is_encoded)
     handle._wal = DurableSource(log, handle, snapshot_every)
     return handle
+
+
+def rehome_source(
+    handle: "SourceHandle",
+    directory: str | os.PathLike,
+    *,
+    fsync: bool = False,
+    snapshot_every: int = 256,
+) -> DeltaLog:
+    """Move a durable handle's log into a fresh directory (shard handoff).
+
+    The new log begins with a snapshot at the handle's *current* version, so
+    the new directory is immediately self-sufficient -- the old shard's
+    directory can be removed once the caller no longer needs its history.
+    Future commits append to the new log; replaying it reproduces the
+    handle's publishes byte-identically from the snapshot forward.
+    """
+    old = handle._wal
+    log = DeltaLog(directory, fsync=fsync)
+    with handle._lock:
+        current = handle._versions[-1]
+        log.begin(current.index, current.instance, current.instance.is_encoded)
+        handle._wal = DurableSource(log, handle, snapshot_every)
+    if old is not None:
+        old.log.close()
+    return log
 
 
 def recover_source(

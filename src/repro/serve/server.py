@@ -1269,6 +1269,20 @@ class ViewServer:
         """Every subscription created by this server."""
         return tuple(self._subscriptions)
 
+    def close(self) -> None:
+        """Close every subscription and every handle's write-ahead log.
+
+        The teardown half of the network tier's lifecycle: a closed server
+        keeps its in-memory state (views, sources, versions) but stops
+        maintaining subscription chains and releases the WAL segment files,
+        so another process may recover and adopt the log directories.
+        """
+        for subscription in tuple(self._subscriptions):
+            subscription.close()
+        for handle in self.handles:
+            if handle._wal is not None:
+                handle._wal.log.close()
+
     # -- internals ------------------------------------------------------------
 
     def _compile(

@@ -1,0 +1,28 @@
+"""``repro.serve.shard`` -- the sharded multi-process serving cluster.
+
+A convenience alias: the implementation lives in
+:mod:`repro.serve.net.shard` (it is built from the network tier's protocol,
+server and WAL layers).  See that module's docstring for the topology --
+one :class:`ShardRouter` front door, N :class:`ShardWorkerServer`
+processes, crc32 namespace routing and WAL-replay handoff.
+"""
+
+from repro.serve.net.shard import (
+    DEFAULT_CATALOG_REF,
+    ShardCluster,
+    ShardError,
+    ShardRouter,
+    ShardWorkerServer,
+    resolve_catalog,
+    shard_for,
+)
+
+__all__ = [
+    "DEFAULT_CATALOG_REF",
+    "ShardCluster",
+    "ShardError",
+    "ShardRouter",
+    "ShardWorkerServer",
+    "resolve_catalog",
+    "shard_for",
+]

@@ -197,6 +197,105 @@ def collect_stats(server: "ViewServer") -> ServerStats:
 
 
 # ---------------------------------------------------------------------------
+# Cluster-wide aggregation (the sharded topology's front door).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """One shard worker's slice of the cluster: what it owns and has served."""
+
+    shard: int
+    address: tuple[str, int] | None
+    namespaces: tuple[str, ...]
+    #: The worker's ``NetServer.counters`` snapshot.
+    net: dict
+
+
+@dataclass(frozen=True)
+class ClusterStats:
+    """The router's one-call aggregate over every shard worker.
+
+    ``totals`` sums each numeric counter of every shard's ``net`` section,
+    so aggregate commit/publish/delivery throughput reads off one dict;
+    ``table`` is the routing table (namespace -> owning shard) including
+    explicit entries created by rebalances.
+    """
+
+    shards: tuple[ShardStats, ...]
+    table: dict
+    router: dict
+    totals: dict
+
+    def as_dict(self) -> dict:
+        """The whole aggregate as plain dicts (JSON-friendly)."""
+        return asdict(self)
+
+    def describe(self) -> str:
+        """A compact human-readable rendering, one line per shard."""
+        lines = [
+            f"Cluster: {len(self.shards)} shard(s), "
+            f"{len(self.table)} routed namespace(s); totals: "
+            f"{self.totals.get('commits', 0)} commit(s), "
+            f"{self.totals.get('publishes', 0)} publish(es), "
+            f"{self.totals.get('deliveries', 0)} delivery(ies), "
+            f"{self.totals.get('evicted', 0)} evicted"
+        ]
+        lines.append(
+            f"  router: {self.router.get('requests', 0)} request(s) proxied, "
+            f"{self.router.get('tunnels', 0)} WS tunnel(s), "
+            f"{self.router.get('rebalances', 0)} rebalance(s), "
+            f"{self.router.get('retries', 0)} retry(ies)"
+        )
+        for shard in self.shards:
+            owned = ", ".join(shard.namespaces) or "(none)"
+            where = f"{shard.address[0]}:{shard.address[1]}" if shard.address else "?"
+            lines.append(
+                f"  shard {shard.shard} @ {where}: owns {owned}; "
+                f"{shard.net.get('commits', 0)} commit(s), "
+                f"{shard.net.get('publishes', 0)} publish(es), "
+                f"{shard.net.get('ws_active', 0)} live socket(s)"
+            )
+        return "\n".join(lines)
+
+
+def merge_cluster_stats(
+    shard_payloads: list[dict],
+    table: Mapping[str, int],
+    router: Mapping[str, int] | None = None,
+) -> ClusterStats:
+    """Fold per-worker admin stats payloads into one :class:`ClusterStats`.
+
+    Each payload is a worker's ``/v1/admin/stats`` body: ``shard`` index,
+    ``address`` pair, owned ``namespaces`` and its ``net`` counters dict.
+    Numeric counters are summed into ``totals``.
+    """
+    shards = []
+    totals: dict[str, int] = {}
+    for payload in shard_payloads:
+        net = dict(payload.get("net") or {})
+        for key, value in net.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                totals[key] = totals.get(key, 0) + value
+        address = payload.get("address")
+        shards.append(
+            ShardStats(
+                shard=int(payload.get("shard", len(shards))),
+                address=tuple(address) if address else None,
+                namespaces=tuple(payload.get("namespaces") or ()),
+                net=net,
+            )
+        )
+    shards.sort(key=lambda s: s.shard)
+    return ClusterStats(
+        shards=tuple(shards),
+        table=dict(table),
+        router=dict(router or {}),
+        totals=totals,
+    )
+
+
+# ---------------------------------------------------------------------------
 # Per-view explain.
 # ---------------------------------------------------------------------------
 

@@ -271,3 +271,84 @@ def test_non_durable_attach_without_wal_dir(client):
     with pytest.raises(NetClientError) as caught:
         client.attach(example_registrar_instance(), name="db2", durable=True)
     assert caught.value.status == 400
+
+
+def test_client_reuses_one_keepalive_connection(client):
+    _setup(client)
+    client.publish("tau1", source="db")
+    first = client._connection
+    assert first is not None
+    client.publish("tau1", source="db")
+    client.stats()
+    assert client._connection is first
+
+    # a stale socket (server restart, idle close) is retried transparently
+    # on a fresh connection -- the caller never sees the hiccup
+    first.sock.close()
+    fresh = client.publish("tau1", source="db")
+    assert fresh.status == 200
+    assert client._connection is not None
+    assert client._connection is not first
+
+    client.close()
+    assert client._connection is None
+    with client as managed:  # context manager: usable, then dropped
+        assert managed.healthz()["ok"] is True
+    assert client._connection is None
+
+
+def test_slow_consumer_is_evicted_not_serviced_forever(server):
+    # A subscriber that stops reading must not pin memory or stall commits:
+    # it is evicted either when its send buffer passes max_buffered_bytes
+    # within a burst, or when it stalls a whole drain window.
+    server.server.max_buffered_bytes = 64 * 1024
+    server.server.drain_timeout = 0.5
+    client = NetClient(*server.address, namespace="slow")
+    _setup(client)
+
+    slow = client.subscribe("tau1", source="db")
+    slow.recv()  # consume the init document, then never read again
+    with client.subscribe("tau1", source="db") as live:
+        live.recv()
+        # each edit frame carries ~1MB of text: enough to blow past the
+        # kernel's socket buffering and back up into the transport buffer
+        big = "X" * 1_000_000
+        evicted = 0
+        for step in range(16):
+            client.commit("db", Delta.insert("course", (f"CSBIG{step}", big, "CS")))
+            live.recv()  # the healthy subscriber keeps the group flowing
+            evicted = client.stats()["net"]["evicted"]
+            if evicted:
+                break
+        assert evicted >= 1
+
+        # the healthy subscriber still gets every subsequent push
+        out = client.commit("db", Delta.insert("course", ("CSAFTER", "ok", "CS")))
+        assert out["delivered"] == 1
+        message = live.recv()
+        assert message["type"] == "edits"
+        assert message["version"] == out["version"]
+    slow._socket.close()
+
+
+def test_wal_damage_surfaces_through_startup_recovery(tmp_path):
+    from repro.serve.net import WalError
+
+    wal_dir = tmp_path / "wal"
+    with NetServerThread("127.0.0.1", 0, wal_dir=wal_dir) as srv:
+        client = NetClient(*srv.address, namespace="prod")
+        client.register_view("tau1")
+        client.attach(example_registrar_instance(), name="db", durable=True)
+        for step in range(4):
+            client.commit("db", Delta.insert("course", (f"CS93{step}", "T", "CS")))
+
+    # flip one mid-log record: damage that is NOT a torn tail must refuse
+    # to recover rather than silently truncate history
+    segment = sorted((wal_dir / "prod" / "db").glob("wal-*.log"))[0]
+    lines = segment.read_bytes().splitlines(keepends=True)
+    lines[1] = b'00000000 {"corrupted": true}\n'
+    segment.write_bytes(b"".join(lines))
+
+    broken = NetServerThread("127.0.0.1", 0, wal_dir=wal_dir)
+    with pytest.raises(WalError):
+        broken.start()

@@ -1,0 +1,217 @@
+"""The sharded serving cluster: routing, handoff, restarts, cluster stats.
+
+One module-scoped two-shard :class:`ShardCluster` backs every test (worker
+processes are expensive to spawn); each test works in its own namespaces so
+the shared cluster never couples them.  The disruptive worker-restart test
+runs last in definition order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.delta import Delta
+from repro.serve import ViewServer
+from repro.serve.net import (
+    NetClient,
+    NetClientError,
+    ShardCluster,
+    ShardError,
+    resolve_catalog,
+    shard_for,
+)
+from repro.serve.net.app import default_catalog
+from repro.workloads.registrar import example_registrar_instance
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with ShardCluster(shards=2) as running:
+        yield running
+
+
+def _client(cluster, namespace):
+    host, port = cluster.address
+    return NetClient(host, port, namespace=namespace)
+
+
+def _ns_on(shard: int, tag: str) -> str:
+    """A namespace name the static crc32 table routes to ``shard``."""
+    for step in range(64):
+        name = f"{tag}{step}"
+        if shard_for(name, 2) == shard:
+            return name
+    raise AssertionError(f"no {tag}* namespace lands on shard {shard}")
+
+
+def _oracle(deltas: list[Delta]) -> str:
+    vs = ViewServer()
+    vs.register_view("t", default_catalog()["tau1"]())
+    handle = vs.attach(example_registrar_instance(), name="db")
+    for delta in deltas:
+        handle.commit(delta)
+    return vs.publish("t", source=handle, output="bytes")
+
+
+def test_shard_for_is_stable_and_in_range():
+    for shards in (1, 2, 3, 8):
+        for name in ("default", "alpha", "tenant-42", "über"):
+            owner = shard_for(name, shards)
+            assert 0 <= owner < shards
+            assert shard_for(name, shards) == owner  # deterministic
+    assert shard_for("anything", 1) == 0
+
+
+def test_resolve_catalog_imports_by_reference():
+    catalog = resolve_catalog("repro.serve.net.app:default_catalog")
+    assert set(catalog) >= {"tau1", "tau2", "tau3"}
+    with pytest.raises(ShardError):
+        resolve_catalog("no-colon-here")
+    with pytest.raises(ShardError):
+        resolve_catalog("repro.serve.net.app:no_such_attr")
+
+
+def test_round_trip_through_router_matches_oracle(cluster):
+    delta = Delta.insert("course", ("CS901", "Routed", "CS"))
+    for shard in (0, 1):
+        ns = _ns_on(shard, f"round{shard}x")
+        assert cluster.router.owner(ns) == shard
+        client = _client(cluster, ns)
+        client.register_view("tau1")
+        client.attach(example_registrar_instance(), name="db", durable=True)
+        client.commit("db", delta)
+        served = client.publish("tau1", source="db")
+        assert served.version == 1
+        assert served.document == _oracle([delta])
+        client.close()
+
+
+def test_namespaces_are_isolated_across_shards(cluster):
+    a = _client(cluster, _ns_on(0, "isoA"))
+    b = _client(cluster, _ns_on(1, "isoB"))
+    for client in (a, b):
+        client.register_view("tau1")
+        client.attach(example_registrar_instance(), name="db", durable=True)
+    a.commit("db", Delta.insert("course", ("CS902", "OnlyA", "CS")))
+    assert "CS902" in a.publish("tau1", source="db").document
+    assert "CS902" not in b.publish("tau1", source="db").document
+    a.close()
+    b.close()
+
+
+def test_subscription_tunnels_through_the_router(cluster):
+    client = _client(cluster, _ns_on(1, "tun"))
+    client.register_view("tau1")
+    client.attach(example_registrar_instance(), name="db", durable=True)
+    with client.subscribe("tau1", source="db") as sub:
+        init = sub.recv()
+        assert init["type"] == "init"
+        assert init["version"] == 0
+        out = client.commit("db", Delta.insert("course", ("CS903", "Pushed", "CS")))
+        message = sub.recv()
+        assert message["type"] == "edits"
+        assert message["version"] == out["version"]
+    client.close()
+
+
+@pytest.mark.parametrize("encoded", [False, True], ids=["row", "columnar"])
+def test_rebalance_is_byte_identical(cluster, encoded):
+    ns = _ns_on(0, f"move{int(encoded)}e")
+    client = _client(cluster, ns)
+    client.register_view("tau1")
+    client.attach(example_registrar_instance(), name="db", durable=True, encoded=encoded)
+    deltas = [Delta.insert("course", (f"CS91{step}", "Mig", "CS")) for step in range(3)]
+    for delta in deltas:
+        client.commit("db", delta)
+    before = client.publish("tau1", source="db")
+
+    moved = client.rebalance(ns, 1)
+    assert moved["moved"] is True
+    assert moved["shard"] == 1
+    assert [source["name"] for source in moved["sources"]] == ["db"]
+    assert cluster.router.owner(ns) == 1
+
+    after = client.publish("tau1", source="db")
+    assert after.version == before.version
+    assert after.document == before.document  # byte-identical across handoff
+
+    # the namespace keeps working on its new shard
+    extra = Delta.insert("course", ("CS919", "PostMove", "CS"))
+    client.commit("db", extra)
+    assert client.publish("tau1", source="db").document == _oracle(deltas + [extra])
+    client.close()
+
+
+def test_rebalance_to_current_owner_is_a_noop(cluster):
+    ns = _ns_on(1, "stay")
+    client = _client(cluster, ns)
+    result = client.rebalance(ns, 1)
+    assert result["moved"] is False
+    client.close()
+
+
+def test_rebalance_rejects_bad_requests(cluster):
+    client = _client(cluster, "errors")
+    with pytest.raises(NetClientError) as caught:
+        client.rebalance("errors", 99)
+    assert caught.value.status == 400
+    with pytest.raises(NetClientError) as caught:
+        client.rebalance("errors", True)
+    assert caught.value.status == 400
+
+    # a namespace holding a non-durable source cannot be handed off: there
+    # is no WAL to replay on the target shard
+    ns = _ns_on(0, "nowal")
+    volatile = _client(cluster, ns)
+    volatile.register_view("tau1")
+    volatile.attach(example_registrar_instance(), name="db", durable=False)
+    with pytest.raises(NetClientError) as caught:
+        volatile.rebalance(ns, 1)
+    assert caught.value.status == 409
+    assert cluster.router.owner(ns) == 0  # the table did not flip
+    client.close()
+    volatile.close()
+
+
+def test_cluster_stats_aggregates_shards(cluster):
+    ns = _ns_on(0, "stats")
+    client = _client(cluster, ns)
+    client.register_view("tau1")
+    client.attach(example_registrar_instance(), name="db", durable=True)
+    client.commit("db", Delta.insert("course", ("CS904", "Counted", "CS")))
+    client.publish("tau1", source="db")
+
+    stats = client.cluster_stats()
+    assert [shard["shard"] for shard in stats["shards"]] == [0, 1]
+    assert stats["table"][ns] == 0
+    assert stats["totals"]["commits"] >= 1
+    assert stats["totals"]["publishes"] >= 1
+    assert stats["totals"]["requests"] == sum(
+        shard["net"]["requests"] for shard in stats["shards"]
+    )
+    assert stats["router"]["requests"] > 0
+    owner = next(shard for shard in stats["shards"] if shard["shard"] == 0)
+    assert ns in owner["namespaces"]
+    client.close()
+
+
+def test_worker_restart_replays_from_wal(cluster):
+    # LAST in the module: killing a worker is the most disruptive action.
+    ns = _ns_on(0, "boom")
+    client = _client(cluster, ns)
+    client.register_view("tau1")
+    client.attach(example_registrar_instance(), name="db", durable=True)
+    deltas = [Delta.insert("course", (f"CS92{step}", "Crash", "CS")) for step in range(2)]
+    for delta in deltas:
+        client.commit("db", delta)
+    before = client.publish("tau1", source="db")
+
+    cluster.restart_worker(0, kill=True)
+
+    after = client.publish("tau1", source="db")
+    assert after.version == before.version
+    assert after.document == before.document
+    extra = Delta.insert("course", ("CS929", "Alive", "CS"))
+    client.commit("db", extra)
+    assert client.publish("tau1", source="db").document == _oracle(deltas + [extra])
+    client.close()
