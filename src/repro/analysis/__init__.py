@@ -27,7 +27,7 @@ from repro.analysis.containment import (
     ucq_contained_in,
     ucq_equivalent,
 )
-from repro.analysis.emptiness import EmptinessResult, is_empty
+from repro.analysis.emptiness import EmptinessResult, is_empty, witness_instance
 from repro.analysis.equivalence import EquivalenceResult, are_equivalent, find_counterexample
 from repro.analysis.membership import MembershipResult, MembershipStatus, is_member
 
@@ -55,4 +55,5 @@ __all__ = [
     "reduce_query",
     "ucq_contained_in",
     "ucq_equivalent",
+    "witness_instance",
 ]

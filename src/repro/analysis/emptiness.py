@@ -103,20 +103,31 @@ def _emptiness_virtual(
     return EmptinessResult(empty=True)
 
 
-def _witness_instance(
-    transducer: PublishingTransducer, query: ConjunctiveQuery
+def witness_instance(
+    transducer: PublishingTransducer,
+    query: ConjunctiveQuery,
+    prefix: str = "_v",
 ) -> Instance | None:
-    """A concrete source instance on which the witness query fires.
+    """A concrete source instance on which ``query`` fires.
 
-    The satisfiable composed query is frozen into its canonical database over
-    the transducer's reconstructed source schema, then re-checked through the
+    The public face of the witness machinery: the satisfiable (usually
+    path-composed) query is frozen into its canonical database over the
+    transducer's reconstructed source schema, then re-checked through the
     shared query planner; ``None`` when the construction does not verify
-    (the non-emptiness verdict itself never depends on this).
+    (verdicts that use witnesses never depend on this succeeding).  The
+    typechecker (:mod:`repro.typecheck`) and tests build counterexample
+    sources through this helper; ``prefix`` names the frozen constants, so
+    two differently-prefixed witnesses can be unioned into one instance with
+    disjoint, multiplicity-bearing facts.
     """
     schema = source_schema(transducer)
     try:
-        frozen, _ = query.canonical_instance(schema)
+        frozen, _ = query.canonical_instance(schema, prefix=prefix)
     except Exception:  # out-of-schema atoms: the witness is only best-effort
         return None
     # evaluate() is plan-first (the plan is cached on the query object).
     return frozen if query.evaluate(frozen) else None
+
+
+#: Backwards-compatible private alias (pre-publication name).
+_witness_instance = witness_instance

@@ -40,6 +40,7 @@ from repro.serve.server import (
     BACKENDS,
     MAINTENANCE,
     OUTPUTS,
+    TYPECHECK_MODES,
     PruneResult,
     RegisteredView,
     ServeError,
@@ -47,6 +48,7 @@ from repro.serve.server import (
     SourceVersion,
     Subscription,
     SubscriptionEvent,
+    ViewRejected,
     ViewServer,
 )
 from repro.serve.stats import (
@@ -77,6 +79,8 @@ __all__ = [
     "SourceVersion",
     "Subscription",
     "SubscriptionEvent",
+    "TYPECHECK_MODES",
+    "ViewRejected",
     "ViewServer",
     "ViewStats",
     "compact_tree",

@@ -60,7 +60,13 @@ from pathlib import Path
 from typing import Any, Callable, Mapping
 
 from repro.relational.errors import RelationalError
-from repro.relational.wire import WireError, canonical_json, delta_from_wire, instance_from_wire
+from repro.relational.wire import (
+    WireError,
+    canonical_json,
+    delta_from_wire,
+    instance_from_wire,
+    instance_to_wire,
+)
 from repro.serve.net import protocol
 from repro.serve.net.protocol import (
     OP_CLOSE,
@@ -71,7 +77,15 @@ from repro.serve.net.protocol import (
     render_response,
 )
 from repro.serve.net.wal import DeltaLog, WalError, attach_durable, recover_source
-from repro.serve.server import ServeError, SourceHandle, Subscription, ViewServer
+from repro.serve.server import (
+    ServeError,
+    SourceHandle,
+    Subscription,
+    ViewRejected,
+    ViewServer,
+)
+from repro.typecheck import OutputValidationError
+from repro.xmltree.dtd import dtd_from_wire
 
 #: Routing axes a publish request may pin (mirrors ViewServer.publish).
 _PUBLISH_OUTPUTS = ("bytes", "compact")
@@ -291,6 +305,17 @@ class NetServer:
                     response = await self._dispatch(request)
                 except _HttpError as error:
                     response = json_response(error.status, {"error": str(error)})
+                except OutputValidationError as error:
+                    # the published document broke the view's registered DTD:
+                    # a server-side data problem, not a malformed request
+                    response = json_response(
+                        422,
+                        {
+                            "error": str(error),
+                            "view": error.view,
+                            "violation": error.violation.as_dict(),
+                        },
+                    )
                 except (
                     ServeError,
                     WireError,
@@ -408,10 +433,49 @@ class NetServer:
             isinstance(p, str) for p in params
         ):
             raise _HttpError(400, "'params' must be a list of parameter names")
-        view = vs.register_view(name, self._catalog[key], params=params)
-        return json_response(
-            201, {"name": view.name, "language": view.language, "params": list(view.params)}
-        )
+        output_dtd = None
+        if body.get("output_dtd") is not None:
+            # The DTD travels as pure data (tag -> content-model expression
+            # trees); nothing executable crosses the wire, so the catalog
+            # discipline -- clients name code, they never ship it -- holds.
+            try:
+                output_dtd = dtd_from_wire(body["output_dtd"])
+            except (ValueError, TypeError) as error:
+                raise _HttpError(400, f"malformed output_dtd: {error}") from None
+        typecheck = body.get("typecheck", "static")
+        if not isinstance(typecheck, str):
+            raise _HttpError(400, "'typecheck' must be a string mode")
+        try:
+            view = vs.register_view(
+                name,
+                self._catalog[key],
+                params=params,
+                output_dtd=output_dtd,
+                typecheck=typecheck,
+            )
+        except ViewRejected as rejected:
+            # 422: the request was well-formed, the *view* failed its output
+            # typecheck.  Ship the whole verdict -- including the witness
+            # source instance -- so the client can replay the refutation.
+            payload: dict[str, Any] = {
+                "error": str(rejected),
+                "typecheck": rejected.result.as_dict(),
+            }
+            if rejected.result.witness is not None:
+                payload["witness"] = instance_to_wire(rejected.result.witness)
+            return json_response(422, payload)
+        registered = {
+            "name": view.name,
+            "language": view.language,
+            "params": list(view.params),
+        }
+        if output_dtd is not None:
+            result = view.typecheck_result() if not params else None
+            registered["typecheck"] = {
+                "mode": view.typecheck_mode,
+                "verdict": result.verdict.value if result is not None else None,
+            }
+        return json_response(201, registered)
 
     def _view_params(self, request: Request) -> dict[str, Any] | None:
         text = request.query.get("params")
@@ -628,6 +692,20 @@ class NetServer:
             group, init = self._open_subscription(request)
         except _HttpError as error:
             writer.write(json_response(error.status, {"error": str(error)}))
+            await writer.drain()
+            writer.close()
+            return
+        except OutputValidationError as error:
+            writer.write(
+                json_response(
+                    422,
+                    {
+                        "error": str(error),
+                        "view": error.view,
+                        "violation": error.violation.as_dict(),
+                    },
+                )
+            )
             await writer.drain()
             writer.close()
             return

@@ -32,11 +32,17 @@ from repro.xmltree.diff import EditScript
 
 
 class NetClientError(RuntimeError):
-    """Raised when the server answers a request with an error status."""
+    """Raised when the server answers a request with an error status.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``payload`` is the parsed JSON error body (when the server sent one):
+    a 422 view rejection carries the full typecheck verdict there, including
+    a ``witness`` source instance that replays the refutation client-side.
+    """
+
+    def __init__(self, status: int, message: str, payload: Any = None) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
+        self.payload = payload
 
 
 class NetClient:
@@ -135,7 +141,7 @@ class NetClient:
         parsed = json.loads(data) if data else None
         if status >= 400:
             message = parsed.get("error", "") if isinstance(parsed, dict) else data.decode()
-            raise NetClientError(status, message)
+            raise NetClientError(status, message, payload=parsed)
         return parsed
 
     def _ns(self, suffix: str) -> str:
@@ -146,9 +152,33 @@ class NetClient:
     def healthz(self) -> dict:
         return self._json("GET", "/healthz")
 
-    def register_view(self, name: str, view: str | None = None, params: tuple = ()) -> dict:
-        """Register catalog entry ``view`` (default: ``name``) as a view."""
-        body = {"name": name, "view": view or name, "params": list(params)}
+    def register_view(
+        self,
+        name: str,
+        view: str | None = None,
+        params: tuple = (),
+        *,
+        output_dtd=None,
+        typecheck: str | None = None,
+    ) -> dict:
+        """Register catalog entry ``view`` (default: ``name``) as a view.
+
+        ``output_dtd`` (a :class:`~repro.xmltree.dtd.DTD` or an
+        already-encoded wire dict) ships the target schema as pure data; the
+        server typechecks the view against it under ``typecheck`` mode
+        (``static``/``runtime``/``off``).  A refuted view answers 422 --
+        raised here as :class:`NetClientError` whose ``payload`` carries the
+        verdict and the replayable counterexample ``witness``.
+        """
+        body: dict[str, Any] = {"name": name, "view": view or name, "params": list(params)}
+        if output_dtd is not None:
+            from repro.xmltree.dtd import DTD, dtd_to_wire
+
+            body["output_dtd"] = (
+                dtd_to_wire(output_dtd) if isinstance(output_dtd, DTD) else output_dtd
+            )
+        if typecheck is not None:
+            body["typecheck"] = typecheck
         return self._json("POST", self._ns("views"), body)
 
     def views(self) -> list:
@@ -223,7 +253,7 @@ class NetClient:
         )
         if status not in (200, 304):
             parsed = json.loads(data) if data else {}
-            raise NetClientError(status, parsed.get("error", ""))
+            raise NetClientError(status, parsed.get("error", ""), payload=parsed)
         return PublishResult(
             status=status,
             document=data.decode("utf-8") if status == 200 else None,

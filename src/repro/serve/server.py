@@ -73,12 +73,33 @@ BACKENDS = ("auto", "row", "columnar")
 #: Recognised values of the ``maintenance=`` routing axis.
 MAINTENANCE = ("auto", "full", "incremental")
 
+#: Recognised values of the ``typecheck=`` registration axis.
+TYPECHECK_MODES = ("static", "runtime", "off")
+
 #: A parameter binding frozen into a cache key.
 BindingKey = tuple[tuple[str, DataValue], ...]
 
 
 class ServeError(ValueError):
     """Raised when the serving API is used inconsistently."""
+
+
+class ViewRejected(ServeError):
+    """Registration refused: the static typecheck *refuted* the view.
+
+    Raised by :meth:`ViewServer.register_view` (or by the first compile of a
+    parameterized binding) when ``output_dtd`` was given, ``typecheck`` is
+    ``"static"`` and :func:`repro.typecheck.typecheck_plan` found a concrete
+    counterexample.  ``result`` is the full
+    :class:`~repro.typecheck.TypecheckResult`; its ``witness`` is a source
+    instance that *replays*: publishing it through the rejected view
+    produces a document violating the DTD at ``result.violation``.
+    """
+
+    def __init__(self, name: str, result) -> None:
+        self.view = name
+        self.result = result
+        super().__init__(f"view {name!r} rejected: {result.describe()}")
 
 
 def _checked(value: str, allowed: tuple[str, ...], axis: str) -> str:
@@ -412,6 +433,8 @@ class RegisteredView:
         params: tuple[str, ...],
         schema: RelationalSchema | None,
         max_nodes: int | None,
+        output_dtd=None,
+        typecheck: str = "static",
     ) -> None:
         self._server = server
         self._name = name
@@ -420,10 +443,20 @@ class RegisteredView:
         self._params = params
         self._schema = schema
         self._max_nodes = max_nodes
+        self._output_dtd = output_dtd
+        self._typecheck = typecheck
+        self._verdicts: dict[BindingKey, object] = {}
+        # instance -> {plan -> {budgets}} of documents already validated, so
+        # steady-state publishes of an unchanged version never re-validate.
+        # Both layers are weak: entries die with the version or the plan.
+        self._validated_docs = weakref.WeakKeyDictionary()
+        self._validation_hot: tuple | None = None
         self._plans: dict[BindingKey, PublishingPlan] = {}
         self._plans_lock = threading.Lock()
         self.publishes = 0
         self.last_backend: str | None = None
+        self.validated = 0
+        self.violations = 0
 
     @property
     def name(self) -> str:
@@ -439,6 +472,24 @@ class RegisteredView:
     def language(self) -> str | None:
         """The source language, detected from the front-end when possible."""
         return self._language
+
+    @property
+    def output_dtd(self):
+        """The registered target DTD, or ``None`` (no output typechecking)."""
+        return self._output_dtd
+
+    @property
+    def typecheck_mode(self) -> str:
+        """The registered ``typecheck=`` mode (``static``/``runtime``/``off``)."""
+        return self._typecheck
+
+    def typecheck_result(self, params: Mapping[str, DataValue] | None = None):
+        """The static :class:`~repro.typecheck.TypecheckResult` for a binding.
+
+        ``None`` when no DTD is registered, the mode skips the static check,
+        or the binding has not been compiled yet.
+        """
+        return self._verdicts.get(self.binding_key(params))
 
     def binding_key(self, params: Mapping[str, DataValue] | None) -> BindingKey:
         """Validate a parameter binding and freeze it into a cache key."""
@@ -508,7 +559,7 @@ class RegisteredView:
                     raise ServeError("; ".join(problems))
             if self._language is None:
                 self._language = "compiled plan"
-            return source
+            return self._typechecked(key, source)
         from repro.languages.registry import compile_frontend, frontend_language
 
         if self._language is None:
@@ -518,9 +569,137 @@ class RegisteredView:
         # can never be shared across views, so the server-level plan cache
         # (which would pin them forever) is bypassed for them; this view's
         # own LRU-capped binding cache is their only home.
-        return self._server._compile(
+        plan = self._server._compile(
             transducer, self._schema, self._max_nodes, share=not produced
         )
+        return self._typechecked(key, plan)
+
+    # -- output typechecking -------------------------------------------------
+
+    def _typechecked(self, key: BindingKey, plan: PublishingPlan) -> PublishingPlan:
+        """Run the static output typecheck on a freshly compiled binding.
+
+        ``typecheck="static"`` with a registered DTD classifies the binding
+        (the verdict is kept for :meth:`stats`/:meth:`explain` and for the
+        runtime-validation decision) and *rejects* refuted bindings: the
+        raised :class:`ViewRejected` carries a replayable counterexample
+        source.  ``"runtime"`` skips the deploy-time check entirely and
+        ``"off"`` disables validation altogether.
+        """
+        if self._output_dtd is None or self._typecheck != "static":
+            return plan
+        from repro.typecheck import typecheck_plan
+
+        result = typecheck_plan(plan, self._output_dtd)
+        self._verdicts[key] = result
+        if result.refuted:
+            raise ViewRejected(self._name, result)
+        return plan
+
+    def _runtime_validation(self, key: BindingKey) -> bool:
+        """Whether publishes of this binding must stream-validate.
+
+        ``False`` for unchecked views and for bindings the static checker
+        *proved* (their publishes carry zero validation cost); ``True`` for
+        ``typecheck="runtime"`` and for ``UNDECIDED`` static verdicts.
+        """
+        if self._output_dtd is None or self._typecheck == "off":
+            return False
+        if self._typecheck == "runtime":
+            return True
+        result = self._verdicts.get(key)
+        return result is None or not result.proved
+
+    def _is_validated(self, plan: PublishingPlan, instance: Instance, budget) -> bool:
+        # One-slot hot path: steady-state serving republishes the latest
+        # version, so the last-validated triple answers almost every probe
+        # without touching the weak memo.  Weak references keep the slot
+        # from pinning retired versions in memory.
+        hot = self._validation_hot
+        if (
+            hot is not None
+            and hot[2] == budget
+            and hot[1]() is instance
+            and hot[0]() is plan
+        ):
+            return True
+        plans = self._validated_docs.get(instance)
+        if plans is None:
+            return False
+        budgets = plans.get(plan)
+        return budgets is not None and budget in budgets
+
+    def _mark_validated(self, plan: PublishingPlan, instance: Instance, budget) -> None:
+        self.validated += 1
+        try:
+            plans = self._validated_docs.get(instance)
+            if plans is None:
+                plans = self._validated_docs[instance] = weakref.WeakKeyDictionary()
+            plans.setdefault(plan, set()).add(budget)
+            self._validation_hot = (weakref.ref(plan), weakref.ref(instance), budget)
+        except TypeError:  # pragma: no cover - non-weakrefable artefacts
+            pass
+
+    def _ensure_validated(self, plan: PublishingPlan, instance: Instance, budget) -> None:
+        """Validate the document of ``(plan, instance, budget)`` once.
+
+        Streams ``publish_events`` through the O(depth) validator -- no tree
+        is materialised -- then memoises per version, so repeated publishes
+        of an unchanged snapshot (the steady-state serving pattern) skip
+        straight to rendering.
+        """
+        if self._is_validated(plan, instance, budget):
+            return
+        from repro.typecheck import OutputValidationError, StreamingValidator
+
+        validator = StreamingValidator(self._output_dtd, self._name)
+        try:
+            validator.validate(plan.publish_events(instance, budget))
+        except OutputValidationError:
+            self.violations += 1
+            raise
+        self._mark_validated(plan, instance, budget)
+
+    def _ensure_validated_tree(
+        self, plan: PublishingPlan, tree: TreeNode, instance: Instance, budget
+    ) -> None:
+        """:meth:`_ensure_validated` for a maintained tree (no re-publish).
+
+        The maintained tree is byte-identical to a from-scratch publish of
+        its version (the serving stack's core invariant), so validating its
+        event replay validates the published document.
+        """
+        if self._is_validated(plan, instance, budget):
+            return
+        from repro.typecheck import OutputValidationError, validate_tree
+
+        try:
+            validate_tree(tree, self._output_dtd, view=self._name)
+        except OutputValidationError:
+            self.violations += 1
+            raise
+        self._mark_validated(plan, instance, budget)
+
+    def _validated_events(self, plan: PublishingPlan, instance: Instance, budget):
+        """A validating pass-through for ``output="events"`` publishes.
+
+        Single-pass: the consumer drives the lazy engine driver exactly
+        once, every event is checked before it is handed over, and the
+        version is marked validated only after the final event passed.
+        """
+        from repro.typecheck import OutputValidationError, StreamingValidator
+
+        validator = StreamingValidator(self._output_dtd, self._name)
+        events = plan.publish_events(instance, budget)
+        try:
+            for event in events:
+                validator.feed(event)
+                yield event
+            validator.finish()
+        except OutputValidationError:
+            self.violations += 1
+            raise
+        self._mark_validated(plan, instance, budget)
 
     @staticmethod
     def _is_frontend(source) -> bool:
@@ -871,6 +1050,8 @@ class ViewServer:
         params: Iterable[str] = (),
         schema: RelationalSchema | None = None,
         max_nodes: int | None = None,
+        output_dtd=None,
+        typecheck: str = "static",
     ) -> RegisteredView:
         """Register a named view and compile its default binding eagerly.
 
@@ -882,6 +1063,24 @@ class ViewServer:
         factory invoked with the bound parameters and returning any of the
         above.  ``schema``, when given, validates the compiled transducer
         against the source schema at registration time.
+
+        ``output_dtd`` declares the target :class:`~repro.xmltree.dtd.DTD`
+        every published document must conform to, gated by ``typecheck``:
+
+        * ``"static"`` (the default) runs the deploy-time checker of
+          :mod:`repro.typecheck` -- a *refuted* view raises
+          :class:`ViewRejected` here (with a replayable counterexample
+          source), a *proved* view publishes forever after with zero
+          validation cost, and an *undecided* view falls back to the
+          streaming runtime validator;
+        * ``"runtime"`` skips the static check and always stream-validates;
+        * ``"off"`` records the DTD without enforcing it.
+
+        Runtime validation folds ``publish_events`` through an O(depth)
+        automaton, memoised per source version; violations raise
+        :class:`~repro.typecheck.OutputValidationError` and are counted in
+        :meth:`stats`.  Subscription deltas are not re-validated (the
+        maintained tree is validated when published, not when diffed).
         """
         params = tuple(params)
         if params and not callable(source):
@@ -889,11 +1088,17 @@ class ViewServer:
                 f"view {name!r} declares parameters {params}, so its source "
                 f"must be a factory callable, not {type(source).__name__}"
             )
+        _checked(typecheck, TYPECHECK_MODES, "typecheck")
+        if output_dtd is None and typecheck != "static":
+            raise ServeError(
+                f"typecheck={typecheck!r} needs an output_dtd to check against"
+            )
         with self._lock:
             if name in self._views:
                 raise ServeError(f"view {name!r} is already registered")
             view = RegisteredView(
-                self, name, source, language, params, schema, max_nodes
+                self, name, source, language, params, schema, max_nodes,
+                output_dtd, typecheck,
             )
             self._views[name] = view
         if not params:
@@ -1015,6 +1220,10 @@ class ViewServer:
         plan = registered.plan_for_key(binding)
         handle, snapshot = self._resolve_source(source, version)
         budget = max_nodes if max_nodes is not None else registered._max_nodes
+        # The runtime-validation gate: None for unchecked or statically
+        # proved bindings (zero per-publish cost), the view itself when the
+        # rendered document must stream through the DTD validator first.
+        guard = registered if registered._runtime_validation(binding) else None
 
         if handle is None:
             if maintenance == "incremental":
@@ -1027,7 +1236,9 @@ class ViewServer:
             registered.last_backend = (
                 "columnar" if instance.is_encoded else "row"
             )
-            return self._render_full(plan, instance, output, indent, write, budget)
+            return self._render_full(
+                plan, instance, output, indent, write, budget, validate=guard
+            )
 
         registered.publishes += 1
         if backend == "auto":
@@ -1039,7 +1250,9 @@ class ViewServer:
 
         if maintenance == "full":
             instance = handle._instance_for(snapshot, backend)
-            return self._render_full(plan, instance, output, indent, write, budget)
+            return self._render_full(
+                plan, instance, output, indent, write, budget, validate=guard
+            )
         # Keyed by the handle object (identity), not its name: names are
         # only unique within one server, and a chain must never be shared
         # across handles.  Handles are retained by the server, so the key
@@ -1054,7 +1267,9 @@ class ViewServer:
                 # already exists.  Tree requests and explicit
                 # maintenance="incremental" seed the chain.
                 instance = handle._instance_for(snapshot, backend)
-                return self._render_full(plan, instance, output, indent, write, budget)
+                return self._render_full(
+                    plan, instance, output, indent, write, budget, validate=guard
+                )
             # Seed the maintained chain so subsequent publishes of this key
             # go incremental.  Built outside the server lock (it runs a
             # full publish); a concurrent seeder may win the install.
@@ -1067,7 +1282,9 @@ class ViewServer:
             # reader must never see the newer tree, and must not rewind the
             # chain -- serve a from-scratch publish of that version.
             instance = handle._instance_for(snapshot, backend)
-            return self._render_full(plan, instance, output, indent, write, budget)
+            return self._render_full(
+                plan, instance, output, indent, write, budget, validate=guard
+            )
         if output in ("bytes", "xml", "compact"):
             # Serialised forms of a maintained chain render through the
             # bytes-native driver rather than re-walking the maintained
@@ -1077,7 +1294,15 @@ class ViewServer:
             # the chain's own snapshot object (``_instance_for`` is cached
             # per version), so the plan's per-instance caches are shared.
             instance = handle._instance_for(snapshot, backend)
-            return self._render_full(plan, instance, output, indent, write, budget)
+            return self._render_full(
+                plan, instance, output, indent, write, budget, validate=guard
+            )
+        if guard is not None:
+            # Maintained tree: validate its event replay (byte-identical to
+            # a from-scratch publish of the version) instead of re-running
+            # the engine; memoised under the version's snapshot instance.
+            instance = handle._instance_for(snapshot, backend)
+            guard._ensure_validated_tree(plan, tree, instance, budget)
         return self._render_tree(tree, output, indent, write)
 
     @property
@@ -1159,6 +1384,13 @@ class ViewServer:
             instance = self._route_raw(snapshot, backend)
         else:
             instance = handle._instance_for(snapshot, backend)
+        if registered._runtime_validation(binding) and not registered._is_validated(
+            plan, instance, budget
+        ):
+            # Not-yet-validated documents stay in-process: the serial path
+            # validates (and memoises), after which this version ships to
+            # the pool freely.
+            return False
         indent = None if output == "compact" else request.get("indent", 2)
         try:
             plan_token = pool.install(plan)
@@ -1415,6 +1647,7 @@ class ViewServer:
         indent: int | None,
         write,
         max_nodes: int | None,
+        validate: RegisteredView | None = None,
     ):
         """A from-scratch publish on the fastest driver for the output form.
 
@@ -1424,7 +1657,19 @@ class ViewServer:
         rendered subtree spans are cached per configuration -- so repeated
         and incrementally maintained publishes are mostly buffer reuse.
         ``output="events"`` remains the bounded-memory streaming path.
+
+        ``validate`` (a :class:`RegisteredView` with a registered DTD) gates
+        the result through the streaming validator first: event outputs get
+        a single-pass validating pass-through, every other form runs one
+        memoised ``publish_events`` validation before rendering untouched --
+        so validated output stays byte-identical to unvalidated output.
         """
+        if validate is not None:
+            if output == "events":
+                if not validate._is_validated(plan, instance, max_nodes):
+                    return validate._validated_events(plan, instance, max_nodes)
+            else:
+                validate._ensure_validated(plan, instance, max_nodes)
         if output == "tree":
             return plan.publish(instance, max_nodes)
         if output == "events":

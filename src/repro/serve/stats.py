@@ -28,6 +28,21 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.serve.server import RegisteredView, ViewServer
 
 
+def _typecheck_stats(view: "RegisteredView") -> dict | None:
+    """The typecheck section of a view's stats (``None`` without a DTD)."""
+    if view.output_dtd is None:
+        return None
+    return {
+        "mode": view.typecheck_mode,
+        "verdicts": {
+            ", ".join(f"{name}={value!r}" for name, value in key): result.verdict.value
+            for key, result in view._verdicts.items()
+        },
+        "validated": view.validated,
+        "violations": view.violations,
+    }
+
+
 def _sum_index_stats(stats_dicts) -> dict[str, int]:
     total = {"cached": 0, "built": 0, "evicted": 0, "capacity": 0}
     for stats in stats_dicts:
@@ -52,6 +67,10 @@ class ViewStats:
     publishes: int
     last_backend: str | None
     cache: dict
+    #: Output-typechecking state (``mode``, per-binding ``verdicts``, the
+    #: ``validated`` / ``violations`` counters), or ``None`` when the view
+    #: was registered without an ``output_dtd``.
+    typecheck: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -116,6 +135,16 @@ class ServerStats:
                 f"rendered spans {cache.get('rendered_hits', 0)} reused / "
                 f"{cache.get('rendered_misses', 0)} rendered)"
             )
+            if view.typecheck is not None:
+                verdicts = ", ".join(
+                    f"{binding or 'default'}: {verdict}"
+                    for binding, verdict in sorted(view.typecheck["verdicts"].items())
+                ) or "no binding compiled yet"
+                lines.append(
+                    f"    typecheck [{view.typecheck['mode']}]: {verdicts}; "
+                    f"{view.typecheck['validated']} document(s) validated, "
+                    f"{view.typecheck['violations']} violation(s)"
+                )
         for source in self.sources:
             lines.append(
                 f"  source {source.name!r}: version {source.version} "
@@ -160,6 +189,7 @@ def collect_stats(server: "ViewServer") -> ServerStats:
                 publishes=view.publishes,
                 last_backend=view.last_backend,
                 cache=cache,
+                typecheck=_typecheck_stats(view),
             )
         )
     sources = []
@@ -328,6 +358,10 @@ class ExplainReport:
     #: through a worker pool; the cache counters above are parent-process
     #: only, so this is where worker-side hits/misses surface.
     pool: dict | None = None
+    #: The binding's :meth:`TypecheckResult.as_dict` plus the view's
+    #: ``mode``/``validated``/``violations`` counters, or ``None`` when the
+    #: view carries no ``output_dtd``.
+    typecheck: dict | None = None
 
     def as_dict(self) -> dict:
         """The report as plain dicts (JSON-friendly)."""
@@ -347,6 +381,14 @@ class ExplainReport:
             f"  render cache: {self.cache.get('rendered_hits', 0)} spans reused / "
             f"{self.cache.get('rendered_misses', 0)} rendered",
         ]
+        if self.typecheck is not None:
+            result = self.typecheck.get("result")
+            verdict = result["verdict"] if result else "not checked"
+            lines.append(
+                f"  typecheck [{self.typecheck['mode']}]: {verdict}; "
+                f"{self.typecheck['validated']} document(s) validated, "
+                f"{self.typecheck['violations']} violation(s)"
+            )
         if self.pool is not None:
             worker_cache = self.pool.get("worker_cache", {})
             lines.append(
@@ -421,6 +463,15 @@ def explain_view(
         f"{cache.get('retained', 0)} retained; rules: {semi_naive} semi-naive, "
         f"{recompute} recompute-fallback, {unplanned} unplanned"
     )
+    typecheck = None
+    if view.output_dtd is not None:
+        result = view.typecheck_result(params)
+        typecheck = {
+            "mode": view.typecheck_mode,
+            "result": result.as_dict() if result is not None else None,
+            "validated": view.validated,
+            "violations": view.violations,
+        }
     return ExplainReport(
         view=view.name,
         language=view.language,
@@ -429,4 +480,5 @@ def explain_view(
         cache=cache,
         maintenance=maintenance,
         pool=pool.stats() if pool is not None else None,
+        typecheck=typecheck,
     )

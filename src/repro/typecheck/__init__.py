@@ -1,0 +1,55 @@
+"""Output-schema typechecking of publishing views (static + streaming).
+
+The deploy-time gate the ROADMAP promised: given a view and a target
+:class:`~repro.xmltree.dtd.DTD`, decide *before the first publish* whether
+every output document conforms -- and when the fragment makes that
+undecidable (Proposition 2: FO/IFP rule queries), validate the emitted
+stream at runtime instead.  Two halves:
+
+* :mod:`repro.typecheck.static` -- a reachable-``(state, tag)`` abstraction
+  over the compiled plan, inclusion-checked rule by rule on the minimised
+  content-model DFAs of :meth:`Regex.to_dfa`, with concrete counterexample
+  *source instances* (built through the emptiness machinery's witnesses)
+  for refutations: :func:`typecheck_plan` returns ``PROVED`` / ``REFUTED``
+  / ``UNDECIDED``;
+* :mod:`repro.typecheck.streaming` -- an O(depth) fold over
+  ``publish_events`` (no tree construction) raising structured
+  :class:`OutputValidationError` on the first violation.
+
+The serving stack wires both in end to end:
+``ViewServer.register_view(..., output_dtd=..., typecheck="static")``
+rejects refuted views at registration (cluster-wide through the net tier
+and the shard router, the DTD travelling as pure data), proved views
+publish with zero per-publish validation cost, and undecided views stream
+through the validator with per-version memoisation.
+"""
+
+from repro.typecheck.static import (
+    TypecheckResult,
+    Verdict,
+    inclusion_counterexample,
+    typecheck_plan,
+    typecheck_transducer,
+)
+from repro.typecheck.streaming import (
+    OutputValidationError,
+    StreamingValidator,
+    Violation,
+    find_violation,
+    validate_events,
+    validate_tree,
+)
+
+__all__ = [
+    "OutputValidationError",
+    "StreamingValidator",
+    "TypecheckResult",
+    "Verdict",
+    "Violation",
+    "find_violation",
+    "inclusion_counterexample",
+    "typecheck_plan",
+    "typecheck_transducer",
+    "validate_events",
+    "validate_tree",
+]

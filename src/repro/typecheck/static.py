@@ -1,0 +1,473 @@
+"""Static output typechecking of publishing transducers against a DTD.
+
+The deploy-time half of :mod:`repro.typecheck`.  Given a compiled
+:class:`~repro.engine.plan.PublishingPlan` (or a bare transducer) and a
+target :class:`~repro.xmltree.dtd.DTD`, decide -- where the fragment allows
+-- whether *every* output tree conforms, and classify the view as
+
+* ``PROVED`` -- a sound reachable-``(state, tag)`` abstraction shows every
+  possible child-label sequence of every reachable output node lies inside
+  its tag's content model;
+* ``REFUTED`` -- a concrete counterexample *source instance* was constructed
+  (through the emptiness machinery's path compositions and
+  :func:`~repro.analysis.emptiness.witness_instance`) whose published
+  document demonstrably violates the DTD, together with the offending path;
+* ``UNDECIDED`` -- neither: the abstraction found a potentially escaping
+  child sequence but no witness verified (FO/IFP rule queries defeat path
+  composition, per Proposition 2 output typechecking is undecidable there);
+  the serving layer then falls back to the streaming runtime validator.
+
+The abstraction, rule by rule
+-----------------------------
+
+For every reachable non-virtual pair ``(q, a)`` the checker builds a regular
+over-approximation of the child-label sequences an ``a``-node in state ``q``
+can emit, then tests regular-language inclusion against ``d(a)`` on the
+minimised DFAs of :meth:`Regex.to_dfa` (product walk; a shortest escaping
+word is the inclusion counterexample).  Soundness of ``PROVED`` rests on the
+approximation only ever *adding* words:
+
+* an item ``(q', a', phi)`` contributes ``a'*`` in general (one child per
+  answer group), ``a'?`` for relation registers (``|x| = 0``: at most one
+  group), and exactly ``a'`` when the query provably returns exactly one
+  answer -- a single all-variable register atom over a register that every
+  producing item fills with a *tuple* register (exactly one tuple);
+* virtual items contribute the flattened child language of their target pair
+  (virtual nodes splice their children in place); recursion through virtual
+  pairs falls back to ``(t1 | ... | tn)*`` over the *frontier tags* -- every
+  non-virtual tag reachable through virtual rules -- which contains every
+  possible splice;
+* pairs on a dependency-graph cycle additionally admit the empty sequence:
+  the engine's stop condition turns a repeated ``(state, tag, register)``
+  configuration into a leaf, so any such node may legitimately emit no
+  children (the node-budget, by contrast, raises rather than truncates and
+  cannot silently falsify a verdict).
+
+Refutation never trusts the abstraction: candidate sources are built from
+satisfiable path compositions (canonical instances, plus prefix-renamed
+unions for multiplicity violations) and each candidate is *published and
+validated* -- only a concrete non-conforming document refutes, so the
+witness shipped with the rejection replays.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.analysis.composition import CompositionError, compose_path
+from repro.analysis.emptiness import witness_instance
+from repro.analysis.membership import source_schema
+from repro.core.dependency import DependencyGraph, Node
+from repro.core.rules import GENERIC_REGISTER_NAME, RuleItem
+from repro.core.transducer import PublishingTransducer
+from repro.logic.cq import ConjunctiveQuery
+from repro.logic.terms import Variable
+from repro.relational.instance import Instance
+from repro.typecheck.streaming import Violation, find_violation
+from repro.xmltree.dtd import DTD, Alt, Concat, Epsilon, Regex, Star, Symbol
+from repro.xmltree.tree import TEXT_TAG
+
+
+class Verdict(enum.Enum):
+    """Three-valued outcome of the static check."""
+
+    PROVED = "proved"
+    REFUTED = "refuted"
+    UNDECIDED = "undecided"
+
+
+@dataclass(frozen=True)
+class TypecheckResult:
+    """Outcome of :func:`typecheck_plan` / :func:`typecheck_transducer`.
+
+    ``witness`` and ``violation`` are set exactly for ``REFUTED``: the
+    counterexample source instance and the offending path of the document it
+    publishes.  ``reasons`` collects, for ``UNDECIDED``, one line per
+    unproven pair (which escaping child word the abstraction found and why
+    no witness verified).
+    """
+
+    verdict: Verdict
+    dtd: DTD
+    witness: Instance | None = None
+    violation: Violation | None = None
+    reasons: tuple[str, ...] = ()
+    checked_pairs: int = 0
+
+    @property
+    def proved(self) -> bool:
+        return self.verdict is Verdict.PROVED
+
+    @property
+    def refuted(self) -> bool:
+        return self.verdict is Verdict.REFUTED
+
+    def as_dict(self) -> dict:
+        """The result as plain data (stats / wire friendly)."""
+        return {
+            "verdict": self.verdict.value,
+            "checked_pairs": self.checked_pairs,
+            "reasons": list(self.reasons),
+            "violation": self.violation.as_dict() if self.violation else None,
+            "has_witness": self.witness is not None,
+        }
+
+    def describe(self) -> str:
+        """A compact human-readable summary."""
+        if self.verdict is Verdict.PROVED:
+            return f"proved over {self.checked_pairs} reachable (state, tag) pair(s)"
+        if self.verdict is Verdict.REFUTED:
+            where = self.violation.describe() if self.violation else "?"
+            return f"refuted: witness instance publishes a violation at {where}"
+        return "undecided: " + ("; ".join(self.reasons) or "no reason recorded")
+
+
+# ---------------------------------------------------------------------------
+# The reachable-(state, tag) abstraction.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Abstraction:
+    """Shared context of one static check over one transducer."""
+
+    transducer: PublishingTransducer
+    graph: DependencyGraph
+    cyclic: frozenset[Node]
+    producers: dict[Node, list[RuleItem]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, transducer: PublishingTransducer) -> "_Abstraction":
+        graph = DependencyGraph(transducer)
+        reachable = graph.reachable_nodes()
+        cyclic = frozenset(node for node in reachable if _has_self_path(graph, node))
+        producers: dict[Node, list[RuleItem]] = {}
+        for rule_ in transducer.rules:
+            for item in rule_.items:
+                producers.setdefault((item.state, item.tag), []).append(item)
+        return cls(transducer, graph, cyclic, producers)
+
+    # -- child-language construction ----------------------------------------
+
+    def child_language(self, node: Node) -> Regex:
+        """Over-approximate the child-label sequences of a ``node`` element."""
+        return self._sequence(node, frozenset())
+
+    def _sequence(self, node: Node, stack: frozenset[Node]) -> Regex:
+        rule_ = self.transducer.rule_for(*node)
+        parts = tuple(
+            self._contribution(node, item, stack | {node}) for item in rule_.items
+        )
+        expr: Regex = Concat(parts) if parts else Epsilon()
+        if node in self.cyclic and not expr.nullable():
+            # The stop condition may turn this node into a leaf.
+            expr = Alt((Epsilon(), expr))
+        return expr
+
+    def _contribution(self, parent: Node, item: RuleItem, stack: frozenset[Node]) -> Regex:
+        target: Node = (item.state, item.tag)
+        if item.tag in self.transducer.virtual_tags:
+            if target in stack:
+                base = self._frontier_star(target)
+            else:
+                base = self._sequence(target, stack)
+        else:
+            base = Symbol(item.tag)
+        if self._exactly_one(parent, item):
+            return base
+        if item.query.group_arity == 0:
+            # Relation register: the whole answer set is one group -> <= 1 child.
+            return base if base.nullable() else Alt((Epsilon(), base))
+        return Star(base)
+
+    def _frontier_star(self, node: Node) -> Regex:
+        """``(t1 | ... | tn)*`` over every non-virtual tag a virtual pair can splice."""
+        virtual = self.transducer.virtual_tags
+        seen = {node}
+        queue = [node]
+        tags: set[str] = set()
+        while queue:
+            state, tag = queue.pop()
+            for item in self.transducer.rule_for(state, tag).items:
+                if item.tag in virtual:
+                    successor = (item.state, item.tag)
+                    if successor not in seen:
+                        seen.add(successor)
+                        queue.append(successor)
+                else:
+                    tags.add(item.tag)
+        if not tags:
+            return Epsilon()
+        return Star(Alt(tuple(Symbol(tag) for tag in sorted(tags))))
+
+    def _exactly_one(self, parent: Node, item: RuleItem) -> bool:
+        """Does ``item`` provably emit exactly one child under every source?
+
+        Sufficient conditions, each load-bearing for soundness: the parent's
+        register always holds exactly one tuple (every producer of the
+        parent pair groups by its full head -- a tuple register -- and the
+        parent is not the root, whose register is empty), and the query is a
+        comparison-free CQ over a single all-distinct-variable register atom
+        of the right arity whose head only uses those variables.  Then the
+        one register tuple matches the atom in exactly one way, the answer
+        set has exactly one row, and grouping yields exactly one child.
+        """
+        if parent == self.graph.root:
+            return False
+        makers = self.producers.get(parent)
+        if not makers or not all(maker.query.is_tuple_query for maker in makers):
+            return False
+        query = item.query.query
+        if not isinstance(query, ConjunctiveQuery):
+            return False
+        if query.comparisons or len(query.atoms) != 1:
+            return False
+        atom = query.atoms[0]
+        register_names = {GENERIC_REGISTER_NAME, f"Reg_{parent[1]}"}
+        if atom.relation not in register_names:
+            return False
+        arity = self.transducer.register_arities.get(parent[1])
+        if arity is None or len(atom.terms) != arity:
+            return False
+        if any(not isinstance(term, Variable) for term in atom.terms):
+            return False
+        if len(set(atom.terms)) != len(atom.terms):
+            return False
+        return set(query.head) <= set(atom.terms)
+
+
+def _has_self_path(graph: DependencyGraph, node: Node) -> bool:
+    """True when ``node`` lies on a cycle (reachable from itself via >= 1 edge)."""
+    seen: set[Node] = set()
+    queue = [successor for successor in graph.successors(node)]
+    while queue:
+        current = queue.pop()
+        if current == node:
+            return True
+        if current in seen:
+            continue
+        seen.add(current)
+        queue.extend(graph.successors(current))
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Regular-language inclusion on the minimised DFAs.
+# ---------------------------------------------------------------------------
+
+
+def inclusion_counterexample(candidate: Regex, model: Regex) -> tuple[str, ...] | None:
+    """A shortest word of ``L(candidate) \\ L(model)``, or ``None`` if included.
+
+    Product BFS over the two cached minimised DFAs; the model side runs with
+    an explicit dead marker so escapes through symbols outside its alphabet
+    are found too.
+    """
+    left = candidate.to_dfa()
+    right = model.to_dfa()
+    dead = -1
+    start = (left.start, right.start)
+    if left.start in left.accepting and right.start not in right.accepting:
+        return ()
+    seen = {start}
+    frontier: list[tuple[tuple[int, int], tuple[str, ...]]] = [(start, ())]
+    while frontier:
+        next_frontier: list[tuple[tuple[int, int], tuple[str, ...]]] = []
+        for (ls, rs), word in frontier:
+            for tag in sorted(left.alphabet):
+                lt = left.step(ls, tag)
+                if lt is None:
+                    continue  # the word dies on the candidate side too
+                rt = right.step(rs, tag) if rs != dead else None
+                rt = dead if rt is None else rt
+                pair = (lt, rt)
+                extended = word + (tag,)
+                if lt in left.accepting and (rt == dead or rt not in right.accepting):
+                    return extended
+                if pair not in seen:
+                    seen.add(pair)
+                    next_frontier.append((pair, extended))
+        frontier = next_frontier
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Witness search (refutation must be concrete).
+# ---------------------------------------------------------------------------
+
+
+def _candidate_witnesses(
+    transducer: PublishingTransducer,
+    graph: DependencyGraph,
+    node: Node,
+    max_paths: int,
+):
+    """Candidate counterexample sources aimed at exercising ``node``.
+
+    Canonical instances of the satisfiable path compositions reaching the
+    pair, plus pairwise unions of prefix-renamed copies: a union carries two
+    disjoint sets of matching facts, producing the sibling multiplicities
+    that refute at-most-one content models.  FO/IFP queries on a path raise
+    :class:`CompositionError` and simply yield no candidate from that path.
+    """
+    paths = graph.simple_paths_from_root(
+        target_predicate=lambda candidate: candidate == node, max_paths=max_paths
+    )
+    for path in sorted(paths, key=len):
+        try:
+            composed = compose_path(transducer, path)
+        except CompositionError:
+            continue
+        if not composed.is_satisfiable():
+            continue
+        first = witness_instance(transducer, composed, prefix="_w")
+        if first is None:
+            continue
+        yield first
+        second = witness_instance(transducer, composed, prefix="_w2x")
+        if second is not None:
+            yield _union_instances(first, second)
+
+
+def _union_instances(first: Instance, second: Instance) -> Instance:
+    """One instance holding both witnesses' facts (schemas are shared)."""
+    data = {}
+    for name in first.schema.names():
+        rows = list(first[name])
+        seen = set(rows)
+        rows.extend(row for row in second[name] if row not in seen)
+        data[name] = rows
+    return Instance(first.schema, data)
+
+
+def _empty_instance(transducer: PublishingTransducer) -> Instance | None:
+    """The empty source over the reconstructed schema (root-only output)."""
+    try:
+        schema = source_schema(transducer)
+        return Instance(schema, {name: [] for name in schema.names()})
+    except Exception:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# The checker.
+# ---------------------------------------------------------------------------
+
+#: Node budget for publishing candidate witnesses (they are tiny canonical
+#: databases; anything that blows past this is not a useful counterexample).
+_WITNESS_BUDGET = 20_000
+
+
+def typecheck_plan(plan, dtd: DTD, *, max_paths: int = 2_000) -> TypecheckResult:
+    """Statically check a compiled plan's output language against ``dtd``.
+
+    The compiled plan supplies both the transducer (for the abstraction) and
+    the publisher used to *verify* candidate witnesses, so a ``REFUTED``
+    result's witness replays through the very plan the server would serve.
+    """
+    return _typecheck(
+        plan.transducer,
+        dtd,
+        lambda instance: plan.publish(instance, _WITNESS_BUDGET),
+        max_paths,
+    )
+
+
+def typecheck_transducer(
+    transducer: PublishingTransducer, dtd: DTD, *, max_paths: int = 2_000
+) -> TypecheckResult:
+    """:func:`typecheck_plan` for a bare transducer (compiles a throwaway plan)."""
+    from repro.engine.plan import compile_plan
+
+    plan = compile_plan(transducer)
+    return _typecheck(
+        transducer, dtd, lambda instance: plan.publish(instance, _WITNESS_BUDGET), max_paths
+    )
+
+
+def _typecheck(transducer, dtd, publish, max_paths) -> TypecheckResult:
+    # Root tag mismatch refutes on *every* source, the empty one included.
+    if transducer.root_tag != dtd.root:
+        violation = Violation(
+            path=(),
+            tags=(transducer.root_tag,),
+            tag=transducer.root_tag,
+            reason=(
+                f"root element is {transducer.root_tag!r}, the DTD requires "
+                f"{dtd.root!r}"
+            ),
+        )
+        return TypecheckResult(
+            Verdict.REFUTED,
+            dtd,
+            witness=_empty_instance(transducer),
+            violation=violation,
+        )
+
+    abstraction = _Abstraction.build(transducer)
+    graph = abstraction.graph
+    virtual = transducer.virtual_tags
+    element_pairs = sorted(
+        node
+        for node in graph.reachable_nodes()
+        if node[1] not in virtual and node[1] != TEXT_TAG
+    )
+
+    suspects: list[tuple[Node, tuple[str, ...], Regex]] = []
+    for node in element_pairs:
+        approx = abstraction.child_language(node)
+        model = dtd.content_model(node[1])
+        word = inclusion_counterexample(approx, model)
+        if word is not None:
+            suspects.append((node, word, model))
+
+    if not suspects:
+        return TypecheckResult(Verdict.PROVED, dtd, checked_pairs=len(element_pairs))
+
+    # Refutation: publish candidate sources and look for a real violation.
+    candidates_seen = 0
+    for node, word, model in suspects:
+        for candidate in _candidate_witnesses(transducer, graph, node, max_paths):
+            candidates_seen += 1
+            try:
+                tree = publish(candidate)
+            except Exception:
+                continue  # budget blow-up etc: not a usable witness
+            violation = find_violation(tree, dtd)
+            if violation is not None:
+                return TypecheckResult(
+                    Verdict.REFUTED,
+                    dtd,
+                    witness=candidate,
+                    violation=violation,
+                    checked_pairs=len(element_pairs),
+                )
+    # The empty source refutes content models that demand children the view
+    # may not emit (e.g. a required root child under an empty database).
+    empty = _empty_instance(transducer)
+    if empty is not None:
+        try:
+            violation = find_violation(publish(empty), dtd)
+        except Exception:
+            violation = None
+        if violation is not None:
+            return TypecheckResult(
+                Verdict.REFUTED,
+                dtd,
+                witness=empty,
+                violation=violation,
+                checked_pairs=len(element_pairs),
+            )
+
+    reasons = tuple(
+        f"({node[0]}, {node[1]}): children may form {'·'.join(word) if word else 'ε'}, "
+        f"which escapes the content model {model}"
+        for node, word, model in suspects
+    )
+    return TypecheckResult(
+        Verdict.UNDECIDED,
+        dtd,
+        reasons=reasons,
+        checked_pairs=len(element_pairs),
+    )

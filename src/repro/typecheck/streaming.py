@@ -1,0 +1,273 @@
+"""Streaming DTD validation over publish event streams.
+
+The runtime half of :mod:`repro.typecheck`: for views the static checker
+cannot prove (``UNDECIDED``) -- or views registered with
+``typecheck="runtime"`` -- the server validates the *emitted* document
+against the target DTD while it streams.  The validator folds over the
+SAX-style events of :meth:`~repro.engine.plan.PublishingPlan.publish_events`
+(or :func:`~repro.xmltree.events.tree_to_events` for maintained trees) with
+one stack frame per *open* element -- O(depth) state, no tree construction
+-- in the spirit of the Alur/D'Antoni streaming tree transducers: each frame
+carries only the current DFA state of its element's content model, never the
+child word itself.
+
+Violations surface as :class:`OutputValidationError` carrying a structured
+:class:`Violation` (offending path as child indices plus tags, the reason,
+and the expected content model), which the serving stack forwards as data --
+the same shape the static checker reports for refuted views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.xmltree.dtd import DTD, Regex
+from repro.xmltree.events import CloseEvent, OpenEvent, TextEvent, XmlEvent
+from repro.xmltree.tree import TEXT_TAG, TreeNode
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One DTD violation, located by its path from the document root.
+
+    ``path`` holds child indices (root excluded), ``tags`` the element tags
+    along the same path *including* the offending element, so
+    ``/db/course[2]/title`` renders from the two together.
+    """
+
+    path: tuple[int, ...]
+    tags: tuple[str, ...]
+    tag: str
+    reason: str
+    expected: str | None = None
+    child_index: int | None = None
+
+    def location(self) -> str:
+        """An XPath-ish rendering of the offending node's position."""
+        if not self.tags:
+            return "/"
+        parts = [self.tags[0]]
+        for tag, index in zip(self.tags[1:], self.path):
+            parts.append(f"{tag}[{index}]")
+        return "/" + "/".join(parts)
+
+    def as_dict(self) -> dict:
+        """The violation as plain data (wire- and JSON-friendly)."""
+        return {
+            "path": list(self.path),
+            "tags": list(self.tags),
+            "tag": self.tag,
+            "reason": self.reason,
+            "expected": self.expected,
+            "child_index": self.child_index,
+            "location": self.location(),
+        }
+
+    def describe(self) -> str:
+        """One human-readable line."""
+        expected = f" (content model: {self.expected})" if self.expected else ""
+        return f"{self.location()}: {self.reason}{expected}"
+
+
+class OutputValidationError(ValueError):
+    """A published document violates the view's registered output DTD."""
+
+    def __init__(self, violation: Violation, view: str | None = None) -> None:
+        self.violation = violation
+        self.view = view
+        prefix = f"view {view!r}: " if view else ""
+        super().__init__(f"{prefix}output violates DTD at {violation.describe()}")
+
+
+@dataclass
+class _Frame:
+    """One open element: its tag, content-model DFA state and child cursor."""
+
+    __slots__ = ("tag", "dfa", "state", "children", "index")
+
+    tag: str
+    dfa: object
+    state: int
+    children: int
+    index: int
+
+
+class StreamingValidator:
+    """Fold a document event stream through per-element content-model DFAs.
+
+    Usage: :meth:`feed` every event, then :meth:`finish`; both raise
+    :class:`OutputValidationError` on the *first* violation, located by the
+    open-element stack at that moment.  Memory is O(open depth): one frame
+    per open element, each holding a single DFA state integer.  Violations
+    are detected as early as the automaton allows -- an impossible child is
+    rejected at its open event, an incomplete content word at the close
+    event of its parent.
+    """
+
+    def __init__(self, dtd: DTD, view: str | None = None) -> None:
+        self._dtd = dtd
+        self._view = view
+        self._frames: list[_Frame] = []
+        self._roots = 0
+        self.events = 0
+
+    # -- event folding -------------------------------------------------------
+
+    def feed(self, event: XmlEvent) -> None:
+        """Advance the run by one event; raise on the first violation."""
+        self.events += 1
+        if isinstance(event, OpenEvent):
+            self._open(event.tag)
+        elif isinstance(event, TextEvent):
+            self._text()
+        elif isinstance(event, CloseEvent):
+            self._close(event.tag)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown event: {event!r}")
+
+    def finish(self) -> None:
+        """Declare the stream complete; raise when elements are still open."""
+        if self._frames:
+            self._fail(
+                self._frames[-1].tag,
+                f"event stream ended inside open element {self._frames[-1].tag!r}",
+                model=None,
+            )
+        if not self._roots:
+            self._fail(self._dtd.root, "empty document (no root element)", model=None)
+
+    def validate(self, events: Iterable[XmlEvent]) -> int:
+        """Fold a whole stream; returns the number of events consumed."""
+        for event in events:
+            self.feed(event)
+        self.finish()
+        return self.events
+
+    # -- internals -----------------------------------------------------------
+
+    def _open(self, tag: str) -> None:
+        if not self._frames:
+            if self._roots:
+                self._fail(tag, "document has more than one root element", model=None)
+            if tag != self._dtd.root:
+                self._fail(
+                    tag,
+                    f"root element is {tag!r}, the DTD requires {self._dtd.root!r}",
+                    model=None,
+                )
+            self._roots += 1
+            index = 0
+        else:
+            index = self._advance(tag)
+        dfa = self._dtd.content_model(tag).to_dfa()
+        self._frames.append(_Frame(tag, dfa, dfa.start, 0, index))
+
+    def _text(self) -> None:
+        if not self._frames:
+            self._fail(TEXT_TAG, "text content outside the root element", model=None)
+        self._advance(TEXT_TAG)
+
+    def _close(self, tag: str) -> None:
+        if not self._frames:
+            self._fail(tag, f"close event for {tag!r} without a matching open", model=None)
+        frame = self._frames[-1]
+        if frame.tag != tag:  # malformed stream, not a schema issue
+            self._fail(tag, f"close event for {tag!r} inside open element {frame.tag!r}", model=None)
+        if frame.state not in frame.dfa.accepting:
+            model = self._dtd.content_model(frame.tag)
+            self._fail(
+                frame.tag,
+                f"content of {frame.tag!r} is incomplete after "
+                f"{frame.children} child(ren)",
+                model=model,
+            )
+        self._frames.pop()
+
+    def _advance(self, tag: str) -> int:
+        """Step the innermost frame's DFA by one child tag."""
+        frame = self._frames[-1]
+        index = frame.children
+        successor = frame.dfa.step(frame.state, tag)
+        if successor is None:
+            model = self._dtd.content_model(frame.tag)
+            self._fail(
+                tag,
+                f"child {index} of {frame.tag!r} is {tag!r}, which no word of "
+                f"the content model allows here",
+                model=model,
+                child_index=index,
+            )
+        frame.state = successor
+        frame.children += 1
+        return index
+
+    def _fail(
+        self,
+        tag: str,
+        reason: str,
+        model: Regex | None,
+        child_index: int | None = None,
+    ) -> None:
+        path = tuple(frame.index for frame in self._frames[1:])
+        tags = tuple(frame.tag for frame in self._frames)
+        if child_index is not None and self._frames:
+            path = path + (child_index,)
+            tags = tags + (tag,)
+        violation = Violation(
+            path=path,
+            tags=tags or (tag,),
+            tag=tag,
+            reason=reason,
+            expected=str(model) if model is not None else None,
+            child_index=child_index,
+        )
+        raise OutputValidationError(violation, self._view)
+
+
+def validate_events(
+    events: Iterable[XmlEvent],
+    dtd: DTD,
+    *,
+    view: str | None = None,
+    on_valid: Callable[[], None] | None = None,
+) -> Iterator[XmlEvent]:
+    """A validating pass-through: yield every event while checking it.
+
+    The single-pass form used by ``output="events"`` publishes: the consumer
+    drives the underlying lazy stream exactly once, each event is checked
+    before it is handed over, and ``on_valid`` fires after the final event
+    passed -- the server's hook for marking the version validated.
+    """
+    validator = StreamingValidator(dtd, view)
+    for event in events:
+        validator.feed(event)
+        yield event
+    validator.finish()
+    if on_valid is not None:
+        on_valid()
+
+
+def validate_tree(tree: TreeNode, dtd: DTD, *, view: str | None = None) -> int:
+    """Validate a materialised tree through the streaming fold (stack-safe).
+
+    Iterative end to end (:func:`tree_to_events` is loop-based), so deep
+    spines at Proposition-1 depths do not touch the recursion limit the way
+    :meth:`DTD.conforms` would.  Returns the number of events checked.
+    """
+    from repro.xmltree.events import tree_to_events
+
+    return StreamingValidator(dtd, view).validate(tree_to_events(tree))
+
+
+def find_violation(tree: TreeNode, dtd: DTD) -> Violation | None:
+    """The first violation of ``tree`` against ``dtd``, or ``None``.
+
+    The non-raising probe used by the static checker to confirm refutation
+    witnesses and locate their offending paths.
+    """
+    try:
+        validate_tree(tree, dtd)
+    except OutputValidationError as error:
+        return error.violation
+    return None

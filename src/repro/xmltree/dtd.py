@@ -11,7 +11,14 @@ This module implements
 * a small regular-expression language over tags (:class:`Regex` and the
   constructors :func:`sym`, :func:`concat`, :func:`alt`, :func:`star`,
   :func:`opt`, :func:`plus`, :func:`empty`);
-* Glushkov-style compilation to an NFA and membership of label sequences;
+* Glushkov-style compilation to an NFA and membership of label sequences,
+  plus :meth:`Regex.to_dfa` -- subset construction and Moore minimisation
+  with an LRU cache, so hot membership paths (:meth:`Regex.matches`, the
+  extended-DTD bottom-up run, the typechecker's inclusion tests) never
+  re-simulate an NFA;
+* a pure-data wire form (:func:`regex_to_wire` / :func:`dtd_to_wire` and
+  their inverses) so the network tier can ship target schemas in
+  registration payloads without anything executable crossing the wire;
 * :class:`DTD` conformance checking of Σ-trees;
 * :class:`ExtendedDTD` conformance checking via bottom-up computation of the
   possible auxiliary labels of every node (the standard unranked
@@ -28,7 +35,8 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from functools import lru_cache
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.xmltree.tree import TEXT_TAG, TreeNode
 
@@ -60,9 +68,20 @@ class Regex:
     def _build(self, builder: "_NFABuilder", start: int, accept: int) -> None:
         raise NotImplementedError
 
+    def to_dfa(self) -> "DFA":
+        """The determinised and minimised automaton of the expression.
+
+        Compiled once per (structurally equal) expression and LRU-cached, so
+        repeated membership tests -- DTD conformance over large documents,
+        the extended-DTD bottom-up run, the typechecker's inclusion checks
+        and the streaming validator -- walk a dict-backed DFA instead of
+        re-simulating the Glushkov NFA.
+        """
+        return _compiled_dfa(self)
+
     def matches(self, word: Sequence[str]) -> bool:
         """Membership of a tag sequence in the language of the expression."""
-        return self.to_nfa().accepts(word)
+        return self.to_dfa().accepts(word)
 
 
 @dataclass(frozen=True)
@@ -277,6 +296,222 @@ class _NFA:
 
 
 # ---------------------------------------------------------------------------
+# Deterministic automata: subset construction, minimisation, cached compile.
+# ---------------------------------------------------------------------------
+
+
+class DFA:
+    """A deterministic automaton over tags with a total-by-omission delta.
+
+    ``transitions`` maps ``(state, tag)`` to the successor state; a missing
+    entry is the (implicit) dead state, so :meth:`step` returns ``None`` and
+    :meth:`accepts` rejects as soon as a word leaves the live part.  States
+    are small integers with ``0`` the start state.
+    """
+
+    __slots__ = ("transitions", "start", "accepting", "alphabet", "states")
+
+    def __init__(
+        self,
+        transitions: Mapping[tuple[int, str], int],
+        start: int,
+        accepting: frozenset[int],
+        alphabet: frozenset[str],
+        states: int,
+    ) -> None:
+        self.transitions = dict(transitions)
+        self.start = start
+        self.accepting = accepting
+        self.alphabet = alphabet
+        self.states = states
+
+    def step(self, state: int, tag: str) -> int | None:
+        """The successor of ``state`` on ``tag`` (``None`` = dead)."""
+        return self.transitions.get((state, tag))
+
+    def accepts(self, word: Sequence[str]) -> bool:
+        """Membership of a tag sequence."""
+        current: int | None = self.start
+        transitions = self.transitions
+        for tag in word:
+            current = transitions.get((current, tag))
+            if current is None:
+                return False
+        return current in self.accepting
+
+    def accepts_sets(self, word: Sequence[frozenset[str]]) -> bool:
+        """Membership where each position may carry any tag of a candidate set.
+
+        A subset walk over the deterministic delta (the set-labelled word
+        makes the run non-deterministic again); used by the extended-DTD
+        bottom-up conformance run.
+        """
+        current = {self.start}
+        transitions = self.transitions
+        for candidates in word:
+            moved: set[int] = set()
+            for state in current:
+                for tag in candidates:
+                    target = transitions.get((state, tag))
+                    if target is not None:
+                        moved.add(target)
+            if not moved:
+                return False
+            current = moved
+        return bool(current & self.accepting)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DFA(states={self.states}, alphabet={sorted(self.alphabet)}, "
+            f"accepting={sorted(self.accepting)})"
+        )
+
+
+def _determinize(nfa: _NFA, alphabet: frozenset[str]) -> DFA:
+    """Subset construction over the live (reachable, non-empty) subsets."""
+    start_set = nfa._closure({nfa.start})
+    numbering: dict[frozenset[int], int] = {start_set: 0}
+    order = [start_set]
+    transitions: dict[tuple[int, str], int] = {}
+    index = 0
+    while index < len(order):
+        subset = order[index]
+        source = numbering[subset]
+        index += 1
+        for tag in alphabet:
+            moved: set[int] = set()
+            for state in subset:
+                moved |= nfa.transitions.get((state, tag), set())
+            if not moved:
+                continue
+            closed = nfa._closure(moved)
+            target = numbering.get(closed)
+            if target is None:
+                target = numbering[closed] = len(order)
+                order.append(closed)
+            transitions[source, tag] = target
+    accepting = frozenset(
+        numbering[subset] for subset in order if nfa.accept in subset
+    )
+    return DFA(transitions, 0, accepting, alphabet, len(order))
+
+
+def _minimize(dfa: DFA) -> DFA:
+    """Moore partition refinement (the dead state stays implicit)."""
+    if dfa.states <= 1:
+        return dfa
+    # Block ids: 0 = non-accepting, 1 = accepting (drop a class when empty).
+    block: dict[int, int] = {
+        state: (1 if state in dfa.accepting else 0) for state in range(dfa.states)
+    }
+    symbols = sorted(dfa.alphabet)
+    while True:
+        signatures: dict[tuple, int] = {}
+        next_block: dict[int, int] = {}
+        for state in range(dfa.states):
+            signature = (
+                block[state],
+                tuple(
+                    block.get(dfa.transitions.get((state, tag), -1), -1)
+                    for tag in symbols
+                ),
+            )
+            assigned = signatures.get(signature)
+            if assigned is None:
+                assigned = signatures[signature] = len(signatures)
+            next_block[state] = assigned
+        if next_block == block:
+            break
+        block = next_block
+    # Renumber so the start state's block is 0 (stable, reachable-first).
+    renumber: dict[int, int] = {block[dfa.start]: 0}
+    for state in range(dfa.states):
+        renumber.setdefault(block[state], len(renumber))
+    transitions: dict[tuple[int, str], int] = {}
+    for (state, tag), target in dfa.transitions.items():
+        transitions[renumber[block[state]], tag] = renumber[block[target]]
+    accepting = frozenset(renumber[block[state]] for state in dfa.accepting)
+    return DFA(transitions, 0, accepting, dfa.alphabet, len(renumber))
+
+
+@lru_cache(maxsize=1024)
+def _compiled_dfa(regex: Regex) -> DFA:
+    """Compile-and-minimise, cached by structural equality of the expression."""
+    return _minimize(_determinize(regex.to_nfa(), regex.symbols()))
+
+
+# ---------------------------------------------------------------------------
+# Pure-data wire form (catalog-safe: tags and operators only).
+# ---------------------------------------------------------------------------
+
+
+def regex_to_wire(regex: Regex) -> Any:
+    """Encode a content-model expression as plain JSON-friendly data."""
+    if isinstance(regex, Epsilon):
+        return {"op": "eps"}
+    if isinstance(regex, Symbol):
+        return {"op": "sym", "tag": regex.tag}
+    if isinstance(regex, Concat):
+        return {"op": "cat", "parts": [regex_to_wire(part) for part in regex.parts]}
+    if isinstance(regex, Alt):
+        return {"op": "alt", "parts": [regex_to_wire(part) for part in regex.parts]}
+    if isinstance(regex, Star):
+        return {"op": "star", "part": regex_to_wire(regex.operand)}
+    raise ValueError(f"cannot encode regex node {type(regex).__name__}")
+
+
+def regex_from_wire(payload: Any) -> Regex:
+    """Decode :func:`regex_to_wire` output; raises ``ValueError`` when malformed."""
+    if not isinstance(payload, Mapping):
+        raise ValueError(f"regex payload must be an object, not {type(payload).__name__}")
+    op = payload.get("op")
+    if op == "eps":
+        return Epsilon()
+    if op == "sym":
+        tag = payload.get("tag")
+        if not isinstance(tag, str) or not tag:
+            raise ValueError("'sym' regex needs a non-empty string 'tag'")
+        return Symbol(tag)
+    if op in ("cat", "alt"):
+        parts = payload.get("parts")
+        if not isinstance(parts, Sequence) or isinstance(parts, (str, bytes)):
+            raise ValueError(f"{op!r} regex needs a 'parts' list")
+        decoded = tuple(regex_from_wire(part) for part in parts)
+        return Concat(decoded) if op == "cat" else Alt(decoded)
+    if op == "star":
+        if "part" not in payload:
+            raise ValueError("'star' regex needs a 'part'")
+        return Star(regex_from_wire(payload["part"]))
+    raise ValueError(f"unknown regex op {op!r}")
+
+
+def dtd_to_wire(dtd: "DTD") -> dict[str, Any]:
+    """Encode a DTD as pure data (root tag plus per-tag content models)."""
+    return {
+        "root": dtd.root,
+        "rules": {tag: regex_to_wire(regex) for tag, regex in dtd.rules.items()},
+    }
+
+
+def dtd_from_wire(payload: Any) -> "DTD":
+    """Decode :func:`dtd_to_wire` output; raises ``ValueError`` when malformed."""
+    if not isinstance(payload, Mapping):
+        raise ValueError(f"DTD payload must be an object, not {type(payload).__name__}")
+    root = payload.get("root")
+    if not isinstance(root, str) or not root:
+        raise ValueError("DTD payload needs a non-empty string 'root'")
+    rules_payload = payload.get("rules", {})
+    if not isinstance(rules_payload, Mapping):
+        raise ValueError("DTD 'rules' must be an object mapping tags to regexes")
+    rules = {}
+    for tag, encoded in rules_payload.items():
+        if not isinstance(tag, str) or not tag:
+            raise ValueError("DTD rule tags must be non-empty strings")
+        rules[tag] = regex_from_wire(encoded)
+    return DTD(root, rules)
+
+
+# ---------------------------------------------------------------------------
 # DTDs.
 # ---------------------------------------------------------------------------
 
@@ -418,7 +653,6 @@ class ExtendedDTD:
             if self._mu.get(aux, aux) != node.label:
                 continue
             model = self._dtd.content_model(aux)
-            nfa = model.to_nfa()
-            if nfa.accepts_sets(child_candidates):
+            if model.to_dfa().accepts_sets(child_candidates):
                 result.add(aux)
         return frozenset(result)

@@ -352,3 +352,107 @@ def test_wal_damage_surfaces_through_startup_recovery(tmp_path):
     broken = NetServerThread("127.0.0.1", 0, wal_dir=wal_dir)
     with pytest.raises(WalError):
         broken.start()
+
+
+# ---------------------------------------------------------------------------
+# Output typechecking over the wire (the DTD travels as pure data).
+# ---------------------------------------------------------------------------
+
+
+def _wire_dtds():
+    from repro.xmltree.dtd import DTD, Epsilon, alt, concat, opt, star, sym
+
+    text = sym("text")
+    permissive = DTD(
+        "db",
+        {
+            "db": star(sym("course")),
+            "course": alt(Epsilon(), concat(sym("cno"), sym("title"), sym("prereq"))),
+            "prereq": star(sym("course")),
+            "cno": opt(text),
+            "title": opt(text),
+        },
+    )
+    strict = DTD(
+        "db",
+        {
+            "db": star(sym("course")),
+            "course": concat(sym("cno"), sym("title")),
+            "cno": opt(text),
+            "title": opt(text),
+        },
+    )
+    undecided = DTD(
+        "db",
+        {
+            "db": star(sym("course")),
+            "course": concat(sym("cno"), sym("title"), sym("title")),
+            "cno": opt(text),
+            "title": opt(text),
+        },
+    )
+    return permissive, strict, undecided
+
+
+def test_register_with_dtd_reports_the_verdict(client):
+    permissive, _, _ = _wire_dtds()
+    out = client.register_view("tau1", output_dtd=permissive)
+    assert out["typecheck"] == {"mode": "static", "verdict": "proved"}
+    client.attach(example_registrar_instance(), name="db")
+    assert client.publish("tau1", source="db").status == 200
+
+
+def test_refuted_registration_answers_422_with_replayable_witness(client):
+    _, strict, _ = _wire_dtds()
+    with pytest.raises(NetClientError) as caught:
+        client.register_view("tau1", output_dtd=strict)
+    assert caught.value.status == 422
+    payload = caught.value.payload
+    assert payload["typecheck"]["verdict"] == "refuted"
+    assert payload["typecheck"]["violation"]["location"].startswith("/db/course[")
+
+    # the witness decodes and replays the refutation client-side
+    from repro.engine.plan import compile_plan
+    from repro.relational.wire import instance_from_wire
+    from repro.serve.net.app import default_catalog
+    from repro.typecheck import find_violation
+
+    witness = instance_from_wire(payload["witness"])
+    tree = compile_plan(default_catalog()["tau1"]()).publish(witness)
+    replayed = find_violation(tree, strict)
+    assert replayed is not None
+    assert replayed.location() == payload["typecheck"]["violation"]["location"]
+
+    # the rejection did not squat on the name
+    assert client.register_view("tau1")["name"] == "tau1"
+
+
+def test_runtime_violation_answers_422_with_the_violation(client):
+    _, _, undecided = _wire_dtds()
+    out = client.register_view("tau3", output_dtd=undecided)
+    assert out["typecheck"]["verdict"] == "undecided"
+    client.attach(example_registrar_instance(), name="db")
+    with pytest.raises(NetClientError) as caught:
+        client.publish("tau3", source="db")
+    assert caught.value.status == 422
+    assert caught.value.payload["view"] == "tau3"
+    assert caught.value.payload["violation"]["location"].startswith("/db/course[")
+
+
+def test_malformed_wire_dtd_is_a_400(client):
+    with pytest.raises(NetClientError) as caught:
+        client.register_view("tau1", output_dtd={"root": "db", "rules": {"db": {"op": "??"}}})
+    assert caught.value.status == 400
+    with pytest.raises(NetClientError) as caught:
+        client.register_view("tau1", output_dtd=_wire_dtds()[0], typecheck="sometimes")
+    assert caught.value.status == 400
+
+
+def test_wire_dtd_publish_matches_unchecked_bytes(client):
+    permissive, _, _ = _wire_dtds()
+    client.register_view("checked", view="tau1", output_dtd=permissive)
+    client.register_view("plain", view="tau1")
+    client.attach(example_registrar_instance(), name="db")
+    checked = client.publish("checked", source="db")
+    plain = client.publish("plain", source="db")
+    assert checked.document == plain.document

@@ -215,3 +215,68 @@ def test_worker_restart_replays_from_wal(cluster):
     client.commit("db", extra)
     assert client.publish("tau1", source="db").document == _oracle(deltas + [extra])
     client.close()
+
+
+# ---------------------------------------------------------------------------
+# Output typechecking through the router: rejection parity + DTD replay.
+# ---------------------------------------------------------------------------
+
+
+def _shard_dtds():
+    from repro.xmltree.dtd import DTD, concat, opt, star, sym
+
+    text = sym("text")
+    strict = DTD(
+        "db",
+        {
+            "db": star(sym("course")),
+            "course": concat(sym("cno"), sym("title")),
+            "cno": opt(text),
+            "title": opt(text),
+        },
+    )
+    undecided = DTD(
+        "db",
+        {
+            "db": star(sym("course")),
+            "course": concat(sym("cno"), sym("title"), sym("title")),
+            "cno": opt(text),
+            "title": opt(text),
+        },
+    )
+    return strict, undecided
+
+
+def test_router_rejects_refuted_views_like_a_single_server(cluster):
+    strict, _ = _shard_dtds()
+    ns = _ns_on(0, "refuse")
+    client = _client(cluster, ns)
+    with pytest.raises(NetClientError) as caught:
+        client.register_view("tau1", output_dtd=strict)
+    assert caught.value.status == 422
+    assert caught.value.payload["typecheck"]["verdict"] == "refuted"
+    assert "witness" in caught.value.payload
+    # the rejection was not recorded: the name is still free on the shard
+    assert client.register_view("tau1")["name"] == "tau1"
+    client.close()
+
+
+def test_rebalance_replays_the_output_dtd(cluster):
+    _, undecided = _shard_dtds()
+    ns = _ns_on(0, "dtdmove")
+    client = _client(cluster, ns)
+    out = client.register_view("tau3", output_dtd=undecided)
+    assert out["typecheck"]["verdict"] == "undecided"
+    client.attach(example_registrar_instance(), name="db", durable=True)
+
+    moved = client.rebalance(ns, 1)
+    assert moved["moved"] is True
+
+    # the replayed registration still carries the DTD: publishing the
+    # non-conforming view is refused on the new shard too
+    with pytest.raises(NetClientError) as caught:
+        client.publish("tau3", source="db")
+    assert caught.value.status == 422
+    assert caught.value.payload["view"] == "tau3"
+    assert caught.value.payload["violation"]["location"].startswith("/db/course[")
+    client.close()

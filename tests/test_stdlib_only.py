@@ -51,3 +51,9 @@ def test_net_tier_modules_import_cleanly():
     import repro.serve.net.protocol  # noqa: F401
     import repro.serve.net.wal  # noqa: F401
     import repro.relational.wire  # noqa: F401
+
+
+def test_typecheck_modules_import_cleanly():
+    import repro.typecheck  # noqa: F401
+    import repro.typecheck.static  # noqa: F401
+    import repro.typecheck.streaming  # noqa: F401
